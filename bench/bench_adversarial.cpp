@@ -1,0 +1,128 @@
+// E6 — Section 5: adversarial failures vs random failures.
+//
+// Threat model: a p-fraction of users are adversaries who join normally and
+// then all fail at once. If rows are appended in arrival order, a burst of
+// adversaries that joined back-to-back occupies a contiguous band of the
+// curtain and can sever every thread at that height, cutting off everyone
+// below. The paper's defense: insert each new row at a *random* position in
+// M — then a coordinated burst is statistically identical to iid failures.
+//
+// Scenarios:
+//   A. iid random failures, append policy            (the analyzed baseline)
+//   B. coordinated burst, append policy              (the attack)
+//   C. coordinated burst, random-position insertion  (the defense)
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "overlay/curtain_server.hpp"
+#include "overlay/flow_graph.hpp"
+#include "util/stats.hpp"
+
+using namespace ncast;
+
+namespace {
+
+struct Result {
+  double p_loss = 0;      // P(working node lost connectivity)
+  double mean_loss = 0;   // mean (d - conn)
+  double p_cutoff = 0;    // P(conn == 0): completely severed
+};
+
+Result evaluate(const overlay::ThreadMatrix& m, std::uint32_t d,
+                std::size_t samples, Rng& rng) {
+  const auto fg = build_flow_graph(m);
+  std::vector<overlay::NodeId> working;
+  for (auto n : m.nodes_in_order()) {
+    if (!m.row(n).failed) working.push_back(n);
+  }
+  rng.shuffle(working);
+  samples = std::min(samples, working.size());
+  Result r;
+  RunningStats loss;
+  std::size_t lost = 0, cutoff = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto conn = node_connectivity(fg, working[i]);
+    if (conn < d) ++lost;
+    if (conn == 0) ++cutoff;
+    loss.add(static_cast<double>(d) - static_cast<double>(conn));
+  }
+  r.p_loss = static_cast<double>(lost) / static_cast<double>(samples);
+  r.p_cutoff = static_cast<double>(cutoff) / static_cast<double>(samples);
+  r.mean_loss = loss.mean();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "E6: adversarial vs random failures (Section 5)",
+      "k = 16, d = 2, N = 2000, adversary fraction 2% (40 nodes failing\n"
+      "simultaneously). 400 sampled working nodes, 3 trials averaged.");
+
+  const std::uint32_t k = 16, d = 2;
+  const std::size_t n = 2000;
+  const double frac = 0.02;
+  const auto burst = static_cast<std::size_t>(frac * n);
+
+  Table table({"scenario", "policy", "P(loss)", "mean loss", "P(cut off)"});
+  RunningStats a_loss, a_mean, a_cut, b_loss, b_mean, b_cut, c_loss, c_mean,
+      c_cut;
+
+  for (std::uint64_t trial = 0; trial < 3; ++trial) {
+    // A: iid random failures, append.
+    {
+      auto m = bench::grow_overlay(k, d, n, 0xE60 + trial);
+      Rng rng(0xE61 + trial);
+      bench::tag_iid_failures(m, frac, rng);
+      const auto r = evaluate(m, d, 400, rng);
+      a_loss.add(r.p_loss);
+      a_mean.add(r.mean_loss);
+      a_cut.add(r.p_cutoff);
+    }
+    // B: coordinated burst in the middle of the arrival order, append.
+    {
+      auto m = bench::grow_overlay(k, d, n, 0xE62 + trial);
+      const auto order = m.nodes_in_order();
+      for (std::size_t i = n / 2; i < n / 2 + burst; ++i) {
+        m.mark_failed(order[i]);
+      }
+      Rng rng(0xE63 + trial);
+      const auto r = evaluate(m, d, 400, rng);
+      b_loss.add(r.p_loss);
+      b_mean.add(r.mean_loss);
+      b_cut.add(r.p_cutoff);
+    }
+    // C: same burst of arrivals, but rows were inserted at random positions.
+    {
+      auto m = bench::grow_overlay(k, d, n, 0xE64 + trial,
+                                   overlay::InsertPolicy::kRandomPosition);
+      // The adversaries are the same arrival cohort (node ids n/2 ..
+      // n/2+burst), but random insertion scattered them over the matrix.
+      for (std::size_t i = n / 2; i < n / 2 + burst; ++i) {
+        m.mark_failed(static_cast<overlay::NodeId>(i));
+      }
+      Rng rng(0xE65 + trial);
+      const auto r = evaluate(m, d, 400, rng);
+      c_loss.add(r.p_loss);
+      c_mean.add(r.mean_loss);
+      c_cut.add(r.p_cutoff);
+    }
+  }
+
+  table.add_row({"A: iid failures", "append", fmt(a_loss.mean(), 4),
+                 fmt(a_mean.mean(), 4), fmt(a_cut.mean(), 4)});
+  table.add_row({"B: coordinated burst", "append", fmt(b_loss.mean(), 4),
+                 fmt(b_mean.mean(), 4), fmt(b_cut.mean(), 4)});
+  table.add_row({"C: coordinated burst", "random insert", fmt(c_loss.mean(), 4),
+                 fmt(c_mean.mean(), 4), fmt(c_cut.mean(), 4)});
+  table.print();
+
+  std::printf(
+      "\nReading: B should be catastrophic (a contiguous failed band severs\n"
+      "threads wholesale; nodes below are cut off). C should match A —\n"
+      "random insertion makes a coordinated burst no more harmful than iid\n"
+      "failures, which is exactly the Section 5 claim.\n");
+  return 0;
+}

@@ -1,0 +1,159 @@
+// E13 — codec microbenchmarks (google-benchmark): raw field arithmetic,
+// RLNC encode/recode/decode, and the Reed–Solomon baseline. These bound the
+// CPU cost per delivered byte of the whole system.
+
+#include <benchmark/benchmark.h>
+
+#include "coding/decoder.hpp"
+#include "coding/encoder.hpp"
+#include "coding/recoder.hpp"
+#include "coding/reed_solomon.hpp"
+#include "gf/gf256.hpp"
+#include "gf/gf2_16.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ncast::Rng;
+using Gf = ncast::gf::Gf256;
+
+void BM_Gf256RegionMadd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> dst(n), src(n);
+  Rng rng(1);
+  for (auto& b : src) b = static_cast<std::uint8_t>(rng.below(256));
+  std::uint8_t c = 7;
+  for (auto _ : state) {
+    Gf::region_madd(dst.data(), src.data(), c, n);
+    benchmark::DoNotOptimize(dst.data());
+    c = static_cast<std::uint8_t>(c * 3 + 1);
+    if (c == 0) c = 1;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Gf256RegionMadd)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_Gf2_16RegionMadd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint16_t> dst(n), src(n);
+  Rng rng(2);
+  for (auto& b : src) b = static_cast<std::uint16_t>(rng.below(65536));
+  std::uint16_t c = 7;
+  for (auto _ : state) {
+    ncast::gf::Gf2_16::region_madd(dst.data(), src.data(), c, n);
+    benchmark::DoNotOptimize(dst.data());
+    c = static_cast<std::uint16_t>(c * 3 + 1);
+    if (c == 0) c = 1;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 2);
+}
+BENCHMARK(BM_Gf2_16RegionMadd)->Arg(64)->Arg(1024)->Arg(8192);
+
+std::vector<std::vector<std::uint8_t>> random_source(std::size_t g,
+                                                     std::size_t symbols,
+                                                     Rng& rng) {
+  std::vector<std::vector<std::uint8_t>> src(g, std::vector<std::uint8_t>(symbols));
+  for (auto& row : src) {
+    for (auto& b : row) b = static_cast<std::uint8_t>(rng.below(256));
+  }
+  return src;
+}
+
+void BM_RlncEncode(benchmark::State& state) {
+  const auto g = static_cast<std::size_t>(state.range(0));
+  const std::size_t symbols = 1024;
+  Rng rng(3);
+  ncast::coding::SourceEncoder<Gf> enc(0, random_source(g, symbols, rng));
+  for (auto _ : state) {
+    auto p = enc.emit(rng);
+    benchmark::DoNotOptimize(p.payload.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(symbols));
+}
+BENCHMARK(BM_RlncEncode)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_RlncDecodeGeneration(benchmark::State& state) {
+  const auto g = static_cast<std::size_t>(state.range(0));
+  const std::size_t symbols = 1024;
+  Rng rng(4);
+  ncast::coding::SourceEncoder<Gf> enc(0, random_source(g, symbols, rng));
+  // Pre-generate enough packets (with slack for rare dependencies).
+  std::vector<ncast::coding::CodedPacket<Gf>> packets;
+  for (std::size_t i = 0; i < g + 8; ++i) packets.push_back(enc.emit(rng));
+  for (auto _ : state) {
+    ncast::coding::Decoder<Gf> dec(0, g, symbols);
+    for (const auto& p : packets) {
+      if (dec.complete()) break;
+      dec.absorb(p);
+    }
+    benchmark::DoNotOptimize(dec.rank());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g * symbols));
+}
+BENCHMARK(BM_RlncDecodeGeneration)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_RlncRecode(benchmark::State& state) {
+  const auto g = static_cast<std::size_t>(state.range(0));
+  const std::size_t symbols = 1024;
+  Rng rng(5);
+  ncast::coding::SourceEncoder<Gf> enc(0, random_source(g, symbols, rng));
+  ncast::coding::Recoder<Gf> rec(0, g, symbols);
+  while (!rec.complete()) rec.absorb(enc.emit(rng));
+  for (auto _ : state) {
+    auto p = rec.emit(rng);
+    benchmark::DoNotOptimize(p->payload.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(symbols));
+}
+BENCHMARK(BM_RlncRecode)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_RsEncode(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 2 * k;
+  const std::size_t len = 1024;
+  Rng rng(6);
+  std::vector<std::vector<std::uint8_t>> data(k, std::vector<std::uint8_t>(len));
+  for (auto& d : data) {
+    for (auto& b : d) b = static_cast<std::uint8_t>(rng.below(256));
+  }
+  ncast::coding::ReedSolomon rs(n, k);
+  for (auto _ : state) {
+    auto frags = rs.encode(data);
+    benchmark::DoNotOptimize(frags.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k * len));
+}
+BENCHMARK(BM_RsEncode)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_RsDecodeParityHeavy(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 2 * k;
+  const std::size_t len = 1024;
+  Rng rng(7);
+  std::vector<std::vector<std::uint8_t>> data(k, std::vector<std::uint8_t>(len));
+  for (auto& d : data) {
+    for (auto& b : d) b = static_cast<std::uint8_t>(rng.below(256));
+  }
+  ncast::coding::ReedSolomon rs(n, k);
+  const auto frags = rs.encode(data);
+  // Receive only parity fragments: the hardest decode.
+  std::vector<std::pair<std::size_t, std::vector<std::uint8_t>>> received;
+  for (std::size_t i = k; i < 2 * k; ++i) received.emplace_back(i, frags[i]);
+  for (auto _ : state) {
+    auto out = rs.decode(received);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k * len));
+}
+BENCHMARK(BM_RsDecodeParityHeavy)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+#pragma once
+// Shared helpers for the experiment harness binaries. Every experiment prints
+// a header naming the paper claim it reproduces, then a table of measured
+// rows, so that bench_output.txt reads as a self-contained lab notebook.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "overlay/curtain_server.hpp"
+#include "overlay/thread_matrix.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace ncast::bench {
+
+/// Prints the standard experiment banner.
+inline void banner(const std::string& id, const std::string& claim) {
+  std::printf("\n=== %s ===\n%s\n\n", id.c_str(), claim.c_str());
+}
+
+/// Grows a failure-free overlay of n nodes via the join protocol.
+inline overlay::ThreadMatrix grow_overlay(std::uint32_t k, std::uint32_t d,
+                                          std::size_t n, std::uint64_t seed,
+                                          overlay::InsertPolicy policy =
+                                              overlay::InsertPolicy::kAppend) {
+  overlay::CurtainServer server(k, d, Rng(seed), policy);
+  for (std::size_t i = 0; i < n; ++i) server.join();
+  return server.matrix();
+}
+
+/// Tags each node failed independently with probability p.
+inline void tag_iid_failures(overlay::ThreadMatrix& m, double p, Rng& rng) {
+  for (overlay::NodeId n : m.nodes_in_order()) {
+    if (rng.chance(p)) m.mark_failed(n);
+  }
+}
+
+}  // namespace ncast::bench

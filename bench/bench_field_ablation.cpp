@@ -1,0 +1,75 @@
+// E13b — field-size ablation for the RLNC substrate: the probability that a
+// random combination is non-innovative ("wasted") shrinks with field size,
+// which is why practical network coding uses GF(2^8)+ rather than XOR-only
+// coding. Also measures the per-packet coefficient overhead trade-off.
+
+#include <cstdio>
+
+#include "coding/decoder.hpp"
+#include "coding/encoder.hpp"
+#include "bench_common.hpp"
+#include "gf/gf2.hpp"
+#include "gf/gf256.hpp"
+#include "gf/gf2_16.hpp"
+#include "util/stats.hpp"
+
+using namespace ncast;
+
+namespace {
+
+template <typename Field>
+void run(const char* name, std::size_t g, Table& table, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<typename Field::value_type>> source(
+      g, std::vector<typename Field::value_type>(16));
+  for (auto& row : source) {
+    for (auto& v : row) {
+      v = static_cast<typename Field::value_type>(rng.below(Field::order));
+    }
+  }
+  coding::SourceEncoder<Field> enc(0, source);
+
+  std::size_t wasted = 0, total = 0;
+  RunningStats packets_to_decode;
+  for (int trial = 0; trial < 120; ++trial) {
+    coding::Decoder<Field> dec(0, g, 16);
+    std::size_t sent = 0;
+    while (!dec.complete()) {
+      ++sent;
+      ++total;
+      if (!dec.absorb(enc.emit(rng))) ++wasted;
+    }
+    packets_to_decode.add(static_cast<double>(sent));
+  }
+  const double overhead_bits =
+      static_cast<double>(g) * (Field::order == 2 ? 1.0 : std::log2(Field::order));
+  table.add_row({name, std::to_string(g),
+                 fmt(static_cast<double>(wasted) / static_cast<double>(total), 4),
+                 fmt(packets_to_decode.mean(), 2),
+                 fmt(packets_to_decode.mean() / static_cast<double>(g), 3),
+                 fmt(overhead_bits / 8.0, 1)});
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "E13b: field-size ablation (waste probability vs coefficient overhead)",
+      "120 decode trials per row; source-direct coding (worst case for small\n"
+      "fields is at the rank boundary).");
+
+  Table table({"field", "g", "P(non-innovative)", "packets to decode",
+               "stretch", "coeff bytes/packet"});
+  for (const std::size_t g : {8u, 16u, 32u}) {
+    run<gf::Gf2>("GF(2)", g, table, 0xEE0 + g);
+    run<gf::Gf256>("GF(2^8)", g, table, 0xEE1 + g);
+    run<gf::Gf2_16>("GF(2^16)", g, table, 0xEE2 + g);
+  }
+  table.print();
+  std::printf(
+      "\nReading: GF(2) wastes ~a constant fraction of transmissions (the\n"
+      "expected stretch is sum 1/(1-2^-i) ~ g + 1.6); GF(2^8) wastes ~1/255\n"
+      "per packet and GF(2^16) half as much again — at 2x the coefficient\n"
+      "overhead. GF(2^8) is the practical sweet spot, as [5] chose.\n");
+  return 0;
+}

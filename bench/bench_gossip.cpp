@@ -1,0 +1,78 @@
+// E12b — the Section 3/7 remark that the central server's membership role
+// can be delegated to a gossip protocol ([12]): a newcomer finds hanging
+// threads by random walks instead of asking the server. We compare the
+// resulting overlay quality (defect, connectivity) and the message costs of
+// the two discovery paths.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "overlay/defect.hpp"
+#include "overlay/flow_graph.hpp"
+#include "overlay/gossip.hpp"
+#include "util/stats.hpp"
+
+using namespace ncast;
+
+int main() {
+  bench::banner(
+      "E12b: centralized vs gossip peer discovery (Sections 3 & 7)",
+      "k = 16, d = 3, N = 800, then iid failures p = 0.03. Gossip: random\n"
+      "walks of length 8 over the neighbor relation, tracker fallback.");
+
+  const std::uint32_t k = 16, d = 3;
+  const std::size_t n = 800;
+  const double p = 0.03;
+  const int trials = 10;  // defect lives near the hanging ends; average
+                          // across snapshots to tame variance
+
+  RunningStats central_defect, gossip_defect;
+  std::uint64_t gossip_messages = 0;
+
+  for (int trial = 0; trial < trials; ++trial) {
+    // Centralized build.
+    auto central = bench::grow_overlay(k, d, n, 0xED0 + trial);
+
+    // Gossip build.
+    overlay::ThreadMatrix gossiped(k);
+    Rng grng(0xED100 + trial);
+    overlay::GossipConfig gcfg;
+    for (overlay::NodeId node = 0; node < n; ++node) {
+      std::uint64_t msgs = 0;
+      const auto cols = gossip_discover(gossiped, d, gcfg, grng, &msgs);
+      gossip_messages += msgs;
+      gossiped.append_row(node, cols);
+    }
+
+    Rng rng(0xED200 + trial);
+    bench::tag_iid_failures(central, p, rng);
+    Rng rng2(0xED300 + trial);
+    bench::tag_iid_failures(gossiped, p, rng2);
+
+    Rng s1(0xED400 + trial), s2(0xED500 + trial);
+    central_defect.add(overlay::sampled_mean_defect(
+        overlay::build_flow_graph(central), d, 600, s1));
+    gossip_defect.add(overlay::sampled_mean_defect(
+        overlay::build_flow_graph(gossiped), d, 600, s2));
+  }
+
+  Table table({"discovery", "mean defect (d-tuples)", "loss fraction",
+               "msgs/join", "server involved?"});
+  table.add_row({"centralized", fmt(central_defect.mean(), 4),
+                 fmt(central_defect.mean() / d, 4), fmt(2.0 + d, 1),
+                 "every join"});
+  table.add_row({"gossip", fmt(gossip_defect.mean(), 4),
+                 fmt(gossip_defect.mean() / d, 4),
+                 fmt(static_cast<double>(gossip_messages) /
+                         static_cast<double>(n * trials), 1),
+                 "none"});
+  table.print();
+
+  std::printf(
+      "\nReading: gossip discovery produces an overlay with defect close to\n"
+      "the centralized one (its thread choice is only walk-biased, not\n"
+      "structurally different), at the cost of more discovery messages —\n"
+      "none of which touch the server. This is the protocol-abstraction\n"
+      "point of Section 3: the topology matters, not who hands out threads.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// E5 — Locality of failures (Section 1 + Theorem 4 discussion):
+// "If a node fails then only its immediate children suffer ... The
+// probability that a working node loses connectivity from the server does
+// not increase as the size of the network grows."
+//
+// We grow explicit overlays of increasing N, tag iid failures, and measure
+// the probability that a sampled working node has connectivity < d — overall
+// and bucketed by depth. Both must stay flat near pd.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+#include "overlay/flow_graph.hpp"
+#include "util/stats.hpp"
+
+using namespace ncast;
+
+int main() {
+  bench::banner(
+      "E5: failure locality (loss probability ~pd, independent of N and depth)",
+      "k = 32, d = 3, p = 0.02 (pd = 0.06). 600 sampled working nodes per N.");
+
+  const std::uint32_t k = 32, d = 3;
+  const double p = 0.02;
+
+  Table table({"N", "P(conn < d)", "mean loss", "pd", "max depth"});
+  for (const std::size_t n : {1000u, 2000u, 4000u, 8000u, 16000u}) {
+    auto m = bench::grow_overlay(k, d, n, 0xE50 + n);
+    Rng rng(0xE51 + n);
+    bench::tag_iid_failures(m, p, rng);
+    const auto fg = build_flow_graph(m);
+    const auto depths = node_depths(fg);
+
+    // Sample working nodes uniformly.
+    std::vector<overlay::NodeId> working;
+    for (auto node : m.nodes_in_order()) {
+      if (!m.row(node).failed) working.push_back(node);
+    }
+    rng.shuffle(working);
+    const std::size_t samples = std::min<std::size_t>(600, working.size());
+
+    std::size_t degraded = 0;
+    RunningStats loss;
+    std::int64_t max_depth = 0;
+    for (std::size_t i = 0; i < samples; ++i) {
+      const auto conn = node_connectivity(fg, working[i]);
+      if (conn < d) ++degraded;
+      loss.add(static_cast<double>(d) - static_cast<double>(conn));
+      max_depth = std::max(max_depth, depths[fg.vertex_of(working[i])]);
+    }
+    table.add_row({std::to_string(n),
+                   fmt(static_cast<double>(degraded) / samples, 4),
+                   fmt(loss.mean(), 4), fmt(p * d, 4),
+                   std::to_string(max_depth)});
+  }
+  table.print();
+
+  // Depth buckets at the largest N: locality means deep nodes are no worse.
+  std::printf("\nBy depth at N = 16000 (flat rows = failures stay local):\n");
+  {
+    auto m = bench::grow_overlay(k, d, 16000, 0xE52);
+    Rng rng(0xE53);
+    bench::tag_iid_failures(m, p, rng);
+    const auto fg = build_flow_graph(m);
+    const auto depths = node_depths(fg);
+
+    std::vector<overlay::NodeId> working;
+    for (auto node : m.nodes_in_order()) {
+      if (!m.row(node).failed) working.push_back(node);
+    }
+    // Bucket by depth quartile.
+    std::int64_t max_depth = 1;
+    for (auto node : working) {
+      max_depth = std::max(max_depth, depths[fg.vertex_of(node)]);
+    }
+    Table buckets({"depth range", "nodes sampled", "P(conn < d)", "mean loss"});
+    const std::int64_t step = std::max<std::int64_t>(1, max_depth / 4);
+    for (std::int64_t lo = 0; lo < max_depth; lo += step) {
+      const std::int64_t hi = lo + step;
+      std::size_t count = 0, degraded = 0;
+      RunningStats loss;
+      for (auto node : working) {
+        const auto dep = depths[fg.vertex_of(node)];
+        if (dep < lo || dep >= hi) continue;
+        if (count >= 250) break;  // cap max-flow work per bucket
+        ++count;
+        const auto conn = node_connectivity(fg, node);
+        if (conn < d) ++degraded;
+        loss.add(static_cast<double>(d) - static_cast<double>(conn));
+      }
+      if (count == 0) continue;
+      buckets.add_row({"[" + std::to_string(lo) + "," + std::to_string(hi) + ")",
+                       std::to_string(count),
+                       fmt(static_cast<double>(degraded) / count, 4),
+                       fmt(loss.mean(), 4)});
+    }
+    buckets.print();
+  }
+  return 0;
+}

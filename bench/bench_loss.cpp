@@ -1,0 +1,98 @@
+// E21 — ergodic failures (Section 2) and the Avalanche rationale [13]:
+// under packet loss, coded transfer needs ~g/(1-q) receptions (every
+// surviving packet is useful), while uncoded chunking pays the coupon
+// collector tax (~g ln g even with NO loss) because only the *right* chunk
+// helps. This is the per-link mechanism behind the paper's "such bandwidth
+// reductions can be treated as temporary failures".
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "coding/decoder.hpp"
+#include "coding/encoder.hpp"
+#include "gf/gf256.hpp"
+#include "sim/broadcast.hpp"
+#include "util/stats.hpp"
+
+using namespace ncast;
+
+namespace {
+
+/// Rounds for a single receiver to collect a generation over one lossy link.
+std::size_t coded_rounds(std::size_t g, double q, Rng& rng) {
+  std::vector<std::vector<std::uint8_t>> source(g, std::vector<std::uint8_t>(4));
+  for (auto& row : source) {
+    for (auto& b : row) b = static_cast<std::uint8_t>(rng.below(256));
+  }
+  coding::SourceEncoder<gf::Gf256> enc(0, source);
+  coding::Decoder<gf::Gf256> dec(0, g, 4);
+  std::size_t rounds = 0;
+  while (!dec.complete()) {
+    ++rounds;
+    if (rng.chance(q)) continue;  // lost
+    dec.absorb(enc.emit(rng));
+  }
+  return rounds;
+}
+
+/// Same link, but the sender pushes uniformly random *uncoded* chunks (the
+/// sender does not know which the receiver has — the stateless BitTorrent-
+/// without-maps strawman the Avalanche paper argues against).
+std::size_t uncoded_rounds(std::size_t g, double q, Rng& rng) {
+  std::vector<bool> have(g, false);
+  std::size_t remaining = g, rounds = 0;
+  while (remaining > 0) {
+    ++rounds;
+    if (rng.chance(q)) continue;
+    const auto c = rng.below(g);
+    if (!have[c]) {
+      have[c] = true;
+      --remaining;
+    }
+  }
+  return rounds;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "E21: packet loss — coding vs coupon collecting (Sections 1/2, [13])",
+      "One lossy link, generation of g = 32 chunks, 200 trials per cell.\n"
+      "Coded: any surviving packet is innovative. Uncoded: a random chunk\n"
+      "helps only if it is new.");
+
+  const std::size_t g = 32;
+  Table table({"loss q", "coded rounds", "ideal g/(1-q)", "uncoded rounds",
+               "uncoded/coded", "coupon bound g*H(g)/(1-q)"});
+  const double harmonic = [] {
+    double h = 0;
+    for (std::size_t i = 1; i <= 32; ++i) h += 1.0 / static_cast<double>(i);
+    return h;
+  }();
+
+  for (const double q : {0.0, 0.1, 0.3, 0.5}) {
+    RunningStats coded, uncoded;
+    Rng rng(0xE210 + static_cast<std::uint64_t>(q * 100));
+    for (int trial = 0; trial < 200; ++trial) {
+      coded.add(static_cast<double>(coded_rounds(g, q, rng)));
+      uncoded.add(static_cast<double>(uncoded_rounds(g, q, rng)));
+    }
+    table.add_row({fmt(q, 1), fmt(coded.mean(), 1),
+                   fmt(static_cast<double>(g) / (1.0 - q), 1),
+                   fmt(uncoded.mean(), 1), fmt(uncoded.mean() / coded.mean(), 2),
+                   fmt(static_cast<double>(g) * harmonic / (1.0 - q), 1)});
+  }
+  table.print();
+
+  std::printf(
+      "\nReading: coded transfer sits on the information-theoretic line\n"
+      "g/(1-q); uncoded random chunking pays ~H(g) = %.2fx more at every\n"
+      "loss rate (the coupon-collector tax), which compounds across overlay\n"
+      "hops. This is why the curtain carries coded packets and why ergodic\n"
+      "failures in Section 2 are a rate headache, not a correctness one —\n"
+      "see also Broadcast.ErgodicPacketLossOnlySlowsThingsDown in the tests.\n",
+      harmonic);
+  return 0;
+}

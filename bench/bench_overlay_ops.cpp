@@ -1,0 +1,78 @@
+// E12c — cost of the server's own data structure (google-benchmark): how
+// expensive are joins, leaves, repairs, and flow-graph extraction as the
+// matrix grows? The paper's server does O(d) *messages* per event; this
+// measures the local CPU cost behind them.
+
+#include <benchmark/benchmark.h>
+
+#include "overlay/curtain_server.hpp"
+#include "overlay/flow_graph.hpp"
+
+namespace {
+
+using namespace ncast;
+
+overlay::CurtainServer grown(std::size_t n) {
+  overlay::CurtainServer server(32, 3, Rng(1));
+  for (std::size_t i = 0; i < n; ++i) server.join();
+  return server;
+}
+
+void BM_Join(benchmark::State& state) {
+  auto server = grown(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto t = server.join();
+    benchmark::DoNotOptimize(t.node);
+    state.PauseTiming();
+    server.leave(t.node);  // keep N constant
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_Join)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_LeaveGraceful(benchmark::State& state) {
+  auto server = grown(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto t = server.join();
+    state.ResumeTiming();
+    server.leave(t.node);
+  }
+}
+BENCHMARK(BM_LeaveGraceful)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_FailAndRepair(benchmark::State& state) {
+  auto server = grown(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto t = server.join();
+    state.ResumeTiming();
+    server.report_failure(t.node);
+    server.repair(t.node);
+  }
+}
+BENCHMARK(BM_FailAndRepair)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_BuildFlowGraph(benchmark::State& state) {
+  const auto server = grown(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto fg = overlay::build_flow_graph(server.matrix());
+    benchmark::DoNotOptimize(fg.graph.edge_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildFlowGraph)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_NodeConnectivity(benchmark::State& state) {
+  const auto server = grown(static_cast<std::size_t>(state.range(0)));
+  const auto fg = overlay::build_flow_graph(server.matrix());
+  overlay::NodeId node = static_cast<overlay::NodeId>(state.range(0)) / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(overlay::node_connectivity(fg, node));
+  }
+}
+BENCHMARK(BM_NodeConnectivity)->Arg(1000)->Arg(4000)->Arg(16000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// E19 — the repair interval as the operational knob behind `p`.
+//
+// The paper defines p as "the probability that a node fails non-ergodically
+// within the repair interval" — so for a fixed crash rate, the operator
+// chooses p by choosing how fast repairs run. This bench sweeps the repair
+// delay under steady churn and shows the mean bandwidth loss of the working
+// population tracking p_eff * d / d = p_eff, where p_eff is the measured
+// fraction of rows awaiting repair (crash rate x repair interval).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "overlay/flow_graph.hpp"
+#include "sim/churn.hpp"
+#include "util/stats.hpp"
+
+using namespace ncast;
+
+int main() {
+  bench::banner(
+      "E19: repair interval drives p (operational knob)",
+      "k = 24, d = 3, steady population ~600, 20% of departures are crashes.\n"
+      "Sweep the repair delay; measure the standing fraction of failed rows\n"
+      "(p_eff) and the mean loss fraction of sampled working nodes.");
+
+  Table table({"repair delay", "p_eff (failed rows)", "mean loss fraction",
+               "p_eff (predicted loss)", "P(conn < d)"});
+
+  for (const double delay : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    sim::ChurnConfig cfg;
+    cfg.arrival_rate = 60.0;
+    cfg.mean_lifetime = 10.0;
+    cfg.failure_fraction = 0.2;
+    cfg.repair_delay = delay;
+    cfg.horizon = 60.0;
+    cfg.max_population = 600;
+
+    overlay::CurtainServer server(24, 3, Rng(0));
+    sim::run_churn(24, 3, overlay::InsertPolicy::kAppend, cfg,
+                   0xE190 + static_cast<std::uint64_t>(delay * 100), &server);
+
+    const auto& m = server.matrix();
+    const double p_eff =
+        static_cast<double>(m.failed_count()) /
+        static_cast<double>(std::max<std::size_t>(m.row_count(), 1));
+
+    const auto fg = build_flow_graph(m);
+    Rng rng(0xE191 + static_cast<std::uint64_t>(delay * 100));
+    std::vector<overlay::NodeId> working;
+    for (auto n : m.nodes_in_order()) {
+      if (!m.row(n).failed) working.push_back(n);
+    }
+    rng.shuffle(working);
+    RunningStats loss;
+    std::size_t degraded = 0;
+    const std::size_t samples = std::min<std::size_t>(300, working.size());
+    for (std::size_t i = 0; i < samples; ++i) {
+      const auto conn = node_connectivity(fg, working[i]);
+      loss.add((3.0 - static_cast<double>(conn)) / 3.0);
+      if (conn < 3) ++degraded;
+    }
+
+    table.add_row({fmt(delay, 2), fmt(p_eff, 4), fmt(loss.mean(), 4),
+                   fmt(p_eff, 4),
+                   fmt(static_cast<double>(degraded) / samples, 4)});
+  }
+  table.print();
+
+  std::printf(
+      "\nReading: the standing failed fraction p_eff grows linearly with the\n"
+      "repair delay (crash rate x interval), and the working population's\n"
+      "mean loss fraction tracks p_eff — Theorem 4 with p under the\n"
+      "operator's control. Fast repair buys a small p at a control-plane\n"
+      "cost that bench_server_load showed is O(d) per event; slow repair\n"
+      "saves messages and pays in standing bandwidth loss.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// E12 — the scalability claim of Sections 1/3/7: the server's data-plane
+// bandwidth is k units no matter how many users join (it serves only its
+// direct children), and its control plane costs O(d) messages per membership
+// event — so the population the system supports grows exponentially in the
+// server bandwidth (Theorem 5) while the server's own load stays flat.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "overlay/flow_graph.hpp"
+#include "sim/churn.hpp"
+#include "util/stats.hpp"
+
+using namespace ncast;
+
+int main() {
+  bench::banner(
+      "E12: server load vs population (control O(d)/event; data plane = k)",
+      "Churn at increasing target populations, k = 32, d = 3, 10% crashes,\n"
+      "repair interval 1.0, horizon 150.");
+
+  Table table({"target N", "peak N", "events", "ctrl msgs/event",
+               "server data streams", "direct children"});
+
+  for (const std::uint64_t target : {250u, 500u, 1000u, 2000u, 4000u}) {
+    sim::ChurnConfig cfg;
+    cfg.arrival_rate = static_cast<double>(target) / 10.0;
+    cfg.mean_lifetime = 60.0;
+    cfg.failure_fraction = 0.1;
+    cfg.horizon = 150.0;
+    cfg.max_population = target;
+
+    overlay::CurtainServer server(32, 3, Rng(0));
+    const auto report = sim::run_churn(32, 3, overlay::InsertPolicy::kAppend,
+                                       cfg, 0xEC0 + target, &server);
+
+    const std::uint64_t events =
+        report.joins + report.graceful_leaves + report.failures + report.repairs;
+    const double per_event =
+        events ? static_cast<double>(report.server_stats.control_messages) /
+                     static_cast<double>(events)
+               : 0.0;
+
+    // Data plane: the server sends on exactly the threads whose first
+    // clipper exists — at most k streams, always.
+    const auto fg = build_flow_graph(server.matrix());
+    const auto server_streams =
+        fg.graph.out_degree(overlay::FlowGraph::kServerVertex);
+
+    // Direct children: distinct nodes fed by the server.
+    std::vector<bool> seen(fg.graph.vertex_count(), false);
+    std::size_t children = 0;
+    for (auto e : fg.graph.out_edges(overlay::FlowGraph::kServerVertex)) {
+      const auto to = fg.graph.edge(e).to;
+      if (!seen[to]) {
+        seen[to] = true;
+        ++children;
+      }
+    }
+
+    table.add_row({std::to_string(target), fmt(report.peak_population, 0),
+                   std::to_string(events), fmt(per_event, 2),
+                   std::to_string(server_streams), std::to_string(children)});
+  }
+  table.print();
+
+  std::printf(
+      "\nReading: ctrl msgs/event stays constant (~2 + O(d)) and the server's\n"
+      "data streams never exceed k = 32, at any population — the server cost\n"
+      "of adding the 4000th user equals that of adding the 250th.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// E1/E2 — Theorem 4 and Lemmas 2–3.
+//
+// Paper claim: before collapse, E[B^t]/A <= (1+eps) p d — the expected defect
+// of a random d-tuple of hanging threads stays pinned near pd no matter how
+// many nodes have joined; equivalently (Lemma 3) the expected connectivity
+// loss of an arriving node is ~pd, i.e. a node only ever feels its parents'
+// failures. We run the exact polymatroid defect process and report the
+// time-averaged E[B^t]/A, the arrival-measured loss, and the defective-tuple
+// probability, against the pd yardstick.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "overlay/polymatroid.hpp"
+#include "util/stats.hpp"
+
+using namespace ncast;
+
+namespace {
+
+struct Config {
+  std::uint32_t k;
+  std::uint32_t d;
+  double p;
+};
+
+void run(const Config& c, Table& table) {
+  const std::size_t steps = c.k >= 20 ? 1500 : 3000;
+  const std::size_t warmup = steps / 10;
+  overlay::PolymatroidCurtain pc(c.k);
+  Rng rng(0xE1000 + c.k * 100 + c.d * 10 + static_cast<std::uint64_t>(c.p * 1000));
+
+  RunningStats tuple_defect;     // E[B^t]/A sampled over time
+  RunningStats arrival_loss;     // d - connectivity of each arrival
+  RunningStats defective_frac;   // (B_1+..+B_d)/A
+  const double a = static_cast<double>(
+      overlay::PolymatroidCurtain::tuple_count(c.k, c.d));
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    const auto conn = pc.join_random(c.d, c.p, rng);
+    if (t < warmup) continue;
+    arrival_loss.add(static_cast<double>(c.d - conn));
+    if (t % 10 == 0) {
+      tuple_defect.add(pc.mean_defect(c.d));
+      defective_frac.add(static_cast<double>(pc.defective_tuples(c.d)) / a);
+    }
+  }
+
+  const double pd = c.p * c.d;
+  table.add_row({std::to_string(c.k), std::to_string(c.d), fmt(c.p, 3),
+                 fmt(pd, 4), fmt(tuple_defect.mean(), 4),
+                 fmt(arrival_loss.mean(), 4), fmt(defective_frac.mean(), 4),
+                 fmt(tuple_defect.mean() / pd, 2)});
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "E1/E2: Theorem 4 + Lemmas 2-3 (defect stays ~pd, independent of N)",
+      "Exact polymatroid process, 3000 arrivals per config (10% warmup).\n"
+      "Claim: E[B]/A <= (1+eps) pd with small eps when k >> d^2; the\n"
+      "arrival-measured loss (Lemma 3) equals E[B]/A; the defective-tuple\n"
+      "probability (Lemma 2) is at most E[B]/A.");
+
+  Table table({"k", "d", "p", "pd", "E[B]/A", "arrival loss", "P(defective)",
+               "ratio/(pd)"});
+  for (const auto& c : std::vector<Config>{
+           {16, 2, 0.005}, {16, 2, 0.01}, {16, 2, 0.02},
+           {16, 3, 0.005}, {16, 3, 0.01}, {16, 3, 0.02},
+           {16, 4, 0.005}, {16, 4, 0.01}, {16, 4, 0.02},
+           {12, 2, 0.01},  {20, 2, 0.01},  // k sweep at fixed d,p
+       }) {
+    run(c, table);
+  }
+  table.print();
+
+  std::printf(
+      "\nReading: 'E[B]/A' and 'arrival loss' should track the pd column\n"
+      "(ratio close to 1, growing mildly as d^2/k grows); P(defective) <=\n"
+      "E[B]/A. Stationarity across thousands of arrivals is itself the headline:\n"
+      "defect does NOT accumulate with network size.\n");
+
+  // Second table: N-independence. Fix (k,d,p), report the defect measured in
+  // disjoint windows as the network grows 10x.
+  Table growth({"window (arrivals)", "E[B]/A", "arrival loss"});
+  {
+    const std::uint32_t k = 16, d = 3;
+    const double p = 0.01;
+    overlay::PolymatroidCurtain pc(k);
+    Rng rng(0xE2);
+    std::size_t window_id = 0;
+    for (std::size_t window : {250u, 250u, 500u, 1000u, 2000u, 4000u}) {
+      RunningStats defect, loss;
+      for (std::size_t t = 0; t < window; ++t) {
+        const auto conn = pc.join_random(d, p, rng);
+        loss.add(static_cast<double>(d - conn));
+        if (t % 10 == 0) defect.add(pc.mean_defect(d));
+      }
+      if (window_id++ == 0) continue;  // first window is warmup
+      growth.add_row({std::to_string(window), fmt(defect.mean(), 4),
+                      fmt(loss.mean(), 4)});
+    }
+  }
+  std::printf("\nN-independence at k=16, d=3, p=0.01 (pd = 0.03):\n");
+  growth.print();
+  return 0;
+}

@@ -1,0 +1,153 @@
+// E20 — centralized tracker vs fully decentralized membership, measured at
+// message level on identical content and population. Section 7 claims the
+// server's role "can be decreased still further or even eliminated"; this
+// bench prices that elimination: what do joins, steady-state streaming, and
+// crash repair cost under each regime?
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "node/driver.hpp"
+#include "util/stats.hpp"
+
+using namespace ncast;
+using namespace ncast::node;
+
+namespace {
+
+std::vector<std::uint8_t> content(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> bytes(8 * 8 * 2);  // 2 generations of 8 x 8
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.below(256));
+  return bytes;
+}
+
+struct Row {
+  std::uint64_t decode_ticks = 0;
+  std::uint64_t control = 0;
+  std::uint64_t data = 0;
+  double recovered = 0;  // decoded fraction after mid-stream crashes
+};
+
+Row run_centralized(std::size_t n, std::uint64_t seed) {
+  ServerConfig scfg;
+  scfg.k = 12;
+  scfg.default_degree = 3;
+  scfg.repair_delay = 2;
+  scfg.generation_size = 8;
+  scfg.symbols = 8;
+  scfg.seed = seed;
+  ServerNode server(scfg, content(seed));
+  ClientConfig ccfg;
+  ccfg.silence_timeout = 6;
+  std::vector<std::unique_ptr<ClientNode>> clients;
+  std::vector<ClientNode*> ptrs;
+  for (std::size_t i = 0; i < n; ++i) {
+    clients.push_back(std::make_unique<ClientNode>(static_cast<Address>(i + 1), ccfg));
+    ptrs.push_back(clients.back().get());
+  }
+  TickDriver driver(server, ptrs);
+  for (auto& c : clients) c->join(driver.network());
+
+  Row row;
+  driver.run(6);
+  driver.crash(*clients[1]);
+  driver.crash(*clients[5]);
+  driver.run_until_decoded(2000);
+  row.decode_ticks = driver.now();
+  driver.run(30);  // let repairs finish
+  row.control = driver.network().control_messages();
+  row.data = driver.network().data_messages();
+  std::size_t live = 0, done = 0;
+  for (auto& c : clients) {
+    if (c->crashed()) continue;
+    ++live;
+    if (c->decoded()) ++done;
+  }
+  row.recovered = static_cast<double>(done) / static_cast<double>(live);
+  return row;
+}
+
+Row run_gossip(std::size_t n, std::uint64_t seed) {
+  GossipPeerConfig cfg;
+  cfg.want_parents = 3;
+  cfg.upload_slots = 3;
+  cfg.silence_timeout = 6;
+  cfg.seed = seed;
+  GossipPeerConfig source_cfg = cfg;
+  source_cfg.upload_slots = 6;
+  GossipPeer source(1, source_cfg, content(seed), 8, 8);
+  std::vector<std::unique_ptr<GossipPeer>> peers;
+  std::vector<GossipPeer*> ptrs{&source};
+  for (std::size_t i = 0; i < n; ++i) {
+    const Address addr = static_cast<Address>(i + 2);
+    const Address introducer =
+        i == 0 ? 1 : static_cast<Address>(2 + (seed + i * 7) % i);
+    peers.push_back(std::make_unique<GossipPeer>(addr, cfg, introducer));
+    ptrs.push_back(peers.back().get());
+  }
+  GossipDriver driver(ptrs);
+
+  Row row;
+  driver.run(6);
+  driver.crash(*peers[1]);
+  driver.crash(*peers[5]);
+  driver.run_until_decoded(2000);
+  row.decode_ticks = driver.now();
+  driver.run(30);
+  row.control = driver.network().control_messages();
+  row.data = driver.network().data_messages();
+  std::size_t live = 0, done = 0;
+  for (auto& p : peers) {
+    if (p->crashed()) continue;
+    ++live;
+    if (p->decoded()) ++done;
+  }
+  row.recovered = static_cast<double>(done) / static_cast<double>(live);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "E20: centralized tracker vs trackerless gossip membership (Section 7)",
+      "Identical content (2 generations of 8 x 8 B), d = 3, two peers crash\n"
+      "at tick 6. 3 trials averaged. Control counts every non-data,\n"
+      "non-keepalive message anywhere in the system.");
+
+  Table table({"membership", "N", "ticks to all decoded", "control msgs",
+               "data msgs", "post-crash decoded%"});
+  for (const std::size_t n : {20u, 40u}) {
+    RunningStats cd, cc, cdata, crec, gd, gc, gdata, grec;
+    for (std::uint64_t trial = 0; trial < 3; ++trial) {
+      const auto c = run_centralized(n, 0xE200 + trial);
+      cd.add(static_cast<double>(c.decode_ticks));
+      cc.add(static_cast<double>(c.control));
+      cdata.add(static_cast<double>(c.data));
+      crec.add(c.recovered);
+      const auto g = run_gossip(n, 0xE200 + trial);
+      gd.add(static_cast<double>(g.decode_ticks));
+      gc.add(static_cast<double>(g.control));
+      gdata.add(static_cast<double>(g.data));
+      grec.add(g.recovered);
+    }
+    table.add_row({"central tracker", std::to_string(n), fmt(cd.mean(), 0),
+                   fmt(cc.mean(), 0), fmt(cdata.mean(), 0),
+                   fmt(crec.mean() * 100, 1)});
+    table.add_row({"trackerless gossip", std::to_string(n), fmt(gd.mean(), 0),
+                   fmt(gc.mean(), 0), fmt(gdata.mean(), 0),
+                   fmt(grec.mean() * 100, 1)});
+  }
+  table.print();
+
+  std::printf(
+      "\nReading: both regimes deliver the full content to every survivor.\n"
+      "The tracker's control plane is minimal (O(d) per membership event)\n"
+      "because it holds the global matrix; gossip spends more control\n"
+      "messages (slot search, denials, view samples) and a little more time,\n"
+      "but needs no global state anywhere and repairs purely locally —\n"
+      "Section 7's elimination of the server, priced.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Adversary drill: the Section 5 and Section 7 attacks, staged.
+//
+//   $ ./adversary_drill
+//
+// Act 1 — a coordinated failure attack: 30 colluders join back-to-back and
+//         power off simultaneously. With append-order rows they amputate the
+//         whole curtain below them; with random-position insertion (the
+//         paper's defense) the same cohort is no worse than random churn.
+// Act 2 — a jamming attack: two peers inject well-formed garbage packets.
+//         Rank looks healthy everywhere, yet almost every decoded payload is
+//         trash — the open problem that motivated homomorphic signatures.
+
+#include <cstdio>
+#include <vector>
+
+#include "overlay/curtain_server.hpp"
+#include "overlay/flow_graph.hpp"
+#include "sim/broadcast.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+using namespace ncast;
+
+namespace {
+
+struct Damage {
+  double cut_off = 0;    // fraction of working nodes with zero capacity
+  double mean_rate = 0;  // mean capacity fraction
+};
+
+Damage assess(const overlay::ThreadMatrix& m, std::uint32_t d) {
+  const auto fg = build_flow_graph(m);
+  std::size_t working = 0, dead = 0;
+  RunningStats rate;
+  for (auto node : m.nodes_in_order()) {
+    if (m.row(node).failed) continue;
+    ++working;
+    const auto conn = node_connectivity(fg, node);
+    if (conn == 0) ++dead;
+    rate.add(static_cast<double>(conn) / d);
+  }
+  return Damage{static_cast<double>(dead) / static_cast<double>(working),
+                rate.mean()};
+}
+
+}  // namespace
+
+int main() {
+  const std::uint32_t k = 16, d = 2;
+  const std::size_t population = 1200;
+  // 40 colluders make 80 thread-clips across k = 16 columns: enough to sever
+  // every thread at the band with high probability. (With fewer colluders a
+  // column occasionally escapes and the curtain heals below it — worth
+  // trying: lower this to 25 and watch the damage shrink.)
+  const std::size_t colluders = 40;
+
+  std::printf("ACT 1 — coordinated failure attack (%zu colluders)\n\n",
+              colluders);
+
+  for (const auto policy : {overlay::InsertPolicy::kAppend,
+                            overlay::InsertPolicy::kRandomPosition}) {
+    overlay::CurtainServer server(k, d, Rng(6), policy);
+    // The colluders register mid-stream, consecutively.
+    std::vector<overlay::NodeId> cohort;
+    for (std::size_t i = 0; i < population; ++i) {
+      const auto t = server.join();
+      if (i >= population / 2 && cohort.size() < colluders) {
+        cohort.push_back(t.node);
+      }
+    }
+    auto m = server.matrix();
+    for (auto node : cohort) m.mark_failed(node);
+    const auto damage = assess(m, d);
+    std::printf(
+        "  %-18s cut off %5.1f%% of peers, mean rate %5.1f%%\n",
+        policy == overlay::InsertPolicy::kAppend ? "append order:"
+                                                 : "random insertion:",
+        damage.cut_off * 100, damage.mean_rate * 100);
+  }
+
+  std::printf(
+      "\n  With append order the cohort forms a failed band across the\n"
+      "  curtain; random insertion (Section 5) scatters it into ordinary\n"
+      "  churn.\n\n");
+
+  std::printf("ACT 2 — jamming attack (2 jammers among 150 peers)\n\n");
+  {
+    overlay::CurtainServer server(12, 3, Rng(6));
+    for (int i = 0; i < 150; ++i) server.join();
+    std::vector<sim::NodeBehavior> behavior(150, sim::NodeBehavior::kHonest);
+    behavior[3] = sim::NodeBehavior::kJammer;
+    behavior[11] = sim::NodeBehavior::kJammer;
+
+    sim::BroadcastConfig cfg;
+    cfg.generation_size = 8;
+    cfg.symbols = 32;
+    cfg.seed = 9;
+    const auto report = simulate_broadcast(server.matrix(), cfg, behavior);
+
+    std::size_t clean = 0, corrupt = 0;
+    for (const auto& o : report.outcomes) {
+      if (o.node == 3 || o.node == 11) continue;
+      if (o.decoded) (o.corrupted ? corrupt : clean) += 1;
+    }
+    std::printf(
+        "  decoded cleanly: %zu peers (the jammers' ancestors)\n"
+        "  decoded garbage: %zu peers\n"
+        "  Decoding *succeeds* everywhere — rank accounting cannot see the\n"
+        "  poison. After mixing, two jammers contaminate nearly the entire\n"
+        "  swarm. Defense requires signatures that survive recoding, which\n"
+        "  the paper leaves open (and which later became homomorphic\n"
+        "  signature schemes).\n",
+        clean, corrupt);
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Protocol walkthrough: the actual message-level endpoints (ServerNode /
+// ClientNode) running Section 3's hello, good-bye, and repair protocols over
+// a transport — the embeddable API, one level below the simulators.
+//
+//   $ ./protocol_demo
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "node/driver.hpp"
+#include "util/rng.hpp"
+
+using namespace ncast;
+using namespace ncast::node;
+
+int main() {
+  // The stream: 1.5 KiB split into two generations of 12 packets x 64 bytes.
+  Rng rng(1);
+  std::vector<std::uint8_t> content(1536);
+  for (auto& b : content) b = static_cast<std::uint8_t>(rng.below(256));
+
+  ServerConfig scfg;
+  scfg.k = 8;
+  scfg.default_degree = 2;
+  scfg.repair_delay = 3;
+  scfg.generation_size = 12;
+  scfg.symbols = 64;
+  ServerNode server(scfg, content);
+
+  ClientConfig ccfg;
+  ccfg.silence_timeout = 5;
+
+  std::vector<std::unique_ptr<ClientNode>> clients;
+  std::vector<ClientNode*> ptrs;
+  for (Address a = 1; a <= 18; ++a) {
+    clients.push_back(std::make_unique<ClientNode>(a, ccfg));
+    ptrs.push_back(clients.back().get());
+  }
+  TickDriver driver(server, ptrs);
+
+  std::printf("tick 0: 18 clients send JoinRequest\n");
+  for (auto& c : clients) c->join(driver.network());
+  driver.run(2);
+  std::printf("tick 2: matrix has %zu rows; control msgs so far: %llu\n",
+              server.matrix().row_count(),
+              static_cast<unsigned long long>(driver.network().control_messages()));
+
+  driver.run(8);
+  std::size_t decoded = 0;
+  for (auto& c : clients) decoded += c->decoded() ? 1 : 0;
+  std::printf("tick 10: %zu/18 decoded (stream flowing through recoders)\n",
+              decoded);
+
+  // A mid-curtain node crashes; nobody tells the server — children notice.
+  std::printf("tick 10: client 3 crashes silently\n");
+  driver.crash(*clients[2]);
+  const auto repairs_before = server.repairs_done();
+  driver.run(15);
+  std::printf("tick 25: server executed %llu repair(s) from complaints; "
+              "matrix rows: %zu, failed tags: %zu\n",
+              static_cast<unsigned long long>(server.repairs_done() - repairs_before),
+              server.matrix().row_count(), server.matrix().failed_count());
+
+  // A polite departure.
+  std::printf("tick 25: client 7 sends Goodbye\n");
+  clients[6]->leave(driver.network());
+  driver.run(5);
+
+  driver.run(60);
+  decoded = 0;
+  for (auto& c : clients) {
+    if (!c->crashed() && c->decoded()) ++decoded;
+  }
+  std::printf("tick 90: %zu/17 live clients decoded; verifying payloads... ",
+              decoded);
+  bool all_match = true;
+  for (auto& c : clients) {
+    if (c->crashed() || !c->decoded()) continue;
+    all_match &= (c->data() == server.data());
+  }
+  std::printf("%s\n", all_match ? "all match the source" : "MISMATCH");
+
+  const auto& net = driver.network();
+  std::printf(
+      "\ntraffic: %llu data, %llu control, %llu keepalive, %llu dropped\n"
+      "Control stays O(d) per membership event; everything else is payload.\n",
+      static_cast<unsigned long long>(net.data_messages()),
+      static_cast<unsigned long long>(net.control_messages()),
+      static_cast<unsigned long long>(net.keepalive_messages()),
+      static_cast<unsigned long long>(net.messages_dropped()));
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Quickstart: build a curtain overlay, broadcast a message with network
+// coding, and verify every peer decodes it.
+//
+//   $ ./quickstart
+//
+// Walks through the three core objects:
+//   CurtainServer  — runs the hello/good-bye/repair protocols over matrix M
+//   simulate_broadcast — pushes real RLNC packets through the overlay
+//   FileEncoder/FileDecoder — the end-host codec
+
+#include <cstdio>
+#include <string>
+
+#include "coding/file_codec.hpp"
+#include "overlay/curtain_server.hpp"
+#include "overlay/flow_graph.hpp"
+#include "sim/broadcast.hpp"
+#include "util/rng.hpp"
+
+using namespace ncast;
+
+int main() {
+  // --- 1. Build the overlay -------------------------------------------------
+  // Server with k = 8 unit-bandwidth threads; every client clips d = 3.
+  const std::uint32_t k = 8, d = 3;
+  overlay::CurtainServer server(k, d, Rng(/*seed=*/42));
+
+  std::printf("Joining 25 peers...\n");
+  for (int i = 0; i < 25; ++i) {
+    const auto ticket = server.join();
+    if (i < 3) {
+      std::printf("  peer %u clipped threads [", ticket.node);
+      for (std::size_t t = 0; t < ticket.threads.size(); ++t) {
+        std::printf("%s%u", t ? " " : "", ticket.threads[t]);
+      }
+      std::printf("], %zu parent(s)\n", ticket.parents.size());
+    }
+  }
+
+  // Every peer's broadcast capacity equals its max-flow from the server.
+  const auto fg = build_flow_graph(server.matrix());
+  std::printf("Every peer has connectivity %lld (= d)\n",
+              static_cast<long long>(node_connectivity(fg, 0)));
+
+  // --- 2. Broadcast with network coding -------------------------------------
+  sim::BroadcastConfig cfg;
+  cfg.generation_size = 8;  // packets per generation
+  cfg.symbols = 32;         // payload bytes per packet
+  cfg.seed = 7;
+  const auto report = sim::simulate_broadcast(server.matrix(), cfg);
+  std::printf("Broadcast %zu rounds: %.0f%% of peers decoded, 0 corrupted\n",
+              report.rounds, report.decoded_fraction() * 100);
+
+  // --- 3. End-host file codec ------------------------------------------------
+  const std::string message =
+      "Peer-to-peer broadcast at min-cut capacity, via random linear "
+      "network coding (Jain, Lovasz, Chou; PODC 2005).";
+  std::vector<std::uint8_t> bytes(message.begin(), message.end());
+
+  Rng rng(11);
+  coding::FileEncoder encoder(bytes, /*generation_size=*/4, /*symbols=*/16);
+  coding::FileDecoder decoder(encoder.plan());
+  std::size_t packets = 0;
+  while (!decoder.complete()) {
+    decoder.absorb(encoder.emit_round_robin(rng));
+    ++packets;
+  }
+  const auto out = decoder.data();
+  std::printf("File codec: decoded %zu bytes from %zu coded packets: \"%s\"\n",
+              out.size(), packets,
+              std::string(out.begin(), out.end()).c_str());
+  return 0;
+}

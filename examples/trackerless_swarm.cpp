@@ -1,0 +1,89 @@
+// Trackerless swarm: Section 7's endgame — no server, no matrix, no tracker.
+//
+//   $ ./trackerless_swarm
+//
+// The source is just a peer that happens to hold the content. Everyone else
+// starts knowing exactly one other peer, finds upload slots by gossip,
+// repairs silent feeds locally, and keeps serving after the source leaves
+// (the self-sustaining download of the Section 6/7 open issue).
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "node/driver.hpp"
+#include "util/rng.hpp"
+
+using namespace ncast;
+using namespace ncast::node;
+
+int main() {
+  // 64 KiB of content in 8 generations.
+  Rng rng(1);
+  std::vector<std::uint8_t> content(64 * 1024);
+  for (auto& b : content) b = static_cast<std::uint8_t>(rng.below(256));
+
+  GossipPeerConfig cfg;
+  cfg.want_parents = 3;
+  cfg.upload_slots = 3;
+  cfg.silence_timeout = 6;
+  GossipPeerConfig source_cfg = cfg;
+  source_cfg.upload_slots = 6;
+
+  GossipPeer source(1, source_cfg, content, /*generation_size=*/16,
+                    /*symbols=*/512);
+  std::vector<std::unique_ptr<GossipPeer>> peers;
+  std::vector<GossipPeer*> ptrs{&source};
+  for (Address a = 2; a <= 41; ++a) {
+    // Daisy-chained introductions: peer a only knows peer a-1.
+    peers.push_back(std::make_unique<GossipPeer>(a, cfg, a - 1));
+    ptrs.push_back(peers.back().get());
+  }
+  GossipDriver driver(ptrs);
+
+  std::printf("40 peers, each introduced to exactly one other peer;\n"
+              "the source (peer 1) offers 6 upload slots and knows nobody.\n\n");
+
+  for (int checkpoint = 1; checkpoint <= 4; ++checkpoint) {
+    driver.run(15);
+    std::size_t wired = 0, decoded = 0;
+    for (auto& p : peers) {
+      if (p->parent_count() > 0) ++wired;
+      if (p->decoded()) ++decoded;
+    }
+    std::printf("tick %3llu: %2zu/40 wired, %2zu/40 decoded, source serving %zu\n",
+                static_cast<unsigned long long>(driver.now()), wired, decoded,
+                source.child_count());
+  }
+
+  const bool all = driver.run_until_decoded(3000);
+  std::printf("tick %3llu: %s\n", static_cast<unsigned long long>(driver.now()),
+              all ? "everyone decoded" : "TIMEOUT");
+
+  // The source retires; a latecomer must still be able to download —
+  // the swarm collectively holds the content now.
+  std::printf("\nsource leaves; peer 99 joins knowing only peer 17...\n");
+  source.leave(driver.network());
+  auto late = std::make_unique<GossipPeer>(99, cfg, 17);
+  driver.add_peer(late.get());
+  driver.run(600);
+  std::printf("latecomer: %s (%zu parents, rank %zu)\n",
+              late->decoded() ? "downloaded the full content from the swarm"
+                              : "did not finish",
+              late->parent_count(), late->rank());
+  if (late->decoded()) {
+    std::printf("payload check: %s\n",
+                late->data() == content ? "bit-for-bit identical" : "CORRUPT");
+  }
+
+  const auto& net = driver.network();
+  std::printf(
+      "\ntraffic: %llu data, %llu control, %llu keepalive\n"
+      "No participant ever held global membership; repair was local silence\n"
+      "detection; and the swarm outlived its source — the paper's Section 7\n"
+      "endgame, running.\n",
+      static_cast<unsigned long long>(net.data_messages()),
+      static_cast<unsigned long long>(net.control_messages()),
+      static_cast<unsigned long long>(net.keepalive_messages()));
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "baselines/forwarding.hpp"
+
+#include <algorithm>
+
+namespace ncast::baselines {
+
+using overlay::ColumnId;
+using overlay::NodeId;
+
+std::vector<NodeRate> naive_forwarding_rates(const overlay::ThreadMatrix& m) {
+  std::vector<NodeRate> out;
+  std::vector<bool> alive(m.k(), true);  // stream c still flowing on column c
+  for (NodeId n : m.nodes_in_order()) {
+    const auto& row = m.row(n);
+    std::uint32_t rate = 0;
+    for (ColumnId c : row.threads) {
+      if (alive[c]) ++rate;
+      // Below this row, the stream survives only if the row is working and
+      // actually received it.
+      alive[c] = alive[c] && !row.failed;
+    }
+    if (!row.failed) out.push_back(NodeRate{n, rate});
+  }
+  return out;
+}
+
+std::vector<NodeRate> informed_forwarding_rates(const overlay::ThreadMatrix& m,
+                                                Rng& rng) {
+  constexpr std::uint32_t kNoFragment = static_cast<std::uint32_t>(-1);
+  std::vector<NodeRate> out;
+  // carried[c]: which MDS fragment the hanging segment of column c carries.
+  // Initially the server puts fragment c on column c.
+  std::vector<std::uint32_t> carried(m.k());
+  for (ColumnId c = 0; c < m.k(); ++c) carried[c] = c;
+
+  for (NodeId n : m.nodes_in_order()) {
+    const auto& row = m.row(n);
+    // Distinct fragments received on the clipped columns.
+    std::vector<std::uint32_t> have;
+    for (ColumnId c : row.threads) {
+      if (carried[c] != kNoFragment &&
+          std::find(have.begin(), have.end(), carried[c]) == have.end()) {
+        have.push_back(carried[c]);
+      }
+    }
+    if (row.failed) {
+      for (ColumnId c : row.threads) carried[c] = kNoFragment;
+      continue;
+    }
+    out.push_back(NodeRate{n, static_cast<std::uint32_t>(have.size())});
+
+    // Forwarding assignment: spread the distinct fragments across the
+    // out-threads (distinct first, then reuse round-robin).
+    if (have.empty()) {
+      for (ColumnId c : row.threads) carried[c] = kNoFragment;
+    } else {
+      rng.shuffle(have);
+      std::size_t i = 0;
+      for (ColumnId c : row.threads) {
+        carried[c] = have[i % have.size()];
+        ++i;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ncast::baselines

@@ -1,0 +1,39 @@
+#pragma once
+// Routing baselines the paper's introduction compares against.
+//
+// 1. Naive per-thread forwarding: column c always carries stream c; a break
+//    anywhere upstream kills the stream for everyone below, even if the node
+//    has spare connectivity. (The "distribution path" failure mode.)
+// 2. Informed forwarding over a source-side MDS erasure code ([3]-style):
+//    the server Reed–Solomon-codes the k streams; each node forwards, on each
+//    out-thread, a fragment chosen to maximize diversity among what it holds.
+//    Strictly better than naive forwarding, but nodes choose locally, so
+//    duplicate fragments still collide downstream — the gap to max-flow is
+//    exactly what network coding closes.
+
+#include <cstdint>
+#include <vector>
+
+#include "overlay/thread_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace ncast::baselines {
+
+/// Per-node delivered rate (units of bandwidth) for each working node, in
+/// curtain order, paired with the node id.
+struct NodeRate {
+  overlay::NodeId node = 0;
+  std::uint32_t rate = 0;
+};
+
+/// Naive per-thread forwarding rates: streams received = clipped columns
+/// alive end-to-end from the server.
+std::vector<NodeRate> naive_forwarding_rates(const overlay::ThreadMatrix& m);
+
+/// Informed-forwarding rates over an MDS code: distinct fragments received.
+/// Each node assigns fragments to out-threads greedily (distinct first, in
+/// random order); `rng` drives tie-breaking.
+std::vector<NodeRate> informed_forwarding_rates(const overlay::ThreadMatrix& m,
+                                                Rng& rng);
+
+}  // namespace ncast::baselines

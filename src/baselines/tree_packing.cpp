@@ -1,0 +1,66 @@
+#include "baselines/tree_packing.hpp"
+
+#include <stdexcept>
+
+namespace ncast::baselines {
+
+std::optional<TreePackingMulticast> TreePackingMulticast::build(
+    const overlay::ThreadMatrix& m, std::size_t count) {
+  // Packing is computed on the failure-free topology.
+  overlay::ThreadMatrix clean = m;
+  for (overlay::NodeId n : m.nodes_in_order()) clean.mark_working(n);
+  overlay::FlowGraph fg = build_flow_graph(clean);
+  auto packing = graph::pack_arborescences(fg.graph, overlay::FlowGraph::kServerVertex,
+                                           count);
+  if (!packing) return std::nullopt;
+  return TreePackingMulticast(std::move(fg), std::move(*packing));
+}
+
+std::vector<std::uint32_t> TreePackingMulticast::rates_under_failures(
+    const overlay::ThreadMatrix& m) const {
+  const std::size_t n_vertices = fg_.graph.vertex_count();
+  std::vector<bool> vertex_failed(n_vertices, false);
+  for (overlay::NodeId n : m.nodes_in_order()) {
+    if (m.row(n).failed) {
+      const auto v = fg_.vertex_of(n);
+      vertex_failed[v] = true;
+    }
+  }
+
+  // For each tree, propagate root reachability down the arborescence: a
+  // vertex is served by the tree iff it is working and its parent is served.
+  std::vector<std::uint32_t> rate(n_vertices, 0);
+  for (const graph::Arborescence& arb : packing_) {
+    std::vector<std::int8_t> served(n_vertices, -1);  // -1 unknown, 0 no, 1 yes
+    served[overlay::FlowGraph::kServerVertex] = 1;
+    for (graph::Vertex v = 0; v < n_vertices; ++v) {
+      // Resolve the path iteratively (parents may come later in numbering
+      // only via random insertion; handle with an explicit walk).
+      graph::Vertex cur = v;
+      std::vector<graph::Vertex> chain;
+      while (served[cur] == -1) {
+        chain.push_back(cur);
+        if (vertex_failed[cur]) {
+          served[cur] = 0;
+          break;
+        }
+        const graph::EdgeId pe = arb.parent_edge[cur];
+        if (pe == graph::Arborescence::kNoEdge) {
+          served[cur] = 0;  // disconnected in this tree (should not happen)
+          break;
+        }
+        cur = fg_.graph.edge(pe).from;
+      }
+      const std::int8_t value = served[cur];
+      for (graph::Vertex c : chain) {
+        served[c] = (vertex_failed[c] || value == 0) ? 0 : 1;
+      }
+    }
+    for (graph::Vertex v = 0; v < n_vertices; ++v) {
+      if (served[v] == 1) ++rate[v];
+    }
+  }
+  return rate;
+}
+
+}  // namespace ncast::baselines

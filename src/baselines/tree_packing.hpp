@@ -1,0 +1,49 @@
+#pragma once
+// Edmonds tree-packing multicast: the theoretically optimal routing scheme
+// the paper contrasts with network coding. On a static overlay it matches the
+// min-cut, but the trees are global objects — when a node fails, every tree
+// through it breaks for the whole subtree until a *global* recomputation,
+// whereas network coding re-routes implicitly. This module makes that
+// difference measurable.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/arborescence.hpp"
+#include "overlay/flow_graph.hpp"
+#include "overlay/thread_matrix.hpp"
+
+namespace ncast::baselines {
+
+/// Multicast via a packing of edge-disjoint spanning arborescences computed
+/// on the failure-free overlay.
+class TreePackingMulticast {
+ public:
+  /// Packs `count` arborescences on the overlay's flow graph (all rows
+  /// treated as working). Returns nullopt if connectivity is insufficient.
+  static std::optional<TreePackingMulticast> build(
+      const overlay::ThreadMatrix& m, std::size_t count);
+
+  std::size_t tree_count() const { return packing_.size(); }
+
+  /// Per working node: number of trees whose root path survives the failure
+  /// tags currently set in `m` (must be the same topology the packing was
+  /// built on, possibly with rows newly tagged failed). This is the
+  /// delivered rate without recomputation.
+  std::vector<std::uint32_t> rates_under_failures(
+      const overlay::ThreadMatrix& m) const;
+
+  const std::vector<graph::Arborescence>& packing() const { return packing_; }
+  const overlay::FlowGraph& flow_graph() const { return fg_; }
+
+ private:
+  TreePackingMulticast(overlay::FlowGraph fg,
+                       std::vector<graph::Arborescence> packing)
+      : fg_(std::move(fg)), packing_(std::move(packing)) {}
+
+  overlay::FlowGraph fg_;  // failure-free snapshot the packing lives on
+  std::vector<graph::Arborescence> packing_;
+};
+
+}  // namespace ncast::baselines

@@ -1,0 +1,62 @@
+#include "baselines/trees.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ncast::baselines {
+
+namespace {
+
+/// Shared evaluation: node i's parent is parent(i); parent == SIZE_MAX means
+/// the server. Nodes are numbered in breadth-first order so a parent always
+/// precedes its children.
+template <typename ParentFn>
+TreeOutcome evaluate(std::size_t n, double p, Rng& rng, ParentFn parent) {
+  TreeOutcome out;
+  out.nodes = n;
+  std::vector<bool> failed(n);
+  std::vector<bool> receives(n);
+  std::vector<std::size_t> depth(n);
+  double depth_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    failed[i] = rng.chance(p);
+    const std::size_t par = parent(i);
+    if (par == static_cast<std::size_t>(-1)) {
+      depth[i] = 1;
+      receives[i] = !failed[i];
+    } else {
+      depth[i] = depth[par] + 1;
+      receives[i] = !failed[i] && receives[par];
+    }
+    if (!failed[i]) {
+      ++out.working;
+      if (receives[i]) ++out.receiving;
+    }
+    out.max_depth = std::max(out.max_depth, depth[i]);
+    depth_sum += static_cast<double>(depth[i]);
+  }
+  out.mean_depth = n == 0 ? 0.0 : depth_sum / static_cast<double>(n);
+  return out;
+}
+
+}  // namespace
+
+TreeOutcome evaluate_chain(std::size_t n, double p, Rng& rng) {
+  return evaluate(n, p, rng, [](std::size_t i) {
+    return i == 0 ? static_cast<std::size_t>(-1) : i - 1;
+  });
+}
+
+TreeOutcome evaluate_tree(std::size_t n, std::size_t fanout, double p, Rng& rng) {
+  if (fanout == 0) throw std::invalid_argument("evaluate_tree: fanout");
+  return evaluate(n, p, rng, [fanout](std::size_t i) {
+    return i == 0 ? static_cast<std::size_t>(-1) : (i - 1) / fanout;
+  });
+}
+
+double analytic_receive_probability(std::size_t depth, double p) {
+  return std::pow(1.0 - p, static_cast<double>(depth));
+}
+
+}  // namespace ncast::baselines

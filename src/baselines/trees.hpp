@@ -1,0 +1,40 @@
+#pragma once
+// Tree-shaped overlays from the paper's introduction: the single distribution
+// "path" (chain) that arises when every node forwards to exactly one other,
+// and the classic d-ary application-layer multicast tree. Under iid failures
+// a node receives the stream only if every ancestor is alive — reliability
+// decays with depth, which is the motivating problem for the whole paper.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ncast::baselines {
+
+/// Result of evaluating a tree overlay under one failure sample.
+struct TreeOutcome {
+  std::size_t nodes = 0;
+  std::size_t receiving = 0;       ///< working nodes with all ancestors alive
+  std::size_t working = 0;         ///< nodes that did not themselves fail
+  std::size_t max_depth = 0;
+  double mean_depth = 0.0;
+
+  double receiving_fraction() const {
+    return working == 0 ? 0.0 : static_cast<double>(receiving) / static_cast<double>(working);
+  }
+};
+
+/// Evaluates a chain (path) of `n` nodes hanging off the server under iid
+/// node failure probability `p`.
+TreeOutcome evaluate_chain(std::size_t n, double p, Rng& rng);
+
+/// Evaluates a complete `fanout`-ary tree of `n` nodes (breadth-first fill,
+/// root children attach to the server) under iid failure probability `p`.
+TreeOutcome evaluate_tree(std::size_t n, std::size_t fanout, double p, Rng& rng);
+
+/// Analytic P(node at depth h receives) = (1-p)^h for comparison with the
+/// sampled outcomes.
+double analytic_receive_probability(std::size_t depth, double p);
+
+}  // namespace ncast::baselines

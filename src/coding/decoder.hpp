@@ -1,0 +1,168 @@
+#pragma once
+// Generation decoder: incremental Gaussian elimination over the augmented
+// matrix [coefficients | payload]. Maintains the basis in reduced form so
+// that (a) innovation of an incoming packet is detected in O(rank * width)
+// and (b) once the rank reaches g the original packets are read off directly.
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "coding/packet.hpp"
+
+namespace ncast::coding {
+
+/// Decoder (and basis store) for one generation.
+template <typename Field>
+class Decoder {
+ public:
+  using value_type = typename Field::value_type;
+  using Packet = CodedPacket<Field>;
+
+  Decoder(std::uint32_t generation, std::size_t generation_size, std::size_t symbols)
+      : generation_(generation), g_(generation_size), symbols_(symbols) {
+    if (g_ == 0 || symbols_ == 0) {
+      throw std::invalid_argument("Decoder: zero generation size or symbols");
+    }
+  }
+
+  std::uint32_t generation() const { return generation_; }
+  std::size_t generation_size() const { return g_; }
+  std::size_t symbols() const { return symbols_; }
+  std::size_t rank() const { return rows_.size(); }
+  bool complete() const { return rank() == g_; }
+
+  /// Consumes a packet; returns true iff it was innovative.
+  /// Packets from other generations or with wrong shape are rejected
+  /// (returns false) rather than throwing, since in a network simulation
+  /// stray packets are data, not programming errors.
+  bool absorb(const Packet& p) {
+    if (p.generation != generation_ || p.coeffs.size() != g_ ||
+        p.payload.size() != symbols_) {
+      return false;
+    }
+    // Working row: [coeffs | payload] concatenated.
+    std::vector<value_type> row(g_ + symbols_);
+    std::copy(p.coeffs.begin(), p.coeffs.end(), row.begin());
+    std::copy(p.payload.begin(), p.payload.end(), row.begin() + static_cast<std::ptrdiff_t>(g_));
+
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const value_type f = row[pivot_[i]];
+      if (f != value_type{0}) {
+        Field::region_madd(row.data(), rows_[i].data(), f, row.size());
+      }
+    }
+    std::size_t p_col = 0;
+    while (p_col < g_ && row[p_col] == value_type{0}) ++p_col;
+    if (p_col == g_) return false;  // not innovative
+
+    Field::region_mul(row.data(), Field::inv(row[p_col]), row.size());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const value_type f = rows_[i][p_col];
+      if (f != value_type{0}) {
+        Field::region_madd(rows_[i].data(), row.data(), f, row.size());
+      }
+    }
+    rows_.push_back(std::move(row));
+    pivot_.push_back(p_col);
+    return true;
+  }
+
+  /// Would this packet be innovative? (No state change.)
+  bool is_innovative(const Packet& p) const {
+    if (p.generation != generation_ || p.coeffs.size() != g_ ||
+        p.payload.size() != symbols_) {
+      return false;
+    }
+    std::vector<value_type> c = p.coeffs;
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const value_type f = c[pivot_[i]];
+      if (f != value_type{0}) {
+        // Only the coefficient part matters for innovation.
+        Field::region_madd(c.data(), rows_[i].data(), f, g_);
+      }
+    }
+    for (std::size_t j = 0; j < g_; ++j) {
+      if (c[j] != value_type{0}) return true;
+    }
+    return false;
+  }
+
+  /// True iff source packet `index` is already individually recoverable,
+  /// i.e. the unit vector e_index lies in the received row space. Because
+  /// the basis is kept fully reduced, that is the case exactly when the row
+  /// pivoting on `index` has no other nonzero coefficient. This enables
+  /// progressive delivery (e.g. starting playback) before full rank.
+  bool recoverable(std::size_t index) const {
+    if (index >= g_) throw std::out_of_range("Decoder::recoverable");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (pivot_[i] != index) continue;
+      for (std::size_t j = 0; j < g_; ++j) {
+        if (j != index && rows_[i][j] != value_type{0}) return false;
+      }
+      return true;
+    }
+    return false;
+  }
+
+  /// Number of source packets already individually recoverable.
+  std::size_t recoverable_count() const {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < g_; ++i) n += recoverable(i) ? 1 : 0;
+    return n;
+  }
+
+  /// Recovered source packet `index`; requires only recoverable(index), so
+  /// it also works mid-decode on systematic or lucky packets.
+  std::vector<value_type> recover_packet(std::size_t index) const {
+    if (index >= g_) throw std::out_of_range("Decoder::recover_packet");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (pivot_[i] != index) continue;
+      if (!recoverable(index)) break;
+      return {rows_[i].begin() + static_cast<std::ptrdiff_t>(g_), rows_[i].end()};
+    }
+    throw std::logic_error("Decoder::recover_packet: not yet recoverable");
+  }
+
+  /// Recovered source packet `index`; requires complete().
+  std::vector<value_type> source_packet(std::size_t index) const {
+    if (!complete()) throw std::logic_error("Decoder::source_packet: rank deficient");
+    if (index >= g_) throw std::out_of_range("Decoder::source_packet");
+    // Basis is in RREF with g pivots, so the row whose pivot is `index` holds
+    // exactly e_index in the coefficient part and the source payload beyond.
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (pivot_[i] == index) {
+        return {rows_[i].begin() + static_cast<std::ptrdiff_t>(g_), rows_[i].end()};
+      }
+    }
+    throw std::logic_error("Decoder::source_packet: pivot missing");
+  }
+
+  /// All recovered source packets in order; requires complete().
+  std::vector<std::vector<value_type>> source_packets() const {
+    std::vector<std::vector<value_type>> out;
+    out.reserve(g_);
+    for (std::size_t i = 0; i < g_; ++i) out.push_back(source_packet(i));
+    return out;
+  }
+
+  /// Basis row i as a coded packet (used by the recoder).
+  Packet basis_packet(std::size_t i) const {
+    if (i >= rows_.size()) throw std::out_of_range("Decoder::basis_packet");
+    Packet p;
+    p.generation = generation_;
+    p.coeffs.assign(rows_[i].begin(), rows_[i].begin() + static_cast<std::ptrdiff_t>(g_));
+    p.payload.assign(rows_[i].begin() + static_cast<std::ptrdiff_t>(g_), rows_[i].end());
+    return p;
+  }
+
+ private:
+  std::uint32_t generation_;
+  std::size_t g_;
+  std::size_t symbols_;
+  std::vector<std::vector<value_type>> rows_;  // RREF of [coeffs | payload]
+  std::vector<std::size_t> pivot_;
+};
+
+}  // namespace ncast::coding

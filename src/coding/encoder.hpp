@@ -1,0 +1,81 @@
+#pragma once
+// Source-side encoder: holds the g original packets of one generation and
+// emits random linear combinations (or systematic originals).
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "coding/packet.hpp"
+#include "util/rng.hpp"
+
+namespace ncast::coding {
+
+/// Encoder for a single generation of `g` source packets, each of
+/// `symbols` field symbols.
+template <typename Field>
+class SourceEncoder {
+ public:
+  using value_type = typename Field::value_type;
+  using Packet = CodedPacket<Field>;
+
+  /// `source` must contain exactly g rows of equal length (>= 1).
+  SourceEncoder(std::uint32_t generation, std::vector<std::vector<value_type>> source)
+      : generation_(generation), source_(std::move(source)) {
+    if (source_.empty()) throw std::invalid_argument("SourceEncoder: empty generation");
+    symbols_ = source_.front().size();
+    if (symbols_ == 0) throw std::invalid_argument("SourceEncoder: empty packets");
+    for (const auto& row : source_) {
+      if (row.size() != symbols_) {
+        throw std::invalid_argument("SourceEncoder: ragged source packets");
+      }
+    }
+  }
+
+  std::uint32_t generation() const { return generation_; }
+  std::size_t generation_size() const { return source_.size(); }
+  std::size_t symbols() const { return symbols_; }
+
+  /// Emits a uniformly random linear combination of the source packets.
+  /// The combination is re-drawn if it comes out all-zero (possible over
+  /// tiny fields), so the result always carries information.
+  Packet emit(Rng& rng) const {
+    Packet p;
+    p.generation = generation_;
+    p.coeffs.resize(source_.size());
+    do {
+      for (auto& c : p.coeffs) {
+        c = static_cast<value_type>(rng.below(Field::order));
+      }
+    } while (p.is_degenerate());
+    p.payload.assign(symbols_, value_type{0});
+    for (std::size_t i = 0; i < source_.size(); ++i) {
+      Field::region_madd(p.payload.data(), source_[i].data(), p.coeffs[i], symbols_);
+    }
+    return p;
+  }
+
+  /// Emits source packet `index` verbatim with a unit coefficient vector.
+  Packet emit_systematic(std::size_t index) const {
+    if (index >= source_.size()) {
+      throw std::out_of_range("SourceEncoder::emit_systematic");
+    }
+    Packet p;
+    p.generation = generation_;
+    p.coeffs.assign(source_.size(), value_type{0});
+    p.coeffs[index] = value_type{1};
+    p.payload = source_[index];
+    return p;
+  }
+
+  const std::vector<std::vector<value_type>>& source_packets() const {
+    return source_;
+  }
+
+ private:
+  std::uint32_t generation_;
+  std::vector<std::vector<value_type>> source_;
+  std::size_t symbols_ = 0;
+};
+
+}  // namespace ncast::coding

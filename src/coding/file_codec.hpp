@@ -1,0 +1,115 @@
+#pragma once
+// Whole-file RLNC codec over GF(2^8): glues generation segmentation, the
+// source encoder, and per-generation decoders into the object a server or a
+// downloading client actually holds. Used by the examples and the
+// file-distribution simulator.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "coding/decoder.hpp"
+#include "coding/encoder.hpp"
+#include "coding/generation.hpp"
+#include "gf/gf256.hpp"
+#include "util/rng.hpp"
+
+namespace ncast::coding {
+
+/// Server-side file encoder: owns one SourceEncoder per generation and emits
+/// coded packets round-robin or for a chosen generation.
+class FileEncoder {
+ public:
+  using Packet = CodedPacket<gf::Gf256>;
+
+  FileEncoder(std::vector<std::uint8_t> data, std::size_t generation_size,
+              std::size_t symbols)
+      : data_(std::move(data)),
+        plan_(plan_generations(data_.size(), generation_size, symbols)) {
+    encoders_.reserve(plan_.generations);
+    for (std::size_t g = 0; g < plan_.generations; ++g) {
+      encoders_.emplace_back(static_cast<std::uint32_t>(g),
+                             generation_packets(data_, plan_, g));
+    }
+  }
+
+  const GenerationPlan& plan() const { return plan_; }
+  std::size_t generations() const { return plan_.generations; }
+
+  /// Random coded packet from generation `gen`.
+  Packet emit(std::size_t gen, Rng& rng) const {
+    return encoders_.at(gen).emit(rng);
+  }
+
+  /// Random coded packet, cycling generations across calls.
+  Packet emit_round_robin(Rng& rng) {
+    const Packet p = emit(next_, rng);
+    next_ = (next_ + 1) % plan_.generations;
+    return p;
+  }
+
+ private:
+  std::vector<std::uint8_t> data_;
+  GenerationPlan plan_;
+  std::vector<SourceEncoder<gf::Gf256>> encoders_;
+  std::size_t next_ = 0;
+};
+
+/// Client-side file decoder: per-generation decoders plus reassembly.
+class FileDecoder {
+ public:
+  using Packet = CodedPacket<gf::Gf256>;
+
+  explicit FileDecoder(const GenerationPlan& plan) : plan_(plan) {
+    decoders_.reserve(plan_.generations);
+    for (std::size_t g = 0; g < plan_.generations; ++g) {
+      decoders_.emplace_back(static_cast<std::uint32_t>(g), plan_.generation_size,
+                             plan_.symbols);
+    }
+  }
+
+  /// Consumes a packet; returns true iff innovative.
+  bool absorb(const Packet& p) {
+    if (p.generation >= decoders_.size()) return false;
+    return decoders_[p.generation].absorb(p);
+  }
+
+  bool complete() const {
+    for (const auto& d : decoders_) {
+      if (!d.complete()) return false;
+    }
+    return true;
+  }
+
+  /// Ranks summed over generations (progress indicator).
+  std::size_t total_rank() const {
+    std::size_t r = 0;
+    for (const auto& d : decoders_) r += d.rank();
+    return r;
+  }
+
+  std::size_t needed_rank() const {
+    return plan_.generations * plan_.generation_size;
+  }
+
+  const Decoder<gf::Gf256>& decoder(std::size_t gen) const {
+    return decoders_.at(gen);
+  }
+
+  /// Reconstructs the original bytes; requires complete().
+  std::vector<std::uint8_t> data() const {
+    if (!complete()) throw std::logic_error("FileDecoder::data: incomplete");
+    std::vector<std::vector<std::vector<std::uint8_t>>> decoded;
+    decoded.reserve(plan_.generations);
+    for (const auto& d : decoders_) decoded.push_back(d.source_packets());
+    return reassemble(decoded, plan_);
+  }
+
+ private:
+  GenerationPlan plan_;
+  std::vector<Decoder<gf::Gf256>> decoders_;
+};
+
+}  // namespace ncast::coding

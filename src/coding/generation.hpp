@@ -1,0 +1,87 @@
+#pragma once
+// Segmentation of a byte stream into generations of fixed-size packets, per
+// the practical network coding framework [5]. Generations bound the decoding
+// matrix size and the coefficient overhead per packet.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace ncast::coding {
+
+/// Parameters of a segmented stream.
+struct GenerationPlan {
+  std::size_t data_size = 0;        ///< original byte count
+  std::size_t generation_size = 0;  ///< packets per generation (g)
+  std::size_t symbols = 0;          ///< bytes per packet payload
+  std::size_t generations = 0;      ///< number of generations
+
+  std::size_t bytes_per_generation() const { return generation_size * symbols; }
+};
+
+/// Computes the segmentation of `data_size` bytes into generations of
+/// `generation_size` packets of `symbols` bytes each (last generation is
+/// zero-padded).
+inline GenerationPlan plan_generations(std::size_t data_size,
+                                       std::size_t generation_size,
+                                       std::size_t symbols) {
+  if (generation_size == 0 || symbols == 0) {
+    throw std::invalid_argument("plan_generations: zero generation size or symbols");
+  }
+  GenerationPlan plan;
+  plan.data_size = data_size;
+  plan.generation_size = generation_size;
+  plan.symbols = symbols;
+  const std::size_t per_gen = plan.bytes_per_generation();
+  plan.generations = (data_size + per_gen - 1) / per_gen;
+  if (plan.generations == 0) plan.generations = 1;  // empty data still makes one generation
+  return plan;
+}
+
+/// Extracts generation `gen` of `data` as g packets of `symbols` bytes,
+/// zero-padded past the end of the data.
+inline std::vector<std::vector<std::uint8_t>> generation_packets(
+    const std::vector<std::uint8_t>& data, const GenerationPlan& plan,
+    std::size_t gen) {
+  if (gen >= plan.generations) throw std::out_of_range("generation_packets");
+  std::vector<std::vector<std::uint8_t>> packets(
+      plan.generation_size, std::vector<std::uint8_t>(plan.symbols, 0));
+  const std::size_t base = gen * plan.bytes_per_generation();
+  for (std::size_t p = 0; p < plan.generation_size; ++p) {
+    for (std::size_t s = 0; s < plan.symbols; ++s) {
+      const std::size_t off = base + p * plan.symbols + s;
+      if (off < data.size()) packets[p][s] = data[off];
+    }
+  }
+  return packets;
+}
+
+/// Reassembles the original byte stream from per-generation decoded packets.
+/// `decoded[gen]` must hold the g packets of that generation.
+inline std::vector<std::uint8_t> reassemble(
+    const std::vector<std::vector<std::vector<std::uint8_t>>>& decoded,
+    const GenerationPlan& plan) {
+  if (decoded.size() != plan.generations) {
+    throw std::invalid_argument("reassemble: generation count mismatch");
+  }
+  std::vector<std::uint8_t> out(plan.data_size);
+  for (std::size_t gen = 0; gen < plan.generations; ++gen) {
+    if (decoded[gen].size() != plan.generation_size) {
+      throw std::invalid_argument("reassemble: packet count mismatch");
+    }
+    const std::size_t base = gen * plan.bytes_per_generation();
+    for (std::size_t p = 0; p < plan.generation_size; ++p) {
+      if (decoded[gen][p].size() != plan.symbols) {
+        throw std::invalid_argument("reassemble: symbol count mismatch");
+      }
+      for (std::size_t s = 0; s < plan.symbols; ++s) {
+        const std::size_t off = base + p * plan.symbols + s;
+        if (off < out.size()) out[off] = decoded[gen][p][s];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ncast::coding

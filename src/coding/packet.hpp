@@ -1,0 +1,39 @@
+#pragma once
+// Coded packets as defined by practical network coding (Chou, Wu, Jain [5]):
+// each packet carries, in-band, the coefficient vector that expresses its
+// payload as a linear combination of the generation's original packets. This
+// makes packets self-describing — decodable and recodable even as topology
+// changes and nodes fail, which is exactly the property the overlay relies on.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ncast::coding {
+
+/// One coded packet of a generation. `coeffs.size()` equals the generation
+/// size g; `payload.size()` is the number of field symbols per packet.
+template <typename Field>
+struct CodedPacket {
+  using value_type = typename Field::value_type;
+
+  std::uint32_t generation = 0;
+  std::vector<value_type> coeffs;
+  std::vector<value_type> payload;
+
+  /// True if the coefficient vector is all-zero (carries no information).
+  bool is_degenerate() const {
+    for (const auto c : coeffs) {
+      if (c != value_type{0}) return false;
+    }
+    return true;
+  }
+
+  /// Wire size in bytes: header + coefficients + payload.
+  std::size_t wire_size() const {
+    return sizeof(generation) +
+           (coeffs.size() + payload.size()) * sizeof(value_type);
+  }
+};
+
+}  // namespace ncast::coding

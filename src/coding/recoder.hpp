@@ -1,0 +1,59 @@
+#pragma once
+// In-network recoder: buffers received packets (as a reduced basis, which is
+// information-equivalent to the raw buffer and memory-bounded by the
+// generation size) and emits fresh random linear combinations. This is the
+// "mixing at each clip" of the curtain model.
+
+#include <cstdint>
+#include <optional>
+
+#include "coding/decoder.hpp"
+#include "util/rng.hpp"
+
+namespace ncast::coding {
+
+/// Recoder for one generation. Absorbing and emitting are both O(g * width).
+template <typename Field>
+class Recoder {
+ public:
+  using value_type = typename Field::value_type;
+  using Packet = CodedPacket<Field>;
+
+  Recoder(std::uint32_t generation, std::size_t generation_size, std::size_t symbols)
+      : basis_(generation, generation_size, symbols) {}
+
+  /// Consumes a received packet; returns true iff innovative.
+  bool absorb(const Packet& p) { return basis_.absorb(p); }
+
+  std::size_t rank() const { return basis_.rank(); }
+  bool complete() const { return basis_.complete(); }
+  std::uint32_t generation() const { return basis_.generation(); }
+  const Decoder<Field>& decoder() const { return basis_; }
+
+  /// Emits a random combination of everything received so far, or nullopt if
+  /// nothing has been received (a node with an empty buffer stays silent).
+  std::optional<Packet> emit(Rng& rng) const {
+    if (basis_.rank() == 0) return std::nullopt;
+    Packet out;
+    out.generation = basis_.generation();
+    out.coeffs.assign(basis_.generation_size(), value_type{0});
+    out.payload.assign(basis_.symbols(), value_type{0});
+    bool nonzero = false;
+    while (!nonzero) {
+      for (std::size_t i = 0; i < basis_.rank(); ++i) {
+        const auto c = static_cast<value_type>(rng.below(Field::order));
+        if (c == value_type{0}) continue;
+        nonzero = true;
+        const Packet b = basis_.basis_packet(i);
+        Field::region_madd(out.coeffs.data(), b.coeffs.data(), c, out.coeffs.size());
+        Field::region_madd(out.payload.data(), b.payload.data(), c, out.payload.size());
+      }
+    }
+    return out;
+  }
+
+ private:
+  Decoder<Field> basis_;
+};
+
+}  // namespace ncast::coding

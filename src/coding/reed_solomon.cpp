@@ -1,0 +1,93 @@
+#include "coding/reed_solomon.hpp"
+
+#include <stdexcept>
+
+#include "linalg/gaussian.hpp"
+
+namespace ncast::coding {
+
+using Gf = gf::Gf256;
+
+ReedSolomon::ReedSolomon(std::size_t n, std::size_t k)
+    : n_(n), k_(k), parity_(n >= k ? n - k : 0, k) {
+  if (k == 0 || n < k || n > 256) {
+    throw std::invalid_argument("ReedSolomon: need 1 <= k <= n <= 256");
+  }
+  // Cauchy matrix C[j][i] = 1 / (x_j + y_i) with all x_j, y_i distinct.
+  // x_j = k + j and y_i = i are distinct field elements for n <= 256, and
+  // x_j + y_i != 0 because the sets do not intersect. Every square submatrix
+  // of a Cauchy matrix is nonsingular, so [I ; C] is an MDS generator.
+  for (std::size_t j = 0; j < n_ - k_; ++j) {
+    for (std::size_t i = 0; i < k_; ++i) {
+      const auto xj = static_cast<Gf::value_type>(k_ + j);
+      const auto yi = static_cast<Gf::value_type>(i);
+      parity_(j, i) = Gf::inv(Gf::add(xj, yi));
+    }
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> ReedSolomon::encode(
+    const std::vector<std::vector<std::uint8_t>>& data) const {
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(n_);
+  for (std::size_t i = 0; i < n_; ++i) out.push_back(encode_fragment(data, i));
+  return out;
+}
+
+std::vector<std::uint8_t> ReedSolomon::encode_fragment(
+    const std::vector<std::vector<std::uint8_t>>& data, std::size_t index) const {
+  if (data.size() != k_) throw std::invalid_argument("ReedSolomon::encode: need k fragments");
+  const std::size_t len = data.front().size();
+  for (const auto& d : data) {
+    if (d.size() != len) throw std::invalid_argument("ReedSolomon::encode: ragged data");
+  }
+  if (index >= n_) throw std::out_of_range("ReedSolomon::encode_fragment");
+  if (index < k_) return data[index];
+
+  std::vector<std::uint8_t> frag(len, 0);
+  const std::size_t j = index - k_;
+  for (std::size_t i = 0; i < k_; ++i) {
+    Gf::region_madd(frag.data(), data[i].data(), parity_(j, i), len);
+  }
+  return frag;
+}
+
+std::vector<std::vector<std::uint8_t>> ReedSolomon::decode(
+    const std::vector<std::pair<std::size_t, std::vector<std::uint8_t>>>& fragments)
+    const {
+  if (fragments.size() != k_) {
+    throw std::invalid_argument("ReedSolomon::decode: need exactly k fragments");
+  }
+  const std::size_t len = fragments.front().second.size();
+  std::vector<bool> seen(n_, false);
+  for (const auto& [idx, bytes] : fragments) {
+    if (idx >= n_) throw std::invalid_argument("ReedSolomon::decode: index out of range");
+    if (seen[idx]) throw std::invalid_argument("ReedSolomon::decode: duplicate index");
+    seen[idx] = true;
+    if (bytes.size() != len) throw std::invalid_argument("ReedSolomon::decode: ragged fragments");
+  }
+
+  // Row r of A expresses received fragment r as a combination of the data
+  // fragments; invert to recover the data.
+  linalg::Matrix<Gf> a(k_, k_);
+  for (std::size_t r = 0; r < k_; ++r) {
+    const std::size_t idx = fragments[r].first;
+    if (idx < k_) {
+      a(r, idx) = 1;
+    } else {
+      for (std::size_t i = 0; i < k_; ++i) a(r, i) = parity_(idx - k_, i);
+    }
+  }
+  const auto inv = linalg::invert(a);
+  if (!inv) throw std::logic_error("ReedSolomon::decode: MDS violation (bug)");
+
+  std::vector<std::vector<std::uint8_t>> data(k_, std::vector<std::uint8_t>(len, 0));
+  for (std::size_t i = 0; i < k_; ++i) {
+    for (std::size_t r = 0; r < k_; ++r) {
+      Gf::region_madd(data[i].data(), fragments[r].second.data(), (*inv)(i, r), len);
+    }
+  }
+  return data;
+}
+
+}  // namespace ncast::coding

@@ -1,0 +1,49 @@
+#pragma once
+// Systematic Reed–Solomon-style MDS erasure code over GF(2^8), built from a
+// Cauchy generator matrix. This is the *baseline* coding scheme the paper's
+// introduction mentions (source-side erasure codes with plain forwarding in
+// the network) — the thing network coding is compared against.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "gf/gf256.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ncast::coding {
+
+/// MDS erasure code: k data fragments -> n coded fragments; any k of the n
+/// fragments reconstruct the data. Requires 1 <= k <= n <= 256.
+class ReedSolomon {
+ public:
+  ReedSolomon(std::size_t n, std::size_t k);
+
+  std::size_t n() const { return n_; }
+  std::size_t k() const { return k_; }
+
+  /// Encodes k equal-length data fragments into n fragments (first k are the
+  /// data verbatim — the code is systematic).
+  std::vector<std::vector<std::uint8_t>> encode(
+      const std::vector<std::vector<std::uint8_t>>& data) const;
+
+  /// Encodes only fragment `index` (0 <= index < n).
+  std::vector<std::uint8_t> encode_fragment(
+      const std::vector<std::vector<std::uint8_t>>& data, std::size_t index) const;
+
+  /// Reconstructs the k data fragments from any k received fragments, given
+  /// as (index, bytes) pairs. Throws std::invalid_argument on bad input
+  /// (wrong count, duplicate or out-of-range indices, ragged sizes).
+  std::vector<std::vector<std::uint8_t>> decode(
+      const std::vector<std::pair<std::size_t, std::vector<std::uint8_t>>>& fragments)
+      const;
+
+ private:
+  std::size_t n_;
+  std::size_t k_;
+  /// Row j (0 <= j < n-k) holds the Cauchy coefficients of parity fragment k+j.
+  linalg::Matrix<gf::Gf256> parity_;
+};
+
+}  // namespace ncast::coding

@@ -1,0 +1,100 @@
+#include "coding/wire.hpp"
+
+#include <cstring>
+
+namespace ncast::coding {
+namespace {
+
+void put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint16_t get16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+template <typename V>
+void put_symbols(std::vector<std::uint8_t>& out, const std::vector<V>& symbols) {
+  for (V v : symbols) {
+    for (std::size_t i = 0; i < sizeof(V); ++i) {
+      out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+}
+
+template <typename V>
+std::vector<V> get_symbols(const std::uint8_t* p, std::size_t count) {
+  std::vector<V> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    V v{0};
+    for (std::size_t b = 0; b < sizeof(V); ++b) {
+      v = static_cast<V>(v | (static_cast<V>(p[i * sizeof(V) + b]) << (8 * b)));
+    }
+    out[i] = v;
+  }
+  return out;
+}
+
+}  // namespace
+
+template <typename Field>
+std::vector<std::uint8_t> serialize(const CodedPacket<Field>& p) {
+  std::vector<std::uint8_t> out;
+  out.reserve(wire_size<Field>(p.coeffs.size(), p.payload.size()));
+  put16(out, kWireMagic);
+  out.push_back(kWireVersion);
+  out.push_back(WireFieldId<Field>::value);
+  put32(out, p.generation);
+  put16(out, static_cast<std::uint16_t>(p.coeffs.size()));
+  put16(out, static_cast<std::uint16_t>(p.payload.size()));
+  put_symbols(out, p.coeffs);
+  put_symbols(out, p.payload);
+  return out;
+}
+
+template <typename Field>
+std::optional<CodedPacket<Field>> deserialize(
+    const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 12) return std::nullopt;
+  if (get16(bytes.data()) != kWireMagic) return std::nullopt;
+  if (bytes[2] != kWireVersion) return std::nullopt;
+  if (bytes[3] != WireFieldId<Field>::value) return std::nullopt;
+  const std::uint32_t generation = get32(bytes.data() + 4);
+  const std::size_t g = get16(bytes.data() + 8);
+  const std::size_t symbols = get16(bytes.data() + 10);
+  if (g == 0 || symbols == 0) return std::nullopt;
+  using V = typename Field::value_type;
+  if (bytes.size() != 12 + (g + symbols) * sizeof(V)) return std::nullopt;
+
+  CodedPacket<Field> p;
+  p.generation = generation;
+  p.coeffs = get_symbols<V>(bytes.data() + 12, g);
+  p.payload = get_symbols<V>(bytes.data() + 12 + g * sizeof(V), symbols);
+  return p;
+}
+
+// Explicit instantiations for the supported fields.
+template std::vector<std::uint8_t> serialize<gf::Gf256>(
+    const CodedPacket<gf::Gf256>&);
+template std::vector<std::uint8_t> serialize<gf::Gf2_16>(
+    const CodedPacket<gf::Gf2_16>&);
+template std::optional<CodedPacket<gf::Gf256>> deserialize<gf::Gf256>(
+    const std::vector<std::uint8_t>&);
+template std::optional<CodedPacket<gf::Gf2_16>> deserialize<gf::Gf2_16>(
+    const std::vector<std::uint8_t>&);
+
+}  // namespace ncast::coding

@@ -1,0 +1,60 @@
+#pragma once
+// Wire format for coded packets. Practical network coding [5] requires the
+// coefficient vector to travel inside the packet; this header defines the
+// byte layout a real deployment would put on the wire:
+//
+//   offset  size  field
+//   0       2     magic 0x4E43 ("NC"), little-endian
+//   2       1     version (1)
+//   3       1     field id (1 = GF(2^8), 2 = GF(2^16))
+//   4       4     generation id, little-endian
+//   8       2     generation size g, little-endian
+//   10      2     payload symbol count, little-endian
+//   12      g*w   coefficients (w = symbol width in bytes)
+//   12+g*w  s*w   payload
+//
+// Deserialization is defensive: any malformed buffer yields nullopt, never
+// undefined behavior — packets arrive from the network, not from friends.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "coding/packet.hpp"
+#include "gf/gf256.hpp"
+#include "gf/gf2_16.hpp"
+
+namespace ncast::coding {
+
+inline constexpr std::uint16_t kWireMagic = 0x4E43;
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Field id carried on the wire.
+template <typename Field>
+struct WireFieldId;
+template <>
+struct WireFieldId<gf::Gf256> {
+  static constexpr std::uint8_t value = 1;
+};
+template <>
+struct WireFieldId<gf::Gf2_16> {
+  static constexpr std::uint8_t value = 2;
+};
+
+/// Serialized size of a packet with the given shape.
+template <typename Field>
+constexpr std::size_t wire_size(std::size_t g, std::size_t symbols) {
+  return 12 + (g + symbols) * sizeof(typename Field::value_type);
+}
+
+/// Encodes a packet into its wire representation.
+template <typename Field>
+std::vector<std::uint8_t> serialize(const CodedPacket<Field>& p);
+
+/// Decodes a wire buffer; nullopt on any structural problem (bad magic,
+/// version, field id, size mismatch, or length overflowing the buffer).
+template <typename Field>
+std::optional<CodedPacket<Field>> deserialize(
+    const std::vector<std::uint8_t>& bytes);
+
+}  // namespace ncast::coding

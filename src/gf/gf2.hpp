@@ -1,0 +1,40 @@
+#pragma once
+// GF(2): the binary field. Deliberately minimal — it exists so the field-size
+// ablation bench can measure how often random *binary* combinations fail to be
+// innovative, compared with GF(2^8)/GF(2^16). Values are stored one per byte
+// (0 or 1); the coding layer is templated on the field so the same decoder
+// runs unchanged.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ncast::gf {
+
+/// Field traits for GF(2). Every nonzero element is 1, so inv/div are trivial.
+struct Gf2 {
+  using value_type = std::uint8_t;
+  static constexpr std::uint32_t order = 2;
+  static constexpr const char* name = "GF(2)";
+
+  static value_type add(value_type a, value_type b) { return a ^ b; }
+  static value_type sub(value_type a, value_type b) { return a ^ b; }
+  static value_type mul(value_type a, value_type b) { return a & b; }
+  static value_type div(value_type a, value_type /*b*/) { return a; }
+  static value_type inv(value_type /*a*/) { return 1; }
+  static value_type pow(value_type a, std::uint32_t e) { return e == 0 ? 1 : a; }
+
+  static void region_add(value_type* dst, const value_type* src, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+  }
+  static void region_madd(value_type* dst, const value_type* src, value_type c,
+                          std::size_t n) {
+    if (c == 0) return;
+    region_add(dst, src, n);
+  }
+  static void region_mul(value_type* dst, value_type c, std::size_t n) {
+    if (c != 0) return;
+    for (std::size_t i = 0; i < n; ++i) dst[i] = 0;
+  }
+};
+
+}  // namespace ncast::gf

@@ -1,0 +1,94 @@
+// AVX2 kernels for GF(2^8) region operations. Compiled with -mavx2 (see
+// CMakeLists); callers must gate on avx2_available().
+
+#include "gf/gf256_simd.hpp"
+
+#include <immintrin.h>
+
+namespace ncast::gf::detail {
+
+bool avx2_available() {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+/// Builds the two 16-entry nibble tables for the coefficient whose full
+/// product table is `mul_row`: lo[x] = c*x, hi[x] = c*(x<<4). Multiplication
+/// distributes over the nibble split because GF addition is XOR.
+inline void build_nibble_tables(const std::uint8_t* mul_row, __m256i& lo,
+                                __m256i& hi) {
+  alignas(32) std::uint8_t lo_bytes[32];
+  alignas(32) std::uint8_t hi_bytes[32];
+  for (int x = 0; x < 16; ++x) {
+    lo_bytes[x] = mul_row[x];
+    lo_bytes[x + 16] = mul_row[x];
+    hi_bytes[x] = mul_row[x << 4];
+    hi_bytes[x + 16] = mul_row[x << 4];
+  }
+  lo = _mm256_load_si256(reinterpret_cast<const __m256i*>(lo_bytes));
+  hi = _mm256_load_si256(reinterpret_cast<const __m256i*>(hi_bytes));
+}
+
+}  // namespace
+
+void region_madd_avx2(std::uint8_t* dst, const std::uint8_t* src,
+                      const std::uint8_t* mul_row, std::size_t n) {
+  __m256i lo, hi;
+  build_nibble_tables(mul_row, lo, hi);
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i lo_n = _mm256_and_si256(s, mask);
+    const __m256i hi_n = _mm256_and_si256(_mm256_srli_epi64(s, 4), mask);
+    const __m256i prod = _mm256_xor_si256(_mm256_shuffle_epi8(lo, lo_n),
+                                          _mm256_shuffle_epi8(hi, hi_n));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, prod));
+  }
+  for (; i < n; ++i) dst[i] ^= mul_row[src[i]];
+}
+
+void region_mul_avx2(std::uint8_t* dst, const std::uint8_t* mul_row,
+                     std::size_t n) {
+  __m256i lo, hi;
+  build_nibble_tables(mul_row, lo, hi);
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i lo_n = _mm256_and_si256(d, mask);
+    const __m256i hi_n = _mm256_and_si256(_mm256_srli_epi64(d, 4), mask);
+    const __m256i prod = _mm256_xor_si256(_mm256_shuffle_epi8(lo, lo_n),
+                                          _mm256_shuffle_epi8(hi, hi_n));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), prod);
+  }
+  for (; i < n; ++i) dst[i] = mul_row[dst[i]];
+}
+
+void region_add_avx2(std::uint8_t* dst, const std::uint8_t* src,
+                     std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, s));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+}  // namespace ncast::gf::detail

@@ -1,0 +1,32 @@
+#pragma once
+// AVX2 backend for GF(2^8) region operations, using the classic nibble-table
+// shuffle technique: for a fixed coefficient c, the products c*x for all 256
+// x are determined by two 16-entry tables (low and high nibble), which fit
+// in one vector register each and are applied with a byte shuffle — 32
+// multiply-accumulates per instruction pair.
+//
+// This file only declares the kernels; they are compiled in a separate
+// translation unit with AVX2 codegen enabled and selected at runtime, so the
+// library remains runnable on machines without AVX2.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ncast::gf::detail {
+
+/// True if the running CPU supports the AVX2 kernels.
+bool avx2_available();
+
+/// dst[i] ^= mul_row[src[i]] for n bytes, where mul_row is the 256-entry
+/// product table of the coefficient. Requires avx2_available().
+void region_madd_avx2(std::uint8_t* dst, const std::uint8_t* src,
+                      const std::uint8_t* mul_row, std::size_t n);
+
+/// dst[i] = mul_row[dst[i]] for n bytes. Requires avx2_available().
+void region_mul_avx2(std::uint8_t* dst, const std::uint8_t* mul_row,
+                     std::size_t n);
+
+/// dst[i] ^= src[i] for n bytes. Requires avx2_available().
+void region_add_avx2(std::uint8_t* dst, const std::uint8_t* src, std::size_t n);
+
+}  // namespace ncast::gf::detail

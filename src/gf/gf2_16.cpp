@@ -1,0 +1,104 @@
+#include "gf/gf2_16.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace ncast::gf {
+namespace {
+
+constexpr std::uint32_t kPoly = 0x1100B;  // x^16 + x^12 + x^3 + x + 1
+
+struct Tables {
+  std::vector<std::uint16_t> log;
+  std::vector<std::uint16_t> exp;  // doubled length
+
+  Tables() : log(65536), exp(131072) {
+    std::uint32_t x = 1;
+    for (std::uint32_t i = 0; i < 65535; ++i) {
+      exp[i] = static_cast<std::uint16_t>(x);
+      exp[i + 65535] = static_cast<std::uint16_t>(x);
+      log[x] = static_cast<std::uint16_t>(i);
+      x <<= 1;
+      if (x & 0x10000) x ^= kPoly;
+    }
+    exp[131070] = exp[0];
+    exp[131071] = exp[1];
+    log[0] = 0;  // sentinel
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+Gf2_16::value_type Gf2_16::mul(value_type a, value_type b) {
+  if (a == 0 || b == 0) return 0;
+  const auto& t = tables();
+  return t.exp[static_cast<std::uint32_t>(t.log[a]) + t.log[b]];
+}
+
+Gf2_16::value_type Gf2_16::div(value_type a, value_type b) {
+  assert(b != 0 && "Gf2_16::div by zero");
+  if (a == 0) return 0;
+  const auto& t = tables();
+  return t.exp[static_cast<std::uint32_t>(t.log[a]) + 65535 - t.log[b]];
+}
+
+Gf2_16::value_type Gf2_16::inv(value_type a) {
+  assert(a != 0 && "Gf2_16::inv of zero");
+  const auto& t = tables();
+  return t.exp[65535 - t.log[a]];
+}
+
+Gf2_16::value_type Gf2_16::pow(value_type a, std::uint32_t e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const auto& t = tables();
+  const std::uint64_t l =
+      (static_cast<std::uint64_t>(t.log[a]) * e) % 65535;
+  return t.exp[l];
+}
+
+void Gf2_16::region_add(value_type* dst, const value_type* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    std::uint64_t a, b;
+    __builtin_memcpy(&a, dst + i, 8);
+    __builtin_memcpy(&b, src + i, 8);
+    a ^= b;
+    __builtin_memcpy(dst + i, &a, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void Gf2_16::region_madd(value_type* dst, const value_type* src, value_type c,
+                         std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    region_add(dst, src, n);
+    return;
+  }
+  const auto& t = tables();
+  const std::uint32_t lc = t.log[c];
+  for (std::size_t i = 0; i < n; ++i) {
+    if (src[i] != 0) dst[i] ^= t.exp[lc + t.log[src[i]]];
+  }
+}
+
+void Gf2_16::region_mul(value_type* dst, value_type c, std::size_t n) {
+  if (c == 1) return;
+  if (c == 0) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = 0;
+    return;
+  }
+  const auto& t = tables();
+  const std::uint32_t lc = t.log[c];
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dst[i] != 0) dst[i] = t.exp[lc + t.log[dst[i]]];
+  }
+}
+
+}  // namespace ncast::gf

@@ -1,0 +1,168 @@
+#include "graph/arborescence.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "graph/maxflow.hpp"
+
+namespace ncast::graph {
+namespace {
+
+/// Max-flow from root to target over the edges not marked removed.
+std::int64_t residual_flow(const Digraph& g, const std::vector<bool>& removed,
+                           Vertex root, Vertex target) {
+  MaxFlow mf(g.vertex_count());
+  for (EdgeId id = 0; id < g.edge_count(); ++id) {
+    const Edge& e = g.edge(id);
+    if (e.alive && !removed[id]) mf.add_edge(e.from, e.to, 1);
+  }
+  return mf.compute(root, target);
+}
+
+/// Lazily maintained lower bounds on λ(root, w) in the shrinking residual
+/// graph. Removing one edge lowers any connectivity by at most one, so a
+/// cached exact value minus the number of removals since it was computed is
+/// a valid lower bound; max-flow is recomputed only when that bound dips
+/// below the requirement.
+class ConnectivityCache {
+ public:
+  ConnectivityCache(const Digraph& g, const std::vector<bool>& removed, Vertex root)
+      : g_(g), removed_(removed), root_(root),
+        value_(g.vertex_count(), -1), epoch_(g.vertex_count(), 0) {}
+
+  void note_removal() { ++removals_; }
+  void note_unremoval() {
+    // A tentative removal was rolled back; cached bounds only got more
+    // conservative in the meantime, so staying put is sound.
+  }
+
+  /// True if λ(root, w) >= need in the current residual graph.
+  bool at_least(Vertex w, std::int64_t need) {
+    if (need <= 0) return true;
+    if (value_[w] >= 0 &&
+        value_[w] - static_cast<std::int64_t>(removals_ - epoch_[w]) >= need) {
+      return true;
+    }
+    value_[w] = residual_flow(g_, removed_, root_, w);
+    epoch_[w] = removals_;
+    return value_[w] >= need;
+  }
+
+ private:
+  const Digraph& g_;
+  const std::vector<bool>& removed_;
+  Vertex root_;
+  std::vector<std::int64_t> value_;
+  std::vector<std::uint64_t> epoch_;
+  std::uint64_t removals_ = 0;
+};
+
+}  // namespace
+
+std::optional<std::vector<Arborescence>> pack_arborescences(const Digraph& g,
+                                                            Vertex root,
+                                                            std::size_t count) {
+  if (root >= g.vertex_count()) throw std::out_of_range("pack_arborescences: root");
+  const std::size_t n = g.vertex_count();
+  std::vector<bool> removed(g.edge_count(), false);
+
+  // Edmonds' condition: every vertex needs connectivity >= count.
+  for (Vertex v = 0; v < n; ++v) {
+    if (v == root) continue;
+    if (residual_flow(g, removed, root, v) < static_cast<std::int64_t>(count)) {
+      return std::nullopt;
+    }
+  }
+
+  std::vector<Arborescence> packing;
+  packing.reserve(count);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    // After extracting arborescence i, every vertex must retain connectivity
+    // `need` for the arborescences still to come (Lovász's invariant).
+    const auto need = static_cast<std::int64_t>(count - i - 1);
+    Arborescence arb;
+    arb.parent_edge.assign(n, Arborescence::kNoEdge);
+    std::vector<bool> in_tree(n, false);
+    in_tree[root] = true;
+    std::size_t tree_size = 1;
+    ConnectivityCache cache(g, removed, root);
+
+    while (tree_size < n) {
+      bool extended = false;
+      // Scan frontier edges; accept the first whose removal keeps every
+      // vertex's residual connectivity at `need`.
+      for (Vertex u = 0; u < n && !extended; ++u) {
+        if (!in_tree[u]) continue;
+        for (EdgeId id : g.out_edges(u)) {
+          const Edge& e = g.edge(id);
+          if (!e.alive || removed[id] || in_tree[e.to]) continue;
+
+          removed[id] = true;
+          cache.note_removal();
+          bool feasible = true;
+          if (need > 0) {
+            // Check the entering vertex first (most likely to be tight),
+            // then everything else.
+            if (!cache.at_least(e.to, need)) feasible = false;
+            for (Vertex w = 0; feasible && w < n; ++w) {
+              if (w == root || w == e.to) continue;
+              if (!cache.at_least(w, need)) feasible = false;
+            }
+          }
+          if (!feasible) {
+            removed[id] = false;
+            cache.note_unremoval();
+            continue;
+          }
+          arb.parent_edge[e.to] = id;
+          in_tree[e.to] = true;
+          ++tree_size;
+          extended = true;
+          break;
+        }
+      }
+      if (!extended) {
+        // Cannot happen if Edmonds' condition held (theorem guarantee); kept
+        // as defensive failure for corrupted inputs.
+        return std::nullopt;
+      }
+    }
+    packing.push_back(std::move(arb));
+  }
+  return packing;
+}
+
+bool validate_packing(const Digraph& g, Vertex root,
+                      const std::vector<Arborescence>& packing) {
+  const std::size_t n = g.vertex_count();
+  std::vector<int> uses(g.edge_count(), 0);
+  for (const Arborescence& arb : packing) {
+    if (arb.parent_edge.size() != n) return false;
+    if (arb.parent_edge[root] != Arborescence::kNoEdge) return false;
+    for (Vertex v = 0; v < n; ++v) {
+      if (v == root) continue;
+      const EdgeId id = arb.parent_edge[v];
+      if (id == Arborescence::kNoEdge || id >= g.edge_count()) return false;
+      const Edge& e = g.edge(id);
+      if (!e.alive || e.to != v) return false;
+      if (++uses[id] > 1) return false;  // edge-disjointness
+    }
+    // Root-connectivity of every vertex within the arborescence.
+    for (Vertex v = 0; v < n; ++v) {
+      if (v == root) continue;
+      Vertex cur = v;
+      std::size_t hops = 0;
+      while (cur != root) {
+        const EdgeId id = arb.parent_edge[cur];
+        if (id == Arborescence::kNoEdge) return false;
+        cur = g.edge(id).from;
+        if (++hops > n) return false;  // cycle guard
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace ncast::graph

@@ -1,0 +1,40 @@
+#pragma once
+// Edge-disjoint spanning arborescence packing — Edmonds' theorem [8] made
+// executable via Lovász's constructive proof. This is the paper's theoretical
+// comparator: "optimal multicast using multiple multicast trees", which
+// matches network-coding throughput on a static graph but must be recomputed
+// globally whenever a node fails.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace ncast::graph {
+
+/// One spanning arborescence, as the edge id of each non-root vertex's
+/// parent edge (root entry unused).
+struct Arborescence {
+  std::vector<EdgeId> parent_edge;  // indexed by vertex; root slot = kNoEdge
+  static constexpr EdgeId kNoEdge = static_cast<EdgeId>(-1);
+};
+
+/// Packs `count` edge-disjoint spanning arborescences rooted at `root` into
+/// the alive-edge subgraph of `g`. Returns nullopt if the connectivity from
+/// the root is below `count` (Edmonds' condition fails).
+///
+/// Complexity is polynomial but heavy (each greedy edge choice is guarded by
+/// max-flow feasibility checks); intended for the baseline bench at
+/// simulation scale, exactly mirroring the paper's point that this approach
+/// is impractical for large dynamic networks.
+std::optional<std::vector<Arborescence>> pack_arborescences(const Digraph& g,
+                                                            Vertex root,
+                                                            std::size_t count);
+
+/// Verifies a packing: arborescences are edge-disjoint, each spans all
+/// vertices, each is a tree rooted at `root` with edges oriented away.
+bool validate_packing(const Digraph& g, Vertex root,
+                      const std::vector<Arborescence>& packing);
+
+}  // namespace ncast::graph

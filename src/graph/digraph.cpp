@@ -1,0 +1,63 @@
+#include "graph/digraph.hpp"
+
+#include <deque>
+
+namespace ncast::graph {
+
+std::vector<std::int64_t> bfs_depths(const Digraph& g, Vertex source) {
+  std::vector<std::int64_t> depth(g.vertex_count(), -1);
+  if (source >= g.vertex_count()) throw std::out_of_range("bfs_depths: source");
+  std::deque<Vertex> queue{source};
+  depth[source] = 0;
+  while (!queue.empty()) {
+    const Vertex u = queue.front();
+    queue.pop_front();
+    for (EdgeId id : g.out_edges(u)) {
+      const Edge& e = g.edge(id);
+      if (!e.alive) continue;
+      if (depth[e.to] == -1) {
+        depth[e.to] = depth[u] + 1;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  return depth;
+}
+
+bool is_acyclic(const Digraph& g) {
+  try {
+    (void)topological_order(g);
+    return true;
+  } catch (const std::logic_error&) {
+    return false;
+  }
+}
+
+std::vector<Vertex> topological_order(const Digraph& g) {
+  std::vector<std::size_t> indeg(g.vertex_count(), 0);
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    indeg[v] = g.in_degree(v);
+  }
+  std::deque<Vertex> ready;
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    if (indeg[v] == 0) ready.push_back(v);
+  }
+  std::vector<Vertex> order;
+  order.reserve(g.vertex_count());
+  while (!ready.empty()) {
+    const Vertex u = ready.front();
+    ready.pop_front();
+    order.push_back(u);
+    for (EdgeId id : g.out_edges(u)) {
+      const Edge& e = g.edge(id);
+      if (!e.alive) continue;
+      if (--indeg[e.to] == 0) ready.push_back(e.to);
+    }
+  }
+  if (order.size() != g.vertex_count()) {
+    throw std::logic_error("topological_order: graph has a cycle");
+  }
+  return order;
+}
+
+}  // namespace ncast::graph

@@ -1,0 +1,88 @@
+#pragma once
+// Directed multigraph with stable edge ids. The overlay layer extracts its
+// "thread segment" flow graphs into this representation; max-flow,
+// reachability, and arborescence packing all operate on it.
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace ncast::graph {
+
+using Vertex = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+/// An edge of the multigraph. Edges are never removed; deletion is modeled by
+/// the `alive` flag so edge ids stay stable across mutations.
+struct Edge {
+  Vertex from = 0;
+  Vertex to = 0;
+  bool alive = true;
+};
+
+/// Directed multigraph (parallel edges allowed, as thread segments between
+/// the same pair of nodes genuinely are parallel unit-capacity links).
+class Digraph {
+ public:
+  explicit Digraph(std::size_t vertices = 0) : out_(vertices), in_(vertices) {}
+
+  Vertex add_vertex() {
+    out_.emplace_back();
+    in_.emplace_back();
+    return static_cast<Vertex>(out_.size() - 1);
+  }
+
+  EdgeId add_edge(Vertex from, Vertex to) {
+    if (from >= vertex_count() || to >= vertex_count()) {
+      throw std::out_of_range("Digraph::add_edge: vertex out of range");
+    }
+    const auto id = static_cast<EdgeId>(edges_.size());
+    edges_.push_back(Edge{from, to, true});
+    out_[from].push_back(id);
+    in_[to].push_back(id);
+    return id;
+  }
+
+  /// Marks an edge dead; dead edges are skipped by all algorithms here.
+  void remove_edge(EdgeId id) { edges_.at(id).alive = false; }
+
+  std::size_t vertex_count() const { return out_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  const Edge& edge(EdgeId id) const { return edges_.at(id); }
+  const std::vector<EdgeId>& out_edges(Vertex v) const { return out_.at(v); }
+  const std::vector<EdgeId>& in_edges(Vertex v) const { return in_.at(v); }
+
+  std::size_t out_degree(Vertex v) const {
+    std::size_t d = 0;
+    for (EdgeId e : out_.at(v)) {
+      if (edges_[e].alive) ++d;
+    }
+    return d;
+  }
+  std::size_t in_degree(Vertex v) const {
+    std::size_t d = 0;
+    for (EdgeId e : in_.at(v)) {
+      if (edges_[e].alive) ++d;
+    }
+    return d;
+  }
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+/// Hop distance (BFS over alive edges) from `source` to every vertex;
+/// unreachable vertices get -1.
+std::vector<std::int64_t> bfs_depths(const Digraph& g, Vertex source);
+
+/// True iff the alive-edge subgraph is acyclic.
+bool is_acyclic(const Digraph& g);
+
+/// Topological order of the alive-edge subgraph; throws std::logic_error if
+/// the graph has a cycle.
+std::vector<Vertex> topological_order(const Digraph& g);
+
+}  // namespace ncast::graph

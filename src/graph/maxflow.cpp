@@ -1,0 +1,138 @@
+#include "graph/maxflow.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace ncast::graph {
+
+MaxFlow::MaxFlow(std::size_t vertices)
+    : adj_(vertices), level_(vertices), iter_(vertices) {}
+
+std::size_t MaxFlow::add_edge(Vertex from, Vertex to, std::int64_t capacity) {
+  if (from >= adj_.size() || to >= adj_.size()) {
+    throw std::out_of_range("MaxFlow::add_edge: vertex out of range");
+  }
+  if (capacity < 0) throw std::invalid_argument("MaxFlow::add_edge: negative capacity");
+  if (computed_) throw std::logic_error("MaxFlow::add_edge: already computed");
+  adj_[from].push_back(InternalEdge{to, capacity, adj_[to].size()});
+  adj_[to].push_back(InternalEdge{from, 0, adj_[from].size() - 1});
+  handles_.emplace_back(from, adj_[from].size() - 1);
+  original_cap_.push_back(capacity);
+  return handles_.size() - 1;
+}
+
+bool MaxFlow::bfs(Vertex s, Vertex t) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::deque<Vertex> queue{s};
+  level_[s] = 0;
+  while (!queue.empty()) {
+    const Vertex u = queue.front();
+    queue.pop_front();
+    for (const InternalEdge& e : adj_[u]) {
+      if (e.cap > 0 && level_[e.to] < 0) {
+        level_[e.to] = level_[u] + 1;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+std::int64_t MaxFlow::dfs(Vertex u, Vertex t, std::int64_t pushed) {
+  if (u == t) return pushed;
+  for (std::size_t& i = iter_[u]; i < adj_[u].size(); ++i) {
+    InternalEdge& e = adj_[u][i];
+    if (e.cap <= 0 || level_[e.to] != level_[u] + 1) continue;
+    const std::int64_t got = dfs(e.to, t, std::min(pushed, e.cap));
+    if (got > 0) {
+      e.cap -= got;
+      adj_[e.to][e.rev].cap += got;
+      return got;
+    }
+  }
+  return 0;
+}
+
+std::int64_t MaxFlow::compute(Vertex s, Vertex t) {
+  if (s >= adj_.size() || t >= adj_.size()) {
+    throw std::out_of_range("MaxFlow::compute: vertex out of range");
+  }
+  if (s == t) throw std::invalid_argument("MaxFlow::compute: s == t");
+  if (computed_) throw std::logic_error("MaxFlow::compute: already computed");
+  computed_ = true;
+  last_source_ = s;
+  std::int64_t flow = 0;
+  while (bfs(s, t)) {
+    std::fill(iter_.begin(), iter_.end(), 0);
+    while (true) {
+      const std::int64_t got = dfs(s, t, std::numeric_limits<std::int64_t>::max());
+      if (got == 0) break;
+      flow += got;
+    }
+  }
+  return flow;
+}
+
+std::int64_t MaxFlow::flow_on(std::size_t edge_handle) const {
+  if (!computed_) throw std::logic_error("MaxFlow::flow_on: compute() first");
+  const auto [from, idx] = handles_.at(edge_handle);
+  return original_cap_.at(edge_handle) - adj_[from][idx].cap;
+}
+
+std::vector<bool> MaxFlow::min_cut_source_side() const {
+  if (!computed_) throw std::logic_error("MaxFlow::min_cut_source_side: compute() first");
+  std::vector<bool> side(adj_.size(), false);
+  std::deque<Vertex> queue{last_source_};
+  side[last_source_] = true;
+  while (!queue.empty()) {
+    const Vertex u = queue.front();
+    queue.pop_front();
+    for (const InternalEdge& e : adj_[u]) {
+      if (e.cap > 0 && !side[e.to]) {
+        side[e.to] = true;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  return side;
+}
+
+namespace {
+
+MaxFlow build_unit_solver(const Digraph& g, std::size_t extra_vertices = 0) {
+  MaxFlow mf(g.vertex_count() + extra_vertices);
+  for (EdgeId id = 0; id < g.edge_count(); ++id) {
+    const Edge& e = g.edge(id);
+    if (e.alive) mf.add_edge(e.from, e.to, 1);
+  }
+  return mf;
+}
+
+}  // namespace
+
+std::int64_t unit_max_flow(const Digraph& g, Vertex source, Vertex target) {
+  MaxFlow mf = build_unit_solver(g);
+  return mf.compute(source, target);
+}
+
+std::int64_t unit_max_flow_to_set(const Digraph& g, Vertex source,
+                                  const std::vector<Vertex>& taps) {
+  MaxFlow mf = build_unit_solver(g, 1);
+  const auto sink = static_cast<Vertex>(g.vertex_count());
+  for (Vertex t : taps) mf.add_edge(t, sink, 1);
+  return mf.compute(source, sink);
+}
+
+std::int64_t min_connectivity(const Digraph& g, Vertex source) {
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    if (v == source) continue;
+    best = std::min(best, unit_max_flow(g, source, v));
+    if (best == 0) break;
+  }
+  return best == std::numeric_limits<std::int64_t>::max() ? 0 : best;
+}
+
+}  // namespace ncast::graph

@@ -1,0 +1,67 @@
+#pragma once
+// Dinic max-flow. Unit-capacity thread-segment graphs are the dominant use,
+// where Dinic runs in O(E * sqrt(E)); general integer capacities are also
+// supported for the heterogeneous-bandwidth experiments.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace ncast::graph {
+
+/// Max-flow solver. Build once, then call `compute` (the instance is
+/// consumed; build a fresh solver per query).
+class MaxFlow {
+ public:
+  explicit MaxFlow(std::size_t vertices);
+
+  /// Adds a directed edge with the given capacity; returns an id usable with
+  /// `flow_on` after compute().
+  std::size_t add_edge(Vertex from, Vertex to, std::int64_t capacity);
+
+  /// Computes the max flow from s to t. Callable once per instance.
+  std::int64_t compute(Vertex s, Vertex t);
+
+  /// Flow routed on the edge returned by `add_edge`.
+  std::int64_t flow_on(std::size_t edge_handle) const;
+
+  /// Vertices on the source side of a minimum cut (valid after compute()).
+  std::vector<bool> min_cut_source_side() const;
+
+ private:
+  struct InternalEdge {
+    Vertex to;
+    std::int64_t cap;
+    std::size_t rev;  // index of the reverse edge in adj_[to]
+  };
+
+  bool bfs(Vertex s, Vertex t);
+  std::int64_t dfs(Vertex u, Vertex t, std::int64_t pushed);
+
+  std::vector<std::vector<InternalEdge>> adj_;
+  std::vector<std::int64_t> level_;
+  std::vector<std::size_t> iter_;
+  std::vector<std::pair<Vertex, std::size_t>> handles_;  // (from, index in adj_[from])
+  std::vector<std::int64_t> original_cap_;
+  Vertex last_source_ = 0;
+  bool computed_ = false;
+};
+
+/// Max-flow from `source` to `target` over the alive edges of `g`, all edges
+/// having unit capacity.
+std::int64_t unit_max_flow(const Digraph& g, Vertex source, Vertex target);
+
+/// Max-flow from `source` to a virtual sink fed by unit-capacity edges from
+/// each vertex in `taps` (duplicates allowed: each occurrence contributes one
+/// unit of sink capacity). This evaluates the connectivity of a d-tuple of
+/// hanging threads.
+std::int64_t unit_max_flow_to_set(const Digraph& g, Vertex source,
+                                  const std::vector<Vertex>& taps);
+
+/// min over all vertices v (reachable or not, excluding the source) of
+/// maxflow(source, v). Vertices with no alive in-edges count as 0.
+std::int64_t min_connectivity(const Digraph& g, Vertex source);
+
+}  // namespace ncast::graph

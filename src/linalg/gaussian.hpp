@@ -1,0 +1,144 @@
+#pragma once
+// Gaussian elimination over finite fields: rank, reduced row echelon form,
+// inversion, and linear solve. These are the building blocks beneath the RLNC
+// decoder and the Reed–Solomon codec.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace ncast::linalg {
+
+/// Transforms `m` in place to reduced row echelon form.
+/// Returns the pivot column for each pivot row (so the return size is the rank).
+template <typename Field>
+std::vector<std::size_t> rref_in_place(Matrix<Field>& m) {
+  using V = typename Field::value_type;
+  std::vector<std::size_t> pivots;
+  std::size_t pivot_row = 0;
+  for (std::size_t col = 0; col < m.cols() && pivot_row < m.rows(); ++col) {
+    // Find a row at or below pivot_row with a nonzero entry in this column.
+    std::size_t sel = pivot_row;
+    while (sel < m.rows() && m(sel, col) == V{0}) ++sel;
+    if (sel == m.rows()) continue;
+    m.swap_rows(sel, pivot_row);
+
+    // Normalize the pivot row.
+    const V p = m(pivot_row, col);
+    if (p != V{1}) {
+      Field::region_mul(m.row(pivot_row), Field::inv(p), m.cols());
+    }
+    // Eliminate the column everywhere else.
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      if (r == pivot_row) continue;
+      const V f = m(r, col);
+      if (f != V{0}) {
+        Field::region_madd(m.row(r), m.row(pivot_row), f, m.cols());
+      }
+    }
+    pivots.push_back(col);
+    ++pivot_row;
+  }
+  return pivots;
+}
+
+/// Rank of `m` (by copy; does not modify the argument).
+template <typename Field>
+std::size_t rank(const Matrix<Field>& m) {
+  Matrix<Field> tmp = m;
+  return rref_in_place(tmp).size();
+}
+
+/// Inverse of a square matrix, or nullopt if singular.
+template <typename Field>
+std::optional<Matrix<Field>> invert(const Matrix<Field>& m) {
+  if (m.rows() != m.cols()) return std::nullopt;
+  const std::size_t n = m.rows();
+  // Build the augmented matrix [m | I] and reduce.
+  Matrix<Field> aug(n, 2 * n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) aug(r, c) = m(r, c);
+    aug(r, n + r) = typename Field::value_type{1};
+  }
+  const auto pivots = rref_in_place(aug);
+  // All n pivots must land in the left block; a pivot in the identity block
+  // means the left block is rank-deficient.
+  if (pivots.size() != n || pivots.back() >= n) return std::nullopt;
+  Matrix<Field> inv(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) inv(r, c) = aug(r, n + c);
+  }
+  return inv;
+}
+
+/// Solves m * x = b for x where m is square and nonsingular; nullopt otherwise.
+/// b and the result are column vectors given as std::vector.
+template <typename Field>
+std::optional<std::vector<typename Field::value_type>> solve(
+    const Matrix<Field>& m, const std::vector<typename Field::value_type>& b) {
+  using V = typename Field::value_type;
+  if (m.rows() != m.cols() || b.size() != m.rows()) return std::nullopt;
+  const std::size_t n = m.rows();
+  Matrix<Field> aug(n, n + 1);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) aug(r, c) = m(r, c);
+    aug(r, n) = b[r];
+  }
+  const auto pivots = rref_in_place(aug);
+  // A pivot in the b column means the system is inconsistent.
+  if (pivots.size() != n || pivots.back() >= n) return std::nullopt;
+  std::vector<V> x(n);
+  for (std::size_t r = 0; r < n; ++r) x[r] = aug(r, n);
+  return x;
+}
+
+/// Incrementally maintained row space: feed rows one at a time; `absorb`
+/// reports whether the row was innovative (increased the rank). Used by the
+/// simulators to track useful information received by a node without keeping
+/// full payloads.
+template <typename Field>
+class IncrementalRank {
+ public:
+  using value_type = typename Field::value_type;
+
+  explicit IncrementalRank(std::size_t dimension) : dim_(dimension) {}
+
+  std::size_t dimension() const { return dim_; }
+  std::size_t rank() const { return rows_.size(); }
+  bool complete() const { return rank() == dim_; }
+
+  /// Reduces `row` against the stored basis; if a remainder survives, stores
+  /// it (normalized) and returns true.
+  bool absorb(std::vector<value_type> row) {
+    if (row.size() != dim_) throw std::invalid_argument("IncrementalRank::absorb: arity");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const value_type f = row[pivot_[i]];
+      if (f != value_type{0}) {
+        Field::region_madd(row.data(), rows_[i].data(), f, dim_);
+      }
+    }
+    std::size_t p = 0;
+    while (p < dim_ && row[p] == value_type{0}) ++p;
+    if (p == dim_) return false;  // dependent
+    Field::region_mul(row.data(), Field::inv(row[p]), dim_);
+    // Back-substitute into existing rows to keep the basis reduced.
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const value_type f = rows_[i][p];
+      if (f != value_type{0}) {
+        Field::region_madd(rows_[i].data(), row.data(), f, dim_);
+      }
+    }
+    rows_.push_back(std::move(row));
+    pivot_.push_back(p);
+    return true;
+  }
+
+ private:
+  std::size_t dim_;
+  std::vector<std::vector<value_type>> rows_;
+  std::vector<std::size_t> pivot_;
+};
+
+}  // namespace ncast::linalg

@@ -1,0 +1,95 @@
+#pragma once
+// Dense matrices over a finite field. Row-major contiguous storage; rows are
+// exposed as raw spans so Gaussian elimination and packet mixing can use the
+// field's bulk region operations.
+
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace ncast::linalg {
+
+/// Dense rows x cols matrix over `Field` (one of ncast::gf::Gf256 / Gf2_16 / Gf2).
+template <typename Field>
+class Matrix {
+ public:
+  using value_type = typename Field::value_type;
+
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, value_type{0}) {}
+
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = value_type{1};
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  value_type& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  value_type operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access.
+  value_type& at(std::size_t r, std::size_t c) {
+    check(r, c);
+    return (*this)(r, c);
+  }
+  value_type at(std::size_t r, std::size_t c) const {
+    check(r, c);
+    return (*this)(r, c);
+  }
+
+  value_type* row(std::size_t r) { return data_.data() + r * cols_; }
+  const value_type* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  void swap_rows(std::size_t a, std::size_t b) {
+    if (a == b) return;
+    value_type* ra = row(a);
+    value_type* rb = row(b);
+    for (std::size_t c = 0; c < cols_; ++c) std::swap(ra[c], rb[c]);
+  }
+
+  /// Appends a row (must have exactly cols() entries).
+  void append_row(const std::vector<value_type>& r) {
+    if (r.size() != cols_) throw std::invalid_argument("Matrix::append_row: arity");
+    data_.insert(data_.end(), r.begin(), r.end());
+    ++rows_;
+  }
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+  }
+
+  /// Matrix product; requires this->cols() == rhs.rows().
+  Matrix multiply(const Matrix& rhs) const {
+    if (cols_ != rhs.rows_) throw std::invalid_argument("Matrix::multiply: shape");
+    Matrix out(rows_, rhs.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t j = 0; j < cols_; ++j) {
+        const value_type a = (*this)(i, j);
+        if (a == value_type{0}) continue;
+        Field::region_madd(out.row(i), rhs.row(j), a, rhs.cols_);
+      }
+    }
+    return out;
+  }
+
+ private:
+  void check(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<value_type> data_;
+};
+
+}  // namespace ncast::linalg

@@ -1,0 +1,165 @@
+#include "node/client_node.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "coding/wire.hpp"
+
+namespace ncast::node {
+
+ClientNode::ClientNode(Address address, ClientConfig config)
+    : address_(address),
+      config_(config),
+      rng_(config.seed ^ (static_cast<std::uint64_t>(address) << 20)) {
+  if (address == kServerAddress) {
+    throw std::invalid_argument("ClientNode: address 0 is the server");
+  }
+}
+
+std::vector<std::uint8_t> ClientNode::data() const {
+  if (!decoded()) throw std::logic_error("ClientNode::data: incomplete");
+  return stream_.data();
+}
+
+void ClientNode::join(InMemoryNetwork& net, std::uint32_t degree) {
+  Message m;
+  m.type = MessageType::kJoinRequest;
+  m.from = address_;
+  m.to = kServerAddress;
+  m.subject = degree;  // 0 = server default
+  net.send(std::move(m));
+}
+
+void ClientNode::leave(InMemoryNetwork& net) {
+  Message m;
+  m.type = MessageType::kGoodbye;
+  m.from = address_;
+  m.to = kServerAddress;
+  net.send(std::move(m));
+}
+
+void ClientNode::handle_accept(const Message& m, std::uint64_t tick) {
+  if (joined_) return;  // duplicate accept
+  if (!stream_.initialize(m.data_size, m.gen_count, m.gen_size, m.symbols)) {
+    return;
+  }
+  joined_ = true;
+  columns_ = m.columns;
+  stream_.install_keys(m.key_bundles);
+  for (overlay::ColumnId c : columns_) last_data_[c] = tick;
+}
+
+void ClientNode::handle_data(const Message& m, std::uint64_t tick) {
+  // Any well-formed-enough frame proves the feed is alive, even if its
+  // content turns out to be garbage; verification happens inside absorb.
+  last_data_[m.column] = tick;
+  if (stream_.absorb_wire(m.wire)) {
+    ++packets_received_;
+  } else {
+    ++packets_rejected_;
+  }
+}
+
+void ClientNode::request_offload(InMemoryNetwork& net) {
+  Message m;
+  m.type = MessageType::kCongestionOffload;
+  m.from = address_;
+  m.to = kServerAddress;
+  net.send(std::move(m));
+}
+
+void ClientNode::request_restore(InMemoryNetwork& net) {
+  Message m;
+  m.type = MessageType::kCongestionRestore;
+  m.from = address_;
+  m.to = kServerAddress;
+  net.send(std::move(m));
+}
+
+void ClientNode::process_messages(std::uint64_t tick, InMemoryNetwork& net) {
+  while (auto m = net.poll(address_)) {
+    if (crashed_) continue;  // drain silently
+    switch (m->type) {
+      case MessageType::kJoinAccept:
+        handle_accept(*m, tick);
+        break;
+      case MessageType::kAttachChild:
+        children_[m->column] = m->subject;
+        break;
+      case MessageType::kDetachChild:
+        children_.erase(m->column);
+        break;
+      case MessageType::kData:
+        handle_data(*m, tick);
+        break;
+      case MessageType::kKeepalive:
+        // Liveness without payload: a healthy parent whose own buffer is
+        // still empty. Resets the silence clock, carries no information.
+        last_data_[m->column] = tick;
+        break;
+      case MessageType::kColumnDropped: {
+        // Congestion offload granted: stop receiving and serving the column.
+        const auto it = std::find(columns_.begin(), columns_.end(), m->column);
+        if (it != columns_.end()) columns_.erase(it);
+        last_data_.erase(m->column);
+        children_.erase(m->column);
+        break;
+      }
+      case MessageType::kColumnAdded:
+        // Congestion restore granted: start receiving on the column and, if
+        // the server named a downstream clipper, start serving it.
+        if (std::find(columns_.begin(), columns_.end(), m->column) ==
+            columns_.end()) {
+          columns_.push_back(m->column);
+        }
+        last_data_[m->column] = tick;
+        if (m->subject != kServerAddress) children_[m->column] = m->subject;
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void ClientNode::on_tick(std::uint64_t tick, InMemoryNetwork& net) {
+  if (crashed_ || !joined_) return;
+
+  // Serve the children the server attached to us; a random generation per
+  // child per tick (random, not round-robin — a deterministic rotation over
+  // a fixed edge order can starve a descendant of entire generations). With
+  // an empty buffer we still signal liveness so deep children don't mistake
+  // a slow bootstrap for a dead parent.
+  for (const auto& [column, child] : children_) {
+    Message out;
+    out.from = address_;
+    out.to = child;
+    out.column = column;
+    if (auto wire = stream_.emit_wire(rng_)) {
+      out.type = MessageType::kData;
+      out.wire = std::move(*wire);
+    } else {
+      out.type = MessageType::kKeepalive;
+    }
+    net.send(std::move(out));
+  }
+
+  // Liveness: complain about columns that went silent.
+  for (overlay::ColumnId c : columns_) {
+    const auto last = last_data_.find(c);
+    if (last == last_data_.end()) continue;
+    if (tick - last->second < config_.silence_timeout) continue;
+    // Re-complaints are allowed after another full timeout (the reset of
+    // last_data_ below is the back-off); the server dedupes via the failed
+    // tag, so a lost complaint is retried and a handled one is harmless.
+    Message complaint;
+    complaint.type = MessageType::kComplaint;
+    complaint.from = address_;
+    complaint.to = kServerAddress;
+    complaint.column = c;
+    net.send(std::move(complaint));
+    ++complaints_sent_;
+    last->second = tick;  // back off before re-complaining
+  }
+}
+
+}  // namespace ncast::node

@@ -1,0 +1,93 @@
+#pragma once
+// The client endpoint: joins via the hello protocol, learns the stream plan
+// (and optional null keys) from the join acknowledgment, receives coded
+// packets on its threads, recodes onto the children the server attaches to
+// it, and complains when a feed goes silent. A crashed client simply stops —
+// its children's complaints drive the repair path.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "node/message.hpp"
+#include "node/network.hpp"
+#include "node/stream_state.hpp"
+#include "util/rng.hpp"
+
+namespace ncast::node {
+
+struct ClientConfig {
+  std::uint64_t silence_timeout = 4;  ///< ticks without liveness -> complain
+  std::uint64_t seed = 1;
+};
+
+/// Peer endpoint. The stream geometry (generations, g, symbols) arrives in
+/// the join acknowledgment, so the client needs no out-of-band setup.
+class ClientNode {
+ public:
+  ClientNode(Address address, ClientConfig config);
+
+  Address address() const { return address_; }
+  bool joined() const { return joined_; }
+  bool crashed() const { return crashed_; }
+
+  /// Innovative packets accumulated, summed over generations.
+  std::size_t rank() const { return stream_.rank(); }
+  /// Full rank in every generation.
+  bool decoded() const { return stream_.decoded(); }
+  /// Reconstructed content; requires decoded().
+  std::vector<std::uint8_t> data() const;
+
+  std::uint64_t complaints_sent() const { return complaints_sent_; }
+  std::uint64_t packets_received() const { return packets_received_; }
+  std::uint64_t packets_rejected() const { return packets_rejected_; }
+  bool verification_enabled() const { return stream_.verification_enabled(); }
+
+  /// Sends the hello. `degree` requests that many threads (Section 5
+  /// heterogeneity); 0 accepts the server's default.
+  void join(InMemoryNetwork& net, std::uint32_t degree = 0);
+
+  /// Sends the good-bye.
+  void leave(InMemoryNetwork& net);
+
+  /// Congestion adaptation (Section 5): ask the server to shed one of this
+  /// node's threads / to hand one back.
+  void request_offload(InMemoryNetwork& net);
+  void request_restore(InMemoryNetwork& net);
+
+  /// Current number of in-threads (degree after offloads/restores).
+  std::size_t degree() const { return columns_.size(); }
+
+  /// Non-ergodic failure: the node goes dark. Callers should also
+  /// net.crash(address()) so in-flight mail is dropped.
+  void crash() { crashed_ = true; }
+
+  /// Drains the mailbox.
+  void process_messages(std::uint64_t tick, InMemoryNetwork& net);
+
+  /// Emits recoded packets (or keepalives) to attached children and checks
+  /// feed liveness.
+  void on_tick(std::uint64_t tick, InMemoryNetwork& net);
+
+ private:
+  void handle_accept(const Message& m, std::uint64_t tick);
+  void handle_data(const Message& m, std::uint64_t tick);
+
+  Address address_;
+  ClientConfig config_;
+  Rng rng_;
+  bool joined_ = false;
+  bool crashed_ = false;
+
+  StreamState stream_;
+
+  std::vector<overlay::ColumnId> columns_;
+  std::map<overlay::ColumnId, Address> children_;
+  std::map<overlay::ColumnId, std::uint64_t> last_data_;
+  std::uint64_t complaints_sent_ = 0;
+  std::uint64_t packets_received_ = 0;
+  std::uint64_t packets_rejected_ = 0;
+};
+
+}  // namespace ncast::node

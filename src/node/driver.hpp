@@ -1,0 +1,121 @@
+#pragma once
+// Tick driver: advances a server and a set of clients in lock-step over an
+// in-memory network. One tick = one unit of bandwidth per thread segment.
+// Message latency is one tick (sent this tick, processed next tick).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "node/client_node.hpp"
+#include "node/gossip_peer.hpp"
+#include "node/network.hpp"
+#include "node/server_node.hpp"
+
+namespace ncast::node {
+
+/// Owns the fabric and the endpoints' execution order.
+class TickDriver {
+ public:
+  TickDriver(ServerNode& server, std::vector<ClientNode*> clients)
+      : server_(server), clients_(std::move(clients)) {}
+
+  InMemoryNetwork& network() { return net_; }
+  std::uint64_t now() const { return tick_; }
+
+  void add_client(ClientNode* client) { clients_.push_back(client); }
+
+  /// Crashes a client: it stops processing and the fabric blackholes it.
+  void crash(ClientNode& client) {
+    client.crash();
+    net_.crash(client.address());
+  }
+
+  /// Runs `n` ticks: everyone drains mail, then everyone emits.
+  void run(std::uint64_t n) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ++tick_;
+      server_.process_messages(net_);
+      for (ClientNode* c : clients_) c->process_messages(tick_, net_);
+      server_.on_tick(tick_, net_);
+      for (ClientNode* c : clients_) c->on_tick(tick_, net_);
+    }
+  }
+
+  /// Runs until every live, joined client decoded, or `max_ticks` elapse.
+  /// Returns true if everyone decoded.
+  bool run_until_decoded(std::uint64_t max_ticks) {
+    for (std::uint64_t i = 0; i < max_ticks; ++i) {
+      run(1);
+      bool any = false;
+      bool all = true;
+      for (ClientNode* c : clients_) {
+        if (c->crashed()) continue;
+        if (!c->joined() || !c->decoded()) {
+          all = false;
+          break;
+        }
+        any = true;
+      }
+      if (any && all) return true;
+    }
+    return false;
+  }
+
+ private:
+  ServerNode& server_;
+  std::vector<ClientNode*> clients_;
+  InMemoryNetwork net_;
+  std::uint64_t tick_ = 0;
+};
+
+/// Tick driver for the server-less gossip swarm: no special endpoint — the
+/// source is just one of the peers.
+class GossipDriver {
+ public:
+  explicit GossipDriver(std::vector<GossipPeer*> peers)
+      : peers_(std::move(peers)) {}
+
+  InMemoryNetwork& network() { return net_; }
+  std::uint64_t now() const { return tick_; }
+  void add_peer(GossipPeer* peer) { peers_.push_back(peer); }
+
+  void crash(GossipPeer& peer) {
+    peer.crash();
+    net_.crash(peer.address());
+  }
+
+  void run(std::uint64_t n) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ++tick_;
+      for (GossipPeer* p : peers_) p->process_messages(tick_, net_);
+      for (GossipPeer* p : peers_) p->on_tick(tick_, net_);
+    }
+  }
+
+  /// Runs until every live non-source peer decoded, or the budget runs out.
+  bool run_until_decoded(std::uint64_t max_ticks) {
+    for (std::uint64_t i = 0; i < max_ticks; ++i) {
+      run(1);
+      bool any = false;
+      bool all = true;
+      for (GossipPeer* p : peers_) {
+        if (p->crashed() || p->departed() || p->is_source()) continue;
+        if (!p->decoded()) {
+          all = false;
+          break;
+        }
+        any = true;
+      }
+      if (any && all) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<GossipPeer*> peers_;
+  InMemoryNetwork net_;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace ncast::node

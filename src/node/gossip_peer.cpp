@@ -1,0 +1,270 @@
+#include "node/gossip_peer.hpp"
+
+#include <algorithm>
+
+namespace ncast::node {
+
+GossipPeer::GossipPeer(Address address, GossipPeerConfig config,
+                       Address introducer)
+    : address_(address),
+      config_(config),
+      rng_(config.seed ^ (static_cast<std::uint64_t>(address) << 18)) {
+  learn(introducer);
+}
+
+GossipPeer::GossipPeer(Address address, GossipPeerConfig config,
+                       std::vector<std::uint8_t> content,
+                       std::size_t generation_size, std::size_t symbols)
+    : address_(address),
+      config_(config),
+      rng_(config.seed ^ (static_cast<std::uint64_t>(address) << 18)),
+      content_(std::move(content)) {
+  encoder_.emplace(content_, generation_size, symbols);
+  if (config_.null_keys > 0) {
+    key_bundles_.reserve(encoder_->generations());
+    for (std::size_t g = 0; g < encoder_->generations(); ++g) {
+      const auto source =
+          coding::generation_packets(content_, encoder_->plan(), g);
+      const auto keys = coding::NullKeySet<gf::Gf256>::generate(
+          static_cast<std::uint32_t>(g), source, config_.null_keys, rng_);
+      key_bundles_.push_back(keys.serialize());
+    }
+  }
+}
+
+std::vector<std::uint8_t> GossipPeer::data() const {
+  if (is_source()) return content_;
+  return stream_.data();
+}
+
+void GossipPeer::learn(Address peer) {
+  if (peer == address_) return;
+  if (std::find(view_.begin(), view_.end(), peer) != view_.end()) return;
+  if (view_.size() >= config_.view_limit) {
+    // Evict a random old entry; churned-out addresses age away this way.
+    view_[rng_.below(view_.size())] = peer;
+    return;
+  }
+  view_.push_back(peer);
+}
+
+std::vector<Address> GossipPeer::sample_view(std::size_t count,
+                                             Address exclude) {
+  std::vector<Address> pool;
+  for (Address a : view_) {
+    if (a != exclude) pool.push_back(a);
+  }
+  rng_.shuffle(pool);
+  if (pool.size() > count) pool.resize(count);
+  return pool;
+}
+
+void GossipPeer::leave(InMemoryNetwork& net) {
+  if (!active()) return;
+  departed_ = true;
+  for (const auto& [parent, last] : parents_) {
+    Message m;
+    m.type = MessageType::kSlotRelease;
+    m.from = address_;
+    m.to = parent;
+    net.send(std::move(m));
+  }
+  for (Address child : children_) {
+    Message m;
+    m.type = MessageType::kParentBye;
+    m.from = address_;
+    m.to = child;
+    net.send(std::move(m));
+  }
+  parents_.clear();
+  children_.clear();
+}
+
+void GossipPeer::handle_slot_request(const Message& m, InMemoryNetwork& net) {
+  learn(m.from);
+  const bool can_serve = is_source() || stream_.initialized();
+  if (can_serve && children_.size() < config_.upload_slots &&
+      children_.find(m.from) == children_.end()) {
+    children_.insert(m.from);
+    Message grant;
+    grant.type = MessageType::kSlotGrant;
+    grant.from = address_;
+    grant.to = m.from;
+    const auto& plan = is_source() ? encoder_->plan() : stream_.plan();
+    grant.data_size = plan.data_size;
+    grant.gen_count = static_cast<std::uint32_t>(plan.generations);
+    grant.gen_size = static_cast<std::uint16_t>(plan.generation_size);
+    grant.symbols = static_cast<std::uint16_t>(plan.symbols);
+    grant.key_bundles = key_bundles_;
+    net.send(std::move(grant));
+  } else {
+    // Denials still help: they carry a sample of this peer's view, so the
+    // requester's search fans out instead of stalling.
+    Message deny;
+    deny.type = MessageType::kSlotDeny;
+    deny.from = address_;
+    deny.to = m.from;
+    deny.peers = sample_view(config_.sample_size, m.from);
+    net.send(std::move(deny));
+  }
+}
+
+void GossipPeer::handle_slot_grant(const Message& m, std::uint64_t tick,
+                                   InMemoryNetwork& net) {
+  pending_.erase(m.from);
+  learn(m.from);
+  if (parents_.size() >= config_.want_parents ||
+      parents_.count(m.from) != 0) {
+    // Acquired elsewhere in the meantime: return the slot politely.
+    Message release;
+    release.type = MessageType::kSlotRelease;
+    release.from = address_;
+    release.to = m.from;
+    net.send(std::move(release));
+    return;
+  }
+  if (!stream_.initialized()) {
+    if (!stream_.initialize(m.data_size, m.gen_count, m.gen_size, m.symbols)) {
+      return;  // nonsense plan: ignore the grant entirely
+    }
+    stream_.install_keys(m.key_bundles);
+    if (stream_.verification_enabled()) key_bundles_ = m.key_bundles;
+  }
+  parents_[m.from] = tick;
+}
+
+void GossipPeer::process_messages(std::uint64_t tick, InMemoryNetwork& net) {
+  while (auto m = net.poll(address_)) {
+    if (!active()) continue;  // drain silently
+    switch (m->type) {
+      case MessageType::kSlotRequest:
+        handle_slot_request(*m, net);
+        break;
+      case MessageType::kSlotGrant:
+        handle_slot_grant(*m, tick, net);
+        break;
+      case MessageType::kSlotDeny:
+        pending_.erase(m->from);
+        for (Address a : m->peers) learn(a);
+        break;
+      case MessageType::kSlotRelease:
+        children_.erase(m->from);
+        break;
+      case MessageType::kParentBye:
+        parents_.erase(m->from);
+        learn(m->from);  // it still exists; it just stopped serving us
+        break;
+      case MessageType::kData: {
+        const auto it = parents_.find(m->from);
+        if (it != parents_.end()) it->second = tick;
+        if (!is_source()) stream_.absorb_wire(m->wire);
+        break;
+      }
+      case MessageType::kKeepalive: {
+        const auto it = parents_.find(m->from);
+        if (it != parents_.end()) it->second = tick;
+        break;
+      }
+      case MessageType::kPeerSampleRequest: {
+        learn(m->from);
+        Message reply;
+        reply.type = MessageType::kPeerSampleReply;
+        reply.from = address_;
+        reply.to = m->from;
+        reply.peers = sample_view(config_.sample_size, m->from);
+        net.send(std::move(reply));
+        break;
+      }
+      case MessageType::kPeerSampleReply:
+        for (Address a : m->peers) learn(a);
+        break;
+      default:
+        break;  // centralized-protocol messages are not ours
+    }
+  }
+}
+
+void GossipPeer::serve_children(InMemoryNetwork& net) {
+  for (Address child : children_) {
+    Message out;
+    out.from = address_;
+    out.to = child;
+    if (is_source()) {
+      const auto gen = rng_.below(encoder_->generations());
+      out.type = MessageType::kData;
+      out.wire = coding::serialize(encoder_->emit(gen, rng_));
+    } else if (auto wire = stream_.emit_wire(rng_)) {
+      out.type = MessageType::kData;
+      out.wire = std::move(*wire);
+    } else {
+      out.type = MessageType::kKeepalive;
+    }
+    net.send(std::move(out));
+  }
+}
+
+void GossipPeer::acquire_parents(std::uint64_t tick, InMemoryNetwork& net) {
+  // Expire stale slot requests (the target may be gone or overloaded).
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (tick - it->second >= config_.request_timeout) {
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  const std::size_t have = parents_.size() + pending_.size();
+  if (have >= config_.want_parents) return;
+
+  // Candidates: known peers that are not us, not already feeding us, and
+  // not already asked.
+  std::vector<Address> candidates;
+  for (Address a : view_) {
+    if (parents_.count(a) != 0 || pending_.count(a) != 0) continue;
+    candidates.push_back(a);
+  }
+  rng_.shuffle(candidates);
+  const std::size_t need = config_.want_parents - have;
+  for (std::size_t i = 0; i < candidates.size() && i < need; ++i) {
+    Message req;
+    req.type = MessageType::kSlotRequest;
+    req.from = address_;
+    req.to = candidates[i];
+    net.send(std::move(req));
+    pending_[candidates[i]] = tick;
+  }
+}
+
+void GossipPeer::on_tick(std::uint64_t tick, InMemoryNetwork& net) {
+  if (!active()) return;
+
+  serve_children(net);
+
+  if (!is_source()) {
+    // Decentralized repair: drop silent feeds, look for replacements.
+    for (auto it = parents_.begin(); it != parents_.end();) {
+      if (tick - it->second >= config_.silence_timeout) {
+        // The feed is dead (or hopelessly congested): forget the peer too,
+        // so we do not immediately re-request from a corpse.
+        view_.erase(std::remove(view_.begin(), view_.end(), it->first),
+                    view_.end());
+        it = parents_.erase(it);
+        ++reacquisitions_;
+      } else {
+        ++it;
+      }
+    }
+    acquire_parents(tick, net);
+  }
+
+  // Proactive view gossip keeps partitions from fossilizing.
+  if (!view_.empty() && tick - last_sample_ >= config_.sample_period) {
+    last_sample_ = tick;
+    Message req;
+    req.type = MessageType::kPeerSampleRequest;
+    req.from = address_;
+    req.to = view_[rng_.below(view_.size())];
+    net.send(std::move(req));
+  }
+}
+
+}  // namespace ncast::node

@@ -1,0 +1,72 @@
+#pragma once
+// Protocol messages. This is the concrete realization of Section 3's hello /
+// good-bye / repair protocols: everything the paper describes as "the server
+// asks the parents to redirect their streams" is an actual message here.
+
+#include <cstdint>
+#include <vector>
+
+#include "overlay/thread_matrix.hpp"
+
+namespace ncast::node {
+
+/// Network address of a node. The server is always address 0.
+using Address = std::uint32_t;
+inline constexpr Address kServerAddress = 0;
+
+enum class MessageType : std::uint8_t {
+  kJoinRequest = 0,  ///< client -> server: hello protocol
+  kJoinAccept = 1,   ///< server -> client: your thread columns
+  kAttachChild = 2,  ///< server -> parent: start feeding `subject` on `column`
+  kDetachChild = 3,  ///< server -> parent: stop feeding on `column`
+  kGoodbye = 4,      ///< client -> server: graceful leave
+  kComplaint = 5,    ///< client -> server: my feed on `column` went silent
+  kData = 6,         ///< peer -> peer: one wire-encoded coded packet
+  kKeepalive = 7,    ///< peer -> peer: "this feed is alive" (no data yet)
+  // Congestion adaptation (Section 5): a loaded node sheds one thread (its
+  // parent and child on that column are joined directly); when the pressure
+  // passes, it asks for a thread back.
+  kCongestionOffload = 8,  ///< client -> server: please shed one of my threads
+  kCongestionRestore = 9,  ///< client -> server: please give me a thread back
+  kColumnDropped = 10,     ///< server -> client: stop using `column`
+  kColumnAdded = 11,       ///< server -> client: start using `column`
+  // Decentralized membership (Section 7: "the role of the server can be
+  // decreased still further or even eliminated"): peers find upload slots by
+  // gossip instead of asking a tracker.
+  kPeerSampleRequest = 12,  ///< peer -> peer: who do you know?
+  kPeerSampleReply = 13,    ///< peer -> peer: `peers` = a random view sample
+  kSlotRequest = 14,        ///< peer -> peer: may I become your child?
+  kSlotGrant = 15,          ///< peer -> peer: yes; carries the stream plan
+  kSlotDeny = 16,           ///< peer -> peer: full; carries a view sample
+  kSlotRelease = 17,        ///< child -> parent: detach me
+  kParentBye = 18,          ///< parent -> child: I am leaving; rewire
+};
+
+struct Message {
+  MessageType type = MessageType::kData;
+  Address from = 0;
+  Address to = 0;
+  overlay::ColumnId column = 0;           ///< attach/detach/data/complaint
+  Address subject = 0;                    ///< attach: the child to feed
+  std::vector<overlay::ColumnId> columns; ///< join accept: assigned threads
+  std::vector<std::uint8_t> wire;         ///< data: serialized coded packet
+
+  // Join-accept stream plan (how the server segmented the content).
+  std::uint64_t data_size = 0;
+  std::uint32_t gen_count = 0;
+  std::uint16_t gen_size = 0;
+  std::uint16_t symbols = 0;
+  /// Serialized null-key sets, one per generation (empty = no verification).
+  std::vector<std::vector<std::uint8_t>> key_bundles;
+  /// Peer addresses (gossip sample replies / denial hints).
+  std::vector<Address> peers;
+
+  /// Approximate control-plane size in bytes (data payloads excluded).
+  std::size_t control_size() const {
+    return type == MessageType::kData
+               ? 0
+               : 16 + columns.size() * sizeof(overlay::ColumnId);
+  }
+};
+
+}  // namespace ncast::node

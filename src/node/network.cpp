@@ -1,0 +1,59 @@
+#include "node/network.hpp"
+
+namespace ncast::node {
+
+void InMemoryNetwork::ensure(Address addr) {
+  if (addr >= boxes_.size()) {
+    boxes_.resize(addr + 1);
+    crashed_.resize(addr + 1, false);
+  }
+}
+
+void InMemoryNetwork::send(Message m) {
+  ensure(m.to);
+  ensure(m.from);
+  ++sent_;
+  if (m.type == MessageType::kData) {
+    ++data_;
+  } else if (m.type == MessageType::kKeepalive) {
+    ++keepalive_;
+  } else {
+    ++control_;
+  }
+  if (crashed_[m.to] || crashed_[m.from]) {
+    ++dropped_;
+    return;
+  }
+  boxes_[m.to].push_back(std::move(m));
+}
+
+std::optional<Message> InMemoryNetwork::poll(Address addr) {
+  if (addr >= boxes_.size() || boxes_[addr].empty()) return std::nullopt;
+  Message m = std::move(boxes_[addr].front());
+  boxes_[addr].pop_front();
+  return m;
+}
+
+bool InMemoryNetwork::idle() const {
+  for (std::size_t a = 0; a < boxes_.size(); ++a) {
+    if (!crashed_[a] && !boxes_[a].empty()) return false;
+  }
+  return true;
+}
+
+void InMemoryNetwork::crash(Address addr) {
+  ensure(addr);
+  crashed_[addr] = true;
+  boxes_[addr].clear();
+}
+
+void InMemoryNetwork::revive(Address addr) {
+  ensure(addr);
+  crashed_[addr] = false;
+}
+
+bool InMemoryNetwork::crashed(Address addr) const {
+  return addr < crashed_.size() && crashed_[addr];
+}
+
+}  // namespace ncast::node

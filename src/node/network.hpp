@@ -1,0 +1,54 @@
+#pragma once
+// In-memory transport for protocol-level simulation and testing. Delivery is
+// FIFO per destination; crashed addresses blackhole their mail (a crashed
+// box neither receives nor sends — its silence is what children detect).
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "node/message.hpp"
+
+namespace ncast::node {
+
+/// Deterministic in-memory message fabric.
+class InMemoryNetwork {
+ public:
+  /// Queues a message for delivery. Mail to crashed addresses is dropped
+  /// (and counted).
+  void send(Message m);
+
+  /// Next pending message for `addr`, if any.
+  std::optional<Message> poll(Address addr);
+
+  /// True if any mailbox (except crashed ones) is non-empty.
+  bool idle() const;
+
+  /// Marks an address as crashed: pending and future mail is dropped.
+  void crash(Address addr);
+
+  /// Clears the crashed flag (a repaired address can be reused).
+  void revive(Address addr);
+
+  bool crashed(Address addr) const;
+
+  std::uint64_t messages_sent() const { return sent_; }
+  std::uint64_t messages_dropped() const { return dropped_; }
+  std::uint64_t control_messages() const { return control_; }
+  std::uint64_t data_messages() const { return data_; }
+  std::uint64_t keepalive_messages() const { return keepalive_; }
+
+ private:
+  void ensure(Address addr);
+
+  std::vector<std::deque<Message>> boxes_;
+  std::vector<bool> crashed_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t control_ = 0;
+  std::uint64_t data_ = 0;
+  std::uint64_t keepalive_ = 0;
+};
+
+}  // namespace ncast::node

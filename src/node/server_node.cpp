@@ -1,0 +1,287 @@
+#include "node/server_node.hpp"
+
+#include <algorithm>
+
+#include "coding/wire.hpp"
+
+namespace ncast::node {
+
+ServerNode::ServerNode(ServerConfig config, std::vector<std::uint8_t> data)
+    : config_(config),
+      matrix_(config.k),
+      rng_(config.seed),
+      data_(std::move(data)),
+      encoder_(data_, config.generation_size, config.symbols) {
+  if (config_.null_keys > 0) {
+    // One key set per generation, generated once and handed to every joiner
+    // over the control channel.
+    key_bundles_.reserve(encoder_.generations());
+    for (std::size_t g = 0; g < encoder_.generations(); ++g) {
+      const auto source = coding::generation_packets(data_, encoder_.plan(), g);
+      const auto keys = coding::NullKeySet<gf::Gf256>::generate(
+          static_cast<std::uint32_t>(g), source, config_.null_keys, rng_);
+      key_bundles_.push_back(keys.serialize());
+    }
+  }
+}
+
+Address ServerNode::parent_on_column(Address addr,
+                                     overlay::ColumnId column) const {
+  const auto order = matrix_.nodes_in_order();
+  Address parent = kServerAddress;
+  for (overlay::NodeId n : order) {
+    if (n == addr) return parent;
+    const auto& threads = matrix_.row(n).threads;
+    if (std::binary_search(threads.begin(), threads.end(), column)) {
+      parent = n;
+    }
+  }
+  return parent;
+}
+
+std::optional<Address> ServerNode::child_on_column(
+    Address addr, overlay::ColumnId column) const {
+  const auto order = matrix_.nodes_in_order();
+  bool below = false;
+  for (overlay::NodeId n : order) {
+    if (n == addr) {
+      below = true;
+      continue;
+    }
+    if (!below) continue;
+    const auto& threads = matrix_.row(n).threads;
+    if (std::binary_search(threads.begin(), threads.end(), column)) {
+      return n;
+    }
+  }
+  return std::nullopt;
+}
+
+void ServerNode::handle_join(const Message& m, InMemoryNetwork& net) {
+  const Address addr = m.from;
+  if (matrix_.contains(addr)) return;  // duplicate hello
+
+  // Heterogeneous bandwidths (Section 5): the hello may carry a requested
+  // degree in `subject`; 0 means "use the default".
+  std::uint32_t degree = config_.default_degree;
+  if (m.subject >= 1 && m.subject <= config_.k) {
+    degree = static_cast<std::uint32_t>(m.subject);
+  }
+  const auto picks = rng_.sample_without_replacement(config_.k, degree);
+  std::vector<overlay::ColumnId> columns(picks.begin(), picks.end());
+  std::sort(columns.begin(), columns.end());
+
+  // Parents are the current hanging-end owners of the chosen columns.
+  const auto ends = matrix_.hanging_ends();
+  matrix_.append_row(addr, columns);
+
+  for (overlay::ColumnId c : columns) {
+    const Address parent = ends[c].owner == overlay::kServerNode
+                               ? kServerAddress
+                               : ends[c].owner;
+    if (parent == kServerAddress) {
+      direct_children_[c] = addr;
+    } else {
+      Message attach;
+      attach.type = MessageType::kAttachChild;
+      attach.from = kServerAddress;
+      attach.to = parent;
+      attach.column = c;
+      attach.subject = addr;
+      net.send(std::move(attach));
+    }
+  }
+
+  Message accept;
+  accept.type = MessageType::kJoinAccept;
+  accept.from = kServerAddress;
+  accept.to = addr;
+  accept.columns = columns;
+  accept.data_size = data_.size();
+  accept.gen_count = static_cast<std::uint32_t>(encoder_.generations());
+  accept.gen_size = static_cast<std::uint16_t>(config_.generation_size);
+  accept.symbols = static_cast<std::uint16_t>(config_.symbols);
+  accept.key_bundles = key_bundles_;
+  net.send(std::move(accept));
+}
+
+void ServerNode::splice_out(Address addr, InMemoryNetwork& net) {
+  if (!matrix_.contains(addr)) return;
+  const auto columns = matrix_.row(addr).threads;
+
+  for (overlay::ColumnId c : columns) {
+    const Address parent = parent_on_column(addr, c);
+    const auto next = child_on_column(addr, c);
+    if (parent == kServerAddress) {
+      if (next) {
+        direct_children_[c] = *next;
+      } else {
+        direct_children_.erase(c);
+      }
+    } else {
+      Message msg;
+      msg.from = kServerAddress;
+      msg.to = parent;
+      msg.column = c;
+      if (next) {
+        msg.type = MessageType::kAttachChild;
+        msg.subject = *next;
+      } else {
+        msg.type = MessageType::kDetachChild;
+      }
+      net.send(std::move(msg));
+    }
+  }
+  matrix_.erase_row(addr);
+  pending_repairs_.erase(addr);
+}
+
+void ServerNode::handle_goodbye(const Message& m, InMemoryNetwork& net) {
+  splice_out(m.from, net);
+}
+
+void ServerNode::handle_complaint(const Message& m, InMemoryNetwork&) {
+  if (!matrix_.contains(m.from)) return;
+  const Address parent = parent_on_column(m.from, m.column);
+  if (parent == kServerAddress) return;  // the server does not crash
+  if (!matrix_.contains(parent)) return;
+  if (matrix_.row(parent).failed) return;  // repair already scheduled
+  matrix_.mark_failed(parent);
+  pending_repairs_[parent] = now_ + config_.repair_delay;
+}
+
+void ServerNode::handle_offload(const Message& m, InMemoryNetwork& net) {
+  const Address addr = m.from;
+  if (!matrix_.contains(addr)) return;
+  const auto& threads = matrix_.row(addr).threads;
+  if (threads.size() <= 1) return;  // cannot shed the last thread
+  const overlay::ColumnId column =
+      threads[rng_.below(threads.size())];
+
+  // Join the column's parent and child directly across the shedding node.
+  const Address parent = parent_on_column(addr, column);
+  const auto next = child_on_column(addr, column);
+  matrix_.drop_thread(addr, column);
+
+  // The shedding node stops receiving and stops serving this column.
+  Message dropped;
+  dropped.type = MessageType::kColumnDropped;
+  dropped.from = kServerAddress;
+  dropped.to = addr;
+  dropped.column = column;
+  net.send(std::move(dropped));
+
+  if (parent == kServerAddress) {
+    if (next) {
+      direct_children_[column] = *next;
+    } else {
+      direct_children_.erase(column);
+    }
+  } else {
+    Message msg;
+    msg.from = kServerAddress;
+    msg.to = parent;
+    msg.column = column;
+    if (next) {
+      msg.type = MessageType::kAttachChild;
+      msg.subject = *next;
+    } else {
+      msg.type = MessageType::kDetachChild;
+    }
+    net.send(std::move(msg));
+  }
+}
+
+void ServerNode::handle_restore(const Message& m, InMemoryNetwork& net) {
+  const Address addr = m.from;
+  if (!matrix_.contains(addr)) return;
+  const auto& threads = matrix_.row(addr).threads;
+  if (threads.size() >= config_.k) return;  // already clipping everything
+
+  // Turn a random zero of the row into a one.
+  std::vector<overlay::ColumnId> zeros;
+  for (overlay::ColumnId c = 0; c < config_.k; ++c) {
+    if (!std::binary_search(threads.begin(), threads.end(), c)) zeros.push_back(c);
+  }
+  const overlay::ColumnId column = zeros[rng_.below(zeros.size())];
+
+  // Splice the node into the column at its curtain position: its parent now
+  // feeds it, and it now feeds the next clipper below (if any).
+  matrix_.add_thread(addr, column);
+  const Address parent = parent_on_column(addr, column);
+  const auto next = child_on_column(addr, column);
+
+  Message added;
+  added.type = MessageType::kColumnAdded;
+  added.from = kServerAddress;
+  added.to = addr;
+  added.column = column;
+  added.subject = next ? *next : kServerAddress;  // whom to feed (server = none)
+  net.send(std::move(added));
+
+  if (parent == kServerAddress) {
+    direct_children_[column] = addr;
+  } else {
+    Message attach;
+    attach.type = MessageType::kAttachChild;
+    attach.from = kServerAddress;
+    attach.to = parent;
+    attach.column = column;
+    attach.subject = addr;
+    net.send(std::move(attach));
+  }
+}
+
+void ServerNode::process_messages(InMemoryNetwork& net) {
+  while (auto m = net.poll(kServerAddress)) {
+    switch (m->type) {
+      case MessageType::kJoinRequest:
+        handle_join(*m, net);
+        break;
+      case MessageType::kGoodbye:
+        handle_goodbye(*m, net);
+        break;
+      case MessageType::kComplaint:
+        handle_complaint(*m, net);
+        break;
+      case MessageType::kCongestionOffload:
+        handle_offload(*m, net);
+        break;
+      case MessageType::kCongestionRestore:
+        handle_restore(*m, net);
+        break;
+      default:
+        break;  // the server ignores data and stray control
+    }
+  }
+}
+
+void ServerNode::on_tick(std::uint64_t tick, InMemoryNetwork& net) {
+  now_ = tick;
+
+  // Execute due repairs.
+  std::vector<Address> due;
+  for (const auto& [addr, at] : pending_repairs_) {
+    if (at <= now_) due.push_back(addr);
+  }
+  for (Address addr : due) {
+    splice_out(addr, net);
+    ++repairs_done_;
+  }
+
+  // Emit one coded packet per directly-fed column, from a random generation
+  // (random, not round-robin: a fixed edge order plus round-robin would lock
+  // each edge into a residue class of generations).
+  for (const auto& [column, child] : direct_children_) {
+    Message data;
+    data.type = MessageType::kData;
+    data.from = kServerAddress;
+    data.to = child;
+    data.column = column;
+    const auto gen = rng_.below(encoder_.generations());
+    data.wire = coding::serialize(encoder_.emit(gen, rng_));
+    net.send(std::move(data));
+  }
+}
+
+}  // namespace ncast::node

@@ -1,0 +1,89 @@
+#pragma once
+// The server endpoint: runs the hello / good-bye / repair protocols as real
+// message exchanges, maintains the thread matrix, and streams a complete
+// multi-generation content object on the threads it still feeds directly.
+// This is the component a deployment would run on the content origin.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "coding/file_codec.hpp"
+#include "coding/null_keys.hpp"
+#include "gf/gf256.hpp"
+#include "node/message.hpp"
+#include "node/network.hpp"
+#include "overlay/thread_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace ncast::node {
+
+struct ServerConfig {
+  std::uint32_t k = 16;              ///< server threads
+  std::uint32_t default_degree = 3;  ///< d assigned to joiners
+  std::uint64_t repair_delay = 3;    ///< ticks from complaint to repair
+  std::size_t generation_size = 16;  ///< packets per generation
+  std::size_t symbols = 16;          ///< payload bytes per packet
+  std::size_t null_keys = 0;         ///< keys per generation (0 = off)
+  std::uint64_t seed = 1;
+};
+
+/// Content-origin endpoint.
+class ServerNode {
+ public:
+  /// `data` is the content being broadcast; it is segmented into
+  /// generations per the config.
+  ServerNode(ServerConfig config, std::vector<std::uint8_t> data);
+
+  const overlay::ThreadMatrix& matrix() const { return matrix_; }
+  const ServerConfig& config() const { return config_; }
+  const coding::GenerationPlan& plan() const { return encoder_.plan(); }
+
+  /// The original content (for end-to-end verification in tests).
+  const std::vector<std::uint8_t>& data() const { return data_; }
+
+  /// Drains this endpoint's mailbox and handles each protocol message.
+  void process_messages(InMemoryNetwork& net);
+
+  /// Advances one time unit: executes due repairs, then emits one coded
+  /// packet (random generation) on every column the server itself feeds.
+  void on_tick(std::uint64_t tick, InMemoryNetwork& net);
+
+  /// Number of repairs executed so far.
+  std::uint64_t repairs_done() const { return repairs_done_; }
+
+ private:
+  void handle_join(const Message& m, InMemoryNetwork& net);
+  void handle_goodbye(const Message& m, InMemoryNetwork& net);
+  void handle_complaint(const Message& m, InMemoryNetwork& net);
+  void handle_offload(const Message& m, InMemoryNetwork& net);
+  void handle_restore(const Message& m, InMemoryNetwork& net);
+
+  /// Performs the good-bye steps for `addr` (used by both graceful leaves
+  /// and repairs): for each of its columns, rewires the previous clipper to
+  /// the next one, then deletes the row.
+  void splice_out(Address addr, InMemoryNetwork& net);
+
+  /// Previous clipper of `column` above the row of `addr` (server if none).
+  Address parent_on_column(Address addr, overlay::ColumnId column) const;
+  /// Next clipper of `column` below the row of `addr` (none if hanging).
+  std::optional<Address> child_on_column(Address addr,
+                                         overlay::ColumnId column) const;
+
+  ServerConfig config_;
+  overlay::ThreadMatrix matrix_;
+  Rng rng_;
+  std::vector<std::uint8_t> data_;
+  coding::FileEncoder encoder_;
+  /// Serialized null-key bundles, one per generation (empty if disabled).
+  std::vector<std::vector<std::uint8_t>> key_bundles_;
+  /// Columns the server currently feeds directly: column -> child address.
+  std::map<overlay::ColumnId, Address> direct_children_;
+  /// Scheduled repairs: address -> tick at which to execute.
+  std::map<Address, std::uint64_t> pending_repairs_;
+  std::uint64_t now_ = 0;
+  std::uint64_t repairs_done_ = 0;
+};
+
+}  // namespace ncast::node

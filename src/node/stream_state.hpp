@@ -1,0 +1,115 @@
+#pragma once
+// Per-endpoint stream state shared by the centralized client and the
+// decentralized gossip peer: the generation plan, one recoding buffer per
+// generation, optional null-key verification, and the random-generation
+// upload policy.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "coding/generation.hpp"
+#include "coding/null_keys.hpp"
+#include "coding/recoder.hpp"
+#include "coding/wire.hpp"
+#include "gf/gf256.hpp"
+#include "util/rng.hpp"
+
+namespace ncast::node {
+
+/// The receive/recode state for one content object.
+class StreamState {
+ public:
+  bool initialized() const { return !buffers_.empty(); }
+  const coding::GenerationPlan& plan() const { return plan_; }
+  bool verification_enabled() const { return !keys_.empty(); }
+
+  /// Sets up buffers from a stream plan. Returns false on nonsense geometry.
+  bool initialize(std::uint64_t data_size, std::uint32_t gen_count,
+                  std::uint16_t gen_size, std::uint16_t symbols) {
+    if (gen_count == 0 || gen_size == 0 || symbols == 0) return false;
+    plan_ = coding::plan_generations(data_size, gen_size, symbols);
+    buffers_.clear();
+    buffers_.reserve(gen_count);
+    for (std::uint32_t g = 0; g < gen_count; ++g) {
+      buffers_.emplace_back(g, gen_size, symbols);
+    }
+    return true;
+  }
+
+  /// Installs null keys from serialized bundles (all-or-nothing).
+  void install_keys(const std::vector<std::vector<std::uint8_t>>& bundles) {
+    keys_.clear();
+    if (bundles.size() != buffers_.size()) return;
+    std::vector<coding::NullKeySet<gf::Gf256>> parsed;
+    for (const auto& bundle : bundles) {
+      auto keys = coding::NullKeySet<gf::Gf256>::deserialize(bundle);
+      if (!keys) return;
+      parsed.push_back(std::move(*keys));
+    }
+    keys_ = std::move(parsed);
+  }
+
+  /// Absorbs a wire-encoded packet. Returns false if the packet was dropped
+  /// (malformed, out of range, or failed verification).
+  bool absorb_wire(const std::vector<std::uint8_t>& wire) {
+    const auto packet = coding::deserialize<gf::Gf256>(wire);
+    if (!packet) return false;
+    if (packet->generation >= buffers_.size()) return false;
+    if (!keys_.empty() && !keys_[packet->generation].verify(*packet)) {
+      return false;
+    }
+    buffers_[packet->generation].absorb(*packet);
+    return true;
+  }
+
+  /// A wire-encoded recoded packet from a uniformly random generation with
+  /// data (random, not round-robin: deterministic rotations over a static
+  /// edge order can starve descendants of whole generations). nullopt when
+  /// every buffer is empty.
+  std::optional<std::vector<std::uint8_t>> emit_wire(Rng& rng) {
+    std::size_t with_data = 0;
+    for (const auto& b : buffers_) {
+      if (b.rank() > 0) ++with_data;
+    }
+    if (with_data == 0) return std::nullopt;
+    std::size_t pick = rng.below(with_data);
+    for (auto& b : buffers_) {
+      if (b.rank() == 0 || pick-- != 0) continue;
+      if (auto packet = b.emit(rng)) return coding::serialize(*packet);
+      return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  std::size_t rank() const {
+    std::size_t r = 0;
+    for (const auto& b : buffers_) r += b.rank();
+    return r;
+  }
+
+  bool decoded() const {
+    if (buffers_.empty()) return false;
+    for (const auto& b : buffers_) {
+      if (!b.complete()) return false;
+    }
+    return true;
+  }
+
+  /// Reconstructed content; requires decoded().
+  std::vector<std::uint8_t> data() const {
+    std::vector<std::vector<std::vector<std::uint8_t>>> decoded_gens;
+    decoded_gens.reserve(buffers_.size());
+    for (const auto& b : buffers_) {
+      decoded_gens.push_back(b.decoder().source_packets());
+    }
+    return coding::reassemble(decoded_gens, plan_);
+  }
+
+ private:
+  coding::GenerationPlan plan_;
+  std::vector<coding::Recoder<gf::Gf256>> buffers_;
+  std::vector<coding::NullKeySet<gf::Gf256>> keys_;
+};
+
+}  // namespace ncast::node

@@ -1,0 +1,113 @@
+#include "overlay/curtain_server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ncast::overlay {
+
+CurtainServer::CurtainServer(std::uint32_t k, std::uint32_t default_degree, Rng rng,
+                             InsertPolicy policy)
+    : matrix_(k), default_degree_(default_degree), rng_(rng), policy_(policy) {
+  if (default_degree == 0 || default_degree > k) {
+    throw std::invalid_argument("CurtainServer: need 1 <= d <= k");
+  }
+}
+
+std::size_t CurtainServer::pick_position() {
+  switch (policy_) {
+    case InsertPolicy::kAppend:
+      return matrix_.row_count();
+    case InsertPolicy::kRandomPosition:
+      return static_cast<std::size_t>(rng_.below(matrix_.row_count() + 1));
+  }
+  throw std::logic_error("CurtainServer: bad policy");
+}
+
+std::vector<ColumnId> CurtainServer::pick_threads(std::uint32_t degree) {
+  const auto sample = rng_.sample_without_replacement(matrix_.k(), degree);
+  return {sample.begin(), sample.end()};
+}
+
+JoinTicket CurtainServer::join(std::optional<std::uint32_t> degree) {
+  const std::uint32_t d = degree.value_or(default_degree_);
+  if (d == 0 || d > matrix_.k()) {
+    throw std::invalid_argument("CurtainServer::join: need 1 <= d <= k");
+  }
+  JoinTicket ticket;
+  ticket.node = next_id_++;
+  ticket.threads = pick_threads(d);
+  matrix_.insert_row(pick_position(), ticket.node, ticket.threads);
+  ticket.parents = matrix_.parents(ticket.node);
+
+  ++stats_.joins;
+  // join request + response, plus one "start sending" notification per parent.
+  stats_.control_messages += 2 + ticket.parents.size();
+  return ticket;
+}
+
+void CurtainServer::leave(NodeId node) {
+  if (!matrix_.contains(node)) throw std::out_of_range("CurtainServer::leave");
+  const auto parents = matrix_.parents(node);
+  const auto children = matrix_.children(node);
+  matrix_.erase_row(node);
+
+  ++stats_.graceful_leaves;
+  // good-bye request, plus one redirect order per affected neighbor.
+  stats_.control_messages += 1 + parents.size() + children.size();
+}
+
+void CurtainServer::report_failure(NodeId node) {
+  if (!matrix_.contains(node)) throw std::out_of_range("CurtainServer::report_failure");
+  if (matrix_.row(node).failed) return;  // duplicate complaints are idempotent
+  const auto children = matrix_.children(node);
+  matrix_.mark_failed(node);
+
+  ++stats_.failures_reported;
+  // one complaint per (deduplicated) child.
+  stats_.control_messages += std::max<std::size_t>(children.size(), 1);
+}
+
+void CurtainServer::repair(NodeId node) {
+  if (!matrix_.contains(node)) throw std::out_of_range("CurtainServer::repair");
+  if (!matrix_.row(node).failed) {
+    throw std::logic_error("CurtainServer::repair: node not marked failed");
+  }
+  const auto parents = matrix_.parents(node);
+  const auto children = matrix_.children(node);
+  matrix_.erase_row(node);
+
+  ++stats_.repairs;
+  stats_.control_messages += parents.size() + children.size();
+}
+
+std::optional<ColumnId> CurtainServer::congestion_offload(NodeId node) {
+  const Row& r = matrix_.row(node);
+  if (r.threads.size() <= 1) return std::nullopt;
+  const ColumnId column = r.threads[rng_.below(r.threads.size())];
+  matrix_.drop_thread(node, column);
+
+  ++stats_.congestion_offloads;
+  // node's notice + redirect orders to the column's parent and child.
+  stats_.control_messages += 3;
+  return column;
+}
+
+std::optional<ColumnId> CurtainServer::congestion_restore(NodeId node) {
+  const Row& r = matrix_.row(node);
+  if (r.threads.size() >= matrix_.k()) return std::nullopt;
+  std::vector<ColumnId> zeros;
+  zeros.reserve(matrix_.k() - r.threads.size());
+  for (ColumnId c = 0; c < matrix_.k(); ++c) {
+    if (!std::binary_search(r.threads.begin(), r.threads.end(), c)) {
+      zeros.push_back(c);
+    }
+  }
+  const ColumnId column = zeros[rng_.below(zeros.size())];
+  matrix_.add_thread(node, column);
+
+  ++stats_.congestion_restores;
+  stats_.control_messages += 3;
+  return column;
+}
+
+}  // namespace ncast::overlay

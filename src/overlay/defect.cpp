@@ -1,0 +1,50 @@
+#include "overlay/defect.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace ncast::overlay {
+
+namespace {
+
+void enumerate_tuples(std::uint32_t k, std::uint32_t d,
+                      std::vector<ColumnId>& current,
+                      ColumnId next, const FlowGraph& fg, std::uint64_t& defect) {
+  if (current.size() == d) {
+    const std::int64_t conn = tuple_connectivity(fg, current);
+    defect += d - static_cast<std::uint64_t>(conn);
+    return;
+  }
+  for (ColumnId c = next; c < k; ++c) {
+    current.push_back(c);
+    enumerate_tuples(k, d, current, c + 1, fg, defect);
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+std::uint64_t exact_total_defect(const FlowGraph& fg, std::uint32_t d) {
+  const auto k = static_cast<std::uint32_t>(fg.tap.size());
+  if (d == 0 || d > k) throw std::invalid_argument("exact_total_defect: bad d");
+  std::uint64_t defect = 0;
+  std::vector<ColumnId> current;
+  enumerate_tuples(k, d, current, 0, fg, defect);
+  return defect;
+}
+
+double sampled_mean_defect(const FlowGraph& fg, std::uint32_t d,
+                           std::size_t samples, Rng& rng) {
+  const auto k = static_cast<std::uint32_t>(fg.tap.size());
+  if (d == 0 || d > k) throw std::invalid_argument("sampled_mean_defect: bad d");
+  if (samples == 0) throw std::invalid_argument("sampled_mean_defect: zero samples");
+  std::uint64_t defect = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto picks = rng.sample_without_replacement(k, d);
+    const std::vector<ColumnId> tuple(picks.begin(), picks.end());
+    defect += d - static_cast<std::uint64_t>(tuple_connectivity(fg, tuple));
+  }
+  return static_cast<double>(defect) / static_cast<double>(samples);
+}
+
+}  // namespace ncast::overlay

@@ -1,0 +1,23 @@
+#pragma once
+// Defect measurement on an explicit overlay snapshot via max-flow. This is
+// the "ground truth" path: exact enumeration for small C(k,d), Monte-Carlo
+// sampling otherwise. The PolymatroidCurtain engine is cross-validated
+// against these routines in the test suite.
+
+#include <cstdint>
+
+#include "overlay/flow_graph.hpp"
+#include "util/rng.hpp"
+
+namespace ncast::overlay {
+
+/// Exact total defect B = sum over all d-tuples of hanging threads of
+/// (d - connectivity). Enumerates all C(k,d) tuples; intended for small k.
+std::uint64_t exact_total_defect(const FlowGraph& fg, std::uint32_t d);
+
+/// Monte-Carlo estimate of B/A: mean defect of `samples` uniformly random
+/// d-tuples.
+double sampled_mean_defect(const FlowGraph& fg, std::uint32_t d,
+                           std::size_t samples, Rng& rng);
+
+}  // namespace ncast::overlay

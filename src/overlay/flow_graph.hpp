@@ -1,0 +1,54 @@
+#pragma once
+// Derivation of the flow graph from the thread matrix. Each column of M is a
+// chain of unit-capacity "thread segments"; a failed node breaks its threads
+// (its in- and out-segments carry nothing until the repair deletes its row).
+// By the network coding theorem [1], a node's achievable broadcast rate
+// equals its max-flow from the server in this graph — that equivalence is
+// what every analysis experiment measures.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "overlay/thread_matrix.hpp"
+
+namespace ncast::overlay {
+
+/// The unit-capacity flow graph of an overlay snapshot.
+struct FlowGraph {
+  graph::Digraph graph;                   // vertex 0 is the server
+  std::vector<NodeId> vertex_to_node;     // [0] == kServerNode
+  std::vector<graph::Vertex> node_vertex; // indexed by NodeId; kNoVertex if absent
+  std::vector<graph::Vertex> tap;         // per column: vertex owning the hanging end
+  std::vector<bool> tap_alive;            // false if that end dangles from a failed node
+
+  static constexpr graph::Vertex kNoVertex = static_cast<graph::Vertex>(-1);
+  static constexpr graph::Vertex kServerVertex = 0;
+
+  graph::Vertex vertex_of(NodeId node) const {
+    if (node == kServerNode) return kServerVertex;
+    if (node >= node_vertex.size() || node_vertex[node] == kNoVertex) {
+      throw std::out_of_range("FlowGraph::vertex_of: unknown node");
+    }
+    return node_vertex[node];
+  }
+};
+
+/// Builds the flow graph for the current matrix state. Failed rows get
+/// vertices but contribute no alive edges (their threads are broken).
+FlowGraph build_flow_graph(const ThreadMatrix& m);
+
+/// Max-flow from the server to `node` — the node's achievable receive rate.
+std::int64_t node_connectivity(const FlowGraph& fg, NodeId node);
+
+/// Connectivity of a tuple of hanging threads: max-flow from the server to a
+/// virtual sink tapping the given columns' hanging ends. Dead ends (owner
+/// failed) contribute nothing. Duplicated columns are rejected.
+std::int64_t tuple_connectivity(const FlowGraph& fg,
+                                const std::vector<ColumnId>& columns);
+
+/// Hop depth of every node from the server over alive edges (-1 if cut off);
+/// indexed like fg.vertex_to_node.
+std::vector<std::int64_t> node_depths(const FlowGraph& fg);
+
+}  // namespace ncast::overlay

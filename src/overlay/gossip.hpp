@@ -1,0 +1,37 @@
+#pragma once
+// Decentralized peer discovery (Section 3's remark and Section 7: "the role
+// of the server can be decreased still further or even eliminated", citing
+// the gossip protocol of [12]). A joining node is introduced to one random
+// existing member and performs random walks over the overlay's neighbor
+// relation to find hanging threads, instead of asking the server for them.
+//
+// The resulting thread selection is only approximately uniform (biased by the
+// walk's stationary distribution); the gossip experiment measures how much
+// that bias costs in defect relative to the centralized protocol.
+
+#include <cstdint>
+#include <vector>
+
+#include "overlay/thread_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace ncast::overlay {
+
+/// Parameters for gossip discovery.
+struct GossipConfig {
+  std::size_t walk_length = 8;  ///< steps of each random walk
+  std::size_t max_walks = 64;   ///< walks attempted before falling back
+};
+
+/// Discovers `d` distinct hanging columns by random walks over the overlay
+/// (treating parent/child links as an undirected neighbor relation; the
+/// server participates as a peer that owns the threads nobody clipped yet).
+/// Falls back to uniform selection among still-missing columns if the walk
+/// budget runs out, mirroring a tracker fallback.
+/// Returns the selected columns and reports the number of discovery messages
+/// (walk hops) through `messages_out` if non-null.
+std::vector<ColumnId> gossip_discover(const ThreadMatrix& m, std::uint32_t d,
+                                      const GossipConfig& config, Rng& rng,
+                                      std::uint64_t* messages_out = nullptr);
+
+}  // namespace ncast::overlay

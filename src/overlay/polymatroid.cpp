@@ -1,0 +1,110 @@
+#include "overlay/polymatroid.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ncast::overlay {
+
+PolymatroidCurtain::PolymatroidCurtain(std::uint32_t k) : k_(k), full_(0) {
+  if (k == 0 || k > 22) {
+    throw std::invalid_argument("PolymatroidCurtain: need 1 <= k <= 22");
+  }
+  full_ = (1u << k) - 1u;
+  rank_.resize(std::size_t{1} << k);
+  scratch_.resize(rank_.size());
+  // Fresh curtain: k independent unit threads from the server, r(S) = |S|.
+  for (Mask s = 0; s <= full_; ++s) {
+    rank_[s] = static_cast<std::uint8_t>(std::popcount(s));
+  }
+}
+
+std::uint32_t PolymatroidCurtain::join(Mask set, bool failed) {
+  if (set == 0 || (set & ~full_) != 0) {
+    throw std::invalid_argument("PolymatroidCurtain::join: bad thread set");
+  }
+  const std::uint32_t joined_rank = rank_[set];
+  const std::uint32_t rd = joined_rank;
+
+  if (failed) {
+    for (Mask s = 0; s <= full_; ++s) {
+      scratch_[s] = rank_[s & ~set];
+    }
+  } else {
+    for (Mask s = 0; s <= full_; ++s) {
+      const auto c = static_cast<std::uint32_t>(std::popcount(s & set));
+      const std::uint32_t through = std::min(c, rd) + rank_[s & ~set];
+      const std::uint32_t joint = rank_[s | set];
+      scratch_[s] = static_cast<std::uint8_t>(std::min(through, joint));
+    }
+  }
+  rank_.swap(scratch_);
+  ++steps_;
+  return joined_rank;
+}
+
+std::uint32_t PolymatroidCurtain::join_random(std::uint32_t d, double p, Rng& rng) {
+  if (d == 0 || d > k_) throw std::invalid_argument("PolymatroidCurtain: bad d");
+  Mask set = 0;
+  for (const std::uint32_t c : rng.sample_without_replacement(k_, d)) {
+    set |= (1u << c);
+  }
+  return join(set, rng.chance(p));
+}
+
+namespace {
+
+/// Next mask with the same popcount (Gosper's hack); enumerates the C(k,d)
+/// d-subsets without scanning all 2^k masks.
+inline std::uint32_t next_same_popcount(std::uint32_t v) {
+  const std::uint32_t c = v & static_cast<std::uint32_t>(-static_cast<std::int32_t>(v));
+  const std::uint32_t r = v + c;
+  return (((r ^ v) >> 2) / c) | r;
+}
+
+}  // namespace
+
+std::uint64_t PolymatroidCurtain::total_defect(std::uint32_t d) const {
+  if (d == 0 || d > k_) throw std::invalid_argument("PolymatroidCurtain: bad d");
+  std::uint64_t b = 0;
+  for (Mask s = (1u << d) - 1u; s <= full_; s = next_same_popcount(s)) {
+    b += d - rank_[s];
+    if (s == (full_ & ~((1u << (k_ - d)) - 1u))) break;  // highest d-subset
+  }
+  return b;
+}
+
+std::uint64_t PolymatroidCurtain::defective_tuples(std::uint32_t d) const {
+  if (d == 0 || d > k_) throw std::invalid_argument("PolymatroidCurtain: bad d");
+  std::uint64_t n = 0;
+  for (Mask s = (1u << d) - 1u; s <= full_; s = next_same_popcount(s)) {
+    if (rank_[s] < d) ++n;
+    if (s == (full_ & ~((1u << (k_ - d)) - 1u))) break;
+  }
+  return n;
+}
+
+std::vector<std::uint64_t> PolymatroidCurtain::defect_histogram(
+    std::uint32_t d) const {
+  if (d == 0 || d > k_) throw std::invalid_argument("PolymatroidCurtain: bad d");
+  std::vector<std::uint64_t> hist(d + 1, 0);
+  for (Mask s = (1u << d) - 1u; s <= full_; s = next_same_popcount(s)) {
+    ++hist[d - rank_[s]];
+    if (s == (full_ & ~((1u << (k_ - d)) - 1u))) break;
+  }
+  return hist;
+}
+
+std::uint64_t PolymatroidCurtain::tuple_count(std::uint32_t k, std::uint32_t d) {
+  std::uint64_t num = 1;
+  for (std::uint32_t i = 0; i < d; ++i) {
+    num = num * (k - i) / (i + 1);
+  }
+  return num;
+}
+
+double PolymatroidCurtain::mean_defect(std::uint32_t d) const {
+  return static_cast<double>(total_defect(d)) /
+         static_cast<double>(tuple_count(k_, d));
+}
+
+}  // namespace ncast::overlay

@@ -1,0 +1,114 @@
+#include "overlay/random_graph.hpp"
+
+#include <stdexcept>
+
+#include "graph/maxflow.hpp"
+
+namespace ncast::overlay {
+
+RandomGraphOverlay::RandomGraphOverlay(std::uint32_t degree,
+                                       std::uint32_t seed_children, Rng rng)
+    : degree_(degree), graph_(1), rng_(rng), dead_vertex_(1, false) {
+  if (degree == 0) throw std::invalid_argument("RandomGraphOverlay: degree");
+  if (seed_children == 0) throw std::invalid_argument("RandomGraphOverlay: seed_children");
+  for (std::uint32_t i = 0; i < seed_children; ++i) {
+    const graph::Vertex child = graph_.add_vertex();
+    dead_vertex_.push_back(false);
+    for (std::uint32_t e = 0; e < degree_; ++e) graph_.add_edge(kServer, child);
+  }
+}
+
+std::vector<graph::EdgeId> RandomGraphOverlay::alive_edges() const {
+  std::vector<graph::EdgeId> ids;
+  ids.reserve(graph_.edge_count());
+  for (graph::EdgeId id = 0; id < graph_.edge_count(); ++id) {
+    const auto& e = graph_.edge(id);
+    if (e.alive && !dead_vertex_[e.from] && !dead_vertex_[e.to]) ids.push_back(id);
+  }
+  return ids;
+}
+
+graph::Vertex RandomGraphOverlay::join() {
+  const std::vector<graph::EdgeId> candidates = alive_edges();
+  if (candidates.size() < degree_) {
+    throw std::logic_error("RandomGraphOverlay::join: not enough edges to split");
+  }
+  const auto picks = rng_.sample_without_replacement(
+      static_cast<std::uint32_t>(candidates.size()), degree_);
+
+  const graph::Vertex v = graph_.add_vertex();
+  dead_vertex_.push_back(false);
+  for (const std::uint32_t p : picks) {
+    const graph::EdgeId id = candidates[p];
+    // Copy endpoints: add_edge may reallocate edge storage.
+    const graph::Vertex from = graph_.edge(id).from;
+    const graph::Vertex to = graph_.edge(id).to;
+    graph_.remove_edge(id);
+    graph_.add_edge(from, v);
+    graph_.add_edge(v, to);
+  }
+  return v;
+}
+
+void RandomGraphOverlay::fail(graph::Vertex v) {
+  if (v == kServer || v >= graph_.vertex_count()) {
+    throw std::out_of_range("RandomGraphOverlay::fail");
+  }
+  dead_vertex_[v] = true;
+}
+
+void RandomGraphOverlay::leave(graph::Vertex v) {
+  if (v == kServer || v >= graph_.vertex_count() || dead_vertex_[v]) {
+    throw std::out_of_range("RandomGraphOverlay::leave");
+  }
+  // Pair up alive in- and out-edges and splice them.
+  std::vector<graph::EdgeId> ins, outs;
+  for (graph::EdgeId id : graph_.in_edges(v)) {
+    const auto& e = graph_.edge(id);
+    if (e.alive && !dead_vertex_[e.from]) ins.push_back(id);
+  }
+  for (graph::EdgeId id : graph_.out_edges(v)) {
+    const auto& e = graph_.edge(id);
+    if (e.alive && !dead_vertex_[e.to]) outs.push_back(id);
+  }
+  const std::size_t pairs = std::min(ins.size(), outs.size());
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const graph::Vertex from = graph_.edge(ins[i]).from;
+    const graph::Vertex to = graph_.edge(outs[i]).to;
+    graph_.remove_edge(ins[i]);
+    graph_.remove_edge(outs[i]);
+    graph_.add_edge(from, to);
+  }
+  for (std::size_t i = pairs; i < ins.size(); ++i) graph_.remove_edge(ins[i]);
+  for (std::size_t i = pairs; i < outs.size(); ++i) graph_.remove_edge(outs[i]);
+  dead_vertex_[v] = true;
+}
+
+std::vector<std::int64_t> RandomGraphOverlay::depths() const {
+  // Build a view excluding dead vertices' edges.
+  graph::Digraph view(graph_.vertex_count());
+  for (graph::EdgeId id = 0; id < graph_.edge_count(); ++id) {
+    const auto& e = graph_.edge(id);
+    if (e.alive && !dead_vertex_[e.from] && !dead_vertex_[e.to]) {
+      view.add_edge(e.from, e.to);
+    }
+  }
+  return graph::bfs_depths(view, kServer);
+}
+
+std::int64_t RandomGraphOverlay::connectivity(graph::Vertex v) const {
+  if (v == kServer || v >= graph_.vertex_count()) {
+    throw std::out_of_range("RandomGraphOverlay::connectivity");
+  }
+  if (dead_vertex_[v]) return 0;
+  graph::Digraph view(graph_.vertex_count());
+  for (graph::EdgeId id = 0; id < graph_.edge_count(); ++id) {
+    const auto& e = graph_.edge(id);
+    if (e.alive && !dead_vertex_[e.from] && !dead_vertex_[e.to]) {
+      view.add_edge(e.from, e.to);
+    }
+  }
+  return graph::unit_max_flow(view, kServer, v);
+}
+
+}  // namespace ncast::overlay

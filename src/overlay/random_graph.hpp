@@ -1,0 +1,55 @@
+#pragma once
+// Section 6 variant: instead of clipping hanging threads at the bottom of the
+// curtain, each newcomer selects d random edges of the existing network and
+// inserts itself into them (u->v becomes u->new->v). The resulting graph may
+// contain cycles; in exchange, depth — and hence delay — drops from linear to
+// logarithmic in N, and the server can support the population through a
+// handful of direct children.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "util/rng.hpp"
+
+namespace ncast::overlay {
+
+/// Random-graph overlay built by edge splitting.
+class RandomGraphOverlay {
+ public:
+  /// Starts with the server feeding `seed_children` direct children, each by
+  /// `degree` parallel edges (the "few child nodes" bootstrap of Section 6).
+  RandomGraphOverlay(std::uint32_t degree, std::uint32_t seed_children, Rng rng);
+
+  std::uint32_t degree() const { return degree_; }
+  std::size_t node_count() const { return graph_.vertex_count() - 1; }
+  const graph::Digraph& graph() const { return graph_; }
+  static constexpr graph::Vertex kServer = 0;
+
+  /// Inserts one node at `degree` random alive edges (distinct edges; a node
+  /// ends with in-degree = out-degree = degree). Returns its vertex.
+  graph::Vertex join();
+
+  /// Removes a node as a failure: its incident edges die (no rewiring).
+  void fail(graph::Vertex v);
+
+  /// Removes a node gracefully: each (in, out) edge pair is spliced back
+  /// together, preserving everyone else's degrees.
+  void leave(graph::Vertex v);
+
+  /// Hop depth of every vertex from the server (-1 if unreachable).
+  std::vector<std::int64_t> depths() const;
+
+  /// Max-flow from the server to `v` (the node's network-coding rate).
+  std::int64_t connectivity(graph::Vertex v) const;
+
+ private:
+  std::vector<graph::EdgeId> alive_edges() const;
+
+  std::uint32_t degree_;
+  graph::Digraph graph_;
+  Rng rng_;
+  std::vector<bool> dead_vertex_;
+};
+
+}  // namespace ncast::overlay

@@ -1,0 +1,196 @@
+#include "overlay/thread_matrix.hpp"
+
+#include <algorithm>
+
+namespace ncast::overlay {
+
+ThreadMatrix::ThreadMatrix(std::uint32_t k) : k_(k) {
+  if (k == 0) throw std::invalid_argument("ThreadMatrix: k must be positive");
+}
+
+bool ThreadMatrix::contains(NodeId node) const {
+  return node < slots_.size() && slots_[node].present;
+}
+
+ThreadMatrix::Slot& ThreadMatrix::slot(NodeId node) {
+  if (!contains(node)) throw std::out_of_range("ThreadMatrix: unknown node");
+  return slots_[node];
+}
+
+const ThreadMatrix::Slot& ThreadMatrix::slot(NodeId node) const {
+  if (!contains(node)) throw std::out_of_range("ThreadMatrix: unknown node");
+  return slots_[node];
+}
+
+void ThreadMatrix::verify_threads(const std::vector<ColumnId>& threads) const {
+  if (threads.empty()) throw std::invalid_argument("ThreadMatrix: row needs >= 1 thread");
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    if (threads[i] >= k_) throw std::invalid_argument("ThreadMatrix: column out of range");
+    if (i > 0 && threads[i] <= threads[i - 1]) {
+      throw std::invalid_argument("ThreadMatrix: threads must be sorted and distinct");
+    }
+  }
+}
+
+void ThreadMatrix::append_row(NodeId node, std::vector<ColumnId> threads) {
+  insert_row(order_.size(), node, std::move(threads));
+}
+
+void ThreadMatrix::insert_row(std::size_t pos, NodeId node,
+                              std::vector<ColumnId> threads) {
+  if (pos > order_.size()) throw std::out_of_range("ThreadMatrix::insert_row: pos");
+  if (node == kServerNode) throw std::invalid_argument("ThreadMatrix: reserved node id");
+  std::sort(threads.begin(), threads.end());
+  verify_threads(threads);
+  if (contains(node)) throw std::invalid_argument("ThreadMatrix: node already present");
+  if (node >= slots_.size()) slots_.resize(node + 1);
+  slots_[node].row = Row{node, std::move(threads), false};
+  slots_[node].present = true;
+  order_.insert(order_.begin() + static_cast<std::ptrdiff_t>(pos), node);
+}
+
+void ThreadMatrix::erase_row(NodeId node) {
+  Slot& s = slot(node);
+  if (s.row.failed) --failed_count_;
+  s.present = false;
+  s.row.threads.clear();
+  order_.erase(std::find(order_.begin(), order_.end(), node));
+}
+
+void ThreadMatrix::mark_failed(NodeId node) {
+  Slot& s = slot(node);
+  if (!s.row.failed) {
+    s.row.failed = true;
+    ++failed_count_;
+  }
+}
+
+void ThreadMatrix::mark_working(NodeId node) {
+  Slot& s = slot(node);
+  if (s.row.failed) {
+    s.row.failed = false;
+    --failed_count_;
+  }
+}
+
+const Row& ThreadMatrix::row(NodeId node) const { return slot(node).row; }
+
+std::size_t ThreadMatrix::position(NodeId node) const {
+  const auto it = std::find(order_.begin(), order_.end(), node);
+  if (it == order_.end()) throw std::out_of_range("ThreadMatrix::position");
+  return static_cast<std::size_t>(it - order_.begin());
+}
+
+std::vector<NodeId> ThreadMatrix::nodes_in_order() const { return order_; }
+
+std::vector<ThreadEdge> ThreadMatrix::edges() const {
+  std::vector<ThreadEdge> out;
+  out.reserve(order_.size() * 2);
+  std::vector<NodeId> last(k_, kServerNode);
+  for (NodeId node : order_) {
+    const Row& r = slots_[node].row;
+    for (ColumnId c : r.threads) {
+      out.push_back(ThreadEdge{last[c], node, c});
+      last[c] = node;
+    }
+  }
+  return out;
+}
+
+std::vector<HangingEnd> ThreadMatrix::hanging_ends() const {
+  std::vector<HangingEnd> ends(k_);
+  for (ColumnId c = 0; c < k_; ++c) ends[c].column = c;
+  for (NodeId node : order_) {
+    const Row& r = slots_[node].row;
+    for (ColumnId c : r.threads) {
+      ends[c].owner = node;
+      ends[c].owner_failed = r.failed;
+    }
+  }
+  return ends;
+}
+
+std::vector<NodeId> ThreadMatrix::parents(NodeId node) const {
+  const Row& target = slot(node).row;
+  const std::size_t pos = position(node);
+  std::vector<NodeId> result;
+  for (ColumnId c : target.threads) {
+    // Walk upward to the nearest earlier row clipping column c.
+    NodeId parent = kServerNode;
+    for (std::size_t i = pos; i > 0; --i) {
+      const Row& r = slots_[order_[i - 1]].row;
+      if (std::binary_search(r.threads.begin(), r.threads.end(), c)) {
+        parent = r.node;
+        break;
+      }
+    }
+    if (std::find(result.begin(), result.end(), parent) == result.end()) {
+      result.push_back(parent);
+    }
+  }
+  return result;
+}
+
+std::vector<NodeId> ThreadMatrix::children(NodeId node) const {
+  const Row& source = slot(node).row;
+  const std::size_t pos = position(node);
+  std::vector<NodeId> result;
+  for (ColumnId c : source.threads) {
+    for (std::size_t i = pos + 1; i < order_.size(); ++i) {
+      const Row& r = slots_[order_[i]].row;
+      if (std::binary_search(r.threads.begin(), r.threads.end(), c)) {
+        if (std::find(result.begin(), result.end(), r.node) == result.end()) {
+          result.push_back(r.node);
+        }
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+void ThreadMatrix::add_thread(NodeId node, ColumnId column) {
+  if (column >= k_) throw std::invalid_argument("ThreadMatrix::add_thread: column");
+  Row& r = slot(node).row;
+  const auto it = std::lower_bound(r.threads.begin(), r.threads.end(), column);
+  if (it != r.threads.end() && *it == column) {
+    throw std::invalid_argument("ThreadMatrix::add_thread: already clipped");
+  }
+  r.threads.insert(it, column);
+}
+
+void ThreadMatrix::drop_thread(NodeId node, ColumnId column) {
+  Row& r = slot(node).row;
+  const auto it = std::lower_bound(r.threads.begin(), r.threads.end(), column);
+  if (it == r.threads.end() || *it != column) {
+    throw std::invalid_argument("ThreadMatrix::drop_thread: column not clipped");
+  }
+  if (r.threads.size() <= 1) {
+    throw std::logic_error("ThreadMatrix::drop_thread: row would become empty");
+  }
+  r.threads.erase(it);
+}
+
+bool ThreadMatrix::check_invariants() const {
+  std::size_t failed = 0;
+  for (NodeId node : order_) {
+    if (node >= slots_.size() || !slots_[node].present) return false;
+    const Row& r = slots_[node].row;
+    if (r.node != node) return false;
+    if (r.threads.empty()) return false;
+    for (std::size_t i = 0; i < r.threads.size(); ++i) {
+      if (r.threads[i] >= k_) return false;
+      if (i > 0 && r.threads[i] <= r.threads[i - 1]) return false;
+    }
+    if (r.failed) ++failed;
+  }
+  if (failed != failed_count_) return false;
+  // Every present slot must be in the order vector exactly once.
+  std::size_t present = 0;
+  for (const Slot& s : slots_) {
+    if (s.present) ++present;
+  }
+  return present == order_.size();
+}
+
+}  // namespace ncast::overlay

@@ -1,0 +1,131 @@
+#pragma once
+// The matrix M of Section 3: the server-side data structure that mirrors the
+// curtain overlay. Rows are nodes in curtain (top-to-bottom) order; each row
+// holds the set of thread columns the node clipped. Heterogeneous degrees are
+// allowed (Section 5): a row may have any 1 <= d <= k threads.
+//
+// The matrix is the single source of truth for topology. Everything else —
+// the flow graph, parent/child relations, hanging-thread ends — is derived.
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace ncast::overlay {
+
+using NodeId = std::uint32_t;
+using ColumnId = std::uint32_t;
+
+inline constexpr NodeId kServerNode = static_cast<NodeId>(-1);
+
+/// One row of M: a node and the columns it clipped.
+struct Row {
+  NodeId node = 0;
+  std::vector<ColumnId> threads;  // sorted, distinct
+  bool failed = false;            // failure tag (Section 4)
+};
+
+/// A directed overlay edge derived from M: `from` feeds `to` on `column`.
+struct ThreadEdge {
+  NodeId from = 0;  // kServerNode means the server
+  NodeId to = 0;
+  ColumnId column = 0;
+};
+
+/// The hanging (unserved) end of a column: the last row clipping it, or the
+/// server if none.
+struct HangingEnd {
+  ColumnId column = 0;
+  NodeId owner = kServerNode;  // kServerNode = thread hangs from the server
+  bool owner_failed = false;   // a dead end: delivers nothing until repaired
+};
+
+/// Matrix M. Node ids are stable handles assigned by the caller (the server);
+/// row order is the curtain order.
+class ThreadMatrix {
+ public:
+  explicit ThreadMatrix(std::uint32_t k);
+
+  std::uint32_t k() const { return k_; }
+  std::size_t row_count() const { return order_.size(); }
+
+  /// Number of rows that are not tagged failed.
+  std::size_t working_count() const { return row_count() - failed_count_; }
+  std::size_t failed_count() const { return failed_count_; }
+
+  bool contains(NodeId node) const;
+
+  /// Appends a row at the bottom of the curtain. `threads` must be distinct
+  /// columns in [0, k). Throws if the node is already present.
+  void append_row(NodeId node, std::vector<ColumnId> threads);
+
+  /// Inserts a row at curtain position `pos` (0 = top). Section 5's defense
+  /// against coordinated adversaries inserts at a uniformly random position.
+  void insert_row(std::size_t pos, NodeId node, std::vector<ColumnId> threads);
+
+  /// Removes a row entirely (graceful leave, or completion of a repair).
+  /// The node's parents implicitly reconnect to its children — in M this is
+  /// exactly row deletion (Lemma 1).
+  void erase_row(NodeId node);
+
+  /// Tags a row failed (non-ergodic failure awaiting repair).
+  void mark_failed(NodeId node);
+
+  /// Clears the failure tag (used by ergodic-failure recovery experiments).
+  void mark_working(NodeId node);
+
+  const Row& row(NodeId node) const;
+
+  /// Curtain position of a node's row (0 = just below the server).
+  std::size_t position(NodeId node) const;
+
+  /// Rows in curtain order.
+  std::vector<NodeId> nodes_in_order() const;
+
+  /// All overlay edges implied by M: for each column, consecutive rows
+  /// clipping it (server feeding the first). Includes edges touching failed
+  /// rows; callers decide how to treat them.
+  std::vector<ThreadEdge> edges() const;
+
+  /// The k hanging ends in column order.
+  std::vector<HangingEnd> hanging_ends() const;
+
+  /// Parents of a node (deduplicated; a parent feeding two threads appears
+  /// once in the result but contributes two edges in edges()).
+  std::vector<NodeId> parents(NodeId node) const;
+
+  /// Children of a node (deduplicated).
+  std::vector<NodeId> children(NodeId node) const;
+
+  /// Adds a thread to an existing row (congestion recovery, Section 5:
+  /// "makes one of the zeroes ... into a one at random"). The column must not
+  /// already be present in the row.
+  void add_thread(NodeId node, ColumnId column);
+
+  /// Drops a thread from an existing row (congestion offload: the node joins
+  /// its parent and child on that column directly). The row must keep at
+  /// least one thread.
+  void drop_thread(NodeId node, ColumnId column);
+
+  /// Internal-consistency check (sorted distinct threads, valid columns,
+  /// coherent index); used by tests and debug assertions.
+  bool check_invariants() const;
+
+ private:
+  struct Slot {
+    Row row;
+    bool present = false;
+  };
+
+  Slot& slot(NodeId node);
+  const Slot& slot(NodeId node) const;
+  void verify_threads(const std::vector<ColumnId>& threads) const;
+
+  std::uint32_t k_;
+  std::vector<NodeId> order_;   // curtain order, top to bottom
+  std::vector<Slot> slots_;     // indexed by NodeId
+  std::size_t failed_count_ = 0;
+};
+
+}  // namespace ncast::overlay

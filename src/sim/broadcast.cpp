@@ -1,0 +1,192 @@
+#include "sim/broadcast.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+
+#include "coding/encoder.hpp"
+#include "coding/null_keys.hpp"
+#include "coding/recoder.hpp"
+#include "gf/gf256.hpp"
+#include "overlay/flow_graph.hpp"
+#include "util/rng.hpp"
+
+namespace ncast::sim {
+
+using Gf = gf::Gf256;
+using Packet = coding::CodedPacket<Gf>;
+
+double BroadcastReport::decoded_fraction() const {
+  if (outcomes.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const auto& o : outcomes) n += o.decoded ? 1 : 0;
+  return static_cast<double>(n) / static_cast<double>(outcomes.size());
+}
+
+double BroadcastReport::corrupted_fraction() const {
+  if (outcomes.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const auto& o : outcomes) n += o.corrupted ? 1 : 0;
+  return static_cast<double>(n) / static_cast<double>(outcomes.size());
+}
+
+namespace {
+
+NodeBehavior behavior_of(const std::vector<NodeBehavior>& behavior,
+                         overlay::NodeId node) {
+  return node < behavior.size() ? behavior[node] : NodeBehavior::kHonest;
+}
+
+}  // namespace
+
+BroadcastReport simulate_broadcast(const overlay::ThreadMatrix& m,
+                                   const BroadcastConfig& config,
+                                   const std::vector<NodeBehavior>& behavior) {
+  const std::size_t g = config.generation_size;
+  const std::size_t symbols = config.symbols;
+  Rng rng(config.seed);
+
+  // Random source data for one generation.
+  std::vector<std::vector<std::uint8_t>> source(g, std::vector<std::uint8_t>(symbols));
+  for (auto& row : source) {
+    for (auto& b : row) b = static_cast<std::uint8_t>(rng.below(256));
+  }
+  const coding::SourceEncoder<Gf> encoder(0, source);
+
+  // Null-key verification (jamming defense), if enabled.
+  std::optional<coding::NullKeySet<Gf>> keys;
+  if (config.null_keys > 0) {
+    keys = coding::NullKeySet<Gf>::generate(0, source, config.null_keys, rng);
+  }
+
+  // Rows already tagged failed in the matrix behave as offline regardless of
+  // the caller-supplied behavior vector.
+  auto effective = [&](overlay::NodeId n) {
+    if (m.row(n).failed) return NodeBehavior::kOffline;
+    return behavior_of(behavior, n);
+  };
+
+  // Capacity bound: treat offline nodes as failed in a copy of the matrix
+  // (jammers and entropy attackers do forward, so they count as capacity).
+  overlay::ThreadMatrix capacity_view = m;
+  for (overlay::NodeId n : m.nodes_in_order()) {
+    if (effective(n) == NodeBehavior::kOffline) {
+      capacity_view.mark_failed(n);
+    }
+  }
+  const overlay::FlowGraph fg = build_flow_graph(capacity_view);
+  const auto depths = node_depths(fg);
+
+  // Static per-round send plan: every alive thread segment (from -> to).
+  // Segments whose sender is offline still exist but never carry packets.
+  struct Segment {
+    overlay::NodeId from;  // kServerNode for server-fed segments
+    overlay::NodeId to;
+  };
+  std::vector<Segment> segments;
+  for (const auto& e : m.edges()) {
+    if (effective(e.to) == NodeBehavior::kOffline) continue;
+    segments.push_back(Segment{e.from, e.to});
+  }
+
+  // Receiver state.
+  const auto order = m.nodes_in_order();
+  std::unordered_map<overlay::NodeId, coding::Recoder<Gf>> state;
+  std::unordered_map<overlay::NodeId, std::size_t> decode_round;
+  // Entropy attackers freeze the first packet they receive and replay it
+  // verbatim forever — formally valid traffic with zero marginal information.
+  std::unordered_map<overlay::NodeId, Packet> frozen;
+  for (overlay::NodeId n : order) {
+    if (effective(n) == NodeBehavior::kOffline) continue;
+    state.emplace(n, coding::Recoder<Gf>(0, g, symbols));
+  }
+
+  std::size_t max_depth = 0;
+  for (const auto d : depths) max_depth = std::max<std::size_t>(max_depth, d > 0 ? static_cast<std::size_t>(d) : 0);
+  const std::size_t rounds =
+      config.rounds != 0 ? config.rounds : max_depth + 4 * g + 4;
+
+  auto make_jam_packet = [&](Rng& r) {
+    Packet p;
+    p.generation = 0;
+    p.coeffs.resize(g);
+    p.payload.resize(symbols);
+    do {
+      for (auto& c : p.coeffs) c = static_cast<std::uint8_t>(r.below(256));
+    } while (p.is_degenerate());
+    for (auto& b : p.payload) b = static_cast<std::uint8_t>(r.below(256));
+    return p;
+  };
+
+  for (std::size_t round = 1; round <= rounds; ++round) {
+    // Collect this round's transmissions, then deliver at the boundary.
+    std::vector<std::pair<overlay::NodeId, Packet>> inflight;
+    inflight.reserve(segments.size());
+
+    for (const Segment& seg : segments) {
+      if (seg.from == overlay::kServerNode) {
+        inflight.emplace_back(seg.to, encoder.emit(rng));
+        continue;
+      }
+      switch (effective(seg.from)) {
+        case NodeBehavior::kHonest: {
+          const auto& recoder = state.at(seg.from);
+          if (auto p = recoder.emit(rng)) inflight.emplace_back(seg.to, std::move(*p));
+          break;
+        }
+        case NodeBehavior::kEntropyAttack: {
+          const auto it = frozen.find(seg.from);
+          if (it != frozen.end()) inflight.emplace_back(seg.to, it->second);
+          break;
+        }
+        case NodeBehavior::kJammer:
+          inflight.emplace_back(seg.to, make_jam_packet(rng));
+          break;
+        case NodeBehavior::kOffline:
+          break;
+      }
+    }
+
+    for (auto& [to, packet] : inflight) {
+      if (config.loss_p > 0.0 && rng.chance(config.loss_p)) continue;
+      auto it = state.find(to);
+      if (it == state.end()) continue;
+      // Honest verifying receivers discard unverifiable packets outright.
+      if (keys && effective(to) == NodeBehavior::kHonest &&
+          !keys->verify(packet)) {
+        continue;
+      }
+      if (effective(to) == NodeBehavior::kEntropyAttack &&
+          frozen.find(to) == frozen.end()) {
+        frozen.emplace(to, packet);
+      }
+      it->second.absorb(packet);
+      if (it->second.complete() && decode_round.find(to) == decode_round.end()) {
+        decode_round[to] = round;
+      }
+    }
+  }
+
+  BroadcastReport report;
+  report.rounds = rounds;
+  for (overlay::NodeId n : order) {
+    if (effective(n) == NodeBehavior::kOffline) continue;
+    NodeOutcome o;
+    o.node = n;
+    o.max_flow = node_connectivity(fg, n);
+    const auto& recoder = state.at(n);
+    o.rank_achieved = recoder.rank();
+    const auto it = decode_round.find(n);
+    o.decoded = it != decode_round.end();
+    o.decode_round = o.decoded ? it->second : 0;
+    if (o.decoded) {
+      o.corrupted = recoder.decoder().source_packets() != source;
+    }
+    const auto v = fg.vertex_of(n);
+    o.depth = depths[v];
+    report.outcomes.push_back(o);
+  }
+  return report;
+}
+
+}  // namespace ncast::sim

@@ -1,0 +1,65 @@
+#pragma once
+// Round-based packet-level broadcast simulation: real RLNC packets flowing
+// over the thread segments of a curtain overlay. Each round every sender
+// pushes one coded packet per out-segment; delivery happens at the round
+// boundary. This is the machinery that demonstrates the network coding
+// theorem empirically (achieved rank == max-flow) and hosts the Section 5/7
+// attack experiments.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "overlay/thread_matrix.hpp"
+
+namespace ncast::sim {
+
+/// What a node does with the packets it should be forwarding.
+enum class NodeBehavior : std::uint8_t {
+  kHonest = 0,         ///< recodes properly (random linear combinations)
+  kOffline = 1,        ///< sends nothing (failure / failure attack)
+  kEntropyAttack = 2,  ///< forwards the same trivial combination every round
+  kJammer = 3,         ///< injects well-formed packets with garbage contents
+};
+
+struct BroadcastConfig {
+  std::size_t generation_size = 16;  ///< g: packets per generation
+  std::size_t symbols = 16;          ///< payload symbols per packet
+  std::size_t rounds = 0;            ///< 0 = auto (max depth + 4g)
+  std::uint64_t seed = 1;
+  /// Jamming defense (Section 7's open problem): the source distributes
+  /// null keys over the control channel and honest nodes drop packets that
+  /// fail verification. Zero disables verification.
+  std::size_t null_keys = 0;
+  /// Ergodic failures (Section 2): each packet delivery is independently
+  /// lost with this probability (packet loss / momentary congestion).
+  double loss_p = 0.0;
+};
+
+/// Per-node result of a broadcast run.
+struct NodeOutcome {
+  overlay::NodeId node = 0;
+  std::int64_t max_flow = 0;       ///< capacity bound (offline nodes removed)
+  std::size_t rank_achieved = 0;   ///< decoder rank at the end
+  std::size_t decode_round = 0;    ///< first round with full rank (0 if never)
+  bool decoded = false;            ///< reached full rank
+  bool corrupted = false;          ///< decoded data mismatched the truth
+  std::int64_t depth = -1;         ///< hop distance from the server
+};
+
+struct BroadcastReport {
+  std::size_t rounds = 0;
+  std::vector<NodeOutcome> outcomes;  ///< all non-offline nodes, curtain order
+
+  double decoded_fraction() const;
+  double corrupted_fraction() const;
+};
+
+/// Runs the broadcast. `behavior[node]` defaults to honest when the vector is
+/// shorter than the node id space. Offline nodes neither send nor appear in
+/// the outcomes.
+BroadcastReport simulate_broadcast(const overlay::ThreadMatrix& m,
+                                   const BroadcastConfig& config,
+                                   const std::vector<NodeBehavior>& behavior = {});
+
+}  // namespace ncast::sim

@@ -1,0 +1,66 @@
+#include "sim/churn.hpp"
+
+#include <functional>
+
+namespace ncast::sim {
+
+ChurnReport run_churn(std::uint32_t k, std::uint32_t d,
+                      overlay::InsertPolicy policy, const ChurnConfig& config,
+                      std::uint64_t seed, overlay::CurtainServer* server_out) {
+  overlay::CurtainServer server(k, d, Rng(seed), policy);
+  Rng rng(seed ^ 0x5bd1e995u);
+  EventEngine engine;
+  ChurnReport report;
+
+  // Departure handler for one node: crash (then repair) or graceful leave.
+  auto schedule_departure = [&](overlay::NodeId node) {
+    const double life = rng.exponential(1.0 / config.mean_lifetime);
+    engine.schedule_in(life, [&, node] {
+      if (!server.matrix().contains(node)) return;
+      if (rng.chance(config.failure_fraction)) {
+        server.report_failure(node);
+        ++report.failures;
+        engine.schedule_in(config.repair_delay, [&, node] {
+          if (server.matrix().contains(node) && server.matrix().row(node).failed) {
+            server.repair(node);
+            ++report.repairs;
+          }
+        });
+      } else {
+        server.leave(node);
+        ++report.graceful_leaves;
+      }
+    });
+  };
+
+  std::function<void()> arrival = [&] {
+    const bool has_room =
+        config.max_population == 0 ||
+        server.matrix().working_count() < config.max_population;
+    if (has_room) {
+      const auto ticket = server.join();
+      ++report.joins;
+      schedule_departure(ticket.node);
+    }
+    engine.schedule_in(rng.exponential(config.arrival_rate), arrival);
+  };
+  engine.schedule_in(rng.exponential(config.arrival_rate), arrival);
+
+  // Unit-interval population sampling.
+  std::function<void()> sample = [&] {
+    const auto pop = static_cast<double>(server.matrix().working_count());
+    report.population_samples.add(pop);
+    report.peak_population = std::max(report.peak_population, pop);
+    engine.schedule_in(1.0, sample);
+  };
+  engine.schedule_in(1.0, sample);
+
+  report.events_executed = engine.run_until(config.horizon);
+  report.final_population = server.matrix().row_count();
+  report.final_failed_tagged = server.matrix().failed_count();
+  report.server_stats = server.stats();
+  if (server_out != nullptr) *server_out = std::move(server);
+  return report;
+}
+
+}  // namespace ncast::sim

@@ -1,0 +1,51 @@
+#pragma once
+// Churn simulation: drives a CurtainServer with Poisson arrivals, graceful
+// departures, non-ergodic failures, and delayed repairs — the full membership
+// life cycle of Section 3. Backs the server-load scalability experiment and
+// the integration tests.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "overlay/curtain_server.hpp"
+#include "sim/event_engine.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ncast::sim {
+
+/// Churn process parameters. Times are in abstract "repair interval" units:
+/// the repair delay is 1.0 by construction, and `p` in the paper's sense is
+/// the probability a node fails within one such unit.
+struct ChurnConfig {
+  double arrival_rate = 10.0;       ///< Poisson joins per unit time
+  double mean_lifetime = 100.0;     ///< exponential session length
+  double failure_fraction = 0.1;    ///< probability a departure is a crash
+  double repair_delay = 1.0;        ///< time from failure to repair completion
+  SimTime horizon = 200.0;          ///< simulated duration
+  std::uint64_t max_population = 0; ///< 0 = unbounded
+};
+
+/// Aggregate results of a churn run.
+struct ChurnReport {
+  std::uint64_t joins = 0;
+  std::uint64_t graceful_leaves = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t repairs = 0;
+  std::uint64_t events_executed = 0;
+  std::size_t final_population = 0;
+  std::size_t final_failed_tagged = 0;
+  double peak_population = 0.0;
+  overlay::ServerStats server_stats;
+  ncast::RunningStats population_samples;  ///< sampled at unit intervals
+};
+
+/// Runs a churn process against a fresh CurtainServer and reports totals.
+/// The server is constructed with (k, d, policy) and seeded from `seed`.
+ChurnReport run_churn(std::uint32_t k, std::uint32_t d,
+                      overlay::InsertPolicy policy, const ChurnConfig& config,
+                      std::uint64_t seed,
+                      overlay::CurtainServer* server_out = nullptr);
+
+}  // namespace ncast::sim

@@ -1,0 +1,76 @@
+#pragma once
+// Minimal discrete-event engine: a time-ordered queue of callbacks. The churn
+// simulator schedules joins, lifetimes, failures, and repair timers on it.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace ncast::sim {
+
+using SimTime = double;
+
+/// Discrete-event scheduler. Events at equal times fire in scheduling order.
+class EventEngine {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Schedules `fn` to run at absolute time `at` (must be >= now()).
+  void schedule_at(SimTime at, Callback fn) {
+    if (at < now_) throw std::invalid_argument("EventEngine: scheduling in the past");
+    queue_.push(Item{at, seq_++, std::move(fn)});
+  }
+
+  /// Schedules `fn` after a delay (must be >= 0).
+  void schedule_in(SimTime delay, Callback fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events until the queue is empty or the horizon is passed.
+  /// Returns the number of events executed.
+  std::size_t run_until(SimTime horizon) {
+    std::size_t executed = 0;
+    while (!queue_.empty() && queue_.top().at <= horizon) {
+      // Copy out before pop so the callback may schedule freely.
+      Item item = queue_.top();
+      queue_.pop();
+      now_ = item.at;
+      item.fn();
+      ++executed;
+    }
+    now_ = std::max(now_, horizon);
+    return executed;
+  }
+
+  /// Runs a single event if any is pending; returns whether one ran.
+  bool step() {
+    if (queue_.empty()) return false;
+    Item item = queue_.top();
+    queue_.pop();
+    now_ = item.at;
+    item.fn();
+    return true;
+  }
+
+ private:
+  struct Item {
+    SimTime at;
+    std::uint64_t seq;
+    Callback fn;
+    bool operator>(const Item& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace ncast::sim

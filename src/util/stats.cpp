@@ -1,0 +1,41 @@
+#include "util/stats.hpp"
+
+namespace ncast {
+
+LinearFit fit_line(const std::vector<double>& xs, const std::vector<double>& ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("fit_line: size mismatch");
+  }
+  if (xs.size() < 2) {
+    throw std::invalid_argument("fit_line: need at least two points");
+  }
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  if (denom == 0.0) {
+    fit.intercept = sy / n;
+    return fit;
+  }
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  if (ss_tot > 0.0) {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double e = ys[i] - (fit.intercept + fit.slope * xs[i]);
+      ss_res += e * e;
+    }
+    fit.r2 = 1.0 - ss_res / ss_tot;
+  }
+  return fit;
+}
+
+}  // namespace ncast

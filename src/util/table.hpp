@@ -1,0 +1,39 @@
+#pragma once
+// Console table rendering for the benchmark harness. Every experiment binary
+// prints its results as aligned tables so the paper-claim vs. measured
+// comparison is legible in a terminal and in captured bench_output.txt.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ncast {
+
+/// Accumulates rows of strings and renders them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table (header, separator, rows) as a string.
+  std::string render() const;
+
+  /// Convenience: renders to stdout.
+  void print() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimal places.
+std::string fmt(double value, int decimals = 4);
+
+/// Formats a double in scientific notation with the given precision.
+std::string fmt_sci(double value, int precision = 3);
+
+}  // namespace ncast

@@ -1,0 +1,118 @@
+#pragma once
+// Shared field-axiom checks, instantiated for each Galois field under test.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ncast::testing {
+
+/// Draws `count` random field elements (including 0 and 1 explicitly).
+template <typename Field>
+std::vector<typename Field::value_type> sample_elements(std::size_t count,
+                                                        Rng& rng) {
+  using V = typename Field::value_type;
+  std::vector<V> v{V{0}, V{1}};
+  for (std::size_t i = 0; i < count; ++i) {
+    v.push_back(static_cast<V>(rng.below(Field::order)));
+  }
+  return v;
+}
+
+template <typename Field>
+void check_additive_group(const std::vector<typename Field::value_type>& xs) {
+  using V = typename Field::value_type;
+  for (V a : xs) {
+    EXPECT_EQ(Field::add(a, V{0}), a);       // identity
+    EXPECT_EQ(Field::add(a, a), V{0});       // characteristic 2: self-inverse
+    for (V b : xs) {
+      EXPECT_EQ(Field::add(a, b), Field::add(b, a));  // commutativity
+      EXPECT_EQ(Field::sub(Field::add(a, b), b), a);  // sub inverts add
+      for (V c : xs) {
+        EXPECT_EQ(Field::add(Field::add(a, b), c),
+                  Field::add(a, Field::add(b, c)));  // associativity
+      }
+    }
+  }
+}
+
+template <typename Field>
+void check_multiplicative_group(const std::vector<typename Field::value_type>& xs) {
+  using V = typename Field::value_type;
+  for (V a : xs) {
+    EXPECT_EQ(Field::mul(a, V{1}), a);     // identity
+    EXPECT_EQ(Field::mul(a, V{0}), V{0});  // absorbing zero
+    if (a != V{0}) {
+      EXPECT_EQ(Field::mul(a, Field::inv(a)), V{1});  // inverse
+      EXPECT_EQ(Field::div(a, a), V{1});
+    }
+    for (V b : xs) {
+      EXPECT_EQ(Field::mul(a, b), Field::mul(b, a));  // commutativity
+      if (b != V{0}) {
+        EXPECT_EQ(Field::mul(Field::div(a, b), b), a);  // div inverts mul
+      }
+      for (V c : xs) {
+        EXPECT_EQ(Field::mul(Field::mul(a, b), c),
+                  Field::mul(a, Field::mul(b, c)));  // associativity
+        EXPECT_EQ(Field::mul(a, Field::add(b, c)),
+                  Field::add(Field::mul(a, b), Field::mul(a, c)));  // distributivity
+      }
+    }
+  }
+}
+
+template <typename Field>
+void check_pow(const std::vector<typename Field::value_type>& xs) {
+  using V = typename Field::value_type;
+  for (V a : xs) {
+    EXPECT_EQ(Field::pow(a, 0), V{1});
+    EXPECT_EQ(Field::pow(a, 1), a);
+    V expect = V{1};
+    for (std::uint32_t e = 0; e < 8; ++e) {
+      EXPECT_EQ(Field::pow(a, e), expect);
+      expect = Field::mul(expect, a);
+    }
+  }
+  // Fermat: a^(order-1) == 1 for a != 0.
+  for (V a : xs) {
+    if (a != V{0}) {
+      EXPECT_EQ(Field::pow(a, Field::order - 1), V{1});
+    }
+  }
+}
+
+template <typename Field>
+void check_region_ops(Rng& rng, std::size_t len) {
+  using V = typename Field::value_type;
+  std::vector<V> dst(len), src(len);
+  for (auto& x : dst) x = static_cast<V>(rng.below(Field::order));
+  for (auto& x : src) x = static_cast<V>(rng.below(Field::order));
+  const auto c = static_cast<V>(rng.below(Field::order));
+
+  // region_add == elementwise add
+  auto d1 = dst;
+  Field::region_add(d1.data(), src.data(), len);
+  for (std::size_t i = 0; i < len; ++i) {
+    ASSERT_EQ(d1[i], Field::add(dst[i], src[i])) << "region_add at " << i;
+  }
+
+  // region_madd == dst + c*src
+  auto d2 = dst;
+  Field::region_madd(d2.data(), src.data(), c, len);
+  for (std::size_t i = 0; i < len; ++i) {
+    ASSERT_EQ(d2[i], Field::add(dst[i], Field::mul(c, src[i])))
+        << "region_madd at " << i;
+  }
+
+  // region_mul == c*dst
+  auto d3 = dst;
+  Field::region_mul(d3.data(), c, len);
+  for (std::size_t i = 0; i < len; ++i) {
+    ASSERT_EQ(d3[i], Field::mul(c, dst[i])) << "region_mul at " << i;
+  }
+}
+
+}  // namespace ncast::testing

@@ -1,0 +1,103 @@
+// Churn simulation tests: event conservation, population control, policy
+// plumbing, and overlay health after sustained membership turnover.
+
+#include "sim/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "overlay/flow_graph.hpp"
+
+namespace ncast {
+namespace {
+
+using namespace sim;
+
+TEST(Churn, EventConservation) {
+  ChurnConfig cfg;
+  cfg.arrival_rate = 20.0;
+  cfg.mean_lifetime = 20.0;
+  cfg.failure_fraction = 0.3;
+  cfg.horizon = 100.0;
+  overlay::CurtainServer server(16, 3, Rng(0));
+  const auto report = run_churn(16, 3, overlay::InsertPolicy::kAppend, cfg, 42,
+                                &server);
+
+  EXPECT_GT(report.joins, 0u);
+  EXPECT_GT(report.graceful_leaves, 0u);
+  EXPECT_GT(report.failures, 0u);
+  // Every join is eventually a leave, a repair, or still present.
+  EXPECT_EQ(report.joins,
+            report.graceful_leaves + report.repairs + report.final_population);
+  // Failures pending repair are tagged in the final matrix.
+  EXPECT_EQ(report.failures - report.repairs, report.final_failed_tagged);
+  EXPECT_EQ(server.stats().joins, report.joins);
+}
+
+TEST(Churn, PopulationCapRespected) {
+  ChurnConfig cfg;
+  cfg.arrival_rate = 50.0;
+  cfg.mean_lifetime = 1000.0;  // essentially nobody leaves
+  cfg.horizon = 20.0;
+  cfg.max_population = 37;
+  const auto report = run_churn(16, 3, overlay::InsertPolicy::kAppend, cfg, 7);
+  EXPECT_LE(report.peak_population, 37.0);
+  EXPECT_EQ(report.final_population, 37u);
+}
+
+TEST(Churn, DeterministicGivenSeed) {
+  ChurnConfig cfg;
+  cfg.horizon = 50.0;
+  const auto a = run_churn(8, 2, overlay::InsertPolicy::kAppend, cfg, 99);
+  const auto b = run_churn(8, 2, overlay::InsertPolicy::kAppend, cfg, 99);
+  EXPECT_EQ(a.joins, b.joins);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.server_stats.control_messages, b.server_stats.control_messages);
+  const auto c = run_churn(8, 2, overlay::InsertPolicy::kAppend, cfg, 100);
+  EXPECT_NE(a.server_stats.control_messages, c.server_stats.control_messages);
+}
+
+TEST(Churn, OverlayHealthyAfterChurn) {
+  // After heavy churn (with all failures repaired), every remaining working
+  // node must have full connectivity d.
+  ChurnConfig cfg;
+  cfg.arrival_rate = 15.0;
+  cfg.mean_lifetime = 15.0;
+  cfg.failure_fraction = 0.25;
+  cfg.horizon = 80.0;
+  overlay::CurtainServer server(12, 3, Rng(0));
+  run_churn(12, 3, overlay::InsertPolicy::kAppend, cfg, 5, &server);
+
+  // Repair anything still tagged, as the protocol eventually would.
+  for (overlay::NodeId n : server.matrix().nodes_in_order()) {
+    if (server.matrix().row(n).failed) server.repair(n);
+  }
+  const auto fg = build_flow_graph(server.matrix());
+  for (overlay::NodeId n : server.matrix().nodes_in_order()) {
+    EXPECT_EQ(node_connectivity(fg, n), 3) << "node " << n;
+  }
+  EXPECT_TRUE(server.matrix().check_invariants());
+}
+
+TEST(Churn, RandomInsertPolicyWorksUnderChurn) {
+  ChurnConfig cfg;
+  cfg.arrival_rate = 10.0;
+  cfg.mean_lifetime = 25.0;
+  cfg.failure_fraction = 0.2;
+  cfg.horizon = 60.0;
+  overlay::CurtainServer server(12, 2, Rng(0));
+  const auto report =
+      run_churn(12, 2, overlay::InsertPolicy::kRandomPosition, cfg, 11, &server);
+  EXPECT_GT(report.joins, 0u);
+  EXPECT_TRUE(server.matrix().check_invariants());
+  EXPECT_EQ(server.policy(), overlay::InsertPolicy::kRandomPosition);
+}
+
+TEST(Churn, PopulationSamplesCollected) {
+  ChurnConfig cfg;
+  cfg.horizon = 30.0;
+  const auto report = run_churn(8, 2, overlay::InsertPolicy::kAppend, cfg, 3);
+  EXPECT_GE(report.population_samples.count(), 29u);
+}
+
+}  // namespace
+}  // namespace ncast

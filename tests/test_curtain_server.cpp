@@ -1,0 +1,182 @@
+// Curtain server protocol tests: hello, good-bye, repair, congestion, insert
+// policies, and control-message accounting.
+
+#include "overlay/curtain_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "overlay/flow_graph.hpp"
+
+namespace ncast {
+namespace {
+
+using namespace overlay;
+
+TEST(CurtainServer, ConstructionValidation) {
+  EXPECT_THROW(CurtainServer(4, 0, Rng(1)), std::invalid_argument);
+  EXPECT_THROW(CurtainServer(4, 5, Rng(1)), std::invalid_argument);
+  EXPECT_NO_THROW(CurtainServer(4, 4, Rng(1)));
+}
+
+TEST(CurtainServer, JoinCreatesValidRow) {
+  CurtainServer server(8, 3, Rng(2));
+  const auto t = server.join();
+  EXPECT_EQ(t.threads.size(), 3u);
+  std::set<ColumnId> distinct(t.threads.begin(), t.threads.end());
+  EXPECT_EQ(distinct.size(), 3u);
+  EXPECT_TRUE(server.matrix().contains(t.node));
+  EXPECT_EQ(server.matrix().row(t.node).threads.size(), 3u);
+  // First joiner's parents: only the server.
+  EXPECT_EQ(t.parents, (std::vector<NodeId>{kServerNode}));
+}
+
+TEST(CurtainServer, JoinWithExplicitDegree) {
+  CurtainServer server(8, 3, Rng(3));
+  const auto t = server.join(5u);
+  EXPECT_EQ(t.threads.size(), 5u);
+  EXPECT_THROW(server.join(0u), std::invalid_argument);
+  EXPECT_THROW(server.join(9u), std::invalid_argument);
+}
+
+TEST(CurtainServer, NodeIdsAreUniqueAndSequential) {
+  CurtainServer server(4, 2, Rng(4));
+  EXPECT_EQ(server.join().node, 0u);
+  EXPECT_EQ(server.join().node, 1u);
+  server.leave(0);
+  EXPECT_EQ(server.join().node, 2u);  // ids never reused
+}
+
+TEST(CurtainServer, AppendPolicyKeepsArrivalOrder) {
+  CurtainServer server(4, 2, Rng(5), InsertPolicy::kAppend);
+  for (int i = 0; i < 10; ++i) server.join();
+  const auto order = server.matrix().nodes_in_order();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], static_cast<NodeId>(i));
+  }
+}
+
+TEST(CurtainServer, RandomPolicyShufflesArrivalOrder) {
+  CurtainServer server(4, 2, Rng(6), InsertPolicy::kRandomPosition);
+  for (int i = 0; i < 50; ++i) server.join();
+  const auto order = server.matrix().nodes_in_order();
+  bool out_of_order = false;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] != static_cast<NodeId>(i)) out_of_order = true;
+  }
+  EXPECT_TRUE(out_of_order);
+  EXPECT_TRUE(server.matrix().check_invariants());
+}
+
+TEST(CurtainServer, LeaveDeletesRow) {
+  CurtainServer server(4, 2, Rng(7));
+  const auto a = server.join();
+  const auto b = server.join();
+  server.leave(a.node);
+  EXPECT_FALSE(server.matrix().contains(a.node));
+  EXPECT_TRUE(server.matrix().contains(b.node));
+  EXPECT_THROW(server.leave(a.node), std::out_of_range);
+}
+
+TEST(CurtainServer, FailureAndRepairLifecycle) {
+  CurtainServer server(4, 2, Rng(8));
+  const auto t = server.join();
+  server.report_failure(t.node);
+  EXPECT_TRUE(server.matrix().row(t.node).failed);
+  server.report_failure(t.node);  // duplicate complaint is idempotent
+  EXPECT_EQ(server.stats().failures_reported, 1u);
+  server.repair(t.node);
+  EXPECT_FALSE(server.matrix().contains(t.node));
+  EXPECT_EQ(server.stats().repairs, 1u);
+}
+
+TEST(CurtainServer, RepairRequiresFailedTag) {
+  CurtainServer server(4, 2, Rng(9));
+  const auto t = server.join();
+  EXPECT_THROW(server.repair(t.node), std::logic_error);
+}
+
+TEST(CurtainServer, RepairRestoresConnectivity) {
+  CurtainServer server(4, 2, Rng(10));
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 20; ++i) nodes.push_back(server.join().node);
+  // Fail an early node, then repair; everyone left must be back at degree 2.
+  server.report_failure(nodes[2]);
+  server.repair(nodes[2]);
+  const auto fg = build_flow_graph(server.matrix());
+  for (NodeId n : server.matrix().nodes_in_order()) {
+    EXPECT_EQ(node_connectivity(fg, n), 2) << "node " << n;
+  }
+}
+
+TEST(CurtainServer, MessageAccounting) {
+  CurtainServer server(8, 3, Rng(11));
+  const auto t = server.join();
+  // Join: request + response + one notification per parent.
+  EXPECT_EQ(server.stats().control_messages, 2 + t.parents.size());
+  const auto before = server.stats().control_messages;
+  server.leave(t.node);
+  EXPECT_GT(server.stats().control_messages, before);
+  EXPECT_EQ(server.stats().joins, 1u);
+  EXPECT_EQ(server.stats().graceful_leaves, 1u);
+}
+
+TEST(CurtainServer, MessagesPerEventAreBounded) {
+  // The scalability claim: O(d) control messages per membership event,
+  // independent of N.
+  CurtainServer server(16, 4, Rng(12));
+  for (int i = 0; i < 200; ++i) server.join();
+  const auto before = server.stats().control_messages;
+  server.join();
+  const auto join_cost = server.stats().control_messages - before;
+  EXPECT_LE(join_cost, 2u + 4u);
+  server.report_failure(100);
+  server.repair(100);
+  const auto repair_cost =
+      server.stats().control_messages - before - join_cost;
+  // complaints (<= d children) + redirects (<= d parents + d children).
+  EXPECT_LE(repair_cost, 3u * 4u);
+}
+
+TEST(CurtainServer, CongestionOffloadAndRestore) {
+  CurtainServer server(8, 3, Rng(13));
+  const auto t = server.join();
+  const auto dropped = server.congestion_offload(t.node);
+  ASSERT_TRUE(dropped.has_value());
+  EXPECT_EQ(server.matrix().row(t.node).threads.size(), 2u);
+  const auto restored = server.congestion_restore(t.node);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(server.matrix().row(t.node).threads.size(), 3u);
+  EXPECT_EQ(server.stats().congestion_offloads, 1u);
+  EXPECT_EQ(server.stats().congestion_restores, 1u);
+}
+
+TEST(CurtainServer, OffloadStopsAtDegreeOne) {
+  CurtainServer server(4, 2, Rng(14));
+  const auto t = server.join();
+  EXPECT_TRUE(server.congestion_offload(t.node).has_value());
+  EXPECT_FALSE(server.congestion_offload(t.node).has_value());
+}
+
+TEST(CurtainServer, RestoreStopsAtFullRow) {
+  CurtainServer server(3, 3, Rng(15));
+  const auto t = server.join();
+  EXPECT_FALSE(server.congestion_restore(t.node).has_value());
+}
+
+TEST(CurtainServer, HundredsOfJoinsKeepInvariants) {
+  CurtainServer server(32, 4, Rng(16), InsertPolicy::kRandomPosition);
+  for (int i = 0; i < 300; ++i) {
+    server.join();
+    if (i % 7 == 3) server.leave(static_cast<NodeId>(i));
+    else if (i % 11 == 5) {
+      server.report_failure(static_cast<NodeId>(i));
+      server.repair(static_cast<NodeId>(i));
+    }
+  }
+  EXPECT_TRUE(server.matrix().check_invariants());
+}
+
+}  // namespace
+}  // namespace ncast

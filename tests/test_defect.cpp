@@ -1,0 +1,83 @@
+// Defect measurement tests (exact enumeration and Monte-Carlo sampling on
+// the explicit graph).
+
+#include "overlay/defect.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ncast {
+namespace {
+
+using namespace overlay;
+
+// Local C(k,d) helper.
+std::uint64_t binomial(std::uint32_t k, std::uint32_t d) {
+  std::uint64_t num = 1;
+  for (std::uint32_t i = 0; i < d; ++i) num = num * (k - i) / (i + 1);
+  return num;
+}
+
+ThreadMatrix build_random_curtain(std::uint32_t k, std::uint32_t d,
+                                  int n, double p, Rng& rng) {
+  ThreadMatrix m(k);
+  for (int i = 0; i < n; ++i) {
+    const auto picks = rng.sample_without_replacement(k, d);
+    m.append_row(static_cast<NodeId>(i), {picks.begin(), picks.end()});
+    if (rng.chance(p)) m.mark_failed(static_cast<NodeId>(i));
+  }
+  return m;
+}
+
+TEST(Defect, FailureFreeIsZero) {
+  Rng rng(1);
+  const auto m = build_random_curtain(6, 2, 50, 0.0, rng);
+  const auto fg = build_flow_graph(m);
+  EXPECT_EQ(exact_total_defect(fg, 2), 0u);
+  EXPECT_EQ(exact_total_defect(fg, 3), 0u);
+  EXPECT_DOUBLE_EQ(sampled_mean_defect(fg, 2, 100, rng), 0.0);
+}
+
+TEST(Defect, AllFailedIsMaximal) {
+  Rng rng(2);
+  ThreadMatrix m(4);
+  // One failed node takes all threads: every tuple is completely dead.
+  m.append_row(0, {0, 1, 2, 3});
+  m.mark_failed(0);
+  const auto fg = build_flow_graph(m);
+  // C(4,2)=6 tuples, each with defect 2.
+  EXPECT_EQ(exact_total_defect(fg, 2), 12u);
+  EXPECT_DOUBLE_EQ(sampled_mean_defect(fg, 2, 50, rng), 2.0);
+}
+
+TEST(Defect, SampledConvergesToExact) {
+  Rng rng(3);
+  const auto m = build_random_curtain(8, 2, 60, 0.25, rng);
+  const auto fg = build_flow_graph(m);
+  const double exact = static_cast<double>(exact_total_defect(fg, 2)) /
+                       static_cast<double>(binomial(8, 2));
+  const double sampled = sampled_mean_defect(fg, 2, 4000, rng);
+  EXPECT_NEAR(sampled, exact, 0.08);
+}
+
+TEST(Defect, Validation) {
+  ThreadMatrix m(4);
+  const auto fg = build_flow_graph(m);
+  EXPECT_THROW(exact_total_defect(fg, 0), std::invalid_argument);
+  EXPECT_THROW(exact_total_defect(fg, 5), std::invalid_argument);
+  Rng rng(4);
+  EXPECT_THROW(sampled_mean_defect(fg, 2, 0, rng), std::invalid_argument);
+  EXPECT_THROW(sampled_mean_defect(fg, 9, 10, rng), std::invalid_argument);
+}
+
+TEST(Defect, FullTupleEqualsSystemCapacityLoss) {
+  Rng rng(5);
+  ThreadMatrix m(4);
+  m.append_row(0, {0, 1});
+  m.mark_failed(0);
+  const auto fg = build_flow_graph(m);
+  // d = k tuple: the whole curtain. Two dead ends -> defect 2.
+  EXPECT_EQ(exact_total_defect(fg, 4), 2u);
+}
+
+}  // namespace
+}  // namespace ncast

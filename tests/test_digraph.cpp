@@ -1,0 +1,126 @@
+// Directed multigraph primitive tests.
+
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ncast {
+namespace {
+
+using graph::Digraph;
+
+TEST(Digraph, VertexAndEdgeAccounting) {
+  Digraph g(2);
+  EXPECT_EQ(g.vertex_count(), 2u);
+  const auto v = g.add_vertex();
+  EXPECT_EQ(v, 2u);
+  const auto e = g.add_edge(0, 2);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.edge(e).from, 0u);
+  EXPECT_EQ(g.edge(e).to, 2u);
+  EXPECT_TRUE(g.edge(e).alive);
+}
+
+TEST(Digraph, AddEdgeValidation) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), std::out_of_range);
+  EXPECT_THROW(g.add_edge(5, 0), std::out_of_range);
+}
+
+TEST(Digraph, ParallelEdgesAllowed) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(1), 2u);
+}
+
+TEST(Digraph, RemoveEdgeAffectsDegrees) {
+  Digraph g(2);
+  const auto e = g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.remove_edge(e);
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.in_degree(1), 1u);
+  EXPECT_FALSE(g.edge(e).alive);
+}
+
+TEST(Digraph, SelfLoopCounts) {
+  Digraph g(1);
+  g.add_edge(0, 0);
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.in_degree(0), 1u);
+}
+
+TEST(BfsDepths, PathGraph) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto d = bfs_depths(g, 0);
+  EXPECT_EQ(d, (std::vector<std::int64_t>{0, 1, 2, 3}));
+}
+
+TEST(BfsDepths, UnreachableIsMinusOne) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  const auto d = bfs_depths(g, 0);
+  EXPECT_EQ(d[2], -1);
+}
+
+TEST(BfsDepths, DeadEdgesIgnored) {
+  Digraph g(3);
+  const auto e = g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.remove_edge(e);
+  const auto d = bfs_depths(g, 0);
+  EXPECT_EQ(d[1], -1);
+  EXPECT_EQ(d[2], -1);
+}
+
+TEST(BfsDepths, ShortestPathWins) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(0, 3);  // shortcut
+  EXPECT_EQ(bfs_depths(g, 0)[3], 1);
+}
+
+TEST(Topological, OrderRespectsEdges) {
+  Digraph g(5);
+  g.add_edge(0, 2);
+  g.add_edge(2, 1);
+  g.add_edge(1, 4);
+  g.add_edge(0, 3);
+  const auto order = topological_order(g);
+  ASSERT_EQ(order.size(), 5u);
+  std::vector<std::size_t> pos(5);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[2], pos[1]);
+  EXPECT_LT(pos[1], pos[4]);
+  EXPECT_LT(pos[0], pos[3]);
+}
+
+TEST(Topological, CycleDetected) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  EXPECT_THROW(topological_order(g), std::logic_error);
+  EXPECT_FALSE(is_acyclic(g));
+}
+
+TEST(Topological, DeadEdgeBreaksCycle) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto back = g.add_edge(2, 0);
+  EXPECT_FALSE(is_acyclic(g));
+  g.remove_edge(back);
+  EXPECT_TRUE(is_acyclic(g));
+}
+
+}  // namespace
+}  // namespace ncast

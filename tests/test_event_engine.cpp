@@ -1,0 +1,97 @@
+// Discrete-event engine tests: ordering, ties, horizons, re-entrant
+// scheduling.
+
+#include "sim/event_engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ncast {
+namespace {
+
+using sim::EventEngine;
+
+TEST(EventEngine, RunsInTimeOrder) {
+  EventEngine e;
+  std::vector<int> order;
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 10.0);
+}
+
+TEST(EventEngine, TiesFireInSchedulingOrder) {
+  EventEngine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    e.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  e.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventEngine, HorizonExcludesLaterEvents) {
+  EventEngine e;
+  int fired = 0;
+  e.schedule_at(1.0, [&] { ++fired; });
+  e.schedule_at(5.0, [&] { ++fired; });
+  EXPECT_EQ(e.run_until(2.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.pending(), 1u);
+  EXPECT_EQ(e.run_until(10.0), 1u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventEngine, EventsCanScheduleEvents) {
+  EventEngine e;
+  int chain = 0;
+  std::function<void()> tick = [&] {
+    ++chain;
+    if (chain < 5) e.schedule_in(1.0, tick);
+  };
+  e.schedule_at(0.0, tick);
+  e.run_until(100.0);
+  EXPECT_EQ(chain, 5);
+  EXPECT_DOUBLE_EQ(e.now(), 100.0);
+}
+
+TEST(EventEngine, NowAdvancesToEventTime) {
+  EventEngine e;
+  double seen = -1.0;
+  e.schedule_at(4.5, [&] { seen = e.now(); });
+  e.run_until(9.0);
+  EXPECT_DOUBLE_EQ(seen, 4.5);
+}
+
+TEST(EventEngine, SchedulingInPastThrows) {
+  EventEngine e;
+  e.schedule_at(5.0, [] {});
+  e.run_until(5.0);
+  EXPECT_THROW(e.schedule_at(4.0, [] {}), std::invalid_argument);
+}
+
+TEST(EventEngine, StepRunsOneEvent) {
+  EventEngine e;
+  int fired = 0;
+  e.schedule_at(1.0, [&] { ++fired; });
+  e.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(e.step());
+}
+
+TEST(EventEngine, ScheduleInUsesCurrentTime) {
+  EventEngine e;
+  double fired_at = -1.0;
+  e.schedule_at(3.0, [&] {
+    e.schedule_in(2.0, [&] { fired_at = e.now(); });
+  });
+  e.run_until(10.0);
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+}  // namespace
+}  // namespace ncast

@@ -1,0 +1,165 @@
+// Flow-graph derivation tests: thread segments, failure breaks, node and
+// tuple connectivity. These pin down the exact semantics the analysis
+// experiments rely on.
+
+#include "overlay/flow_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ncast {
+namespace {
+
+using namespace overlay;
+
+TEST(FlowGraph, FailureFreeNodeGetsFullDegree) {
+  ThreadMatrix m(4);
+  m.append_row(1, {0, 1});
+  m.append_row(2, {1, 2});
+  m.append_row(3, {0, 2});
+  const auto fg = build_flow_graph(m);
+  EXPECT_EQ(node_connectivity(fg, 1), 2);
+  EXPECT_EQ(node_connectivity(fg, 2), 2);
+  EXPECT_EQ(node_connectivity(fg, 3), 2);
+}
+
+TEST(FlowGraph, ParentFailureCostsOneUnit) {
+  ThreadMatrix m(4);
+  m.append_row(1, {0, 1});
+  m.append_row(2, {0, 2});  // parent on column 0 is node 1
+  m.mark_failed(1);
+  const auto fg = build_flow_graph(m);
+  // Node 2 loses the column-0 feed (broken at failed node 1) but keeps
+  // column 2 straight from the server.
+  EXPECT_EQ(node_connectivity(fg, 2), 1);
+}
+
+TEST(FlowGraph, DownstreamOfFailureCanRecoverViaMixing) {
+  // Node 3 sits below failed node 1 on column 0, but its feed on column 0
+  // comes from node 2, which re-injects information it gets on column 1.
+  ThreadMatrix m(2);
+  m.append_row(1, {0});
+  m.append_row(2, {0, 1});
+  m.append_row(3, {0});
+  m.mark_failed(1);
+  const auto fg = build_flow_graph(m);
+  // Node 2: column 0 broken (failed parent), column 1 from server => 1.
+  EXPECT_EQ(node_connectivity(fg, 2), 1);
+  // Node 3: fed by node 2 on column 0; node 2 has 1 unit to give => 1.
+  EXPECT_EQ(node_connectivity(fg, 3), 1);
+}
+
+TEST(FlowGraph, FlowConservationLimitsRelays) {
+  // A relay with one live in-thread cannot serve two children at rate 1 each.
+  ThreadMatrix m(3);
+  m.append_row(1, {0, 1});   // relay
+  m.mark_failed(1);
+  m.append_row(2, {0, 2});
+  const auto fg = build_flow_graph(m);
+  EXPECT_EQ(node_connectivity(fg, 2), 1);  // column 0 dead, column 2 alive
+}
+
+TEST(FlowGraph, TapsTrackHangingEnds) {
+  ThreadMatrix m(3);
+  m.append_row(1, {0, 1});
+  const auto fg = build_flow_graph(m);
+  EXPECT_EQ(fg.tap[0], fg.vertex_of(1));
+  EXPECT_EQ(fg.tap[1], fg.vertex_of(1));
+  EXPECT_EQ(fg.tap[2], FlowGraph::kServerVertex);
+  EXPECT_TRUE(fg.tap_alive[0]);
+}
+
+TEST(FlowGraph, DeadTapContributesNothing) {
+  ThreadMatrix m(2);
+  m.append_row(1, {0});
+  m.mark_failed(1);
+  const auto fg = build_flow_graph(m);
+  EXPECT_FALSE(fg.tap_alive[0]);
+  EXPECT_TRUE(fg.tap_alive[1]);
+  EXPECT_EQ(tuple_connectivity(fg, {0}), 0);
+  EXPECT_EQ(tuple_connectivity(fg, {1}), 1);
+  EXPECT_EQ(tuple_connectivity(fg, {0, 1}), 1);
+}
+
+TEST(FlowGraph, EmptyCurtainTupleConnectivityIsTupleSize) {
+  ThreadMatrix m(4);
+  const auto fg = build_flow_graph(m);
+  EXPECT_EQ(tuple_connectivity(fg, {0, 1, 2}), 3);
+}
+
+TEST(FlowGraph, TupleValidation) {
+  ThreadMatrix m(3);
+  const auto fg = build_flow_graph(m);
+  EXPECT_THROW(tuple_connectivity(fg, {0, 0}), std::invalid_argument);
+  EXPECT_THROW(tuple_connectivity(fg, {7}), std::out_of_range);
+}
+
+TEST(FlowGraph, FailureFreeTuplesHaveZeroDefect) {
+  // Without failures, every tuple of hanging threads has full connectivity:
+  // the k columns are k edge-disjoint server paths.
+  Rng rng(3);
+  ThreadMatrix m(6);
+  NodeId next = 0;
+  for (int i = 0; i < 40; ++i) {
+    const auto picks = rng.sample_without_replacement(6, 3);
+    m.append_row(next++, {picks.begin(), picks.end()});
+  }
+  const auto fg = build_flow_graph(m);
+  for (ColumnId a = 0; a < 6; ++a) {
+    for (ColumnId b = a + 1; b < 6; ++b) {
+      EXPECT_EQ(tuple_connectivity(fg, {a, b}), 2);
+    }
+  }
+  for (NodeId n : m.nodes_in_order()) {
+    EXPECT_EQ(node_connectivity(fg, n), 3);
+  }
+}
+
+TEST(FlowGraph, DepthsFollowCurtainOrder) {
+  ThreadMatrix m(1);
+  m.append_row(1, {0});
+  m.append_row(2, {0});
+  m.append_row(3, {0});
+  const auto fg = build_flow_graph(m);
+  const auto depths = node_depths(fg);
+  EXPECT_EQ(depths[fg.vertex_of(1)], 1);
+  EXPECT_EQ(depths[fg.vertex_of(2)], 2);
+  EXPECT_EQ(depths[fg.vertex_of(3)], 3);
+}
+
+TEST(FlowGraph, FailedNodeUnreachable) {
+  ThreadMatrix m(2);
+  m.append_row(1, {0, 1});
+  m.append_row(2, {0, 1});
+  m.mark_failed(1);
+  const auto fg = build_flow_graph(m);
+  const auto depths = node_depths(fg);
+  EXPECT_EQ(depths[fg.vertex_of(1)], -1);  // no alive in-edges
+  EXPECT_EQ(depths[fg.vertex_of(2)], -1);  // both threads broken at node 1
+  EXPECT_EQ(node_connectivity(fg, 2), 0);
+}
+
+TEST(FlowGraph, VertexOfValidation) {
+  ThreadMatrix m(2);
+  m.append_row(1, {0});
+  const auto fg = build_flow_graph(m);
+  EXPECT_EQ(fg.vertex_of(kServerNode), FlowGraph::kServerVertex);
+  EXPECT_EQ(fg.vertex_of(1), 1u);
+  EXPECT_THROW(fg.vertex_of(9), std::out_of_range);
+}
+
+TEST(FlowGraph, GraphIsAcyclic) {
+  Rng rng(9);
+  ThreadMatrix m(8);
+  NodeId next = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto picks = rng.sample_without_replacement(8, 2);
+    m.append_row(next++, {picks.begin(), picks.end()});
+  }
+  const auto fg = build_flow_graph(m);
+  EXPECT_TRUE(graph::is_acyclic(fg.graph));
+}
+
+}  // namespace
+}  // namespace ncast

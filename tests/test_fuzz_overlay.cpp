@@ -1,0 +1,184 @@
+// Property/fuzz suite: long random protocol-operation sequences against the
+// curtain server, with structural invariants checked continuously, plus
+// consistency checks on the polymatroid defect decomposition.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "overlay/curtain_server.hpp"
+#include "overlay/defect.hpp"
+#include "overlay/flow_graph.hpp"
+#include "overlay/polymatroid.hpp"
+
+namespace ncast {
+namespace {
+
+using namespace overlay;
+
+class ServerFuzz : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ServerFuzz, RandomOperationSequencesKeepInvariants) {
+  const auto [k, d, seed] = GetParam();
+  CurtainServer server(static_cast<std::uint32_t>(k),
+                       static_cast<std::uint32_t>(d), Rng(seed),
+                       seed % 2 == 0 ? InsertPolicy::kAppend
+                                     : InsertPolicy::kRandomPosition);
+  Rng rng(static_cast<std::uint64_t>(seed) * 77 + 1);
+
+  std::vector<NodeId> live;    // present, not failed
+  std::vector<NodeId> failed;  // present, failed, awaiting repair
+
+  for (int step = 0; step < 400; ++step) {
+    const auto roll = rng.below(100);
+    if (roll < 45 || live.empty()) {
+      // join
+      live.push_back(server.join().node);
+    } else if (roll < 60) {
+      // graceful leave of a random live node
+      const auto i = rng.below(live.size());
+      server.leave(live[i]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (roll < 75) {
+      // crash
+      const auto i = rng.below(live.size());
+      server.report_failure(live[i]);
+      failed.push_back(live[i]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (roll < 90 && !failed.empty()) {
+      // repair the oldest failure
+      server.repair(failed.front());
+      failed.erase(failed.begin());
+    } else if (roll < 95) {
+      // congestion offload (may no-op at degree 1)
+      const auto i = rng.below(live.size());
+      server.congestion_offload(live[i]);
+    } else {
+      // congestion restore (may no-op at degree k)
+      const auto i = rng.below(live.size());
+      server.congestion_restore(live[i]);
+    }
+
+    ASSERT_TRUE(server.matrix().check_invariants()) << "step " << step;
+    ASSERT_EQ(server.matrix().failed_count(), failed.size()) << "step " << step;
+    ASSERT_EQ(server.matrix().row_count(), live.size() + failed.size());
+  }
+
+  // Settle: repair everything, then every node must be at its own degree.
+  for (NodeId n : failed) server.repair(n);
+  const auto fg = build_flow_graph(server.matrix());
+  for (NodeId n : server.matrix().nodes_in_order()) {
+    const auto degree =
+        static_cast<std::int64_t>(server.matrix().row(n).threads.size());
+    ASSERT_EQ(node_connectivity(fg, n), degree) << "node " << n;
+  }
+  // And the defect must be exactly zero.
+  Rng srng(static_cast<std::uint64_t>(seed) + 5);
+  EXPECT_DOUBLE_EQ(
+      sampled_mean_defect(fg, static_cast<std::uint32_t>(d), 100, srng), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ServerFuzz,
+                         ::testing::Values(std::make_tuple(6, 2, 1),
+                                           std::make_tuple(8, 3, 2),
+                                           std::make_tuple(12, 4, 3),
+                                           std::make_tuple(16, 2, 4),
+                                           std::make_tuple(10, 5, 5),
+                                           std::make_tuple(8, 3, 6),
+                                           std::make_tuple(20, 6, 7),
+                                           std::make_tuple(6, 6, 8),
+                                           std::make_tuple(14, 2, 9),
+                                           std::make_tuple(9, 4, 10)));
+
+TEST(ServerFuzz, ParentChildRelationsAreMutual) {
+  CurtainServer server(10, 3, Rng(7));
+  for (int i = 0; i < 60; ++i) server.join();
+  const auto& m = server.matrix();
+  for (NodeId n : m.nodes_in_order()) {
+    for (NodeId p : m.parents(n)) {
+      if (p == kServerNode) continue;
+      const auto kids = m.children(p);
+      EXPECT_NE(std::find(kids.begin(), kids.end(), n), kids.end())
+          << p << " should list " << n << " as child";
+    }
+    for (NodeId c : m.children(n)) {
+      const auto parents = m.parents(c);
+      EXPECT_NE(std::find(parents.begin(), parents.end(), n), parents.end())
+          << c << " should list " << n << " as parent";
+    }
+  }
+}
+
+TEST(ServerFuzz, EdgesMatchParentsAndChildren) {
+  CurtainServer server(8, 2, Rng(8), InsertPolicy::kRandomPosition);
+  for (int i = 0; i < 40; ++i) server.join();
+  const auto& m = server.matrix();
+  // Every derived edge's endpoints must agree with parents()/children().
+  for (const auto& e : m.edges()) {
+    if (e.from == kServerNode) continue;
+    const auto kids = m.children(e.from);
+    EXPECT_NE(std::find(kids.begin(), kids.end(), e.to), kids.end());
+  }
+}
+
+// ---- Polymatroid defect decomposition consistency ----
+
+TEST(DefectHistogram, SumsAndMomentsMatch) {
+  const std::uint32_t k = 10, d = 3;
+  overlay::PolymatroidCurtain pc(k);
+  Rng rng(9);
+  for (int step = 0; step < 300; ++step) {
+    pc.join_random(d, 0.2, rng);
+    if (step % 25 != 0) continue;
+    const auto hist = pc.defect_histogram(d);
+    ASSERT_EQ(hist.size(), d + 1u);
+    std::uint64_t total = 0, weighted = 0, defective = 0;
+    for (std::uint32_t j = 0; j <= d; ++j) {
+      total += hist[j];
+      weighted += j * hist[j];
+      if (j > 0) defective += hist[j];
+    }
+    EXPECT_EQ(total, overlay::PolymatroidCurtain::tuple_count(k, d));
+    EXPECT_EQ(weighted, pc.total_defect(d));
+    EXPECT_EQ(defective, pc.defective_tuples(d));
+  }
+}
+
+TEST(DefectHistogram, MatchesExplicitEnumeration) {
+  const std::uint32_t k = 6, d = 2;
+  overlay::PolymatroidCurtain pc(k);
+  ThreadMatrix m(k);
+  Rng rng(10);
+  NodeId next = 0;
+  for (int step = 0; step < 30; ++step) {
+    const auto picks = rng.sample_without_replacement(k, d);
+    PolymatroidCurtain::Mask mask = 0;
+    for (auto c : picks) mask |= 1u << c;
+    const bool failure = rng.chance(0.3);
+    pc.join(mask, failure);
+    m.append_row(next++, {picks.begin(), picks.end()});
+    if (failure) m.mark_failed(next - 1);
+  }
+  const auto fg = build_flow_graph(m);
+  const auto hist = pc.defect_histogram(d);
+  // Enumerate tuple defects explicitly.
+  std::vector<std::uint64_t> explicit_hist(d + 1, 0);
+  for (ColumnId a = 0; a < k; ++a) {
+    for (ColumnId b = a + 1; b < k; ++b) {
+      const auto conn = tuple_connectivity(fg, {a, b});
+      ++explicit_hist[d - static_cast<std::uint64_t>(conn)];
+    }
+  }
+  EXPECT_EQ(hist, explicit_hist);
+}
+
+TEST(DefectHistogram, Validation) {
+  overlay::PolymatroidCurtain pc(6);
+  EXPECT_THROW(pc.defect_histogram(0), std::invalid_argument);
+  EXPECT_THROW(pc.defect_histogram(7), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ncast

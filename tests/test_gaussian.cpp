@@ -1,0 +1,178 @@
+// Gaussian elimination tests: rank, RREF, inversion, solving, and the
+// incremental rank tracker — cross-checked against batch elimination on
+// random matrices over all three fields (parameterized property sweep).
+
+#include "linalg/gaussian.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gf/gf2.hpp"
+#include "gf/gf256.hpp"
+#include "gf/gf2_16.hpp"
+#include "util/rng.hpp"
+
+namespace ncast {
+namespace {
+
+using Gf = gf::Gf256;
+using Mat = linalg::Matrix<Gf>;
+
+TEST(Gaussian, RankOfIdentity) {
+  EXPECT_EQ(linalg::rank(Mat::identity(5)), 5u);
+}
+
+TEST(Gaussian, RankOfZero) {
+  EXPECT_EQ(linalg::rank(Mat(4, 4)), 0u);
+}
+
+TEST(Gaussian, RankOfDuplicatedRows) {
+  Mat m(3, 3);
+  m(0, 0) = 1; m(0, 1) = 2; m(0, 2) = 3;
+  for (int c = 0; c < 3; ++c) m(1, c) = m(0, c);
+  m(2, 2) = 1;
+  EXPECT_EQ(linalg::rank(m), 2u);
+}
+
+TEST(Gaussian, RankOfScaledRow) {
+  Mat m(2, 3);
+  m(0, 0) = 3; m(0, 1) = 5; m(0, 2) = 7;
+  for (int c = 0; c < 3; ++c) m(1, c) = Gf::mul(9, m(0, c));
+  EXPECT_EQ(linalg::rank(m), 1u);
+}
+
+TEST(Gaussian, RrefProducesPivotStructure) {
+  Rng rng(1);
+  Mat m(4, 6);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 6; ++c) m(r, c) = static_cast<std::uint8_t>(rng.below(256));
+  }
+  const auto pivots = linalg::rref_in_place(m);
+  for (std::size_t i = 0; i < pivots.size(); ++i) {
+    EXPECT_EQ(m(i, pivots[i]), 1);  // pivot normalized
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      if (r != i) {
+        EXPECT_EQ(m(r, pivots[i]), 0);  // column eliminated
+      }
+    }
+    if (i > 0) {
+      EXPECT_GT(pivots[i], pivots[i - 1]);  // strictly increasing
+    }
+  }
+}
+
+TEST(Gaussian, InvertRoundTrip) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    Mat m(5, 5);
+    for (std::size_t r = 0; r < 5; ++r) {
+      for (std::size_t c = 0; c < 5; ++c) m(r, c) = static_cast<std::uint8_t>(rng.below(256));
+    }
+    const auto inv = linalg::invert(m);
+    if (!inv) continue;  // singular draw: skip
+    EXPECT_EQ(m.multiply(*inv), Mat::identity(5));
+    EXPECT_EQ(inv->multiply(m), Mat::identity(5));
+  }
+}
+
+TEST(Gaussian, InvertSingularReturnsNullopt) {
+  Mat m(3, 3);
+  m(0, 0) = 1; m(1, 0) = 1;  // two proportional rows, third zero
+  EXPECT_FALSE(linalg::invert(m).has_value());
+}
+
+TEST(Gaussian, InvertNonSquareReturnsNullopt) {
+  EXPECT_FALSE(linalg::invert(Mat(2, 3)).has_value());
+}
+
+TEST(Gaussian, SolveKnownSystem) {
+  // x0 + x1 = 6, x1 = 4  ->  x0 = 2 (GF(2^8) addition is XOR)
+  Mat m(2, 2);
+  m(0, 0) = 1; m(0, 1) = 1; m(1, 1) = 1;
+  const auto x = linalg::solve(m, {6, 4});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ((*x)[0], 2);
+  EXPECT_EQ((*x)[1], 4);
+}
+
+TEST(Gaussian, SolveRandomConsistency) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    Mat m(6, 6);
+    for (std::size_t r = 0; r < 6; ++r) {
+      for (std::size_t c = 0; c < 6; ++c) m(r, c) = static_cast<std::uint8_t>(rng.below(256));
+    }
+    std::vector<std::uint8_t> x_true(6);
+    for (auto& v : x_true) v = static_cast<std::uint8_t>(rng.below(256));
+    // b = m * x_true
+    std::vector<std::uint8_t> b(6, 0);
+    for (std::size_t r = 0; r < 6; ++r) {
+      for (std::size_t c = 0; c < 6; ++c) {
+        b[r] = Gf::add(b[r], Gf::mul(m(r, c), x_true[c]));
+      }
+    }
+    const auto x = linalg::solve(m, b);
+    if (!x) continue;  // singular draw
+    EXPECT_EQ(*x, x_true);
+  }
+}
+
+TEST(Gaussian, SolveSingularReturnsNullopt) {
+  Mat m(2, 2);  // zero matrix
+  EXPECT_FALSE(linalg::solve(m, {1, 2}).has_value());
+}
+
+// ---- Incremental rank: property sweep over fields and shapes ----
+
+template <typename Field>
+void incremental_matches_batch(std::uint64_t seed, std::size_t rows,
+                               std::size_t dim) {
+  Rng rng(seed);
+  linalg::Matrix<Field> m(0, dim);
+  linalg::IncrementalRank<Field> inc(dim);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<typename Field::value_type> row(dim);
+    for (auto& v : row) {
+      v = static_cast<typename Field::value_type>(rng.below(Field::order));
+    }
+    m.append_row(row);
+    const std::size_t before = inc.rank();
+    const bool innovative = inc.absorb(row);
+    EXPECT_EQ(inc.rank(), before + (innovative ? 1 : 0));
+    EXPECT_EQ(inc.rank(), linalg::rank(m)) << "row " << r;
+  }
+}
+
+TEST(IncrementalRank, MatchesBatchGf256) {
+  incremental_matches_batch<gf::Gf256>(10, 12, 8);
+}
+TEST(IncrementalRank, MatchesBatchGf2_16) {
+  incremental_matches_batch<gf::Gf2_16>(11, 10, 6);
+}
+TEST(IncrementalRank, MatchesBatchGf2) {
+  // Over GF(2) dependent rows are common — good stress for the reducer.
+  incremental_matches_batch<gf::Gf2>(12, 20, 8);
+}
+
+TEST(IncrementalRank, RejectsWrongArity) {
+  linalg::IncrementalRank<Gf> inc(4);
+  EXPECT_THROW(inc.absorb(std::vector<std::uint8_t>{1, 2}), std::invalid_argument);
+}
+
+TEST(IncrementalRank, CompleteAfterBasis) {
+  linalg::IncrementalRank<Gf> inc(3);
+  EXPECT_TRUE(inc.absorb({1, 0, 0}));
+  EXPECT_TRUE(inc.absorb({1, 1, 0}));
+  EXPECT_FALSE(inc.complete());
+  EXPECT_TRUE(inc.absorb({1, 1, 1}));
+  EXPECT_TRUE(inc.complete());
+  EXPECT_FALSE(inc.absorb({5, 6, 7}));  // nothing is innovative now
+}
+
+TEST(IncrementalRank, ZeroRowNotInnovative) {
+  linalg::IncrementalRank<Gf> inc(3);
+  EXPECT_FALSE(inc.absorb({0, 0, 0}));
+  EXPECT_EQ(inc.rank(), 0u);
+}
+
+}  // namespace
+}  // namespace ncast

@@ -1,0 +1,128 @@
+// Generation segmentation and whole-file codec tests.
+
+#include "coding/generation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "coding/file_codec.hpp"
+#include "util/rng.hpp"
+
+namespace ncast {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, Rng& rng) {
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.below(256));
+  return v;
+}
+
+TEST(GenerationPlan, ExactFit) {
+  const auto plan = coding::plan_generations(64, 4, 8);  // 2 generations of 32
+  EXPECT_EQ(plan.generations, 2u);
+  EXPECT_EQ(plan.bytes_per_generation(), 32u);
+}
+
+TEST(GenerationPlan, PartialLastGeneration) {
+  const auto plan = coding::plan_generations(65, 4, 8);
+  EXPECT_EQ(plan.generations, 3u);
+}
+
+TEST(GenerationPlan, EmptyDataStillOneGeneration) {
+  const auto plan = coding::plan_generations(0, 4, 8);
+  EXPECT_EQ(plan.generations, 1u);
+}
+
+TEST(GenerationPlan, Validation) {
+  EXPECT_THROW(coding::plan_generations(10, 0, 8), std::invalid_argument);
+  EXPECT_THROW(coding::plan_generations(10, 4, 0), std::invalid_argument);
+}
+
+TEST(GenerationPackets, SegmentationAndPadding) {
+  Rng rng(1);
+  const auto data = random_bytes(20, rng);
+  const auto plan = coding::plan_generations(20, 2, 8);  // 16 bytes/gen, 2 gens
+  ASSERT_EQ(plan.generations, 2u);
+
+  const auto g0 = coding::generation_packets(data, plan, 0);
+  ASSERT_EQ(g0.size(), 2u);
+  EXPECT_EQ(g0[0], std::vector<std::uint8_t>(data.begin(), data.begin() + 8));
+  EXPECT_EQ(g0[1], std::vector<std::uint8_t>(data.begin() + 8, data.begin() + 16));
+
+  const auto g1 = coding::generation_packets(data, plan, 1);
+  for (std::size_t s = 0; s < 8; ++s) {
+    EXPECT_EQ(g1[0][s], s < 4 ? data[16 + s] : 0);  // padded past data end
+    EXPECT_EQ(g1[1][s], 0);
+  }
+  EXPECT_THROW(coding::generation_packets(data, plan, 2), std::out_of_range);
+}
+
+TEST(GenerationPackets, ReassembleRoundTrip) {
+  Rng rng(2);
+  for (std::size_t size : {0u, 1u, 31u, 32u, 33u, 100u}) {
+    const auto data = random_bytes(size, rng);
+    const auto plan = coding::plan_generations(size, 4, 8);
+    std::vector<std::vector<std::vector<std::uint8_t>>> gens;
+    for (std::size_t g = 0; g < plan.generations; ++g) {
+      gens.push_back(coding::generation_packets(data, plan, g));
+    }
+    EXPECT_EQ(coding::reassemble(gens, plan), data) << "size " << size;
+  }
+}
+
+TEST(Reassemble, Validation) {
+  const auto plan = coding::plan_generations(16, 2, 8);
+  EXPECT_THROW(coding::reassemble({}, plan), std::invalid_argument);
+  std::vector<std::vector<std::vector<std::uint8_t>>> wrong_packets(
+      1, std::vector<std::vector<std::uint8_t>>(1));
+  EXPECT_THROW(coding::reassemble(wrong_packets, plan), std::invalid_argument);
+}
+
+TEST(FileCodec, RoundTripSingleGeneration) {
+  Rng rng(3);
+  const auto data = random_bytes(100, rng);
+  coding::FileEncoder enc(data, 8, 16);  // 128 bytes/gen -> 1 generation
+  ASSERT_EQ(enc.generations(), 1u);
+  coding::FileDecoder dec(enc.plan());
+  while (!dec.complete()) dec.absorb(enc.emit(0, rng));
+  EXPECT_EQ(dec.data(), data);
+}
+
+TEST(FileCodec, RoundTripMultiGenerationRoundRobin) {
+  Rng rng(4);
+  const auto data = random_bytes(1000, rng);
+  coding::FileEncoder enc(data, 4, 32);  // 128 bytes/gen -> 8 generations
+  ASSERT_EQ(enc.generations(), 8u);
+  coding::FileDecoder dec(enc.plan());
+  std::size_t packets = 0;
+  while (!dec.complete()) {
+    dec.absorb(enc.emit_round_robin(rng));
+    ASSERT_LT(++packets, 1000u);
+  }
+  EXPECT_EQ(dec.data(), data);
+  EXPECT_EQ(dec.total_rank(), dec.needed_rank());
+}
+
+TEST(FileCodec, ProgressTracking) {
+  Rng rng(5);
+  const auto data = random_bytes(64, rng);
+  coding::FileEncoder enc(data, 4, 16);
+  coding::FileDecoder dec(enc.plan());
+  EXPECT_EQ(dec.total_rank(), 0u);
+  EXPECT_EQ(dec.needed_rank(), 4u);
+  dec.absorb(enc.emit(0, rng));
+  EXPECT_EQ(dec.total_rank(), 1u);
+  EXPECT_FALSE(dec.complete());
+  EXPECT_THROW(dec.data(), std::logic_error);
+}
+
+TEST(FileCodec, IgnoresOutOfRangeGenerations) {
+  Rng rng(6);
+  coding::FileEncoder enc(random_bytes(32, rng), 4, 8);
+  coding::FileDecoder dec(enc.plan());
+  auto p = enc.emit(0, rng);
+  p.generation = 99;
+  EXPECT_FALSE(dec.absorb(p));
+}
+
+}  // namespace
+}  // namespace ncast

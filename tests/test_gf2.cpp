@@ -1,0 +1,47 @@
+// GF(2) trait tests — the binary field used by the field-size ablation.
+
+#include "gf/gf2.hpp"
+
+#include <gtest/gtest.h>
+
+#include "field_axioms.hpp"
+#include "util/rng.hpp"
+
+namespace ncast {
+namespace {
+
+using gf::Gf2;
+
+TEST(Gf2, AdditiveGroup) {
+  Rng rng(1);
+  testing::check_additive_group<Gf2>(testing::sample_elements<Gf2>(4, rng));
+}
+
+TEST(Gf2, MultiplicativeGroup) {
+  Rng rng(2);
+  testing::check_multiplicative_group<Gf2>(testing::sample_elements<Gf2>(4, rng));
+}
+
+TEST(Gf2, Pow) {
+  Rng rng(3);
+  testing::check_pow<Gf2>({0, 1});
+}
+
+TEST(Gf2, TruthTables) {
+  EXPECT_EQ(Gf2::add(0, 0), 0);
+  EXPECT_EQ(Gf2::add(0, 1), 1);
+  EXPECT_EQ(Gf2::add(1, 1), 0);
+  EXPECT_EQ(Gf2::mul(1, 1), 1);
+  EXPECT_EQ(Gf2::mul(1, 0), 0);
+  EXPECT_EQ(Gf2::inv(1), 1);
+}
+
+TEST(Gf2, RegionOpsMatchScalar) {
+  Rng rng(4);
+  for (std::size_t len : {0u, 1u, 7u, 100u}) {
+    testing::check_region_ops<Gf2>(rng, len);
+  }
+}
+
+}  // namespace
+}  // namespace ncast

@@ -1,0 +1,131 @@
+// GF(2^8) arithmetic tests: field axioms on sampled elements, exhaustive
+// inverse checks, and region-operation equivalence.
+
+#include "gf/gf256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "field_axioms.hpp"
+#include "util/rng.hpp"
+
+namespace ncast {
+namespace {
+
+using gf::Gf256;
+
+TEST(Gf256, AdditiveGroup) {
+  Rng rng(1);
+  testing::check_additive_group<Gf256>(testing::sample_elements<Gf256>(8, rng));
+}
+
+TEST(Gf256, MultiplicativeGroup) {
+  Rng rng(2);
+  testing::check_multiplicative_group<Gf256>(testing::sample_elements<Gf256>(8, rng));
+}
+
+TEST(Gf256, Pow) {
+  Rng rng(3);
+  testing::check_pow<Gf256>(testing::sample_elements<Gf256>(16, rng));
+}
+
+TEST(Gf256, ExhaustiveInverses) {
+  for (unsigned a = 1; a < 256; ++a) {
+    const auto inv = Gf256::inv(static_cast<std::uint8_t>(a));
+    EXPECT_EQ(Gf256::mul(static_cast<std::uint8_t>(a), inv), 1);
+  }
+}
+
+TEST(Gf256, ExhaustiveDivMulRoundTrip) {
+  Rng rng(4);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto a = static_cast<std::uint8_t>(rng.below(256));
+    const auto b = static_cast<std::uint8_t>(rng.between(1, 255));
+    EXPECT_EQ(Gf256::mul(Gf256::div(a, b), b), a);
+  }
+}
+
+TEST(Gf256, KnownProducts) {
+  // Hand-checked products under polynomial 0x11D.
+  EXPECT_EQ(Gf256::mul(2, 2), 4);
+  EXPECT_EQ(Gf256::mul(0x80, 2), 0x1D);  // x^8 reduces to 0x11D - 0x100
+  EXPECT_EQ(Gf256::mul(3, 3), 5);        // (x+1)^2 = x^2+1
+}
+
+TEST(Gf256, GeneratorHasFullOrder) {
+  // 2 is primitive for 0x11D: its powers hit all 255 nonzero elements.
+  std::vector<bool> seen(256, false);
+  std::uint8_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    EXPECT_FALSE(seen[x]);
+    seen[x] = true;
+    x = Gf256::mul(x, 2);
+  }
+  EXPECT_EQ(x, 1);  // order divides 255 and equals it
+}
+
+TEST(Gf256, RegionOpsMatchScalar) {
+  Rng rng(5);
+  for (std::size_t len : {0u, 1u, 3u, 8u, 15u, 64u, 1000u}) {
+    testing::check_region_ops<Gf256>(rng, len);
+  }
+}
+
+TEST(Gf256, RegionMaddSpecialCoefficients) {
+  Rng rng(6);
+  std::vector<std::uint8_t> dst{1, 2, 3, 4}, src{5, 6, 7, 8};
+  auto d0 = dst;
+  Gf256::region_madd(d0.data(), src.data(), 0, 4);
+  EXPECT_EQ(d0, dst);  // c=0 is a no-op
+  auto d1 = dst;
+  Gf256::region_madd(d1.data(), src.data(), 1, 4);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(d1[i], dst[i] ^ src[i]);  // c=1 is XOR
+}
+
+TEST(Gf256, SimdAndScalarPathsAgree) {
+  // The dispatcher switches to AVX2 above a size threshold; sweep lengths
+  // straddling it (and odd tails/alignments) against scalar recomputation.
+  Rng rng(7);
+  for (std::size_t len : {63u, 64u, 65u, 96u, 127u, 128u, 1000u, 4096u, 4099u}) {
+    std::vector<std::uint8_t> dst(len), src(len);
+    for (auto& b : dst) b = static_cast<std::uint8_t>(rng.below(256));
+    for (auto& b : src) b = static_cast<std::uint8_t>(rng.below(256));
+    const auto c = static_cast<std::uint8_t>(rng.between(2, 255));
+
+    auto expected = dst;
+    for (std::size_t i = 0; i < len; ++i) {
+      expected[i] = Gf256::add(expected[i], Gf256::mul(c, src[i]));
+    }
+    auto got = dst;
+    Gf256::region_madd(got.data(), src.data(), c, len);
+    ASSERT_EQ(got, expected) << "madd len " << len;
+
+    auto expected_mul = dst;
+    for (auto& b : expected_mul) b = Gf256::mul(c, b);
+    auto got_mul = dst;
+    Gf256::region_mul(got_mul.data(), c, len);
+    ASSERT_EQ(got_mul, expected_mul) << "mul len " << len;
+
+    // Unaligned slices must work identically (loadu/storeu paths).
+    if (len > 70) {
+      auto base = dst;
+      auto base2 = dst;
+      Gf256::region_madd(base.data() + 1, src.data() + 3, c, len - 3);
+      for (std::size_t i = 0; i < len - 3; ++i) {
+        base2[i + 1] = Gf256::add(base2[i + 1], Gf256::mul(c, src[i + 3]));
+      }
+      ASSERT_EQ(base, base2) << "unaligned madd len " << len;
+    }
+  }
+}
+
+TEST(Gf256, RegionMulSpecialCoefficients) {
+  std::vector<std::uint8_t> d{9, 8, 7};
+  auto d1 = d;
+  Gf256::region_mul(d1.data(), 1, 3);
+  EXPECT_EQ(d1, d);
+  Gf256::region_mul(d1.data(), 0, 3);
+  EXPECT_EQ(d1, (std::vector<std::uint8_t>{0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace ncast

@@ -1,0 +1,85 @@
+// GF(2^16) arithmetic tests: same axiom suite as GF(2^8) plus sampled
+// inverse checks (exhaustive is unnecessary at 65536 elements).
+
+#include "gf/gf2_16.hpp"
+
+#include <gtest/gtest.h>
+
+#include "field_axioms.hpp"
+#include "util/rng.hpp"
+
+namespace ncast {
+namespace {
+
+using gf::Gf2_16;
+
+TEST(Gf2_16, AdditiveGroup) {
+  Rng rng(1);
+  testing::check_additive_group<Gf2_16>(testing::sample_elements<Gf2_16>(8, rng));
+}
+
+TEST(Gf2_16, MultiplicativeGroup) {
+  Rng rng(2);
+  testing::check_multiplicative_group<Gf2_16>(testing::sample_elements<Gf2_16>(8, rng));
+}
+
+TEST(Gf2_16, Pow) {
+  Rng rng(3);
+  testing::check_pow<Gf2_16>(testing::sample_elements<Gf2_16>(12, rng));
+}
+
+TEST(Gf2_16, SampledInverses) {
+  Rng rng(4);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = static_cast<std::uint16_t>(rng.between(1, 65535));
+    EXPECT_EQ(Gf2_16::mul(a, Gf2_16::inv(a)), 1);
+  }
+}
+
+TEST(Gf2_16, DivMulRoundTrip) {
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = static_cast<std::uint16_t>(rng.below(65536));
+    const auto b = static_cast<std::uint16_t>(rng.between(1, 65535));
+    EXPECT_EQ(Gf2_16::mul(Gf2_16::div(a, b), b), a);
+  }
+}
+
+TEST(Gf2_16, KnownProducts) {
+  EXPECT_EQ(Gf2_16::mul(2, 2), 4);
+  // x^16 reduces to x^12 + x^3 + x + 1 = 0x100B under 0x1100B.
+  EXPECT_EQ(Gf2_16::mul(0x8000, 2), 0x100B);
+}
+
+TEST(Gf2_16, GeneratorHasFullOrder) {
+  // 2 is primitive for 0x1100B.
+  std::uint16_t x = 1;
+  for (int i = 0; i < 65535; ++i) {
+    x = Gf2_16::mul(x, 2);
+    if (x == 1) {
+      EXPECT_EQ(i, 65534);  // first return to 1 is at the full order
+      return;
+    }
+  }
+  EXPECT_EQ(x, 1);
+}
+
+TEST(Gf2_16, RegionOpsMatchScalar) {
+  Rng rng(6);
+  for (std::size_t len : {0u, 1u, 2u, 5u, 16u, 333u}) {
+    testing::check_region_ops<Gf2_16>(rng, len);
+  }
+}
+
+TEST(Gf2_16, RegionOpsWithZerosInData) {
+  // The log-table fast path must skip zero symbols correctly.
+  std::vector<std::uint16_t> dst{0, 5, 0, 7}, src{3, 0, 0, 9};
+  const auto orig = dst;
+  Gf2_16::region_madd(dst.data(), src.data(), 1234, 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(dst[i], Gf2_16::add(orig[i], Gf2_16::mul(1234, src[i])));
+  }
+}
+
+}  // namespace
+}  // namespace ncast

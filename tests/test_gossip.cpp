@@ -1,0 +1,96 @@
+// Gossip-based decentralized thread discovery tests.
+
+#include "overlay/gossip.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ncast {
+namespace {
+
+using namespace overlay;
+
+TEST(Gossip, Validation) {
+  ThreadMatrix m(4);
+  Rng rng(1);
+  GossipConfig cfg;
+  EXPECT_THROW(gossip_discover(m, 0, cfg, rng), std::invalid_argument);
+  EXPECT_THROW(gossip_discover(m, 5, cfg, rng), std::invalid_argument);
+}
+
+TEST(Gossip, EmptyOverlayFindsServerThreads) {
+  ThreadMatrix m(6);
+  Rng rng(2);
+  GossipConfig cfg;
+  const auto cols = gossip_discover(m, 3, cfg, rng);
+  ASSERT_EQ(cols.size(), 3u);
+  std::set<ColumnId> distinct(cols.begin(), cols.end());
+  EXPECT_EQ(distinct.size(), 3u);
+  for (auto c : cols) EXPECT_LT(c, 6u);
+}
+
+TEST(Gossip, ReturnsSortedDistinctColumns) {
+  ThreadMatrix m(8);
+  Rng rng(3);
+  NodeId next = 0;
+  for (int i = 0; i < 20; ++i) {
+    GossipConfig cfg;
+    const auto cols = gossip_discover(m, 3, cfg, rng);
+    ASSERT_EQ(cols.size(), 3u);
+    for (std::size_t j = 1; j < cols.size(); ++j) EXPECT_LT(cols[j - 1], cols[j]);
+    m.append_row(next++, cols);
+  }
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(Gossip, CountsMessages) {
+  ThreadMatrix m(6);
+  Rng rng(4);
+  GossipConfig cfg;
+  std::uint64_t messages = 0;
+  gossip_discover(m, 2, cfg, rng, &messages);
+  EXPECT_GT(messages, 0u);
+}
+
+TEST(Gossip, ZeroWalkBudgetFallsBackToTracker) {
+  ThreadMatrix m(6);
+  m.append_row(0, {0, 1, 2});
+  Rng rng(5);
+  GossipConfig cfg;
+  cfg.max_walks = 0;
+  const auto cols = gossip_discover(m, 4, cfg, rng);
+  ASSERT_EQ(cols.size(), 4u);
+  std::set<ColumnId> distinct(cols.begin(), cols.end());
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(Gossip, AvoidsDeadHangingEndsWhenWalking) {
+  // With all ends owned by failed nodes, walks find nothing; fallback still
+  // completes the selection.
+  ThreadMatrix m(4);
+  m.append_row(0, {0, 1, 2, 3});
+  m.mark_failed(0);
+  Rng rng(6);
+  GossipConfig cfg;
+  const auto cols = gossip_discover(m, 2, cfg, rng);
+  EXPECT_EQ(cols.size(), 2u);
+}
+
+TEST(Gossip, DiscoveryDrivesGrowableOverlay) {
+  // Build a 100-node overlay purely via gossip; topology must stay valid and
+  // every pick must be a legal thread set.
+  ThreadMatrix m(10);
+  Rng rng(7);
+  GossipConfig cfg;
+  cfg.walk_length = 4;
+  for (NodeId n = 0; n < 100; ++n) {
+    const auto cols = gossip_discover(m, 3, cfg, rng);
+    m.append_row(n, cols);
+  }
+  EXPECT_EQ(m.row_count(), 100u);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+}  // namespace
+}  // namespace ncast

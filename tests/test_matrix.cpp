@@ -1,0 +1,98 @@
+// Dense finite-field matrix tests.
+
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gf/gf256.hpp"
+#include "util/rng.hpp"
+
+namespace ncast {
+namespace {
+
+using Gf = gf::Gf256;
+using Mat = linalg::Matrix<Gf>;
+
+TEST(Matrix, ConstructionZeroInitialized) {
+  Mat m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(m(r, c), 0);
+  }
+}
+
+TEST(Matrix, Identity) {
+  const Mat id = Mat::identity(4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(id(r, c), r == c ? 1 : 0);
+  }
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Mat m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+  m.at(1, 1) = 5;
+  EXPECT_EQ(m.at(1, 1), 5);
+}
+
+TEST(Matrix, SwapRows) {
+  Mat m(2, 3);
+  m(0, 0) = 1;
+  m(1, 2) = 7;
+  m.swap_rows(0, 1);
+  EXPECT_EQ(m(1, 0), 1);
+  EXPECT_EQ(m(0, 2), 7);
+  m.swap_rows(0, 0);  // no-op
+  EXPECT_EQ(m(0, 2), 7);
+}
+
+TEST(Matrix, AppendRow) {
+  Mat m(1, 3);
+  m.append_row({1, 2, 3});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m(1, 1), 2);
+  EXPECT_THROW(m.append_row({1}), std::invalid_argument);
+}
+
+TEST(Matrix, MultiplyByIdentity) {
+  Rng rng(1);
+  Mat m(3, 3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = static_cast<std::uint8_t>(rng.below(256));
+  }
+  EXPECT_EQ(m.multiply(Mat::identity(3)), m);
+  EXPECT_EQ(Mat::identity(3).multiply(m), m);
+}
+
+TEST(Matrix, MultiplyKnown) {
+  // Over GF(2^8): [[1,1],[0,2]] * [[3],[4]] = [[3+4],[2*4]] = [[7],[8]]
+  Mat a(2, 2), b(2, 1);
+  a(0, 0) = 1; a(0, 1) = 1; a(1, 1) = 2;
+  b(0, 0) = 3; b(1, 0) = 4;
+  const Mat c = a.multiply(b);
+  EXPECT_EQ(c(0, 0), 7);
+  EXPECT_EQ(c(1, 0), 8);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  Mat a(2, 3), b(2, 2);
+  EXPECT_THROW(a.multiply(b), std::invalid_argument);
+}
+
+TEST(Matrix, MultiplyAssociative) {
+  Rng rng(2);
+  auto random_matrix = [&](std::size_t r, std::size_t c) {
+    Mat m(r, c);
+    for (std::size_t i = 0; i < r; ++i) {
+      for (std::size_t j = 0; j < c; ++j) m(i, j) = static_cast<std::uint8_t>(rng.below(256));
+    }
+    return m;
+  };
+  const Mat a = random_matrix(3, 4), b = random_matrix(4, 2), c = random_matrix(2, 5);
+  EXPECT_EQ(a.multiply(b).multiply(c), a.multiply(b.multiply(c)));
+}
+
+}  // namespace
+}  // namespace ncast

@@ -1,0 +1,173 @@
+// Dinic max-flow tests: textbook instances, unit-capacity overlay patterns,
+// tap-set flows, and min-cut extraction.
+
+#include "graph/maxflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ncast {
+namespace {
+
+using graph::Digraph;
+using graph::MaxFlow;
+
+TEST(MaxFlow, SingleEdge) {
+  MaxFlow mf(2);
+  mf.add_edge(0, 1, 7);
+  EXPECT_EQ(mf.compute(0, 1), 7);
+}
+
+TEST(MaxFlow, SeriesBottleneck) {
+  MaxFlow mf(3);
+  mf.add_edge(0, 1, 10);
+  mf.add_edge(1, 2, 4);
+  EXPECT_EQ(mf.compute(0, 2), 4);
+}
+
+TEST(MaxFlow, ParallelPathsAdd) {
+  MaxFlow mf(4);
+  mf.add_edge(0, 1, 3);
+  mf.add_edge(1, 3, 3);
+  mf.add_edge(0, 2, 5);
+  mf.add_edge(2, 3, 5);
+  EXPECT_EQ(mf.compute(0, 3), 8);
+}
+
+TEST(MaxFlow, ClassicCLRSInstance) {
+  // CLRS figure 26.6 instance; known max flow 23.
+  MaxFlow mf(6);
+  mf.add_edge(0, 1, 16);
+  mf.add_edge(0, 2, 13);
+  mf.add_edge(1, 2, 10);
+  mf.add_edge(2, 1, 4);
+  mf.add_edge(1, 3, 12);
+  mf.add_edge(3, 2, 9);
+  mf.add_edge(2, 4, 14);
+  mf.add_edge(4, 3, 7);
+  mf.add_edge(3, 5, 20);
+  mf.add_edge(4, 5, 4);
+  EXPECT_EQ(mf.compute(0, 5), 23);
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  MaxFlow mf(3);
+  mf.add_edge(0, 1, 5);
+  EXPECT_EQ(mf.compute(0, 2), 0);
+}
+
+TEST(MaxFlow, Validation) {
+  MaxFlow mf(2);
+  EXPECT_THROW(mf.add_edge(0, 5, 1), std::out_of_range);
+  EXPECT_THROW(mf.add_edge(0, 1, -1), std::invalid_argument);
+  EXPECT_THROW(mf.compute(0, 0), std::invalid_argument);
+  mf.add_edge(0, 1, 1);
+  mf.compute(0, 1);
+  EXPECT_THROW(mf.compute(0, 1), std::logic_error);
+  EXPECT_THROW(mf.add_edge(0, 1, 1), std::logic_error);
+}
+
+TEST(MaxFlow, FlowOnEdges) {
+  MaxFlow mf(3);
+  const auto a = mf.add_edge(0, 1, 10);
+  const auto b = mf.add_edge(1, 2, 4);
+  EXPECT_EQ(mf.compute(0, 2), 4);
+  EXPECT_EQ(mf.flow_on(a), 4);
+  EXPECT_EQ(mf.flow_on(b), 4);
+}
+
+TEST(MaxFlow, MinCutSeparatesSourceFromSink) {
+  MaxFlow mf(4);
+  mf.add_edge(0, 1, 100);
+  mf.add_edge(1, 2, 1);  // the cut
+  mf.add_edge(2, 3, 100);
+  mf.compute(0, 3);
+  const auto side = mf.min_cut_source_side();
+  EXPECT_TRUE(side[0]);
+  EXPECT_TRUE(side[1]);
+  EXPECT_FALSE(side[2]);
+  EXPECT_FALSE(side[3]);
+}
+
+TEST(UnitMaxFlow, CountsEdgeDisjointPaths) {
+  Digraph g(4);
+  // Two edge-disjoint paths 0->3, plus one dead-end.
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  g.add_edge(0, 1);  // parallel edge: third unit into 1 but only one 1->3
+  EXPECT_EQ(unit_max_flow(g, 0, 3), 2);
+}
+
+TEST(UnitMaxFlow, IgnoresDeadEdges) {
+  Digraph g(2);
+  const auto e = g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  EXPECT_EQ(unit_max_flow(g, 0, 1), 2);
+  g.remove_edge(e);
+  EXPECT_EQ(unit_max_flow(g, 0, 1), 1);
+}
+
+TEST(UnitMaxFlowToSet, SumsOverTaps) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  // Taps at 1 and 2: flow limited by tap capacity (1 each), not edges.
+  EXPECT_EQ(graph::unit_max_flow_to_set(g, 0, {1, 2}), 2);
+  // Duplicate taps add sink capacity.
+  EXPECT_EQ(graph::unit_max_flow_to_set(g, 0, {1, 1, 2}), 3);
+  // Tap on the source itself contributes a free unit.
+  EXPECT_EQ(graph::unit_max_flow_to_set(g, 0, {0, 1}), 2);
+}
+
+TEST(MinConnectivity, CompleteDigraph) {
+  Digraph g(4);
+  for (graph::Vertex u = 0; u < 4; ++u) {
+    for (graph::Vertex v = 0; v < 4; ++v) {
+      if (u != v) g.add_edge(u, v);
+    }
+  }
+  EXPECT_EQ(graph::min_connectivity(g, 0), 3);
+}
+
+TEST(MinConnectivity, WeakestVertexWins) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);  // vertex 2 has connectivity 1
+  EXPECT_EQ(graph::min_connectivity(g, 0), 1);
+}
+
+TEST(MaxFlow, RandomGraphFlowMatchesBruteForceCut) {
+  // Property check on small random DAGs: max-flow <= capacity of every
+  // brute-force enumerated cut, with equality for some cut.
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 6;
+    Digraph g(n);
+    for (graph::Vertex u = 0; u < n; ++u) {
+      for (graph::Vertex v = u + 1; v < n; ++v) {
+        if (rng.chance(0.5)) g.add_edge(u, v);
+      }
+    }
+    const auto flow = unit_max_flow(g, 0, static_cast<graph::Vertex>(n - 1));
+
+    std::int64_t best_cut = INT64_MAX;
+    for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+      if (!(mask & 1u) || (mask & (1u << (n - 1)))) continue;  // s in, t out
+      std::int64_t cut = 0;
+      for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+        const auto& edge = g.edge(e);
+        if ((mask & (1u << edge.from)) && !(mask & (1u << edge.to))) ++cut;
+      }
+      best_cut = std::min(best_cut, cut);
+    }
+    EXPECT_EQ(flow, best_cut) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace ncast

@@ -1,0 +1,206 @@
+// The critical cross-validation: the closed-form polymatroid rank update
+// must agree with explicit max-flow on the thread-matrix graph for every
+// subset of hanging threads, across random join/failure sequences.
+
+#include "overlay/polymatroid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <tuple>
+
+#include "overlay/defect.hpp"
+#include "overlay/flow_graph.hpp"
+#include "overlay/thread_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace ncast {
+namespace {
+
+using namespace overlay;
+
+TEST(Polymatroid, ConstructionValidation) {
+  EXPECT_THROW(PolymatroidCurtain(0), std::invalid_argument);
+  EXPECT_THROW(PolymatroidCurtain(23), std::invalid_argument);
+  EXPECT_NO_THROW(PolymatroidCurtain(8));
+}
+
+TEST(Polymatroid, FreshCurtainRankIsCardinality) {
+  PolymatroidCurtain pc(6);
+  for (std::uint32_t s = 0; s < (1u << 6); ++s) {
+    EXPECT_EQ(pc.rank(s), static_cast<std::uint32_t>(std::popcount(s)));
+  }
+  EXPECT_EQ(pc.total_defect(3), 0u);
+  EXPECT_EQ(pc.defective_tuples(2), 0u);
+}
+
+TEST(Polymatroid, TupleCount) {
+  EXPECT_EQ(PolymatroidCurtain::tuple_count(6, 2), 15u);
+  EXPECT_EQ(PolymatroidCurtain::tuple_count(10, 3), 120u);
+  EXPECT_EQ(PolymatroidCurtain::tuple_count(5, 5), 1u);
+  EXPECT_EQ(PolymatroidCurtain::tuple_count(22, 11), 705432u);
+}
+
+TEST(Polymatroid, JoinValidation) {
+  PolymatroidCurtain pc(4);
+  EXPECT_THROW(pc.join(0, false), std::invalid_argument);
+  EXPECT_THROW(pc.join(1u << 5, false), std::invalid_argument);
+  Rng rng(1);
+  EXPECT_THROW(pc.join_random(0, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(pc.join_random(5, 0.0, rng), std::invalid_argument);
+}
+
+TEST(Polymatroid, WorkingJoinsPreserveFullRank) {
+  // Without failures, every subset keeps full rank forever.
+  PolymatroidCurtain pc(8);
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const auto conn = pc.join_random(3, 0.0, rng);
+    EXPECT_EQ(conn, 3u);
+  }
+  for (std::uint32_t s = 0; s < (1u << 8); ++s) {
+    EXPECT_EQ(pc.rank(s), static_cast<std::uint32_t>(std::popcount(s)));
+  }
+}
+
+TEST(Polymatroid, SingleFailureKillsItsThreads) {
+  PolymatroidCurtain pc(4);
+  pc.join(0b0011, true);  // failed node takes threads 0 and 1
+  EXPECT_EQ(pc.rank(0b0001), 0u);
+  EXPECT_EQ(pc.rank(0b0010), 0u);
+  EXPECT_EQ(pc.rank(0b0011), 0u);
+  EXPECT_EQ(pc.rank(0b0100), 1u);
+  EXPECT_EQ(pc.rank(0b1100), 2u);
+  EXPECT_EQ(pc.rank(0b1111), 2u);
+  // {0,1} has defect 2; the four mixed pairs {0,2},{0,3},{1,2},{1,3} have
+  // defect 1 each; {2,3} is intact.
+  EXPECT_EQ(pc.total_defect(2), 6u);
+}
+
+TEST(Polymatroid, WorkingJoinRestoresDeadThreads) {
+  PolymatroidCurtain pc(4);
+  pc.join(0b0011, true);
+  // A working node clips dead thread 0 and live thread 2: below it, thread 0
+  // carries re-injected information again (1 unit through the node).
+  const auto conn = pc.join(0b0101, false);
+  EXPECT_EQ(conn, 1u);  // it could only receive on thread 2
+  EXPECT_EQ(pc.rank(0b0001), 1u);  // thread 0 lives again
+  EXPECT_EQ(pc.rank(0b0101), 1u);  // but both its taps share the 1 unit
+  EXPECT_EQ(pc.rank(0b1001), 2u);  // thread 3 is independent
+}
+
+TEST(Polymatroid, LemmaSixBoundHolds) {
+  // |B' - B| <= (d^2/k) A at every step (Lemma 6).
+  const std::uint32_t k = 10, d = 3;
+  const double a = static_cast<double>(PolymatroidCurtain::tuple_count(k, d));
+  PolymatroidCurtain pc(k);
+  Rng rng(3);
+  double prev = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    pc.join_random(d, 0.3, rng);
+    const auto b = static_cast<double>(pc.total_defect(d));
+    EXPECT_LE(std::abs(b - prev), static_cast<double>(d) * d / k * a + 1e-9)
+        << "step " << i;
+    prev = b;
+  }
+}
+
+TEST(Polymatroid, DefectIsMonotoneInFailures) {
+  // More failures at the same positions cannot decrease the defect.
+  Rng rng(4);
+  PolymatroidCurtain none(8), some(8);
+  for (int i = 0; i < 100; ++i) {
+    // Identical thread choices; `some` fails every 10th node.
+    PolymatroidCurtain::Mask mask = 0;
+    for (auto c : rng.sample_without_replacement(8, 2)) mask |= 1u << c;
+    none.join(mask, false);
+    some.join(mask, i % 10 == 0);
+  }
+  EXPECT_GE(some.total_defect(2), none.total_defect(2));
+}
+
+// ---- Ground-truth cross-validation against explicit max-flow ----
+
+class PolymatroidVsMaxflow
+    : public ::testing::TestWithParam<std::tuple<int, int, double, int>> {};
+
+TEST_P(PolymatroidVsMaxflow, RankMatchesTupleConnectivity) {
+  const auto [k, d, p, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  PolymatroidCurtain pc(static_cast<std::uint32_t>(k));
+  ThreadMatrix m(static_cast<std::uint32_t>(k));
+  NodeId next = 0;
+
+  for (int step = 0; step < 60; ++step) {
+    const auto picks = rng.sample_without_replacement(
+        static_cast<std::uint32_t>(k), static_cast<std::uint32_t>(d));
+    PolymatroidCurtain::Mask mask = 0;
+    for (auto c : picks) mask |= 1u << c;
+    const bool failed = rng.chance(p);
+
+    // The newcomer's connectivity must match the explicit graph *before*
+    // the update.
+    const auto fg_before = build_flow_graph(m);
+    const std::vector<ColumnId> tuple(picks.begin(), picks.end());
+    const auto expected_conn = tuple_connectivity(fg_before, tuple);
+    const auto reported = pc.join(mask, failed);
+    ASSERT_EQ(static_cast<std::int64_t>(reported), expected_conn)
+        << "step " << step;
+
+    m.append_row(next++, tuple);
+    if (failed) m.mark_failed(next - 1);
+
+    // Every five steps, validate the entire rank function.
+    if (step % 5 == 4) {
+      const auto fg = build_flow_graph(m);
+      for (std::uint32_t s = 1; s < (1u << k); ++s) {
+        std::vector<ColumnId> cols;
+        for (int c = 0; c < k; ++c) {
+          if (s & (1u << c)) cols.push_back(static_cast<ColumnId>(c));
+        }
+        ASSERT_EQ(static_cast<std::int64_t>(pc.rank(s)),
+                  tuple_connectivity(fg, cols))
+            << "step " << step << " subset " << s;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PolymatroidVsMaxflow,
+    ::testing::Values(std::make_tuple(4, 2, 0.3, 1),
+                      std::make_tuple(5, 2, 0.5, 2),
+                      std::make_tuple(6, 3, 0.25, 3),
+                      std::make_tuple(6, 2, 0.15, 4),
+                      std::make_tuple(7, 3, 0.35, 5),
+                      std::make_tuple(5, 4, 0.4, 6),
+                      std::make_tuple(8, 2, 0.2, 7),
+                      std::make_tuple(6, 5, 0.3, 8),
+                      std::make_tuple(4, 3, 0.5, 9),
+                      std::make_tuple(9, 2, 0.1, 10),
+                      std::make_tuple(7, 4, 0.25, 11),
+                      std::make_tuple(5, 3, 0.0, 12)));
+
+TEST(Polymatroid, MatchesExactDefectEnumeration) {
+  // total_defect must agree with brute-force enumeration over the graph.
+  const std::uint32_t k = 6, d = 2;
+  Rng rng(9);
+  PolymatroidCurtain pc(k);
+  ThreadMatrix m(k);
+  NodeId next = 0;
+  for (int step = 0; step < 40; ++step) {
+    const auto picks = rng.sample_without_replacement(k, d);
+    PolymatroidCurtain::Mask mask = 0;
+    for (auto c : picks) mask |= 1u << c;
+    const bool failed = rng.chance(0.3);
+    pc.join(mask, failed);
+    m.append_row(next++, {picks.begin(), picks.end()});
+    if (failed) m.mark_failed(next - 1);
+  }
+  const auto fg = build_flow_graph(m);
+  EXPECT_EQ(pc.total_defect(d), exact_total_defect(fg, d));
+}
+
+}  // namespace
+}  // namespace ncast

@@ -1,0 +1,121 @@
+// Section 6 random-graph overlay tests: degree preservation, connectivity,
+// graceful-leave splicing, and logarithmic depth.
+
+#include "overlay/random_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ncast {
+namespace {
+
+using overlay::RandomGraphOverlay;
+
+TEST(RandomGraph, ConstructionValidation) {
+  EXPECT_THROW(RandomGraphOverlay(0, 2, Rng(1)), std::invalid_argument);
+  EXPECT_THROW(RandomGraphOverlay(2, 0, Rng(1)), std::invalid_argument);
+}
+
+TEST(RandomGraph, SeedTopology) {
+  RandomGraphOverlay o(3, 2, Rng(2));
+  EXPECT_EQ(o.node_count(), 2u);
+  EXPECT_EQ(o.graph().out_degree(RandomGraphOverlay::kServer), 6u);
+}
+
+TEST(RandomGraph, JoinPreservesAllDegrees) {
+  RandomGraphOverlay o(2, 2, Rng(3));
+  std::vector<graph::Vertex> nodes;
+  for (int i = 0; i < 50; ++i) nodes.push_back(o.join());
+  // Edge splitting preserves endpoint degrees and gives every newcomer
+  // d in + d out. The two seed children are the bootstrap sinks: in-degree d,
+  // out-degree 0 (nothing hangs below them until someone splits... splitting
+  // their in-edges still leaves them sinks — only insertions create out-edges).
+  for (graph::Vertex v = 1; v <= 2; ++v) {
+    EXPECT_EQ(o.graph().in_degree(v), 2u) << "seed " << v;
+  }
+  for (graph::Vertex v = 3; v < o.graph().vertex_count(); ++v) {
+    EXPECT_EQ(o.graph().in_degree(v), 2u) << "vertex " << v;
+    EXPECT_EQ(o.graph().out_degree(v), 2u) << "vertex " << v;
+  }
+  // Server out-degree never changes.
+  EXPECT_EQ(o.graph().out_degree(RandomGraphOverlay::kServer), 4u);
+}
+
+TEST(RandomGraph, FailureFreeConnectivityEqualsDegree) {
+  RandomGraphOverlay o(2, 3, Rng(4));
+  std::vector<graph::Vertex> nodes;
+  for (int i = 0; i < 30; ++i) nodes.push_back(o.join());
+  for (auto v : nodes) EXPECT_EQ(o.connectivity(v), 2);
+}
+
+TEST(RandomGraph, LeaveSplicesNeighbors) {
+  RandomGraphOverlay o(2, 2, Rng(5));
+  std::vector<graph::Vertex> nodes;
+  for (int i = 0; i < 30; ++i) nodes.push_back(o.join());
+  o.leave(nodes[10]);
+  o.leave(nodes[20]);
+  // Remaining nodes keep full degree and connectivity.
+  for (auto v : nodes) {
+    if (v == nodes[10] || v == nodes[20]) continue;
+    EXPECT_EQ(o.graph().in_degree(v), 2u);
+    EXPECT_EQ(o.connectivity(v), 2);
+  }
+}
+
+TEST(RandomGraph, FailureCostsNeighborsOnly) {
+  RandomGraphOverlay o(2, 2, Rng(6));
+  std::vector<graph::Vertex> nodes;
+  for (int i = 0; i < 40; ++i) nodes.push_back(o.join());
+  o.fail(nodes[5]);
+  EXPECT_EQ(o.connectivity(nodes[5]), 0);
+  // Connectivity of others can drop by at most their adjacency to the failed
+  // node; everyone stays >= 0 and most stay at 2.
+  int degraded = 0;
+  for (auto v : nodes) {
+    if (v == nodes[5]) continue;
+    const auto c = o.connectivity(v);
+    EXPECT_GE(c, 0);
+    EXPECT_LE(c, 2);
+    if (c < 2) ++degraded;
+  }
+  EXPECT_LT(degraded, 20);  // localized damage, not systemic
+}
+
+TEST(RandomGraph, Validation) {
+  RandomGraphOverlay o(2, 2, Rng(7));
+  EXPECT_THROW(o.fail(RandomGraphOverlay::kServer), std::out_of_range);
+  EXPECT_THROW(o.leave(RandomGraphOverlay::kServer), std::out_of_range);
+  EXPECT_THROW(o.connectivity(RandomGraphOverlay::kServer), std::out_of_range);
+  EXPECT_THROW(o.fail(999), std::out_of_range);
+  const auto v = o.join();
+  o.leave(v);
+  EXPECT_THROW(o.leave(v), std::out_of_range);  // already gone
+}
+
+TEST(RandomGraph, DepthGrowsLogarithmically) {
+  // The headline Section 6 claim: depth ~ O(log N), vs the curtain's O(N).
+  auto mean_depth = [](std::size_t n) {
+    RandomGraphOverlay o(3, 3, Rng(1234));
+    for (std::size_t i = 0; i < n; ++i) o.join();
+    const auto depths = o.depths();
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (auto d : depths) {
+      if (d > 0) {
+        sum += static_cast<double>(d);
+        ++count;
+      }
+    }
+    return sum / static_cast<double>(count);
+  };
+  const double d200 = mean_depth(200);
+  const double d800 = mean_depth(800);
+  // Quadrupling N should add roughly a constant (log 4 / log branching), not
+  // multiply the depth by 4.
+  EXPECT_LT(d800, d200 * 2.0);
+  EXPECT_GT(d800, d200);  // it does grow a little
+}
+
+}  // namespace
+}  // namespace ncast

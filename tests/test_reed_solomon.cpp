@@ -1,0 +1,137 @@
+// Reed–Solomon (Cauchy MDS) erasure code tests, including the MDS property:
+// any k of n fragments reconstruct the data.
+
+#include "coding/reed_solomon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "util/rng.hpp"
+
+namespace ncast {
+namespace {
+
+std::vector<std::vector<std::uint8_t>> random_data(std::size_t k, std::size_t len,
+                                                   Rng& rng) {
+  std::vector<std::vector<std::uint8_t>> data(k, std::vector<std::uint8_t>(len));
+  for (auto& d : data) {
+    for (auto& b : d) b = static_cast<std::uint8_t>(rng.below(256));
+  }
+  return data;
+}
+
+TEST(ReedSolomon, Validation) {
+  EXPECT_THROW(coding::ReedSolomon(4, 0), std::invalid_argument);
+  EXPECT_THROW(coding::ReedSolomon(3, 4), std::invalid_argument);
+  EXPECT_THROW(coding::ReedSolomon(257, 4), std::invalid_argument);
+  EXPECT_NO_THROW(coding::ReedSolomon(256, 100));
+  EXPECT_NO_THROW(coding::ReedSolomon(4, 4));
+}
+
+TEST(ReedSolomon, SystematicPrefix) {
+  Rng rng(1);
+  const auto data = random_data(3, 10, rng);
+  coding::ReedSolomon rs(6, 3);
+  const auto frags = rs.encode(data);
+  ASSERT_EQ(frags.size(), 6u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(frags[i], data[i]);
+}
+
+TEST(ReedSolomon, EncodeFragmentMatchesEncode) {
+  Rng rng(2);
+  const auto data = random_data(4, 7, rng);
+  coding::ReedSolomon rs(9, 4);
+  const auto frags = rs.encode(data);
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(rs.encode_fragment(data, i), frags[i]);
+  }
+  EXPECT_THROW(rs.encode_fragment(data, 9), std::out_of_range);
+}
+
+TEST(ReedSolomon, EncodeValidation) {
+  Rng rng(3);
+  coding::ReedSolomon rs(6, 3);
+  auto bad_count = random_data(2, 4, rng);
+  EXPECT_THROW(rs.encode(bad_count), std::invalid_argument);
+  auto ragged = random_data(3, 4, rng);
+  ragged[1].pop_back();
+  EXPECT_THROW(rs.encode(ragged), std::invalid_argument);
+}
+
+class RsMds : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RsMds, AnyKFragmentsReconstruct) {
+  const auto [n, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n * 100 + k));
+  const auto data = random_data(k, 16, rng);
+  coding::ReedSolomon rs(n, k);
+  const auto frags = rs.encode(data);
+
+  // Try many random k-subsets (exhaustive for tiny n).
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto picks = rng.sample_without_replacement(
+        static_cast<std::uint32_t>(n), static_cast<std::uint32_t>(k));
+    std::vector<std::pair<std::size_t, std::vector<std::uint8_t>>> received;
+    for (auto idx : picks) received.emplace_back(idx, frags[idx]);
+    EXPECT_EQ(rs.decode(received), data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RsMds,
+                         ::testing::Values(std::make_tuple(2, 1),
+                                           std::make_tuple(4, 2),
+                                           std::make_tuple(6, 3),
+                                           std::make_tuple(10, 4),
+                                           std::make_tuple(16, 8),
+                                           std::make_tuple(32, 24),
+                                           std::make_tuple(255, 4),
+                                           std::make_tuple(100, 1),
+                                           std::make_tuple(64, 63),
+                                           std::make_tuple(256, 8)));
+
+TEST(ReedSolomon, ParityOnlyReconstruction) {
+  // Worst case: all data fragments lost, decode from parity alone.
+  Rng rng(4);
+  const auto data = random_data(4, 8, rng);
+  coding::ReedSolomon rs(8, 4);
+  const auto frags = rs.encode(data);
+  std::vector<std::pair<std::size_t, std::vector<std::uint8_t>>> received;
+  for (std::size_t i = 4; i < 8; ++i) received.emplace_back(i, frags[i]);
+  EXPECT_EQ(rs.decode(received), data);
+}
+
+TEST(ReedSolomon, DecodeValidation) {
+  Rng rng(5);
+  const auto data = random_data(3, 4, rng);
+  coding::ReedSolomon rs(6, 3);
+  const auto frags = rs.encode(data);
+
+  // Wrong count.
+  EXPECT_THROW(rs.decode({{0, frags[0]}, {1, frags[1]}}), std::invalid_argument);
+  // Duplicate index.
+  EXPECT_THROW(rs.decode({{0, frags[0]}, {0, frags[0]}, {1, frags[1]}}),
+               std::invalid_argument);
+  // Out-of-range index.
+  EXPECT_THROW(rs.decode({{0, frags[0]}, {1, frags[1]}, {6, frags[2]}}),
+               std::invalid_argument);
+  // Ragged sizes.
+  auto short_frag = frags[2];
+  short_frag.pop_back();
+  EXPECT_THROW(rs.decode({{0, frags[0]}, {1, frags[1]}, {2, short_frag}}),
+               std::invalid_argument);
+}
+
+TEST(ReedSolomon, KEqualsNIsPlainCopy) {
+  Rng rng(6);
+  const auto data = random_data(5, 3, rng);
+  coding::ReedSolomon rs(5, 5);
+  const auto frags = rs.encode(data);
+  EXPECT_EQ(frags, data);
+  std::vector<std::pair<std::size_t, std::vector<std::uint8_t>>> received;
+  for (std::size_t i = 0; i < 5; ++i) received.emplace_back(i, frags[i]);
+  EXPECT_EQ(rs.decode(received), data);
+}
+
+}  // namespace
+}  // namespace ncast

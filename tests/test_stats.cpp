@@ -1,0 +1,157 @@
+// Tests for streaming statistics, quantiles, histograms and the least-squares
+// fitter used to check scaling laws.
+
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ncast {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 denominator: sum sq dev = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(b);  // no-op
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.merge(a);  // adopt
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(SampleSet, QuantilesOfKnownData) {
+  SampleSet s;
+  for (int i = 10; i >= 1; --i) s.add(i);  // 1..10 reversed
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.5);
+  EXPECT_NEAR(s.quantile(0.25), 3.25, 1e-12);
+}
+
+TEST(SampleSet, QuantileValidation) {
+  SampleSet s;
+  EXPECT_THROW(s.quantile(0.5), std::logic_error);
+  s.add(1.0);
+  EXPECT_THROW(s.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(s.quantile(1.1), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 1.0);
+}
+
+TEST(SampleSet, MeanAndCount) {
+  SampleSet s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  s.add(2.0);
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(Histogram, BasicBinning) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  for (std::size_t b = 0; b < 10; ++b) EXPECT_EQ(h.bucket(b), 1u);
+  EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(Histogram, ClampsOutliers) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(99.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, BucketLowEdges) {
+  Histogram h(0.0, 8.0, 4);
+  EXPECT_DOUBLE_EQ(h.bucket_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_low(2), 4.0);
+}
+
+TEST(Histogram, Validation) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(FitLine, ExactLine) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  std::vector<double> ys{3, 5, 7, 9, 11};  // y = 1 + 2x
+  const auto fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyLineHasLowerR2) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.0 * i + ((i % 2 == 0) ? 5.0 : -5.0));
+  }
+  const auto fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 0.05);
+  EXPECT_LT(fit.r2, 1.0);
+  EXPECT_GT(fit.r2, 0.9);
+}
+
+TEST(FitLine, Validation) {
+  EXPECT_THROW(fit_line({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(fit_line({1.0, 2.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(FitLine, VerticalDataDegenerates) {
+  // All x equal: slope undefined; fitter returns mean as intercept.
+  const auto fit = fit_line({2.0, 2.0, 2.0}, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+}  // namespace
+}  // namespace ncast

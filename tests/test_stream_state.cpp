@@ -1,0 +1,124 @@
+// Unit tests for the shared endpoint stream state (plan bootstrap, wire
+// absorb/emit, verification hooks, reassembly).
+
+#include "node/stream_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "coding/file_codec.hpp"
+#include "util/rng.hpp"
+
+namespace ncast {
+namespace {
+
+using node::StreamState;
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, Rng& rng) {
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.below(256));
+  return v;
+}
+
+TEST(StreamState, StartsUninitialized) {
+  StreamState s;
+  EXPECT_FALSE(s.initialized());
+  EXPECT_FALSE(s.decoded());
+  EXPECT_EQ(s.rank(), 0u);
+  Rng rng(1);
+  EXPECT_FALSE(s.emit_wire(rng).has_value());
+}
+
+TEST(StreamState, RejectsNonsensePlans) {
+  StreamState s;
+  EXPECT_FALSE(s.initialize(64, 0, 8, 8));
+  EXPECT_FALSE(s.initialize(64, 2, 0, 8));
+  EXPECT_FALSE(s.initialize(64, 2, 8, 0));
+  EXPECT_FALSE(s.initialized());
+  EXPECT_TRUE(s.initialize(64, 1, 8, 8));
+  EXPECT_TRUE(s.initialized());
+}
+
+TEST(StreamState, EndToEndRoundTrip) {
+  Rng rng(2);
+  const auto content = random_bytes(300, rng);
+  coding::FileEncoder encoder(content, 8, 16);  // 128 B/gen -> 3 generations
+  StreamState s;
+  ASSERT_TRUE(s.initialize(content.size(), 3, 8, 16));
+
+  std::size_t fed = 0;
+  while (!s.decoded()) {
+    const auto gen = rng.below(encoder.generations());
+    ASSERT_TRUE(s.absorb_wire(coding::serialize(encoder.emit(gen, rng))));
+    ASSERT_LT(++fed, 500u);
+  }
+  EXPECT_EQ(s.data(), content);
+  EXPECT_EQ(s.rank(), 24u);
+}
+
+TEST(StreamState, DropsMalformedAndForeignWire) {
+  StreamState s;
+  ASSERT_TRUE(s.initialize(64, 1, 8, 8));
+  EXPECT_FALSE(s.absorb_wire({1, 2, 3}));
+  // Well-formed packet from an out-of-range generation.
+  coding::CodedPacket<gf::Gf256> p;
+  p.generation = 5;
+  p.coeffs.assign(8, 1);
+  p.payload.assign(8, 1);
+  EXPECT_FALSE(s.absorb_wire(coding::serialize(p)));
+  EXPECT_EQ(s.rank(), 0u);
+}
+
+TEST(StreamState, RelayRoundTripThroughEmit) {
+  // A relay that has absorbed part of a generation must emit wire packets
+  // that a downstream state accepts and can finish decoding from.
+  Rng rng(3);
+  const auto content = random_bytes(128, rng);
+  coding::FileEncoder encoder(content, 8, 16);
+  StreamState relay, sink;
+  ASSERT_TRUE(relay.initialize(content.size(), 1, 8, 16));
+  ASSERT_TRUE(sink.initialize(content.size(), 1, 8, 16));
+
+  while (!relay.decoded()) {
+    relay.absorb_wire(coding::serialize(encoder.emit(0, rng)));
+  }
+  std::size_t hops = 0;
+  while (!sink.decoded()) {
+    const auto wire = relay.emit_wire(rng);
+    ASSERT_TRUE(wire.has_value());
+    sink.absorb_wire(*wire);
+    ASSERT_LT(++hops, 200u);
+  }
+  EXPECT_EQ(sink.data(), content);
+}
+
+TEST(StreamState, KeyedStateRejectsForgeries) {
+  Rng rng(4);
+  const auto content = random_bytes(128, rng);
+  coding::FileEncoder encoder(content, 8, 16);
+  const auto source = coding::generation_packets(content, encoder.plan(), 0);
+  const auto keys = coding::NullKeySet<gf::Gf256>::generate(0, source, 3, rng);
+
+  StreamState s;
+  ASSERT_TRUE(s.initialize(content.size(), 1, 8, 16));
+  s.install_keys({keys.serialize()});
+  EXPECT_TRUE(s.verification_enabled());
+
+  // Honest packets pass...
+  EXPECT_TRUE(s.absorb_wire(coding::serialize(encoder.emit(0, rng))));
+  // ...forgeries do not.
+  auto forged = encoder.emit(0, rng);
+  forged.payload[0] ^= 0x77;
+  EXPECT_FALSE(s.absorb_wire(coding::serialize(forged)));
+}
+
+TEST(StreamState, PartialKeyBundlesDisableVerification) {
+  StreamState s;
+  ASSERT_TRUE(s.initialize(128, 2, 8, 16));
+  s.install_keys({{1, 2, 3}});  // wrong count AND malformed
+  EXPECT_FALSE(s.verification_enabled());
+  s.install_keys({{1, 2, 3}, {4, 5, 6}});  // right count, malformed
+  EXPECT_FALSE(s.verification_enabled());
+}
+
+}  // namespace
+}  // namespace ncast

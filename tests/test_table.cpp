@@ -1,0 +1,56 @@
+// Tests for the console table renderer used by the benchmark harness.
+
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ncast {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "x"});
+  t.add_row({"a", "1.5"});
+  t.add_row({"longer", "22"});
+  const std::string r = t.render();
+  EXPECT_NE(r.find("| name   | x   |"), std::string::npos);
+  EXPECT_NE(r.find("| a      | 1.5 |"), std::string::npos);
+  EXPECT_NE(r.find("| longer | 22  |"), std::string::npos);
+}
+
+TEST(Table, HeaderSeparatorPresent) {
+  Table t({"h"});
+  t.add_row({"v"});
+  const std::string r = t.render();
+  EXPECT_NE(r.find("|---|"), std::string::npos);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Fmt, FixedDecimals) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(Fmt, Scientific) {
+  EXPECT_EQ(fmt_sci(12345.0, 2), "1.23e+04");
+  EXPECT_EQ(fmt_sci(0.00098, 1), "9.8e-04");
+}
+
+}  // namespace
+}  // namespace ncast

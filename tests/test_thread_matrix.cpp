@@ -1,0 +1,193 @@
+// Thread matrix (the server's data structure M) tests: row life cycle,
+// derived topology, failure tags, congestion edits, and invariants.
+
+#include "overlay/thread_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ncast {
+namespace {
+
+using namespace overlay;
+
+TEST(ThreadMatrix, EmptyCurtain) {
+  ThreadMatrix m(4);
+  EXPECT_EQ(m.k(), 4u);
+  EXPECT_EQ(m.row_count(), 0u);
+  const auto ends = m.hanging_ends();
+  ASSERT_EQ(ends.size(), 4u);
+  for (const auto& e : ends) {
+    EXPECT_EQ(e.owner, kServerNode);
+    EXPECT_FALSE(e.owner_failed);
+  }
+  EXPECT_TRUE(m.edges().empty());
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(ThreadMatrix, ZeroKThrows) {
+  EXPECT_THROW(ThreadMatrix(0), std::invalid_argument);
+}
+
+TEST(ThreadMatrix, AppendAndDeriveEdges) {
+  ThreadMatrix m(3);
+  m.append_row(10, {0, 1});
+  m.append_row(20, {1, 2});
+  // Column 0: server->10. Column 1: server->10->20. Column 2: server->20.
+  const auto edges = m.edges();
+  ASSERT_EQ(edges.size(), 4u);
+  int server_edges = 0, relay_edges = 0;
+  for (const auto& e : edges) {
+    if (e.from == kServerNode) ++server_edges;
+    if (e.from == 10 && e.to == 20 && e.column == 1) ++relay_edges;
+  }
+  EXPECT_EQ(server_edges, 3);
+  EXPECT_EQ(relay_edges, 1);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(ThreadMatrix, HangingEndsTrackLastClipper) {
+  ThreadMatrix m(3);
+  m.append_row(1, {0, 1});
+  m.append_row(2, {1, 2});
+  const auto ends = m.hanging_ends();
+  EXPECT_EQ(ends[0].owner, 1u);
+  EXPECT_EQ(ends[1].owner, 2u);
+  EXPECT_EQ(ends[2].owner, 2u);
+}
+
+TEST(ThreadMatrix, ParentsAndChildren) {
+  ThreadMatrix m(3);
+  m.append_row(1, {0, 1});
+  m.append_row(2, {1, 2});
+  m.append_row(3, {0, 2});
+  // Node 3 taps column 0 (fed by 1) and column 2 (fed by 2).
+  const auto parents = m.parents(3);
+  EXPECT_EQ(parents.size(), 2u);
+  EXPECT_NE(std::find(parents.begin(), parents.end(), 1u), parents.end());
+  EXPECT_NE(std::find(parents.begin(), parents.end(), 2u), parents.end());
+  // Node 1's children: 2 (column 1) and 3 (column 0).
+  const auto children = m.children(1);
+  EXPECT_EQ(children.size(), 2u);
+  // Server is the parent of node 1 on both columns; deduplicated.
+  EXPECT_EQ(m.parents(1), (std::vector<NodeId>{kServerNode}));
+}
+
+TEST(ThreadMatrix, InsertRowAtPosition) {
+  ThreadMatrix m(2);
+  m.append_row(1, {0});
+  m.append_row(2, {0});
+  m.insert_row(1, 5, {0});  // between 1 and 2
+  EXPECT_EQ(m.nodes_in_order(), (std::vector<NodeId>{1, 5, 2}));
+  EXPECT_EQ(m.position(5), 1u);
+  // Column 0 chain is now server->1->5->2.
+  EXPECT_EQ(m.parents(2), (std::vector<NodeId>{5}));
+  EXPECT_THROW(m.insert_row(9, 6, {0}), std::out_of_range);
+}
+
+TEST(ThreadMatrix, EraseRowReconnectsChain) {
+  ThreadMatrix m(2);
+  m.append_row(1, {0, 1});
+  m.append_row(2, {0, 1});
+  m.append_row(3, {0, 1});
+  m.erase_row(2);
+  EXPECT_EQ(m.row_count(), 2u);
+  EXPECT_FALSE(m.contains(2));
+  EXPECT_EQ(m.parents(3), (std::vector<NodeId>{1}));
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(ThreadMatrix, FailureTags) {
+  ThreadMatrix m(2);
+  m.append_row(1, {0});
+  EXPECT_EQ(m.failed_count(), 0u);
+  m.mark_failed(1);
+  EXPECT_EQ(m.failed_count(), 1u);
+  EXPECT_EQ(m.working_count(), 0u);
+  m.mark_failed(1);  // idempotent
+  EXPECT_EQ(m.failed_count(), 1u);
+  m.mark_working(1);
+  EXPECT_EQ(m.failed_count(), 0u);
+  m.mark_failed(1);
+  m.erase_row(1);
+  EXPECT_EQ(m.failed_count(), 0u);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(ThreadMatrix, FailedOwnerTaintsHangingEnd) {
+  ThreadMatrix m(2);
+  m.append_row(1, {0, 1});
+  m.mark_failed(1);
+  const auto ends = m.hanging_ends();
+  EXPECT_TRUE(ends[0].owner_failed);
+  EXPECT_TRUE(ends[1].owner_failed);
+}
+
+TEST(ThreadMatrix, RowValidation) {
+  ThreadMatrix m(3);
+  EXPECT_THROW(m.append_row(1, {}), std::invalid_argument);
+  EXPECT_THROW(m.append_row(1, {0, 0}), std::invalid_argument);
+  EXPECT_THROW(m.append_row(1, {3}), std::invalid_argument);
+  EXPECT_THROW(m.append_row(kServerNode, {0}), std::invalid_argument);
+  m.append_row(1, {2, 0});  // unsorted input is sorted internally
+  EXPECT_EQ(m.row(1).threads, (std::vector<ColumnId>{0, 2}));
+  EXPECT_THROW(m.append_row(1, {1}), std::invalid_argument);  // duplicate id
+}
+
+TEST(ThreadMatrix, UnknownNodeThrows) {
+  ThreadMatrix m(2);
+  EXPECT_THROW(m.row(9), std::out_of_range);
+  EXPECT_THROW(m.erase_row(9), std::out_of_range);
+  EXPECT_THROW(m.mark_failed(9), std::out_of_range);
+  EXPECT_THROW(m.position(9), std::out_of_range);
+}
+
+TEST(ThreadMatrix, AddAndDropThread) {
+  ThreadMatrix m(3);
+  m.append_row(1, {0});
+  m.add_thread(1, 2);
+  EXPECT_EQ(m.row(1).threads, (std::vector<ColumnId>{0, 2}));
+  EXPECT_THROW(m.add_thread(1, 2), std::invalid_argument);
+  EXPECT_THROW(m.add_thread(1, 7), std::invalid_argument);
+  m.drop_thread(1, 0);
+  EXPECT_EQ(m.row(1).threads, (std::vector<ColumnId>{2}));
+  EXPECT_THROW(m.drop_thread(1, 0), std::invalid_argument);
+  EXPECT_THROW(m.drop_thread(1, 2), std::logic_error);  // last thread
+}
+
+TEST(ThreadMatrix, DropThreadReconnectsChain) {
+  ThreadMatrix m(1);
+  m.append_row(1, {0});
+  m.append_row(2, {0});
+  m.append_row(3, {0});
+  // Node 2 offloads column 0: chain becomes server->1->3.
+  ThreadMatrix m2(2);
+  m2.append_row(1, {0, 1});
+  m2.append_row(2, {0, 1});
+  m2.append_row(3, {0, 1});
+  m2.drop_thread(2, 0);
+  EXPECT_EQ(m2.parents(3),
+            (std::vector<NodeId>{1, 2}));  // col 0 from 1, col 1 from 2
+}
+
+TEST(ThreadMatrix, HeterogeneousDegrees) {
+  ThreadMatrix m(4);
+  m.append_row(1, {0});
+  m.append_row(2, {0, 1, 2, 3});
+  EXPECT_EQ(m.row(1).threads.size(), 1u);
+  EXPECT_EQ(m.row(2).threads.size(), 4u);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(ThreadMatrix, EdgeDerivationSkipsNothing) {
+  // Total edges == total ones in the matrix.
+  ThreadMatrix m(5);
+  m.append_row(1, {0, 1, 2});
+  m.append_row(2, {2, 3});
+  m.append_row(3, {0, 4});
+  EXPECT_EQ(m.edges().size(), 7u);
+}
+
+}  // namespace
+}  // namespace ncast

@@ -1,0 +1,105 @@
+// Tree-packing multicast baseline tests: optimality on static graphs and
+// brittleness under failures (the paper's argument for network coding).
+
+#include "baselines/tree_packing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/maxflow.hpp"
+#include "overlay/curtain_server.hpp"
+
+namespace ncast {
+namespace {
+
+using namespace baselines;
+using overlay::CurtainServer;
+using overlay::NodeId;
+
+overlay::ThreadMatrix grow(std::uint32_t k, std::uint32_t d, int n,
+                           std::uint64_t seed) {
+  CurtainServer server(k, d, Rng(seed));
+  for (int i = 0; i < n; ++i) server.join();
+  return server.matrix();
+}
+
+TEST(TreePacking, BuildsDTreesOnHealthyOverlay) {
+  const auto m = grow(8, 3, 25, 1);
+  const auto mc = TreePackingMulticast::build(m, 3);
+  ASSERT_TRUE(mc.has_value());
+  EXPECT_EQ(mc->tree_count(), 3u);
+  EXPECT_TRUE(graph::validate_packing(mc->flow_graph().graph,
+                                      overlay::FlowGraph::kServerVertex,
+                                      mc->packing()));
+}
+
+TEST(TreePacking, TooManyTreesFails) {
+  const auto m = grow(8, 3, 25, 2);
+  EXPECT_FALSE(TreePackingMulticast::build(m, 4).has_value());
+}
+
+TEST(TreePacking, FailureFreeRateEqualsTreeCount) {
+  const auto m = grow(6, 2, 20, 3);
+  const auto mc = TreePackingMulticast::build(m, 2);
+  ASSERT_TRUE(mc.has_value());
+  const auto rates = mc->rates_under_failures(m);
+  for (NodeId n : m.nodes_in_order()) {
+    EXPECT_EQ(rates[mc->flow_graph().vertex_of(n)], 2u);
+  }
+}
+
+TEST(TreePacking, StaticTreesUnderperformMaxflowUnderFailures) {
+  // Kill a few nodes: static trees lose entire subtrees, while max-flow
+  // (what RLNC achieves) re-routes. Summed over nodes, trees <= flow, and
+  // typically strictly less.
+  auto m = grow(8, 3, 60, 4);
+  const auto mc = TreePackingMulticast::build(m, 3);
+  ASSERT_TRUE(mc.has_value());
+
+  Rng rng(5);
+  for (NodeId n : m.nodes_in_order()) {
+    if (rng.chance(0.1)) m.mark_failed(n);
+  }
+  const auto rates = mc->rates_under_failures(m);
+  const auto fg = build_flow_graph(m);
+
+  std::uint64_t tree_total = 0, flow_total = 0;
+  for (NodeId n : m.nodes_in_order()) {
+    if (m.row(n).failed) continue;
+    const auto tree_rate = rates[mc->flow_graph().vertex_of(n)];
+    const auto flow = node_connectivity(fg, n);
+    EXPECT_LE(tree_rate, static_cast<std::uint32_t>(flow)) << "node " << n;
+    tree_total += tree_rate;
+    flow_total += static_cast<std::uint64_t>(flow);
+  }
+  EXPECT_LT(tree_total, flow_total);
+}
+
+TEST(TreePacking, FailedNodesGetZero) {
+  auto m = grow(6, 2, 15, 6);
+  const auto mc = TreePackingMulticast::build(m, 2);
+  ASSERT_TRUE(mc.has_value());
+  m.mark_failed(3);
+  const auto rates = mc->rates_under_failures(m);
+  EXPECT_EQ(rates[mc->flow_graph().vertex_of(3)], 0u);
+}
+
+TEST(TreePacking, PackingBuiltOnTaggedMatrixIgnoresTags) {
+  // build() must treat tagged rows as working (packing is recomputed from
+  // scratch on repair in a real system).
+  auto m = grow(6, 2, 15, 7);
+  m.mark_failed(2);
+  const auto mc = TreePackingMulticast::build(m, 2);
+  ASSERT_TRUE(mc.has_value());
+  // Under the tags, node 2 and its dependents are degraded...
+  const auto rates = mc->rates_under_failures(m);
+  EXPECT_EQ(rates[mc->flow_graph().vertex_of(2)], 0u);
+  // ...but untag and everyone is served at 2 again.
+  m.mark_working(2);
+  const auto healthy = mc->rates_under_failures(m);
+  for (overlay::NodeId n : m.nodes_in_order()) {
+    EXPECT_EQ(healthy[mc->flow_graph().vertex_of(n)], 2u);
+  }
+}
+
+}  // namespace
+}  // namespace ncast

@@ -1,0 +1,137 @@
+// Wire-format tests: round trips for both fields, and defensive rejection of
+// every class of malformed buffer.
+
+#include "coding/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ncast {
+namespace {
+
+using coding::CodedPacket;
+
+template <typename Field>
+CodedPacket<Field> random_packet(std::size_t g, std::size_t symbols, Rng& rng) {
+  CodedPacket<Field> p;
+  p.generation = static_cast<std::uint32_t>(rng.below(1u << 30));
+  p.coeffs.resize(g);
+  p.payload.resize(symbols);
+  for (auto& c : p.coeffs) {
+    c = static_cast<typename Field::value_type>(rng.below(Field::order));
+  }
+  for (auto& s : p.payload) {
+    s = static_cast<typename Field::value_type>(rng.below(Field::order));
+  }
+  return p;
+}
+
+TEST(Wire, RoundTripGf256) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto p = random_packet<gf::Gf256>(1 + rng.below(64), 1 + rng.below(256), rng);
+    const auto bytes = coding::serialize(p);
+    EXPECT_EQ(bytes.size(),
+              coding::wire_size<gf::Gf256>(p.coeffs.size(), p.payload.size()));
+    const auto q = coding::deserialize<gf::Gf256>(bytes);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(q->generation, p.generation);
+    EXPECT_EQ(q->coeffs, p.coeffs);
+    EXPECT_EQ(q->payload, p.payload);
+  }
+}
+
+TEST(Wire, RoundTripGf2_16) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto p = random_packet<gf::Gf2_16>(1 + rng.below(32), 1 + rng.below(64), rng);
+    const auto bytes = coding::serialize(p);
+    const auto q = coding::deserialize<gf::Gf2_16>(bytes);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(q->coeffs, p.coeffs);
+    EXPECT_EQ(q->payload, p.payload);
+  }
+}
+
+TEST(Wire, HeaderLayoutIsStable) {
+  CodedPacket<gf::Gf256> p;
+  p.generation = 0x01020304;
+  p.coeffs = {9, 8};
+  p.payload = {7};
+  const auto bytes = coding::serialize(p);
+  ASSERT_EQ(bytes.size(), 15u);
+  EXPECT_EQ(bytes[0], 0x43);  // 'C' (magic little-endian)
+  EXPECT_EQ(bytes[1], 0x4E);  // 'N'
+  EXPECT_EQ(bytes[2], 1);     // version
+  EXPECT_EQ(bytes[3], 1);     // GF(2^8)
+  EXPECT_EQ(bytes[4], 0x04);  // generation LE
+  EXPECT_EQ(bytes[7], 0x01);
+  EXPECT_EQ(bytes[8], 2);     // g
+  EXPECT_EQ(bytes[10], 1);    // symbols
+  EXPECT_EQ(bytes[12], 9);
+  EXPECT_EQ(bytes[13], 8);
+  EXPECT_EQ(bytes[14], 7);
+}
+
+TEST(Wire, RejectsMalformedBuffers) {
+  Rng rng(3);
+  const auto p = random_packet<gf::Gf256>(4, 8, rng);
+  const auto good = coding::serialize(p);
+
+  // Truncated header.
+  EXPECT_FALSE(coding::deserialize<gf::Gf256>({0x43, 0x4E, 1}).has_value());
+  // Empty.
+  EXPECT_FALSE(coding::deserialize<gf::Gf256>({}).has_value());
+  // Bad magic.
+  auto bad = good;
+  bad[0] ^= 0xFF;
+  EXPECT_FALSE(coding::deserialize<gf::Gf256>(bad).has_value());
+  // Bad version.
+  bad = good;
+  bad[2] = 99;
+  EXPECT_FALSE(coding::deserialize<gf::Gf256>(bad).has_value());
+  // Wrong field.
+  EXPECT_FALSE(coding::deserialize<gf::Gf2_16>(good).has_value());
+  // Truncated body.
+  bad = good;
+  bad.pop_back();
+  EXPECT_FALSE(coding::deserialize<gf::Gf256>(bad).has_value());
+  // Extra bytes.
+  bad = good;
+  bad.push_back(0);
+  EXPECT_FALSE(coding::deserialize<gf::Gf256>(bad).has_value());
+  // Zero dimensions.
+  bad = good;
+  bad[8] = 0;
+  bad[9] = 0;
+  EXPECT_FALSE(coding::deserialize<gf::Gf256>(bad).has_value());
+}
+
+TEST(Wire, FuzzNeverCrashes) {
+  // Random byte soup must never produce UB or throw — just nullopt (or, for
+  // soup that accidentally forms a valid header, a well-formed packet).
+  Rng rng(4);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> soup(rng.below(64));
+    for (auto& b : soup) b = static_cast<std::uint8_t>(rng.below(256));
+    const auto q = coding::deserialize<gf::Gf256>(soup);
+    if (q) {
+      EXPECT_FALSE(q->coeffs.empty());
+      EXPECT_FALSE(q->payload.empty());
+    }
+  }
+}
+
+TEST(Wire, GenerationBoundaryValues) {
+  CodedPacket<gf::Gf256> p;
+  p.generation = 0xFFFFFFFF;
+  p.coeffs = {1};
+  p.payload = {2};
+  const auto q = coding::deserialize<gf::Gf256>(coding::serialize(p));
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->generation, 0xFFFFFFFFu);
+}
+
+}  // namespace
+}  // namespace ncast

@@ -1,0 +1,254 @@
+// ncast_explore — command-line experiment explorer.
+//
+// The bench binaries regenerate the paper's experiments with fixed
+// parameters; this tool lets you poke the system interactively:
+//
+//   ncast_explore overlay   --k 16 --d 3 --n 2000 --p 0.02 [--seed 1]
+//       grow an overlay, tag iid failures, report connectivity statistics
+//   ncast_explore defect    --k 16 --d 3 --p 0.01 --steps 5000
+//       run the exact polymatroid defect process, report E[B]/A vs pd
+//   ncast_explore broadcast --k 12 --d 3 --n 300 --p 0.05 --g 16
+//       packet-level RLNC broadcast, report decode/corruption outcomes
+//   ncast_explore stream    --k 8 --d 3 --n 25 --bytes 4096
+//       run the message-level protocol endpoints end to end
+//
+// Every run prints the effective parameters so results are reproducible.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "node/driver.hpp"
+#include "overlay/curtain_server.hpp"
+#include "overlay/defect.hpp"
+#include "overlay/flow_graph.hpp"
+#include "overlay/polymatroid.hpp"
+#include "sim/broadcast.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace ncast;
+
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> kv;
+
+  std::uint64_t get(const std::string& key, std::uint64_t def) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? def : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  double getf(const std::string& key, double def) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? def : std::strtod(it->second.c_str(), nullptr);
+  }
+};
+
+Args parse(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) key = key.substr(2);
+    args.kv[key] = argv[i + 1];
+  }
+  return args;
+}
+
+int cmd_overlay(const Args& a) {
+  const auto k = static_cast<std::uint32_t>(a.get("k", 16));
+  const auto d = static_cast<std::uint32_t>(a.get("d", 3));
+  const auto n = a.get("n", 2000);
+  const double p = a.getf("p", 0.02);
+  const auto seed = a.get("seed", 1);
+  std::printf("overlay: k=%u d=%u n=%llu p=%.4f seed=%llu\n", k, d,
+              static_cast<unsigned long long>(n),
+              p, static_cast<unsigned long long>(seed));
+
+  overlay::CurtainServer server(k, d, Rng(seed));
+  for (std::uint64_t i = 0; i < n; ++i) server.join();
+  auto m = server.matrix();
+  Rng rng(seed ^ 0xF00);
+  for (auto node : m.nodes_in_order()) {
+    if (rng.chance(p)) m.mark_failed(node);
+  }
+  const auto fg = build_flow_graph(m);
+
+  std::vector<overlay::NodeId> working;
+  for (auto node : m.nodes_in_order()) {
+    if (!m.row(node).failed) working.push_back(node);
+  }
+  rng.shuffle(working);
+  const std::size_t samples = std::min<std::size_t>(500, working.size());
+  RunningStats conn;
+  std::size_t degraded = 0, cut = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto c = node_connectivity(fg, working[i]);
+    conn.add(static_cast<double>(c));
+    if (c < d) ++degraded;
+    if (c == 0) ++cut;
+  }
+  const auto depths = node_depths(fg);
+  std::int64_t max_depth = 0;
+  for (auto dep : depths) max_depth = std::max(max_depth, dep);
+
+  Table t({"metric", "value"});
+  t.add_row({"nodes (working/failed)",
+             std::to_string(working.size()) + " / " + std::to_string(m.failed_count())});
+  t.add_row({"sampled working nodes", std::to_string(samples)});
+  t.add_row({"mean connectivity", fmt(conn.mean(), 3)});
+  t.add_row({"P(conn < d)", fmt(static_cast<double>(degraded) / samples, 4)});
+  t.add_row({"P(cut off)", fmt(static_cast<double>(cut) / samples, 4)});
+  t.add_row({"pd (Theorem 4 yardstick)", fmt(p * d, 4)});
+  t.add_row({"max depth", std::to_string(max_depth)});
+  t.print();
+  return 0;
+}
+
+int cmd_defect(const Args& a) {
+  const auto k = static_cast<std::uint32_t>(a.get("k", 16));
+  const auto d = static_cast<std::uint32_t>(a.get("d", 3));
+  const double p = a.getf("p", 0.01);
+  const auto steps = a.get("steps", 5000);
+  const auto seed = a.get("seed", 1);
+  if (k > 22) {
+    std::fprintf(stderr, "defect: exact engine needs k <= 22\n");
+    return 1;
+  }
+  std::printf("defect: k=%u d=%u p=%.4f steps=%llu seed=%llu\n", k, d, p,
+              static_cast<unsigned long long>(steps),
+              static_cast<unsigned long long>(seed));
+
+  overlay::PolymatroidCurtain pc(k);
+  Rng rng(seed);
+  RunningStats defect, loss;
+  for (std::uint64_t t = 0; t < steps; ++t) {
+    const auto connectivity = pc.join_random(d, p, rng);
+    if (t < steps / 10) continue;  // warmup
+    loss.add(static_cast<double>(d - connectivity));
+    if (t % 10 == 0) defect.add(pc.mean_defect(d));
+  }
+  Table t({"metric", "value"});
+  t.add_row({"E[B]/A (time averaged)", fmt(defect.mean(), 5)});
+  t.add_row({"arrival loss (Lemma 3)", fmt(loss.mean(), 5)});
+  t.add_row({"pd", fmt(p * d, 5)});
+  t.add_row({"ratio", fmt(defect.mean() / (p * d), 3)});
+  t.print();
+  return 0;
+}
+
+int cmd_broadcast(const Args& a) {
+  const auto k = static_cast<std::uint32_t>(a.get("k", 12));
+  const auto d = static_cast<std::uint32_t>(a.get("d", 3));
+  const auto n = a.get("n", 300);
+  const double p = a.getf("p", 0.05);
+  const auto g = a.get("g", 16);
+  const auto seed = a.get("seed", 1);
+  std::printf("broadcast: k=%u d=%u n=%llu p=%.4f g=%llu seed=%llu\n", k, d,
+              static_cast<unsigned long long>(n), p,
+              static_cast<unsigned long long>(g),
+              static_cast<unsigned long long>(seed));
+
+  overlay::CurtainServer server(k, d, Rng(seed));
+  for (std::uint64_t i = 0; i < n; ++i) server.join();
+  auto m = server.matrix();
+  Rng rng(seed ^ 0xF01);
+  for (auto node : m.nodes_in_order()) {
+    if (rng.chance(p)) m.mark_failed(node);
+  }
+  sim::BroadcastConfig cfg;
+  cfg.generation_size = g;
+  cfg.symbols = 16;
+  cfg.seed = seed ^ 0xF02;
+  const auto report = sim::simulate_broadcast(m, cfg);
+
+  Table t({"metric", "value"});
+  t.add_row({"rounds", std::to_string(report.rounds)});
+  t.add_row({"working nodes", std::to_string(report.outcomes.size())});
+  t.add_row({"decoded", fmt(report.decoded_fraction() * 100, 1) + "%"});
+  t.add_row({"corrupted", fmt(report.corrupted_fraction() * 100, 1) + "%"});
+  RunningStats cutfrac;
+  for (const auto& o : report.outcomes) {
+    cutfrac.add(static_cast<double>(o.max_flow) / d);
+  }
+  t.add_row({"mean min-cut / d", fmt(cutfrac.mean(), 3)});
+  t.print();
+  return 0;
+}
+
+int cmd_stream(const Args& a) {
+  const auto k = static_cast<std::uint32_t>(a.get("k", 8));
+  const auto d = static_cast<std::uint32_t>(a.get("d", 3));
+  const auto n = a.get("n", 25);
+  const auto bytes = a.get("bytes", 4096);
+  const auto seed = a.get("seed", 1);
+  std::printf("stream: k=%u d=%u n=%llu bytes=%llu seed=%llu\n", k, d,
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(bytes),
+              static_cast<unsigned long long>(seed));
+
+  node::ServerConfig scfg;
+  scfg.k = k;
+  scfg.default_degree = d;
+  scfg.generation_size = 16;
+  scfg.symbols = 64;
+  scfg.seed = seed;
+  Rng data_rng(seed ^ 0xF03);
+  std::vector<std::uint8_t> content(bytes);
+  for (auto& b : content) b = static_cast<std::uint8_t>(data_rng.below(256));
+  node::ServerNode server(scfg, content);
+
+  node::ClientConfig ccfg;
+  std::vector<std::unique_ptr<node::ClientNode>> clients;
+  std::vector<node::ClientNode*> ptrs;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    clients.push_back(std::make_unique<node::ClientNode>(
+        static_cast<node::Address>(i + 1), ccfg));
+    ptrs.push_back(clients.back().get());
+  }
+  node::TickDriver driver(server, ptrs);
+  for (auto& c : clients) c->join(driver.network());
+  const bool done = driver.run_until_decoded(20000);
+
+  std::size_t verified = 0;
+  for (auto& c : clients) {
+    if (c->decoded() && c->data() == server.data()) ++verified;
+  }
+  Table t({"metric", "value"});
+  t.add_row({"completed", done ? "yes" : "NO"});
+  t.add_row({"ticks", std::to_string(driver.now())});
+  t.add_row({"verified payloads", std::to_string(verified) + "/" + std::to_string(n)});
+  t.add_row({"data msgs", std::to_string(driver.network().data_messages())});
+  t.add_row({"control msgs", std::to_string(driver.network().control_messages())});
+  t.print();
+  return 0;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: ncast_explore <overlay|defect|broadcast|stream> [--key value]...\n"
+      "  overlay   --k --d --n --p --seed      connectivity under failures\n"
+      "  defect    --k --d --p --steps --seed  exact Theorem-4 process\n"
+      "  broadcast --k --d --n --p --g --seed  packet-level RLNC broadcast\n"
+      "  stream    --k --d --n --bytes --seed  protocol endpoints end-to-end\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Args args = parse(argc, argv, 2);
+  if (cmd == "overlay") return cmd_overlay(args);
+  if (cmd == "defect") return cmd_defect(args);
+  if (cmd == "broadcast") return cmd_broadcast(args);
+  if (cmd == "stream") return cmd_stream(args);
+  usage();
+  return 2;
+}
