@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_async.cpp" "bench/CMakeFiles/bench_async.dir/bench_async.cpp.o" "gcc" "bench/CMakeFiles/bench_async.dir/bench_async.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ncast_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/ncast_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/ncast_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ncast_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/ncast_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/ncast_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ncast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ncast_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_field_ablation.dir/bench_field_ablation.cpp.o"
+  "CMakeFiles/bench_field_ablation.dir/bench_field_ablation.cpp.o.d"
+  "bench_field_ablation"
+  "bench_field_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_field_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

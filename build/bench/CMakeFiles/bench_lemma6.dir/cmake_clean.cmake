@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma6.dir/bench_lemma6.cpp.o"
+  "CMakeFiles/bench_lemma6.dir/bench_lemma6.cpp.o.d"
+  "bench_lemma6"
+  "bench_lemma6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overlay_ops.dir/bench_overlay_ops.cpp.o"
+  "CMakeFiles/bench_overlay_ops.dir/bench_overlay_ops.cpp.o.d"
+  "bench_overlay_ops"
+  "bench_overlay_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overlay_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

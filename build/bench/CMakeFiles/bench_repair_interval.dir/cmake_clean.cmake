@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_repair_interval.dir/bench_repair_interval.cpp.o"
+  "CMakeFiles/bench_repair_interval.dir/bench_repair_interval.cpp.o.d"
+  "bench_repair_interval"
+  "bench_repair_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_repair_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seeding.dir/bench_seeding.cpp.o"
+  "CMakeFiles/bench_seeding.dir/bench_seeding.cpp.o.d"
+  "bench_seeding"
+  "bench_seeding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seeding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trackerless.dir/bench_trackerless.cpp.o"
+  "CMakeFiles/bench_trackerless.dir/bench_trackerless.cpp.o.d"
+  "bench_trackerless"
+  "bench_trackerless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trackerless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

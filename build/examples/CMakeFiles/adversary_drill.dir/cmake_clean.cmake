@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversary_drill.dir/adversary_drill.cpp.o"
+  "CMakeFiles/adversary_drill.dir/adversary_drill.cpp.o.d"
+  "adversary_drill"
+  "adversary_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversary_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layered_streaming.dir/layered_streaming.cpp.o"
+  "CMakeFiles/layered_streaming.dir/layered_streaming.cpp.o.d"
+  "layered_streaming"
+  "layered_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layered_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

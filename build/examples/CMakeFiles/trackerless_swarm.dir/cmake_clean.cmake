@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trackerless_swarm.dir/trackerless_swarm.cpp.o"
+  "CMakeFiles/trackerless_swarm.dir/trackerless_swarm.cpp.o.d"
+  "trackerless_swarm"
+  "trackerless_swarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trackerless_swarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

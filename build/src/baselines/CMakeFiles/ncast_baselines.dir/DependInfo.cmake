@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/forwarding.cpp" "src/baselines/CMakeFiles/ncast_baselines.dir/forwarding.cpp.o" "gcc" "src/baselines/CMakeFiles/ncast_baselines.dir/forwarding.cpp.o.d"
+  "/root/repo/src/baselines/tree_packing.cpp" "src/baselines/CMakeFiles/ncast_baselines.dir/tree_packing.cpp.o" "gcc" "src/baselines/CMakeFiles/ncast_baselines.dir/tree_packing.cpp.o.d"
+  "/root/repo/src/baselines/trees.cpp" "src/baselines/CMakeFiles/ncast_baselines.dir/trees.cpp.o" "gcc" "src/baselines/CMakeFiles/ncast_baselines.dir/trees.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/overlay/CMakeFiles/ncast_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ncast_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ncast_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncast_baselines.dir/forwarding.cpp.o"
+  "CMakeFiles/ncast_baselines.dir/forwarding.cpp.o.d"
+  "CMakeFiles/ncast_baselines.dir/tree_packing.cpp.o"
+  "CMakeFiles/ncast_baselines.dir/tree_packing.cpp.o.d"
+  "CMakeFiles/ncast_baselines.dir/trees.cpp.o"
+  "CMakeFiles/ncast_baselines.dir/trees.cpp.o.d"
+  "libncast_baselines.a"
+  "libncast_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncast_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncast_coding.dir/reed_solomon.cpp.o"
+  "CMakeFiles/ncast_coding.dir/reed_solomon.cpp.o.d"
+  "CMakeFiles/ncast_coding.dir/wire.cpp.o"
+  "CMakeFiles/ncast_coding.dir/wire.cpp.o.d"
+  "libncast_coding.a"
+  "libncast_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncast_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncast_gf.dir/gf256.cpp.o"
+  "CMakeFiles/ncast_gf.dir/gf256.cpp.o.d"
+  "CMakeFiles/ncast_gf.dir/gf256_simd.cpp.o"
+  "CMakeFiles/ncast_gf.dir/gf256_simd.cpp.o.d"
+  "CMakeFiles/ncast_gf.dir/gf2_16.cpp.o"
+  "CMakeFiles/ncast_gf.dir/gf2_16.cpp.o.d"
+  "libncast_gf.a"
+  "libncast_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncast_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncast_graph.dir/arborescence.cpp.o"
+  "CMakeFiles/ncast_graph.dir/arborescence.cpp.o.d"
+  "CMakeFiles/ncast_graph.dir/digraph.cpp.o"
+  "CMakeFiles/ncast_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/ncast_graph.dir/maxflow.cpp.o"
+  "CMakeFiles/ncast_graph.dir/maxflow.cpp.o.d"
+  "libncast_graph.a"
+  "libncast_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncast_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

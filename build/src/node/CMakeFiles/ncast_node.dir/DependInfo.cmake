@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/node/client_node.cpp" "src/node/CMakeFiles/ncast_node.dir/client_node.cpp.o" "gcc" "src/node/CMakeFiles/ncast_node.dir/client_node.cpp.o.d"
+  "/root/repo/src/node/gossip_peer.cpp" "src/node/CMakeFiles/ncast_node.dir/gossip_peer.cpp.o" "gcc" "src/node/CMakeFiles/ncast_node.dir/gossip_peer.cpp.o.d"
+  "/root/repo/src/node/network.cpp" "src/node/CMakeFiles/ncast_node.dir/network.cpp.o" "gcc" "src/node/CMakeFiles/ncast_node.dir/network.cpp.o.d"
+  "/root/repo/src/node/server_node.cpp" "src/node/CMakeFiles/ncast_node.dir/server_node.cpp.o" "gcc" "src/node/CMakeFiles/ncast_node.dir/server_node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/overlay/CMakeFiles/ncast_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/ncast_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ncast_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ncast_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/ncast_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

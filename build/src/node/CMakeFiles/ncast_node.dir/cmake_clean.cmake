@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncast_node.dir/client_node.cpp.o"
+  "CMakeFiles/ncast_node.dir/client_node.cpp.o.d"
+  "CMakeFiles/ncast_node.dir/gossip_peer.cpp.o"
+  "CMakeFiles/ncast_node.dir/gossip_peer.cpp.o.d"
+  "CMakeFiles/ncast_node.dir/network.cpp.o"
+  "CMakeFiles/ncast_node.dir/network.cpp.o.d"
+  "CMakeFiles/ncast_node.dir/server_node.cpp.o"
+  "CMakeFiles/ncast_node.dir/server_node.cpp.o.d"
+  "libncast_node.a"
+  "libncast_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncast_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/curtain_server.cpp" "src/overlay/CMakeFiles/ncast_overlay.dir/curtain_server.cpp.o" "gcc" "src/overlay/CMakeFiles/ncast_overlay.dir/curtain_server.cpp.o.d"
+  "/root/repo/src/overlay/defect.cpp" "src/overlay/CMakeFiles/ncast_overlay.dir/defect.cpp.o" "gcc" "src/overlay/CMakeFiles/ncast_overlay.dir/defect.cpp.o.d"
+  "/root/repo/src/overlay/flow_graph.cpp" "src/overlay/CMakeFiles/ncast_overlay.dir/flow_graph.cpp.o" "gcc" "src/overlay/CMakeFiles/ncast_overlay.dir/flow_graph.cpp.o.d"
+  "/root/repo/src/overlay/gossip.cpp" "src/overlay/CMakeFiles/ncast_overlay.dir/gossip.cpp.o" "gcc" "src/overlay/CMakeFiles/ncast_overlay.dir/gossip.cpp.o.d"
+  "/root/repo/src/overlay/polymatroid.cpp" "src/overlay/CMakeFiles/ncast_overlay.dir/polymatroid.cpp.o" "gcc" "src/overlay/CMakeFiles/ncast_overlay.dir/polymatroid.cpp.o.d"
+  "/root/repo/src/overlay/random_graph.cpp" "src/overlay/CMakeFiles/ncast_overlay.dir/random_graph.cpp.o" "gcc" "src/overlay/CMakeFiles/ncast_overlay.dir/random_graph.cpp.o.d"
+  "/root/repo/src/overlay/thread_matrix.cpp" "src/overlay/CMakeFiles/ncast_overlay.dir/thread_matrix.cpp.o" "gcc" "src/overlay/CMakeFiles/ncast_overlay.dir/thread_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ncast_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ncast_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncast_overlay.dir/curtain_server.cpp.o"
+  "CMakeFiles/ncast_overlay.dir/curtain_server.cpp.o.d"
+  "CMakeFiles/ncast_overlay.dir/defect.cpp.o"
+  "CMakeFiles/ncast_overlay.dir/defect.cpp.o.d"
+  "CMakeFiles/ncast_overlay.dir/flow_graph.cpp.o"
+  "CMakeFiles/ncast_overlay.dir/flow_graph.cpp.o.d"
+  "CMakeFiles/ncast_overlay.dir/gossip.cpp.o"
+  "CMakeFiles/ncast_overlay.dir/gossip.cpp.o.d"
+  "CMakeFiles/ncast_overlay.dir/polymatroid.cpp.o"
+  "CMakeFiles/ncast_overlay.dir/polymatroid.cpp.o.d"
+  "CMakeFiles/ncast_overlay.dir/random_graph.cpp.o"
+  "CMakeFiles/ncast_overlay.dir/random_graph.cpp.o.d"
+  "CMakeFiles/ncast_overlay.dir/thread_matrix.cpp.o"
+  "CMakeFiles/ncast_overlay.dir/thread_matrix.cpp.o.d"
+  "libncast_overlay.a"
+  "libncast_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncast_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libncast_overlay.a"
+)

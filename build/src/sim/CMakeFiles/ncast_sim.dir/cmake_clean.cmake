@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncast_sim.dir/async_broadcast.cpp.o"
+  "CMakeFiles/ncast_sim.dir/async_broadcast.cpp.o.d"
+  "CMakeFiles/ncast_sim.dir/broadcast.cpp.o"
+  "CMakeFiles/ncast_sim.dir/broadcast.cpp.o.d"
+  "CMakeFiles/ncast_sim.dir/churn.cpp.o"
+  "CMakeFiles/ncast_sim.dir/churn.cpp.o.d"
+  "libncast_sim.a"
+  "libncast_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncast_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncast_util.dir/stats.cpp.o"
+  "CMakeFiles/ncast_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ncast_util.dir/table.cpp.o"
+  "CMakeFiles/ncast_util.dir/table.cpp.o.d"
+  "libncast_util.a"
+  "libncast_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncast_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arborescence.dir/test_arborescence.cpp.o"
+  "CMakeFiles/test_arborescence.dir/test_arborescence.cpp.o.d"
+  "test_arborescence"
+  "test_arborescence.pdb"
+  "test_arborescence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arborescence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_async_broadcast.dir/test_async_broadcast.cpp.o"
+  "CMakeFiles/test_async_broadcast.dir/test_async_broadcast.cpp.o.d"
+  "test_async_broadcast"
+  "test_async_broadcast.pdb"
+  "test_async_broadcast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_async_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_broadcast_properties.dir/test_broadcast_properties.cpp.o"
+  "CMakeFiles/test_broadcast_properties.dir/test_broadcast_properties.cpp.o.d"
+  "test_broadcast_properties"
+  "test_broadcast_properties.pdb"
+  "test_broadcast_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_broadcast_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

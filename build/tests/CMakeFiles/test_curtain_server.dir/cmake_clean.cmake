@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_curtain_server.dir/test_curtain_server.cpp.o"
+  "CMakeFiles/test_curtain_server.dir/test_curtain_server.cpp.o.d"
+  "test_curtain_server"
+  "test_curtain_server.pdb"
+  "test_curtain_server[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_curtain_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flow_graph.dir/test_flow_graph.cpp.o"
+  "CMakeFiles/test_flow_graph.dir/test_flow_graph.cpp.o.d"
+  "test_flow_graph"
+  "test_flow_graph.pdb"
+  "test_flow_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flow_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

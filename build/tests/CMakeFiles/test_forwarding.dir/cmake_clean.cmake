@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_forwarding.dir/test_forwarding.cpp.o"
+  "CMakeFiles/test_forwarding.dir/test_forwarding.cpp.o.d"
+  "test_forwarding"
+  "test_forwarding.pdb"
+  "test_forwarding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gaussian.dir/test_gaussian.cpp.o"
+  "CMakeFiles/test_gaussian.dir/test_gaussian.cpp.o.d"
+  "test_gaussian"
+  "test_gaussian.pdb"
+  "test_gaussian[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gaussian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gf2_16.dir/test_gf2_16.cpp.o"
+  "CMakeFiles/test_gf2_16.dir/test_gf2_16.cpp.o.d"
+  "test_gf2_16"
+  "test_gf2_16.pdb"
+  "test_gf2_16[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gf2_16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_gf2_16.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gossip_peer.dir/test_gossip_peer.cpp.o"
+  "CMakeFiles/test_gossip_peer.dir/test_gossip_peer.cpp.o.d"
+  "test_gossip_peer"
+  "test_gossip_peer.pdb"
+  "test_gossip_peer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gossip_peer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

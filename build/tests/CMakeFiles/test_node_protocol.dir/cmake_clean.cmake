@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_protocol.dir/test_node_protocol.cpp.o"
+  "CMakeFiles/test_node_protocol.dir/test_node_protocol.cpp.o.d"
+  "test_node_protocol"
+  "test_node_protocol.pdb"
+  "test_node_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

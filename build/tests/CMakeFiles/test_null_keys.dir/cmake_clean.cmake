@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_null_keys.dir/test_null_keys.cpp.o"
+  "CMakeFiles/test_null_keys.dir/test_null_keys.cpp.o.d"
+  "test_null_keys"
+  "test_null_keys.pdb"
+  "test_null_keys[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_null_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

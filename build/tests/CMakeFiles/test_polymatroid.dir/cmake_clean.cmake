@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_polymatroid.dir/test_polymatroid.cpp.o"
+  "CMakeFiles/test_polymatroid.dir/test_polymatroid.cpp.o.d"
+  "test_polymatroid"
+  "test_polymatroid.pdb"
+  "test_polymatroid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_polymatroid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_churn.dir/test_protocol_churn.cpp.o"
+  "CMakeFiles/test_protocol_churn.dir/test_protocol_churn.cpp.o.d"
+  "test_protocol_churn"
+  "test_protocol_churn.pdb"
+  "test_protocol_churn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

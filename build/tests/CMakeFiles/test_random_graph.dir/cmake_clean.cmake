@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_graph.dir/test_random_graph.cpp.o"
+  "CMakeFiles/test_random_graph.dir/test_random_graph.cpp.o.d"
+  "test_random_graph"
+  "test_random_graph.pdb"
+  "test_random_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

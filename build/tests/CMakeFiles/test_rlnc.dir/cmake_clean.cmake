@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rlnc.dir/test_rlnc.cpp.o"
+  "CMakeFiles/test_rlnc.dir/test_rlnc.cpp.o.d"
+  "test_rlnc"
+  "test_rlnc.pdb"
+  "test_rlnc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rlnc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

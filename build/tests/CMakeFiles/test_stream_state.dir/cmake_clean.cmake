@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stream_state.dir/test_stream_state.cpp.o"
+  "CMakeFiles/test_stream_state.dir/test_stream_state.cpp.o.d"
+  "test_stream_state"
+  "test_stream_state.pdb"
+  "test_stream_state[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stream_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thread_matrix.dir/test_thread_matrix.cpp.o"
+  "CMakeFiles/test_thread_matrix.dir/test_thread_matrix.cpp.o.d"
+  "test_thread_matrix"
+  "test_thread_matrix.pdb"
+  "test_thread_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thread_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_packing.dir/test_tree_packing.cpp.o"
+  "CMakeFiles/test_tree_packing.dir/test_tree_packing.cpp.o.d"
+  "test_tree_packing"
+  "test_tree_packing.pdb"
+  "test_tree_packing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

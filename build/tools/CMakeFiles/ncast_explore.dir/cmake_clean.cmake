@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncast_explore.dir/ncast_explore.cpp.o"
+  "CMakeFiles/ncast_explore.dir/ncast_explore.cpp.o.d"
+  "ncast_explore"
+  "ncast_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncast_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
