@@ -56,6 +56,13 @@ Result evaluate(const overlay::ThreadMatrix& m, std::uint32_t d,
 }  // namespace
 
 int main() {
+  bench::MetricsSession session("adversarial");
+  session.param("k", 16);
+  session.param("d", 2);
+  session.param("n", 2000);
+  session.param("seed", std::uint64_t{0xE60});
+  session.param("adversary_fraction", 0.02);
+
   bench::banner(
       "E6: adversarial vs random failures (Section 5)",
       "k = 16, d = 2, N = 2000, adversary fraction 2% (40 nodes failing\n"
@@ -118,6 +125,7 @@ int main() {
   table.add_row({"C: coordinated burst", "random insert", fmt(c_loss.mean(), 4),
                  fmt(c_mean.mean(), 4), fmt(c_cut.mean(), 4)});
   table.print();
+  session.add_table("scenarios", table);
 
   std::printf(
       "\nReading: B should be catastrophic (a contiguous failed band severs\n"

@@ -14,6 +14,13 @@
 using namespace ncast;
 
 int main() {
+  bench::MetricsSession session("async");
+  session.param("k", 24);
+  session.param("d", 3);
+  session.param("n", "200..800");
+  session.param("seed", std::uint64_t{0xEF0});
+  session.param("generation_size", 36);
+
   bench::banner(
       "E15: asynchronous packets — delay spread vs cycles (Section 6)",
       "Link latencies uniform in [0.2, 1.8] periods, desynchronized clocks.\n"
@@ -66,6 +73,7 @@ int main() {
     }
   }
   table.print();
+  session.add_table("delay_vs_topology", table);
 
   std::printf(
       "\nReading: the curtain's first-arrival delay grows linearly with N\n"

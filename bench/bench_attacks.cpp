@@ -69,6 +69,13 @@ Outcome run(const overlay::ThreadMatrix& m, sim::NodeBehavior attack,
 }  // namespace
 
 int main() {
+  bench::MetricsSession session("attacks");
+  session.param("k", 12);
+  session.param("d", 3);
+  session.param("n", 300);
+  session.param("seed", std::uint64_t{0xEB0});
+  session.param("generation_size", 8);
+
   bench::banner(
       "E11: failure vs entropy-destruction vs jamming attacks (Section 7)",
       "k = 12, d = 3, N = 300, generation size 8. Honest-node outcomes only.\n"
@@ -93,6 +100,7 @@ int main() {
     }
   }
   table.print();
+  session.add_table("attack_taxonomy", table);
 
   std::printf(
       "\nReading: failure and entropy attacks are tolerated at small\n"
@@ -122,6 +130,7 @@ int main() {
       "\nJamming with the null-key defense (Section 7's open problem, solved\n"
       "with keys from the valid packet space's orthogonal complement):\n");
   defended.print();
+  session.add_table("null_key_defense", defended);
   std::printf(
       "\nReading: with verification on, corruption drops to zero and jammers\n"
       "degrade into mere capacity holes — the attack is demoted to a failure\n"

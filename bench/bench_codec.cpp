@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "metrics_session.hpp"
+
 #include "coding/decoder.hpp"
 #include "coding/encoder.hpp"
 #include "coding/recoder.hpp"
@@ -156,4 +158,17 @@ BENCHMARK(BM_RsDecodeParityHeavy)->Arg(8)->Arg(16)->Arg(32);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() with a MetricsSession wrapped around the run so
+// the registry counters (decoder.*, linalg.*) land in BENCH_codec.json.
+int main(int argc, char** argv) {
+  ncast::bench::MetricsSession session("codec");
+  session.param("k", "g in 16..128");  // generation sizes; no overlay here
+  session.param("d", "n/a");
+  session.param("n", 1024);  // symbols per packet
+  session.param("seed", std::uint64_t{1});
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -35,6 +35,13 @@ std::uint64_t steps_to_collapse(std::uint32_t k, std::uint32_t d, double p,
 }  // namespace
 
 int main() {
+  bench::MetricsSession session("collapse");
+  session.param("k", "6..16");
+  session.param("d", 2);
+  session.param("p", "0.25,0.30");
+  session.param("n", 40);  // trials per k
+  session.param("seed", std::uint64_t{0xE30000});
+
   bench::banner(
       "E3: Theorem 5 (time to collapse is exponential in k/d^3)",
       "d = 2, deliberately harsh failure rates so collapse happens within\n"
@@ -69,12 +76,15 @@ int main() {
     }
     std::printf("p = %.2f (pd = %.2f):\n", p, p * d);
     table.print();
+    session.add_table("collapse_p" + fmt(p, 2), table);
     if (xs.size() >= 3) {
       const auto fit = fit_line(xs, ys);
       std::printf(
           "fit log(median) = %.2f + %.2f * (k/d^3),  r^2 = %.3f\n"
           "positive slope => exponential growth in k/d^3, as claimed.\n\n",
           fit.intercept, fit.slope, fit.r2);
+      session.note("slope_p" + fmt(p, 2), fit.slope);
+      session.note("r2_p" + fmt(p, 2), fit.r2);
     } else {
       std::printf("too many censored runs for a fit at this p\n\n");
     }

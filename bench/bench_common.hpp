@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "metrics_session.hpp"
 #include "overlay/curtain_server.hpp"
 #include "overlay/thread_matrix.hpp"
 #include "util/rng.hpp"

@@ -36,6 +36,13 @@ double binomial_tail(std::uint32_t d, double p, std::uint32_t kappa) {
 }  // namespace
 
 int main() {
+  bench::MetricsSession session("conjecture");
+  session.param("k", "12..20");
+  session.param("d", "3..4");
+  session.param("p", "0.02..0.05");
+  session.param("n", 4000);  // arrivals per config
+  session.param("seed", std::uint64_t{0xE140});
+
   bench::banner(
       "E14: Section 7 conjecture (losing kappa threads ~ losing kappa parents)",
       "k = 16, time-averaged P(random d-tuple has defect >= kappa) vs the\n"
@@ -80,6 +87,7 @@ int main() {
     }
   }
   table.print();
+  session.add_table("tail_vs_binomial", table);
 
   std::printf(
       "\nReading: kappa = 1 restates Theorem 4 (ratio ~ 1). The kappa >= 2\n"

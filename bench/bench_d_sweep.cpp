@@ -14,6 +14,13 @@
 using namespace ncast;
 
 int main() {
+  bench::MetricsSession session("d_sweep");
+  session.param("k", "4d (8..20)");
+  session.param("d", "2..5");
+  session.param("p", 0.02);
+  session.param("n", "2200..6500");  // arrivals per config
+  session.param("seed", std::uint64_t{0xE90});
+
   bench::banner(
       "E9: choice of d (loss fraction ~p for all d; variance drops with d)",
       "Server bandwidth fixed at 4 user-bandwidths => k = 4d. p = 0.02.\n"
@@ -41,6 +48,7 @@ int main() {
                    fmt(loss.variance() * d, 4)});
   }
   table.print();
+  session.add_table("loss_vs_d", table);
   std::printf(
       "\nReading: 'mean loss fraction' hugs p for every d (all d equivalent\n"
       "in expectation); 'variance' decreases as d grows — 'var * d' staying\n"

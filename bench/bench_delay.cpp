@@ -40,6 +40,12 @@ DepthStats summarize(const std::vector<std::int64_t>& depths) {
 }  // namespace
 
 int main() {
+  bench::MetricsSession session("delay");
+  session.param("k", 32);
+  session.param("d", 3);
+  session.param("n", "250..4000");
+  session.param("seed", std::uint64_t{0xE70});
+
   bench::banner(
       "E7: delay vs cycles (Section 6)",
       "Curtain (acyclic): depth grows linearly in N. Random-graph variant\n"
@@ -70,9 +76,14 @@ int main() {
     rg_means.push_back(rnd.mean);
   }
   table.print();
+  session.add_table("depth_vs_n", table);
 
   const auto lin = fit_line(ns, curtain_means);
   const auto log_fit = fit_line(log_ns, rg_means);
+  session.note("curtain_linear_slope", lin.slope);
+  session.note("curtain_linear_r2", lin.r2);
+  session.note("randgraph_log_slope", log_fit.slope);
+  session.note("randgraph_log_r2", log_fit.r2);
   std::printf(
       "\ncurtain: depth = %.4f + %.5f * N        (r^2 = %.3f; mean-depth slope ~ (d/k)/2 = %.5f)\n"
       "random graph: depth = %.2f + %.2f * ln N (r^2 = %.3f)\n"

@@ -53,6 +53,12 @@ void run(const char* name, std::size_t g, Table& table, std::uint64_t seed) {
 }  // namespace
 
 int main() {
+  bench::MetricsSession session("field_ablation");
+  session.param("k", "g in 8..32");  // generation sizes; no overlay here
+  session.param("d", "n/a");
+  session.param("n", 120);  // decode trials per row
+  session.param("seed", std::uint64_t{0xEE0});
+
   bench::banner(
       "E13b: field-size ablation (waste probability vs coefficient overhead)",
       "120 decode trials per row; source-direct coding (worst case for small\n"
@@ -66,6 +72,7 @@ int main() {
     run<gf::Gf2_16>("GF(2^16)", g, table, 0xEE2 + g);
   }
   table.print();
+  session.add_table("field_ablation", table);
   std::printf(
       "\nReading: GF(2) wastes ~a constant fraction of transmissions (the\n"
       "expected stretch is sum 1/(1-2^-i) ~ g + 1.6); GF(2^8) wastes ~1/255\n"

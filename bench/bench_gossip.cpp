@@ -15,6 +15,13 @@
 using namespace ncast;
 
 int main() {
+  bench::MetricsSession session("gossip");
+  session.param("k", 16);
+  session.param("d", 3);
+  session.param("n", 800);
+  session.param("seed", std::uint64_t{0xED0});
+  session.param("p", 0.03);
+
   bench::banner(
       "E12b: centralized vs gossip peer discovery (Sections 3 & 7)",
       "k = 16, d = 3, N = 800, then iid failures p = 0.03. Gossip: random\n"
@@ -67,6 +74,10 @@ int main() {
                          static_cast<double>(n * trials), 1),
                  "none"});
   table.print();
+  session.add_table("discovery", table);
+  session.note("gossip_msgs_per_join",
+               static_cast<double>(gossip_messages) /
+                   static_cast<double>(n * trials));
 
   std::printf(
       "\nReading: gossip discovery produces an overlay with defect close to\n"

@@ -13,6 +13,13 @@
 using namespace ncast;
 
 int main() {
+  bench::MetricsSession session("heterogeneous");
+  session.param("k", 20);
+  session.param("d", "2,4,8");
+  session.param("p", 0.03);
+  session.param("n", 1500);
+  session.param("seed", std::uint64_t{0xEA0});
+
   bench::banner(
       "E10: heterogeneous user bandwidths (Section 5)",
       "k = 20; population mix: 60% DSL (d=2), 30% cable (d=4), 10% T1 (d=8);\n"
@@ -72,6 +79,7 @@ int main() {
                    fmt(static_cast<double>(lost) / sampled, 4)});
   }
   table.print();
+  session.add_table("per_class", table);
   std::printf(
       "\nReading: every class's loss fraction hugs p — heterogeneous degrees\n"
       "coexist without anyone subsidizing anyone (each unit thread carries\n"

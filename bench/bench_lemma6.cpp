@@ -12,6 +12,13 @@
 using namespace ncast;
 
 int main() {
+  bench::MetricsSession session("lemma6");
+  session.param("k", "8..16");
+  session.param("d", "2..4");
+  session.param("p", 0.15);
+  session.param("n", 3000);  // arrivals per config
+  session.param("seed", std::uint64_t{0xE40000});
+
   bench::banner(
       "E4: Lemma 6 (per-step defect jump bounded by (d^2/k) A; bound tight)",
       "Track |B' - B| over 3000 arrivals at p = 0.15; also verify the first\n"
@@ -50,6 +57,7 @@ int main() {
                    std::abs(first_jump - bound) < 1e-6 ? "yes" : "NO"});
   }
   table.print();
+  session.add_table("jump_bound", table);
   std::printf(
       "\nReading: max/bound <= 1 everywhere (the lemma); the first-failure\n"
       "jump equals the bound exactly (its tightness remark).\n");

@@ -17,12 +17,18 @@
 using namespace ncast;
 
 int main() {
+  bench::MetricsSession session("locality");
   bench::banner(
       "E5: failure locality (loss probability ~pd, independent of N and depth)",
       "k = 32, d = 3, p = 0.02 (pd = 0.06). 600 sampled working nodes per N.");
 
   const std::uint32_t k = 32, d = 3;
   const double p = 0.02;
+  session.param("k", k);
+  session.param("d", d);
+  session.param("p", p);
+  session.param("n", "1000..16000");
+  session.param("seed", std::uint64_t{0xE50});
 
   Table table({"N", "P(conn < d)", "mean loss", "pd", "max depth"});
   for (const std::size_t n : {1000u, 2000u, 4000u, 8000u, 16000u}) {
@@ -96,6 +102,8 @@ int main() {
                        fmt(loss.mean(), 4)});
     }
     buckets.print();
+    session.add_table("by_depth", buckets);
   }
+  session.add_table("by_n", table);
   return 0;
 }

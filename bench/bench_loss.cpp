@@ -57,6 +57,13 @@ std::size_t uncoded_rounds(std::size_t g, double q, Rng& rng) {
 }  // namespace
 
 int main() {
+  bench::MetricsSession session("loss");
+  session.param("k", "n/a (single link)");
+  session.param("d", "n/a");
+  session.param("n", 200);  // trials per cell
+  session.param("seed", std::uint64_t{0xE210});
+  session.param("generation_size", 32);
+
   bench::banner(
       "E21: packet loss — coding vs coupon collecting (Sections 1/2, [13])",
       "One lossy link, generation of g = 32 chunks, 200 trials per cell.\n"
@@ -85,6 +92,7 @@ int main() {
                    fmt(static_cast<double>(g) * harmonic / (1.0 - q), 1)});
   }
   table.print();
+  session.add_table("coded_vs_uncoded", table);
 
   std::printf(
       "\nReading: coded transfer sits on the information-theoretic line\n"

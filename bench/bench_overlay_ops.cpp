@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "metrics_session.hpp"
+
 #include "overlay/curtain_server.hpp"
 #include "overlay/flow_graph.hpp"
 
@@ -75,4 +77,17 @@ BENCHMARK(BM_NodeConnectivity)->Arg(1000)->Arg(4000)->Arg(16000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() with a MetricsSession wrapped around the run so
+// the registry counters (server.*, net.*) land in BENCH_overlay_ops.json.
+int main(int argc, char** argv) {
+  ncast::bench::MetricsSession session("overlay_ops");
+  session.param("k", 32);
+  session.param("d", 3);
+  session.param("n", "1000..16000");
+  session.param("seed", std::uint64_t{1});
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

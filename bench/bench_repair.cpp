@@ -53,6 +53,13 @@ GroupRates measure(const overlay::ThreadMatrix& m, std::uint32_t d,
 }  // namespace
 
 int main() {
+  bench::MetricsSession session("repair");
+  session.param("k", 24);
+  session.param("d", 3);
+  session.param("n", 1500);
+  session.param("seed", std::uint64_t{0xE160});
+  session.param("crashes", 25);
+
   bench::banner(
       "E16: failure/repair timeline (containment + exact restoration)",
       "k = 24, d = 3, N = 1500; 25 simultaneous crashes, then repair.\n"
@@ -108,6 +115,7 @@ int main() {
               measure(server.matrix(), d, children, grandchildren, 300, srng));
   }
   table.print();
+  session.add_table("timeline", table);
 
   std::printf(
       "\nReading: during the outage the children's rate drops by roughly one\n"

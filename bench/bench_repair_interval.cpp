@@ -17,6 +17,13 @@
 using namespace ncast;
 
 int main() {
+  bench::MetricsSession session("repair_interval");
+  session.param("k", 24);
+  session.param("d", 3);
+  session.param("n", 600);  // steady population
+  session.param("seed", std::uint64_t{0xE190});
+  session.param("repair_delay", "0.25..8.0");
+
   bench::banner(
       "E19: repair interval drives p (operational knob)",
       "k = 24, d = 3, steady population ~600, 20% of departures are crashes.\n"
@@ -65,6 +72,7 @@ int main() {
                    fmt(static_cast<double>(degraded) / samples, 4)});
   }
   table.print();
+  session.add_table("loss_vs_delay", table);
 
   std::printf(
       "\nReading: the standing failed fraction p_eff grows linearly with the\n"

@@ -152,6 +152,14 @@ Outcome run(Policy policy, std::uint64_t seed) {
 }  // namespace
 
 int main() {
+  bench::MetricsSession session("scheduling");
+  session.param("k", 12);
+  session.param("d", 3);
+  session.param("n", 50);  // peers
+  session.param("seed", std::uint64_t{0xE180});
+  session.param("generations", 8);
+  session.param("generation_size", 8);
+
   bench::banner(
       "E18: generation scheduling ablation (multi-generation swarms)",
       "k = 12, d = 3, 50 peers, 8 generations of 8 packets. Which generation\n"
@@ -179,6 +187,7 @@ int main() {
                    never == 4 ? "never" : fmt(to90.mean(), 0)});
   }
   table.print();
+  session.add_table("policies", table);
 
   std::printf(
       "\nReading: strict sequential service collapses — every relay keeps\n"

@@ -86,6 +86,13 @@ Outcome run(std::size_t n_peers, std::size_t seed_rounds, std::size_t g,
 }  // namespace
 
 int main() {
+  bench::MetricsSession session("seeding");
+  session.param("k", "n/a (random graph)");
+  session.param("d", 3);
+  session.param("n", 120);  // peers
+  session.param("seed", std::uint64_t{0xE170});
+  session.param("generation_size", 24);
+
   bench::banner(
       "E17: self-sustaining download (Section 6/7 open issue)",
       "Random-graph overlay (d = 3, 4 direct children), one generation of\n"
@@ -113,6 +120,7 @@ int main() {
                    fmt(completed.mean() * 100, 1), fmt(rank.mean(), 3)});
   }
   table.print();
+  session.add_table("seed_threshold", table);
 
   std::printf(
       "\nReading: completion flips from partial to total as soon as the\n"

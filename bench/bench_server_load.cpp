@@ -14,6 +14,13 @@
 using namespace ncast;
 
 int main() {
+  bench::MetricsSession session("server_load");
+  session.param("k", 32);
+  session.param("d", 3);
+  session.param("n", "250..4000");  // target populations
+  session.param("seed", std::uint64_t{0xEC0});
+  session.param("failure_fraction", 0.1);
+
   bench::banner(
       "E12: server load vs population (control O(d)/event; data plane = k)",
       "Churn at increasing target populations, k = 32, d = 3, 10% crashes,\n"
@@ -63,6 +70,7 @@ int main() {
                    std::to_string(server_streams), std::to_string(children)});
   }
   table.print();
+  session.add_table("load_vs_population", table);
 
   std::printf(
       "\nReading: ctrl msgs/event stays constant (~2 + O(d)) and the server's\n"

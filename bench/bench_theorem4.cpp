@@ -56,6 +56,13 @@ void run(const Config& c, Table& table) {
 }  // namespace
 
 int main() {
+  bench::MetricsSession session("theorem4");
+  session.param("k", "12..20");
+  session.param("d", "2..4");
+  session.param("p", "0.005..0.02");
+  session.param("n", 3000);  // arrivals per config
+  session.param("seed", std::uint64_t{0xE1000});
+
   bench::banner(
       "E1/E2: Theorem 4 + Lemmas 2-3 (defect stays ~pd, independent of N)",
       "Exact polymatroid process, 3000 arrivals per config (10% warmup).\n"
@@ -104,5 +111,7 @@ int main() {
   }
   std::printf("\nN-independence at k=16, d=3, p=0.01 (pd = 0.03):\n");
   growth.print();
+  session.add_table("defect_vs_pd", table);
+  session.add_table("n_independence", growth);
   return 0;
 }

@@ -28,7 +28,21 @@ using namespace ncast;
 
 int main() {
   const std::uint32_t k = 16, d = 3;
-  const std::size_t n = 150;
+  // Smoke mode (NCAST_BENCH_SMOKE=1) shrinks the workload so CI can exercise
+  // the telemetry pipeline end to end in seconds.
+  const bool smoke = bench::smoke();
+  const std::size_t n = smoke ? 60 : 150;
+  const std::uint64_t trials = smoke ? 1 : 3;
+  const std::vector<double> ps =
+      smoke ? std::vector<double>{0.0, 0.05}
+            : std::vector<double>{0.0, 0.02, 0.05, 0.10, 0.15};
+
+  bench::MetricsSession session("throughput");
+  session.param("k", k);
+  session.param("d", d);
+  session.param("n", n);
+  session.param("seed", std::uint64_t{0xE80});
+  session.param("trials", trials);
 
   bench::banner(
       "E8: delivered rate vs failure probability (fraction of full rate d)",
@@ -39,9 +53,9 @@ int main() {
   Table table({"p", "RLNC (min-cut)", "tree packing", "informed RS",
                "naive routing", "chain recv%", "3-ary tree recv%"});
 
-  for (const double p : {0.0, 0.02, 0.05, 0.10, 0.15}) {
+  for (const double p : ps) {
     RunningStats rlnc, packing, informed, naive, chain, tree;
-    for (std::uint64_t trial = 0; trial < 3; ++trial) {
+    for (std::uint64_t trial = 0; trial < trials; ++trial) {
       auto m = bench::grow_overlay(k, d, n, 0xE80 + trial);
       const auto mc = baselines::TreePackingMulticast::build(m, d);
       if (!mc) {
@@ -81,6 +95,7 @@ int main() {
                    fmt(chain.mean(), 3), fmt(tree.mean(), 3)});
   }
   table.print();
+  session.add_table("rate_vs_p", table);
 
   std::printf(
       "\nReading: the ordering RLNC >= tree packing, informed >= naive must\n"
@@ -93,7 +108,7 @@ int main() {
       "Same overlay, p = 0.05; generation size 24. Rate := g / (rounds from\n"
       "first possible arrival to decode). Capped ratio vs min-cut.");  // g = 24
   {
-    auto m = bench::grow_overlay(k, d, 400, 0xE82);
+    auto m = bench::grow_overlay(k, d, smoke ? 100 : 400, 0xE82);
     Rng rng(0xE83);
     bench::tag_iid_failures(m, 0.05, rng);
     sim::BroadcastConfig cfg;
@@ -118,6 +133,10 @@ int main() {
     t.add_row({std::to_string(eligible), std::to_string(decoded),
                fmt(ratio.mean(), 3)});
     t.print();
+    session.add_table("packet_level", t);
+    session.note("decoded", static_cast<std::uint64_t>(decoded));
+    session.note("eligible", static_cast<std::uint64_t>(eligible));
+    session.note("achieved_over_mincut", ratio.mean());
     std::printf(
         "\nReading: decoded == eligible and the achieved/min-cut ratio near 1\n"
         "reproduce the [5] simulation finding that practical network coding\n"

@@ -111,6 +111,12 @@ Row run_gossip(std::size_t n, std::uint64_t seed) {
 }  // namespace
 
 int main() {
+  bench::MetricsSession session("trackerless");
+  session.param("k", 12);
+  session.param("d", 3);
+  session.param("n", "20,40");
+  session.param("seed", std::uint64_t{0xE200});
+
   bench::banner(
       "E20: centralized tracker vs trackerless gossip membership (Section 7)",
       "Identical content (2 generations of 8 x 8 B), d = 3, two peers crash\n"
@@ -141,6 +147,7 @@ int main() {
                    fmt(grec.mean() * 100, 1)});
   }
   table.print();
+  session.add_table("tracker_vs_gossip", table);
 
   std::printf(
       "\nReading: both regimes deliver the full content to every survivor.\n"

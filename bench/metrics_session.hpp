@@ -1,0 +1,155 @@
+#pragma once
+// MetricsSession: machine-readable telemetry for the experiment harness.
+// Each bench binary opens one session; on destruction (or an explicit
+// write()) it dumps BENCH_<name>.json into the working directory containing
+// the run id, the experiment parameters, every registered counter / gauge /
+// histogram (with p50/p90/p99), and the result tables that were printed to
+// the terminal. These files are the repo's perf trajectory: future PRs prove
+// speedups by diffing them. Schema: "ncast.bench.v1", documented in
+// docs/observability.md and enforced by tools/bench_validate.cpp.
+//
+// This header deliberately depends only on obs + util so the google-benchmark
+// binaries (which do not link the overlay stack) can use it too.
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "util/table.hpp"
+
+namespace ncast::bench {
+
+/// True when NCAST_BENCH_SMOKE is set in the environment: benches that
+/// support it shrink their workloads to seconds so CI can exercise the whole
+/// emit-and-validate pipeline on every run.
+inline bool smoke() {
+  const char* s = std::getenv("NCAST_BENCH_SMOKE");
+  return s != nullptr && *s != '\0' && *s != '0';
+}
+
+class MetricsSession {
+ public:
+  explicit MetricsSession(std::string name) : name_(std::move(name)) {
+    char id[64];
+    std::snprintf(id, sizeof id, "%s-%" PRIx64 "-%u", name_.c_str(),
+                  static_cast<std::uint64_t>(std::time(nullptr)),
+                  static_cast<unsigned>(std::rand()) & 0xffffu);
+    run_id_ = id;
+  }
+
+  MetricsSession(const MetricsSession&) = delete;
+  MetricsSession& operator=(const MetricsSession&) = delete;
+
+  ~MetricsSession() { write(); }
+
+  /// Records an experiment parameter (k, d, n, seed, ...). Integral values
+  /// are stored as JSON integers, floating point as numbers, anything
+  /// string-like as strings.
+  template <typename T>
+  void param(const std::string& key, const T& value) {
+    params_.emplace_back(key, render(value));
+  }
+
+  /// Records a headline result value (decoded fraction, mean rate, ...) —
+  /// same encoding as param(), separate JSON section.
+  template <typename T>
+  void note(const std::string& key, const T& value) {
+    notes_.emplace_back(key, render(value));
+  }
+
+  /// Embeds a printed result table into the JSON dump under `id`.
+  void add_table(const std::string& id, const Table& table) {
+    tables_.emplace_back(id, table);
+  }
+
+  const std::string& run_id() const { return run_id_; }
+  std::string path() const { return "BENCH_" + name_ + ".json"; }
+
+  /// Writes the snapshot; idempotent (the destructor is a no-op afterwards).
+  /// Failures are reported on stderr but never crash a finishing bench.
+  void write() {
+    if (written_) return;
+    written_ = true;
+
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("schema").value("ncast.bench.v1");
+    w.key("bench").value(name_);
+    w.key("run_id").value(run_id_);
+    w.key("smoke").value(smoke());
+    w.key("obs_enabled").value(NCAST_OBS_ENABLED != 0);
+
+    w.key("params").begin_object();
+    for (const auto& [key, rendered] : params_) w.key(key).raw_value(rendered);
+    w.end_object();
+
+    w.key("notes").begin_object();
+    for (const auto& [key, rendered] : notes_) w.key(key).raw_value(rendered);
+    w.end_object();
+
+    obs::metrics().write_json(w);
+
+    w.key("tables").begin_object();
+    for (const auto& [id, table] : tables_) {
+      w.key(id).begin_object();
+      w.key("header").begin_array();
+      for (const auto& cell : table.header()) w.value(cell);
+      w.end_array();
+      w.key("rows").begin_array();
+      for (const auto& row : table.rows()) {
+        w.begin_array();
+        for (const auto& cell : row) w.value(cell);
+        w.end_array();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_object();
+
+    w.end_object();
+
+    const std::string out_path = path();
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "MetricsSession: cannot write %s\n", out_path.c_str());
+      return;
+    }
+    const std::string& body = w.str();
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\n[telemetry] wrote %s (%zu metrics)\n", out_path.c_str(),
+                obs::metrics().size());
+  }
+
+ private:
+  template <typename T>
+  static std::string render(const T& value) {
+    if constexpr (std::is_same_v<T, bool>) {
+      return value ? "true" : "false";
+    } else if constexpr (std::is_integral_v<T>) {
+      return std::to_string(value);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      return obs::json_number(static_cast<double>(value));
+    } else {
+      return '"' + obs::json_escape(std::string(value)) + '"';
+    }
+  }
+
+  std::string name_;
+  std::string run_id_;
+  bool written_ = false;
+  std::vector<std::pair<std::string, std::string>> params_;  // pre-rendered
+  std::vector<std::pair<std::string, std::string>> notes_;
+  std::vector<std::pair<std::string, Table>> tables_;  // copies: tiny
+};
+
+}  // namespace ncast::bench

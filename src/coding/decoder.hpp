@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "coding/packet.hpp"
+#include "obs/metrics.hpp"
 
 namespace ncast::coding {
 
@@ -33,13 +34,24 @@ class Decoder {
   std::size_t rank() const { return rows_.size(); }
   bool complete() const { return rank() == g_; }
 
+  /// Packets ever offered to absorb() on this decoder instance.
+  std::uint64_t packets_received() const { return received_; }
+  /// Packets that increased the rank. Always innovative + redundant ==
+  /// received; the redundant count includes malformed/stray rejects.
+  std::uint64_t packets_innovative() const { return innovative_; }
+  std::uint64_t packets_redundant() const { return received_ - innovative_; }
+
   /// Consumes a packet; returns true iff it was innovative.
   /// Packets from other generations or with wrong shape are rejected
   /// (returns false) rather than throwing, since in a network simulation
   /// stray packets are data, not programming errors.
   bool absorb(const Packet& p) {
+    obs::ScopeTimer timer(reg().absorb_ns);
+    ++received_;
+    reg().received.inc();
     if (p.generation != generation_ || p.coeffs.size() != g_ ||
         p.payload.size() != symbols_) {
+      reg().redundant.inc();
       return false;
     }
     // Working row: [coeffs | payload] concatenated.
@@ -55,7 +67,10 @@ class Decoder {
     }
     std::size_t p_col = 0;
     while (p_col < g_ && row[p_col] == value_type{0}) ++p_col;
-    if (p_col == g_) return false;  // not innovative
+    if (p_col == g_) {
+      reg().redundant.inc();
+      return false;  // not innovative
+    }
 
     Field::region_mul(row.data(), Field::inv(row[p_col]), row.size());
     for (std::size_t i = 0; i < rows_.size(); ++i) {
@@ -66,6 +81,8 @@ class Decoder {
     }
     rows_.push_back(std::move(row));
     pivot_.push_back(p_col);
+    ++innovative_;
+    reg().innovative.inc();
     return true;
   }
 
@@ -158,9 +175,24 @@ class Decoder {
   }
 
  private:
+  // Process-wide decode counters and the elimination-time probe, shared by
+  // every Decoder instance (the registry guarantees stable references).
+  struct Instrumentation {
+    obs::Counter& received = obs::metrics().counter("decoder.packets_received");
+    obs::Counter& innovative = obs::metrics().counter("decoder.packets_innovative");
+    obs::Counter& redundant = obs::metrics().counter("decoder.packets_redundant");
+    obs::Histogram& absorb_ns = obs::metrics().histogram("decoder.absorb_ns");
+  };
+  static Instrumentation& reg() {
+    static Instrumentation instr;
+    return instr;
+  }
+
   std::uint32_t generation_;
   std::size_t g_;
   std::size_t symbols_;
+  std::uint64_t received_ = 0;    // per-instance; backs packets_received()
+  std::uint64_t innovative_ = 0;  // per-instance; backs packets_innovative()
   std::vector<std::vector<value_type>> rows_;  // RREF of [coeffs | payload]
   std::vector<std::size_t> pivot_;
 };

@@ -8,6 +8,7 @@
 #include <optional>
 
 #include "coding/decoder.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace ncast::coding {
@@ -34,6 +35,8 @@ class Recoder {
   /// nothing has been received (a node with an empty buffer stays silent).
   std::optional<Packet> emit(Rng& rng) const {
     if (basis_.rank() == 0) return std::nullopt;
+    static obs::Histogram& emit_ns = obs::metrics().histogram("recoder.emit_ns");
+    obs::ScopeTimer timer(emit_ns);
     Packet out;
     out.generation = basis_.generation();
     out.coeffs.assign(basis_.generation_size(), value_type{0});

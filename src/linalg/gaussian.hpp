@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "obs/metrics.hpp"
 
 namespace ncast::linalg {
 
@@ -16,6 +17,8 @@ namespace ncast::linalg {
 template <typename Field>
 std::vector<std::size_t> rref_in_place(Matrix<Field>& m) {
   using V = typename Field::value_type;
+  static obs::Histogram& rref_ns = obs::metrics().histogram("linalg.rref_ns");
+  obs::ScopeTimer timer(rref_ns);
   std::vector<std::size_t> pivots;
   std::size_t pivot_row = 0;
   for (std::size_t col = 0; col < m.cols() && pivot_row < m.rows(); ++col) {

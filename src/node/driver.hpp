@@ -11,6 +11,7 @@
 #include "node/gossip_peer.hpp"
 #include "node/network.hpp"
 #include "node/server_node.hpp"
+#include "obs/trace.hpp"
 
 namespace ncast::node {
 
@@ -35,6 +36,7 @@ class TickDriver {
   void run(std::uint64_t n) {
     for (std::uint64_t i = 0; i < n; ++i) {
       ++tick_;
+      obs::trace().set_now(static_cast<double>(tick_));
       server_.process_messages(net_);
       for (ClientNode* c : clients_) c->process_messages(tick_, net_);
       server_.on_tick(tick_, net_);
@@ -88,6 +90,7 @@ class GossipDriver {
   void run(std::uint64_t n) {
     for (std::uint64_t i = 0; i < n; ++i) {
       ++tick_;
+      obs::trace().set_now(static_cast<double>(tick_));
       for (GossipPeer* p : peers_) p->process_messages(tick_, net_);
       for (GossipPeer* p : peers_) p->on_tick(tick_, net_);
     }

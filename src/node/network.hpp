@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "node/message.hpp"
+#include "obs/metrics.hpp"
 
 namespace ncast::node {
 
@@ -44,6 +45,10 @@ class InMemoryNetwork {
 
   std::vector<std::deque<Message>> boxes_;
   std::vector<bool> crashed_;
+  // Per-instance totals backing the accessors above (always counted, so the
+  // API is independent of the NCAST_OBS switch). Every event additionally
+  // lands in the process-wide registry under net.* — see struct Counters in
+  // network.cpp — which is what bench telemetry snapshots.
   std::uint64_t sent_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t control_ = 0;

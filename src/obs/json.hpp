@@ -1,0 +1,139 @@
+#pragma once
+// Minimal dependency-free JSON writer used by the observability layer: the
+// metrics registry snapshot, the trace JSONL export, and the bench telemetry
+// files are all produced through it. Writer only — parsing lives in
+// tools/bench_validate.cpp, which deliberately re-implements a reader so the
+// validator cannot inherit a writer bug.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ncast::obs {
+
+/// Escapes a string for inclusion inside JSON double quotes per RFC 8259:
+/// backslash, quote, and control characters (U+0000..U+001F) are escaped;
+/// everything else (including UTF-8 bytes) passes through verbatim.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+/// Renders a double as a JSON number. JSON has no NaN/Inf, so non-finite
+/// values become null (the reader treats them as "unmeasured").
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  // %.12g round-trips every value we emit (counters, nanoseconds, rates)
+  // without trailing-zero noise.
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+/// Streaming JSON writer with automatic comma placement. Usage:
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("name").value("bench");
+///   w.key("params").begin_object();
+///   w.key("k").value(std::uint64_t{16});
+///   w.end_object();
+///   w.end_object();
+///   std::string s = w.str();
+///
+/// The writer does not validate nesting beyond what the comma logic needs;
+/// callers are expected to balance begin/end (tests cover the shapes we use).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  JsonWriter& key(const std::string& k) {
+    comma();
+    out_ += '"';
+    out_ += json_escape(k);
+    out_ += "\":";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(const std::string& v) { return raw('"' + json_escape(v) + '"'); }
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(double v) { return raw(json_number(v)); }
+  JsonWriter& value(std::uint64_t v) { return raw(std::to_string(v)); }
+  JsonWriter& value(std::int64_t v) { return raw(std::to_string(v)); }
+  JsonWriter& value(bool v) { return raw(v ? "true" : "false"); }
+  JsonWriter& null() { return raw("null"); }
+
+  /// Emits an already-rendered JSON token (number, quoted string, ...).
+  /// The caller is responsible for its validity.
+  JsonWriter& raw_value(const std::string& token) { return raw(token); }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  JsonWriter& raw(const std::string& token) {
+    comma();
+    out_ += token;
+    return *this;
+  }
+
+  JsonWriter& open(char c) {
+    comma();
+    out_ += c;
+    first_.push_back(true);
+    return *this;
+  }
+
+  JsonWriter& close(char c) {
+    out_ += c;
+    if (!first_.empty()) first_.pop_back();
+    return *this;
+  }
+
+  // Emits a separating comma unless this is the first element of the current
+  // container or the token directly follows its key.
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (first_.empty()) return;
+    if (first_.back()) {
+      first_.back() = false;
+    } else {
+      out_ += ',';
+    }
+  }
+
+  std::string out_;
+  std::vector<bool> first_;
+  bool pending_value_ = false;
+};
+
+}  // namespace ncast::obs

@@ -1,0 +1,140 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace ncast::obs {
+
+std::size_t Histogram::bucket_index(double x) {
+  if (!(x >= 1.0)) return 0;  // underflow bucket; also catches NaN
+  int exp = 0;
+  const double m = std::frexp(x, &exp);  // x = m * 2^exp, m in [0.5, 1)
+  if (exp > static_cast<int>(kOctaves)) return kBuckets - 1;
+  const auto sub = static_cast<std::size_t>((2.0 * m - 1.0) *
+                                            static_cast<double>(kSubBuckets));
+  std::size_t idx = kSubBuckets * static_cast<std::size_t>(exp - 1) +
+                    (sub < kSubBuckets ? sub : kSubBuckets - 1) + 1;
+  return idx < kBuckets ? idx : kBuckets - 1;
+}
+
+double Histogram::bucket_low(std::size_t i) {
+  if (i == 0) return 0.0;
+  const std::size_t j = i - 1;
+  const std::size_t octave = j / kSubBuckets;
+  const std::size_t sub = j % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub) /
+                              static_cast<double>(kSubBuckets),
+                    static_cast<int>(octave));
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // 0-based rank, matching SampleSet::quantile's order-statistic convention.
+  const double rank = q * static_cast<double>(count_ - 1);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (static_cast<double>(cum) > rank) {
+      // Geometric midpoint of the bucket, clamped to the observed range so
+      // degenerate cases (single sample, all-equal samples) are exact.
+      const double lo = bucket_low(i);
+      const double hi = i + 1 < kBuckets ? bucket_low(i + 1) : max_;
+      double rep = lo > 0.0 ? std::sqrt(lo * hi) : hi / 2.0;
+      if (rep < min_) rep = min_;
+      if (rep > max_) rep = max_;
+      return rep;
+    }
+  }
+  return max_;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    check_collision(name, "counter");
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    check_collision(name, "gauge");
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    check_collision(name, "histogram");
+    it = histograms_.emplace(name, std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+void Registry::check_collision(const std::string& name, const char* kind) const {
+  const bool taken = counters_.count(name) != 0 || gauges_.count(name) != 0 ||
+                     histograms_.count(name) != 0;
+  if (taken) {
+    throw std::invalid_argument("Registry: metric name '" + name +
+                                "' already registered with a different kind "
+                                "(requested " + kind + ")");
+  }
+}
+
+void Registry::reset_values() {
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+void Registry::write_json(JsonWriter& w) const {
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) {
+    w.key(name).value(c->value());
+  }
+  w.end_object();
+
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) {
+    w.key(name).value(g->value());
+  }
+  w.end_object();
+
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).begin_object();
+    w.key("count").value(h->count());
+    w.key("sum").value(h->sum());
+    w.key("min").value(h->min());
+    w.key("max").value(h->max());
+    w.key("mean").value(h->mean());
+    w.key("p50").value(h->quantile(0.50));
+    w.key("p90").value(h->quantile(0.90));
+    w.key("p99").value(h->quantile(0.99));
+    w.end_object();
+  }
+  w.end_object();
+}
+
+std::string Registry::snapshot_json() const {
+  JsonWriter w;
+  w.begin_object();
+  write_json(w);
+  w.end_object();
+  return w.str();
+}
+
+Registry& metrics() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace ncast::obs

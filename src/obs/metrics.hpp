@@ -1,0 +1,210 @@
+#pragma once
+// Process-wide metrics registry: named Counter / Gauge / Histogram instances
+// with near-zero-cost updates on hot paths. Everything here is
+// single-threaded by design (the simulators are single-threaded); the hot
+// operations are a plain integer add, a compare-and-store, or two shifts and
+// an array increment — no locks, no atomics, no allocation.
+//
+// Compile-time kill switch: build with -DNCAST_OBS_ENABLED=0 (CMake option
+// NCAST_OBS=OFF) and every mutating operation compiles to nothing while the
+// registry, lookups, and accessors keep working, so instrumented code needs
+// no #ifdefs. Updates simply stop landing.
+
+#ifndef NCAST_OBS_ENABLED
+#define NCAST_OBS_ENABLED 1
+#endif
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ncast::obs {
+
+class JsonWriter;
+
+/// Monotone event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+#if NCAST_OBS_ENABLED
+    value_ += n;
+#else
+    (void)n;
+#endif
+  }
+
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-value (or high-water) measurement.
+class Gauge {
+ public:
+  void set(double v) {
+#if NCAST_OBS_ENABLED
+    value_ = v;
+#else
+    (void)v;
+#endif
+  }
+
+  void add(double v) {
+#if NCAST_OBS_ENABLED
+    value_ += v;
+#else
+    (void)v;
+#endif
+  }
+
+  /// High-water update: keeps the maximum of all values seen.
+  void set_max(double v) {
+#if NCAST_OBS_ENABLED
+    if (v > value_) value_ = v;
+#else
+    (void)v;
+#endif
+  }
+
+  double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Log-bucketed histogram for non-negative measurements (durations in
+/// nanoseconds, sizes, hop counts). Buckets are quarter-octaves: within each
+/// power of two there are four linearly spaced buckets, so the relative
+/// quantile error is bounded by ~12% while observe() stays allocation-free
+/// and costs only a frexp plus an array increment. Values below 1 land in a
+/// dedicated underflow bucket; values beyond 2^64 clamp into the top bucket.
+class Histogram {
+ public:
+  static constexpr std::size_t kSubBuckets = 4;        // per octave
+  static constexpr std::size_t kOctaves = 64;          // 1 .. 2^64
+  static constexpr std::size_t kBuckets = kSubBuckets * kOctaves + 1;
+
+  Histogram() : counts_(kBuckets, 0) {}
+
+  void observe(double x) {
+#if NCAST_OBS_ENABLED
+    ++count_;
+    sum_ += x;
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    ++counts_[bucket_index(x)];
+#else
+    (void)x;
+#endif
+  }
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  /// Quantile estimate for q in [0, 1]. Returns 0 on an empty histogram (a
+  /// deliberate "no data" sentinel — callers dump quantiles unconditionally).
+  /// With a single sample, returns exactly that sample. Estimates are the
+  /// geometric midpoint of the containing bucket, clamped to [min, max].
+  double quantile(double q) const;
+
+  void reset() {
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+    counts_.assign(kBuckets, 0);
+  }
+
+  /// Bucket index for a value; exposed for tests.
+  static std::size_t bucket_index(double x);
+  /// Inclusive lower bound of bucket `i` (0 for the underflow bucket).
+  static double bucket_low(std::size_t i);
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Name-indexed registry. Metrics are created on first lookup and live for
+/// the lifetime of the registry — entries are never removed, so references
+/// returned by counter()/gauge()/histogram() stay valid forever (hot paths
+/// cache them). Re-using a name with a different metric kind throws.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Zeroes every metric's value, keeping all registrations (and therefore
+  /// all cached references) intact. Used by tests and long-lived tools.
+  void reset_values();
+
+  /// Writes three keys — "counters", "gauges", "histograms" — into the
+  /// currently open JSON object. Histograms are dumped as
+  /// {count, sum, min, max, mean, p50, p90, p99}.
+  void write_json(JsonWriter& w) const;
+
+  /// Full snapshot as a standalone JSON object string.
+  std::string snapshot_json() const;
+
+ private:
+  void check_collision(const std::string& name, const char* kind) const;
+
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide registry all instrumentation points use.
+Registry& metrics();
+
+/// RAII wall-clock probe: records the scope's duration in nanoseconds into a
+/// histogram. With NCAST_OBS disabled, no clock is read at all.
+class ScopeTimer {
+ public:
+  explicit ScopeTimer(Histogram& h)
+      : h_(&h)
+#if NCAST_OBS_ENABLED
+        ,
+        start_(std::chrono::steady_clock::now())
+#endif
+  {
+  }
+
+  ~ScopeTimer() {
+#if NCAST_OBS_ENABLED
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    h_->observe(static_cast<double>(ns));
+#endif
+  }
+
+  ScopeTimer(const ScopeTimer&) = delete;
+  ScopeTimer& operator=(const ScopeTimer&) = delete;
+
+ private:
+  Histogram* h_;
+#if NCAST_OBS_ENABLED
+  std::chrono::steady_clock::time_point start_;
+#endif
+};
+
+}  // namespace ncast::obs

@@ -1,0 +1,92 @@
+#pragma once
+// Structured trace: a bounded ring buffer of typed protocol events stamped
+// with simulation time. The overlay server, the churn driver, and the
+// packet-level simulators emit into the process-wide buffer; when it fills,
+// the oldest events are overwritten (the tail of a run is what post-mortems
+// need). Export is JSONL — one JSON object per line — so runs can be grepped
+// and diffed without a parser.
+
+#ifndef NCAST_OBS_ENABLED
+#define NCAST_OBS_ENABLED 1
+#endif
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ncast::obs {
+
+/// Event vocabulary. Kept deliberately small: one enum across the stack so a
+/// single trace interleaves overlay control events with data-plane progress.
+enum class TraceKind : std::uint8_t {
+  kJoin,               ///< node joined the overlay (a = degree)
+  kLeave,              ///< graceful good-bye (a = parents, b = children)
+  kCrash,              ///< failure reported / node crashed
+  kRepair,             ///< repair procedure completed for a failed node
+  kDefect,             ///< defect (broken-thread deficiency) observation (a = defect)
+  kPacketSend,         ///< coded packet sent (node = sender, a = receiver)
+  kRankAdvance,        ///< receiver's decoder rank increased (a = new rank)
+  kCongestionOffload,  ///< node dropped a thread under load (a = column)
+  kCongestionRestore,  ///< node re-acquired a thread (a = column)
+};
+
+const char* to_string(TraceKind kind);
+
+/// One trace record. `node`, `a`, `b` are kind-dependent numeric payloads
+/// (see TraceKind comments); `detail` is optional free text, JSON-escaped on
+/// export. Keeping the payload numeric keeps hot-path emission cheap.
+struct TraceEvent {
+  double t = 0.0;
+  TraceKind kind = TraceKind::kJoin;
+  std::uint64_t node = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::string detail;
+};
+
+/// Fixed-capacity ring buffer of TraceEvents with a settable clock. The
+/// simulation driver calls set_now() as virtual time advances; emitters
+/// stamp events with the current reading. With NCAST_OBS disabled, emit()
+/// is a no-op and the buffer stays empty.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity = 8192);
+
+  /// Sets the timestamp applied to subsequently emitted events.
+  void set_now(double t) { now_ = t; }
+  double now() const { return now_; }
+
+  void emit(TraceKind kind, std::uint64_t node = 0, std::uint64_t a = 0,
+            std::uint64_t b = 0, std::string detail = {});
+
+  std::size_t capacity() const { return ring_.size(); }
+  /// Events currently retained (<= capacity()).
+  std::size_t size() const { return size_; }
+  /// Events ever emitted, including overwritten ones.
+  std::uint64_t total_emitted() const { return total_; }
+
+  /// Retained events, oldest first.
+  std::vector<TraceEvent> events_in_order() const;
+
+  /// One JSON object per retained event, oldest first, '\n'-terminated lines:
+  /// {"t":..,"kind":"join","node":..,"a":..,"b":..,"detail":".."}
+  /// ("detail" is omitted when empty).
+  std::string to_jsonl() const;
+
+  /// Writes to_jsonl() to a file; returns false on I/O failure.
+  bool write_jsonl(const std::string& path) const;
+
+  void clear();
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;  // slot the next event lands in
+  std::size_t size_ = 0;
+  std::uint64_t total_ = 0;
+  double now_ = 0.0;
+};
+
+/// The process-wide trace buffer all instrumentation points use.
+TraceBuffer& trace();
+
+}  // namespace ncast::obs

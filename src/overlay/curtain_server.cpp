@@ -3,7 +3,31 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace ncast::overlay {
+
+namespace {
+
+// Process-wide control-plane counters, aggregated across server instances
+// (benches and churn runs construct many servers per process). The matching
+// per-instance totals remain in ServerStats.
+struct ServerCounters {
+  obs::Counter& joins = obs::metrics().counter("server.joins");
+  obs::Counter& leaves = obs::metrics().counter("server.graceful_leaves");
+  obs::Counter& failures = obs::metrics().counter("server.failures_reported");
+  obs::Counter& repairs = obs::metrics().counter("server.repairs");
+  obs::Counter& control = obs::metrics().counter("server.control_messages");
+  obs::Histogram& repair_ns = obs::metrics().histogram("server.repair_ns");
+
+  static ServerCounters& get() {
+    static ServerCounters c;
+    return c;
+  }
+};
+
+}  // namespace
 
 CurtainServer::CurtainServer(std::uint32_t k, std::uint32_t default_degree, Rng rng,
                              InsertPolicy policy)
@@ -42,6 +66,10 @@ JoinTicket CurtainServer::join(std::optional<std::uint32_t> degree) {
   ++stats_.joins;
   // join request + response, plus one "start sending" notification per parent.
   stats_.control_messages += 2 + ticket.parents.size();
+  ServerCounters::get().joins.inc();
+  ServerCounters::get().control.inc(2 + ticket.parents.size());
+  obs::trace().emit(obs::TraceKind::kJoin, ticket.node, d,
+                    ticket.parents.size());
   return ticket;
 }
 
@@ -54,6 +82,10 @@ void CurtainServer::leave(NodeId node) {
   ++stats_.graceful_leaves;
   // good-bye request, plus one redirect order per affected neighbor.
   stats_.control_messages += 1 + parents.size() + children.size();
+  ServerCounters::get().leaves.inc();
+  ServerCounters::get().control.inc(1 + parents.size() + children.size());
+  obs::trace().emit(obs::TraceKind::kLeave, node, parents.size(),
+                    children.size());
 }
 
 void CurtainServer::report_failure(NodeId node) {
@@ -65,6 +97,9 @@ void CurtainServer::report_failure(NodeId node) {
   ++stats_.failures_reported;
   // one complaint per (deduplicated) child.
   stats_.control_messages += std::max<std::size_t>(children.size(), 1);
+  ServerCounters::get().failures.inc();
+  ServerCounters::get().control.inc(std::max<std::size_t>(children.size(), 1));
+  obs::trace().emit(obs::TraceKind::kCrash, node, children.size());
 }
 
 void CurtainServer::repair(NodeId node) {
@@ -72,12 +107,17 @@ void CurtainServer::repair(NodeId node) {
   if (!matrix_.row(node).failed) {
     throw std::logic_error("CurtainServer::repair: node not marked failed");
   }
+  obs::ScopeTimer timer(ServerCounters::get().repair_ns);
   const auto parents = matrix_.parents(node);
   const auto children = matrix_.children(node);
   matrix_.erase_row(node);
 
   ++stats_.repairs;
   stats_.control_messages += parents.size() + children.size();
+  ServerCounters::get().repairs.inc();
+  ServerCounters::get().control.inc(parents.size() + children.size());
+  obs::trace().emit(obs::TraceKind::kRepair, node, parents.size(),
+                    children.size());
 }
 
 std::optional<ColumnId> CurtainServer::congestion_offload(NodeId node) {
@@ -89,6 +129,8 @@ std::optional<ColumnId> CurtainServer::congestion_offload(NodeId node) {
   ++stats_.congestion_offloads;
   // node's notice + redirect orders to the column's parent and child.
   stats_.control_messages += 3;
+  ServerCounters::get().control.inc(3);
+  obs::trace().emit(obs::TraceKind::kCongestionOffload, node, column);
   return column;
 }
 
@@ -107,6 +149,8 @@ std::optional<ColumnId> CurtainServer::congestion_restore(NodeId node) {
 
   ++stats_.congestion_restores;
   stats_.control_messages += 3;
+  ServerCounters::get().control.inc(3);
+  obs::trace().emit(obs::TraceKind::kCongestionRestore, node, column);
   return column;
 }
 

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace ncast::overlay {
 
 namespace {
@@ -30,6 +32,7 @@ std::uint64_t exact_total_defect(const FlowGraph& fg, std::uint32_t d) {
   std::uint64_t defect = 0;
   std::vector<ColumnId> current;
   enumerate_tuples(k, d, current, 0, fg, defect);
+  obs::trace().emit(obs::TraceKind::kDefect, /*node=*/0, defect, d);
   return defect;
 }
 

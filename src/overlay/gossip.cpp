@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace ncast::overlay {
 
 std::vector<ColumnId> gossip_discover(const ThreadMatrix& m, std::uint32_t d,
@@ -75,6 +77,10 @@ std::vector<ColumnId> gossip_discover(const ThreadMatrix& m, std::uint32_t d,
   }
 
   std::sort(chosen.begin(), chosen.end());
+  static obs::Counter& msg_ctr = obs::metrics().counter("gossip.discovery_messages");
+  static obs::Histogram& msg_hist = obs::metrics().histogram("gossip.messages_per_join");
+  msg_ctr.inc(messages);
+  msg_hist.observe(static_cast<double>(messages));
   if (messages_out != nullptr) *messages_out = messages;
   return chosen;
 }

@@ -8,6 +8,8 @@
 #include "coding/null_keys.hpp"
 #include "coding/recoder.hpp"
 #include "gf/gf256.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "overlay/flow_graph.hpp"
 #include "util/rng.hpp"
 
@@ -118,7 +120,13 @@ BroadcastReport simulate_broadcast(const overlay::ThreadMatrix& m,
     return p;
   };
 
+  static obs::Counter& sent_ctr = obs::metrics().counter("sim.packets_sent");
+  static obs::Counter& lost_ctr = obs::metrics().counter("sim.packets_lost");
+
   for (std::size_t round = 1; round <= rounds; ++round) {
+    // Trace time inside a broadcast is the round number (the sim is
+    // round-synchronous; there is no finer clock).
+    obs::trace().set_now(static_cast<double>(round));
     // Collect this round's transmissions, then deliver at the boundary.
     std::vector<std::pair<overlay::NodeId, Packet>> inflight;
     inflight.reserve(segments.size());
@@ -147,8 +155,12 @@ BroadcastReport simulate_broadcast(const overlay::ThreadMatrix& m,
       }
     }
 
+    sent_ctr.inc(inflight.size());
     for (auto& [to, packet] : inflight) {
-      if (config.loss_p > 0.0 && rng.chance(config.loss_p)) continue;
+      if (config.loss_p > 0.0 && rng.chance(config.loss_p)) {
+        lost_ctr.inc();
+        continue;
+      }
       auto it = state.find(to);
       if (it == state.end()) continue;
       // Honest verifying receivers discard unverifiable packets outright.
@@ -160,7 +172,10 @@ BroadcastReport simulate_broadcast(const overlay::ThreadMatrix& m,
           frozen.find(to) == frozen.end()) {
         frozen.emplace(to, packet);
       }
-      it->second.absorb(packet);
+      if (it->second.absorb(packet)) {
+        obs::trace().emit(obs::TraceKind::kRankAdvance, to,
+                          it->second.rank());
+      }
       if (it->second.complete() && decode_round.find(to) == decode_round.end()) {
         decode_round[to] = round;
       }

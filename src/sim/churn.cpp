@@ -2,6 +2,8 @@
 
 #include <functional>
 
+#include "obs/trace.hpp"
+
 namespace ncast::sim {
 
 ChurnReport run_churn(std::uint32_t k, std::uint32_t d,
@@ -13,14 +15,20 @@ ChurnReport run_churn(std::uint32_t k, std::uint32_t d,
   ChurnReport report;
 
   // Departure handler for one node: crash (then repair) or graceful leave.
+  // Keeps the process-wide trace clock in sync with virtual time so events
+  // emitted by the server (join/leave/crash/repair) carry SimTime stamps.
+  auto sync_trace_clock = [&engine] { obs::trace().set_now(engine.now()); };
+
   auto schedule_departure = [&](overlay::NodeId node) {
     const double life = rng.exponential(1.0 / config.mean_lifetime);
     engine.schedule_in(life, [&, node] {
+      sync_trace_clock();
       if (!server.matrix().contains(node)) return;
       if (rng.chance(config.failure_fraction)) {
         server.report_failure(node);
         ++report.failures;
         engine.schedule_in(config.repair_delay, [&, node] {
+          sync_trace_clock();
           if (server.matrix().contains(node) && server.matrix().row(node).failed) {
             server.repair(node);
             ++report.repairs;
@@ -34,6 +42,7 @@ ChurnReport run_churn(std::uint32_t k, std::uint32_t d,
   };
 
   std::function<void()> arrival = [&] {
+    sync_trace_clock();
     const bool has_room =
         config.max_population == 0 ||
         server.matrix().working_count() < config.max_population;

@@ -7,7 +7,10 @@
 #include <functional>
 #include <queue>
 #include <stdexcept>
+#include <utility>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace ncast::sim {
 
@@ -25,6 +28,7 @@ class EventEngine {
   void schedule_at(SimTime at, Callback fn) {
     if (at < now_) throw std::invalid_argument("EventEngine: scheduling in the past");
     queue_.push(Item{at, seq_++, std::move(fn)});
+    depth_hwm_->set_max(static_cast<double>(queue_.size()));
   }
 
   /// Schedules `fn` after a delay (must be >= 0).
@@ -37,24 +41,23 @@ class EventEngine {
   std::size_t run_until(SimTime horizon) {
     std::size_t executed = 0;
     while (!queue_.empty() && queue_.top().at <= horizon) {
-      // Copy out before pop so the callback may schedule freely.
-      Item item = queue_.top();
-      queue_.pop();
+      Item item = pop_top();
       now_ = item.at;
       item.fn();
       ++executed;
     }
     now_ = std::max(now_, horizon);
+    executed_ctr_->inc(executed);
     return executed;
   }
 
   /// Runs a single event if any is pending; returns whether one ran.
   bool step() {
     if (queue_.empty()) return false;
-    Item item = queue_.top();
-    queue_.pop();
+    Item item = pop_top();
     now_ = item.at;
     item.fn();
+    executed_ctr_->inc();
     return true;
   }
 
@@ -68,9 +71,24 @@ class EventEngine {
     }
   };
 
+  /// Moves the top item out before popping so the callback — and its
+  /// captures — never get copied on the hot loop. The const_cast is safe:
+  /// the element is removed immediately, and moving `fn` out leaves the
+  /// comparator's fields (at, seq) untouched, so heap invariants hold
+  /// during pop(). The callback may schedule new events freely afterwards.
+  Item pop_top() {
+    Item item = std::move(const_cast<Item&>(queue_.top()));
+    queue_.pop();
+    return item;
+  }
+
   std::priority_queue<Item, std::vector<Item>, std::greater<>> queue_;
   SimTime now_ = 0.0;
   std::uint64_t seq_ = 0;
+  // Process-wide instrumentation; registry entries are never deallocated, so
+  // caching the pointers once per engine keeps the hot paths lookup-free.
+  obs::Counter* executed_ctr_ = &obs::metrics().counter("engine.events_executed");
+  obs::Gauge* depth_hwm_ = &obs::metrics().gauge("engine.queue_depth_hwm");
 };
 
 }  // namespace ncast::sim

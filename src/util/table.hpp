@@ -25,6 +25,11 @@ class Table {
 
   std::size_t row_count() const { return rows_.size(); }
 
+  /// Raw cells, exposed so the bench telemetry can embed the same rows that
+  /// are printed to the terminal into BENCH_<name>.json.
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

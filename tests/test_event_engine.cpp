@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.hpp"
+
 namespace ncast {
 namespace {
 
@@ -81,6 +83,40 @@ TEST(EventEngine, StepRunsOneEvent) {
   EXPECT_TRUE(e.step());
   EXPECT_EQ(fired, 2);
   EXPECT_FALSE(e.step());
+}
+
+// Regression for the hot-loop move-out: the running callback's Item has been
+// moved off the heap before invocation, so a callback that schedules many new
+// events (forcing heap reallocation and reordering) must not corrupt itself
+// or the queue.
+TEST(EventEngine, CallbackSchedulingManyEventsSurvivesMoveOut) {
+  EventEngine e;
+  std::vector<double> fired;
+  e.schedule_at(1.0, [&] {
+    fired.push_back(e.now());
+    for (int i = 0; i < 100; ++i) {
+      const double at = 2.0 + static_cast<double>(i % 7) + i * 1e-3;
+      e.schedule_at(at, [&] { fired.push_back(e.now()); });
+    }
+  });
+  e.run_until(20.0);
+  ASSERT_EQ(fired.size(), 101u);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_LE(fired[i - 1], fired[i]);
+  }
+}
+
+TEST(EventEngine, CountsExecutedEventsInRegistry) {
+  auto& ctr = obs::metrics().counter("engine.events_executed");
+  const auto before = ctr.value();
+  EventEngine e;
+  for (int i = 0; i < 5; ++i) e.schedule_at(1.0 + i, [] {});
+  e.run_until(10.0);
+#if NCAST_OBS_ENABLED
+  EXPECT_EQ(ctr.value(), before + 5);
+#else
+  EXPECT_EQ(ctr.value(), before);
+#endif
 }
 
 TEST(EventEngine, ScheduleInUsesCurrentTime) {

@@ -1,0 +1,230 @@
+// Metrics registry tests: counter/gauge/histogram semantics, log-bucket
+// quantile estimates, registry name rules, and the JSON writer.
+
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace ncast::obs {
+namespace {
+
+// Mutation semantics only hold with instrumentation compiled in; with
+// NCAST_OBS=OFF every update is a no-op by design, so the value-dependent
+// tests below are compiled out (the no-op contract itself is checked at the
+// bottom of the file).
+#if NCAST_OBS_ENABLED
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAddAndHighWater) {
+  Gauge g;
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  g.set_max(4.0);  // below current: no change
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  g.set_max(9.0);
+  EXPECT_DOUBLE_EQ(g.value(), 9.0);
+}
+
+TEST(Histogram, EmptyReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, SingleSampleQuantileIsExact) {
+  Histogram h;
+  h.observe(137.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 137.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 137.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 137.0);
+}
+
+TEST(Histogram, TracksSumMinMaxMean) {
+  Histogram h;
+  h.observe(10.0);
+  h.observe(20.0);
+  h.observe(30.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 60.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  EXPECT_DOUBLE_EQ(h.min(), 10.0);
+  EXPECT_DOUBLE_EQ(h.max(), 30.0);
+}
+
+TEST(Histogram, QuantileWithinBucketTolerance) {
+  // Log-spaced samples: the quarter-octave buckets bound relative error at
+  // ~2^(1/8)-1 ~ 9% per side; allow 15% for slack at bucket edges.
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i));
+  const double p50 = h.quantile(0.5);
+  const double p90 = h.quantile(0.9);
+  const double p99 = h.quantile(0.99);
+  EXPECT_NEAR(p50, 500.0, 500.0 * 0.15);
+  EXPECT_NEAR(p90, 900.0, 900.0 * 0.15);
+  EXPECT_NEAR(p99, 990.0, 990.0 * 0.15);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_GE(h.quantile(0.0), 1.0);
+  EXPECT_LE(h.quantile(1.0), 1000.0);
+}
+
+TEST(Histogram, BucketIndexIsMonotoneAndBoundsHold) {
+  std::size_t prev = 0;
+  for (double x : {0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 100.0, 1e6, 1e12}) {
+    const auto i = Histogram::bucket_index(x);
+    EXPECT_GE(i, prev) << "x = " << x;
+    prev = i;
+    if (i > 0) {
+      EXPECT_LE(Histogram::bucket_low(i), x) << "x = " << x;
+      if (i + 1 < Histogram::kBuckets) {
+        EXPECT_GT(Histogram::bucket_low(i + 1), x) << "x = " << x;
+      }
+    }
+  }
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0u);     // underflow bucket
+  EXPECT_EQ(Histogram::bucket_index(0.999), 0u);   // still below 1
+  EXPECT_EQ(Histogram::bucket_index(1.0), 1u);     // first real bucket
+}
+
+#endif  // NCAST_OBS_ENABLED
+
+TEST(Registry, GetOrCreateReturnsStableReferences) {
+  Registry r;
+  Counter& a = r.counter("x.count");
+  Counter& b = r.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  a.inc(7);
+  EXPECT_EQ(r.counter("x.count").value(), NCAST_OBS_ENABLED ? 7u : 0u);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(Registry, NameCollisionAcrossKindsThrows) {
+  Registry r;
+  r.counter("dual.use");
+  EXPECT_THROW(r.gauge("dual.use"), std::invalid_argument);
+  EXPECT_THROW(r.histogram("dual.use"), std::invalid_argument);
+  r.histogram("h.only");
+  EXPECT_THROW(r.counter("h.only"), std::invalid_argument);
+}
+
+TEST(Registry, ResetValuesKeepsRegistrations) {
+  Registry r;
+  Counter& c = r.counter("c");
+  Gauge& g = r.gauge("g");
+  Histogram& h = r.histogram("h");
+  c.inc(5);
+  g.set(2.0);
+  h.observe(10.0);
+  r.reset_values();
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(&c, &r.counter("c"));  // same object, zeroed
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Registry, WriteJsonEmitsAllSections) {
+  Registry r;
+  r.counter("events").inc(3);
+  r.gauge("depth").set(4.5);
+  r.histogram("lat").observe(100.0);
+  const std::string s = r.snapshot_json();
+  EXPECT_NE(s.find("\"counters\""), std::string::npos);
+  EXPECT_NE(s.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(s.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(s.find("\"p99\""), std::string::npos);
+#if NCAST_OBS_ENABLED
+  EXPECT_NE(s.find("\"events\":3"), std::string::npos);
+  EXPECT_NE(s.find("\"depth\":4.5"), std::string::npos);
+  EXPECT_NE(s.find("\"count\":1"), std::string::npos);
+#endif
+}
+
+TEST(Registry, GlobalRegistryIsASingleton) {
+  Counter& a = metrics().counter("test_metrics.singleton");
+  Counter& b = metrics().counter("test_metrics.singleton");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ScopeTimer, RecordsOneObservation) {
+  Histogram h;
+  { ScopeTimer t(h); }
+#if NCAST_OBS_ENABLED
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.min(), 0.0);
+#else
+  EXPECT_EQ(h.count(), 0u);
+#endif
+}
+
+#if !NCAST_OBS_ENABLED
+TEST(KillSwitch, UpdatesAreNoOps) {
+  Counter c;
+  c.inc(5);
+  EXPECT_EQ(c.value(), 0u);
+  Gauge g;
+  g.set(1.0);
+  g.add(2.0);
+  g.set_max(3.0);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  Histogram h;
+  h.observe(10.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+#endif
+
+TEST(JsonWriterTest, NestedShapes) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("a").value(std::uint64_t{1});
+  w.key("b").begin_array();
+  w.value("x");
+  w.value(2.5);
+  w.end_array();
+  w.key("c").begin_object();
+  w.key("d").value(true);
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":["x",2.5],"c":{"d":true}})");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("s").value("a\"b\\c\n\t\x01");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"s\":\"a\\\"b\\\\c\\n\\t\\u0001\"}");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::nan(""));
+  w.value(std::numeric_limits<double>::infinity());
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+}  // namespace
+}  // namespace ncast::obs

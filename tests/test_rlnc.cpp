@@ -146,6 +146,33 @@ TEST(Decoder, DuplicateNotInnovative) {
   EXPECT_EQ(dec.rank(), 1u);
 }
 
+TEST(Decoder, InnovativePlusRedundantEqualsReceived) {
+  Rng rng(77);
+  const auto source = random_source<Gf>(6, 8, rng);
+  coding::SourceEncoder<Gf> enc(0, source);
+  coding::Decoder<Gf> dec(0, 6, 8);
+
+  // Fresh combinations until complete, then duplicates and a malformed
+  // packet: every absorb() call must land in exactly one of the two classes.
+  std::vector<coding::CodedPacket<Gf>> seen;
+  while (!dec.complete()) {
+    auto p = enc.emit(rng);
+    seen.push_back(p);
+    dec.absorb(p);
+  }
+  for (const auto& p : seen) EXPECT_FALSE(dec.absorb(p));
+  coding::CodedPacket<Gf> malformed;
+  malformed.generation = 9;  // foreign generation: rejected, still "received"
+  malformed.coeffs.assign(6, 1);
+  malformed.payload.assign(8, 1);
+  EXPECT_FALSE(dec.absorb(malformed));
+
+  EXPECT_EQ(dec.packets_innovative(), 6u);
+  EXPECT_EQ(dec.packets_received(), seen.size() * 2 + 1);
+  EXPECT_EQ(dec.packets_innovative() + dec.packets_redundant(),
+            dec.packets_received());
+}
+
 TEST(Decoder, RejectsForeignPackets) {
   coding::Decoder<Gf> dec(0, 4, 4);
   coding::CodedPacket<Gf> wrong_gen;

@@ -1,0 +1,151 @@
+// Structured-trace tests: ring wraparound, time stamping, and JSONL export.
+
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ncast::obs {
+namespace {
+
+TEST(TraceBuffer, ZeroCapacityThrows) {
+  EXPECT_THROW(TraceBuffer(0), std::invalid_argument);
+}
+
+// emit() is a deliberate no-op with NCAST_OBS=OFF; the behavior-dependent
+// tests below are compiled out there and the no-op contract is checked at
+// the bottom of the file.
+#if NCAST_OBS_ENABLED
+
+TEST(TraceBuffer, StampsEventsWithTheCurrentClock) {
+  TraceBuffer tb(8);
+  tb.set_now(1.5);
+  tb.emit(TraceKind::kJoin, 7, 3);
+  tb.set_now(2.5);
+  tb.emit(TraceKind::kCrash, 7);
+  const auto events = tb.events_in_order();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_DOUBLE_EQ(events[0].t, 1.5);
+  EXPECT_EQ(events[0].kind, TraceKind::kJoin);
+  EXPECT_EQ(events[0].node, 7u);
+  EXPECT_EQ(events[0].a, 3u);
+  EXPECT_DOUBLE_EQ(events[1].t, 2.5);
+  EXPECT_EQ(events[1].kind, TraceKind::kCrash);
+}
+
+TEST(TraceBuffer, RingKeepsTheNewestEvents) {
+  TraceBuffer tb(4);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    tb.set_now(static_cast<double>(i));
+    tb.emit(TraceKind::kPacketSend, i, i + 100);
+  }
+  EXPECT_EQ(tb.capacity(), 4u);
+  EXPECT_EQ(tb.size(), 4u);
+  EXPECT_EQ(tb.total_emitted(), 6u);
+  const auto events = tb.events_in_order();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest two (0, 1) were overwritten; 2..5 remain, oldest first.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].node, i + 2);
+    EXPECT_EQ(events[i].a, i + 102);
+    EXPECT_DOUBLE_EQ(events[i].t, static_cast<double>(i + 2));
+  }
+}
+
+TEST(TraceBuffer, ExactlyFullDoesNotWrap) {
+  TraceBuffer tb(3);
+  for (std::uint64_t i = 0; i < 3; ++i) tb.emit(TraceKind::kJoin, i);
+  EXPECT_EQ(tb.size(), 3u);
+  const auto events = tb.events_in_order();
+  for (std::uint64_t i = 0; i < 3; ++i) EXPECT_EQ(events[i].node, i);
+}
+
+TEST(TraceBuffer, ClearEmptiesButKeepsCapacity) {
+  TraceBuffer tb(4);
+  tb.emit(TraceKind::kJoin, 1);
+  tb.clear();
+  EXPECT_EQ(tb.size(), 0u);
+  EXPECT_EQ(tb.capacity(), 4u);
+  tb.emit(TraceKind::kLeave, 2);
+  ASSERT_EQ(tb.events_in_order().size(), 1u);
+  EXPECT_EQ(tb.events_in_order()[0].kind, TraceKind::kLeave);
+}
+
+TEST(TraceBuffer, JsonlOneObjectPerLine) {
+  TraceBuffer tb(8);
+  tb.set_now(0.25);
+  tb.emit(TraceKind::kJoin, 1, 2, 3);
+  tb.emit(TraceKind::kRankAdvance, 4, 5);
+  const std::string out = tb.to_jsonl();
+  std::istringstream lines(out);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, R"({"t":0.25,"kind":"join","node":1,"a":2,"b":3})");
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, R"({"t":0.25,"kind":"rank_advance","node":4,"a":5,"b":0})");
+  EXPECT_FALSE(std::getline(lines, line));
+}
+
+TEST(TraceBuffer, JsonlEscapesDetailText) {
+  TraceBuffer tb(2);
+  tb.emit(TraceKind::kDefect, 0, 0, 0, "say \"hi\"\nback\x01slash\\");
+  const std::string out = tb.to_jsonl();
+  EXPECT_NE(out.find("\"detail\":\"say \\\"hi\\\"\\nback\\u0001slash\\\\\""),
+            std::string::npos)
+      << out;
+}
+
+TEST(TraceBuffer, JsonlOmitsEmptyDetail) {
+  TraceBuffer tb(2);
+  tb.emit(TraceKind::kRepair, 9);
+  EXPECT_EQ(tb.to_jsonl().find("detail"), std::string::npos);
+}
+
+TEST(TraceBuffer, WriteJsonlRoundTrips) {
+  TraceBuffer tb(4);
+  tb.emit(TraceKind::kCrash, 11);
+  const std::string path = ::testing::TempDir() + "trace_test.jsonl";
+  ASSERT_TRUE(tb.write_jsonl(path));
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), tb.to_jsonl());
+  std::remove(path.c_str());
+}
+
+#else  // !NCAST_OBS_ENABLED
+
+TEST(TraceBuffer, EmitIsANoOpWhenDisabled) {
+  TraceBuffer tb(4);
+  tb.emit(TraceKind::kJoin, 1);
+  EXPECT_EQ(tb.size(), 0u);
+  EXPECT_EQ(tb.total_emitted(), 0u);
+  EXPECT_TRUE(tb.events_in_order().empty());
+  EXPECT_TRUE(tb.to_jsonl().empty());
+}
+
+#endif  // NCAST_OBS_ENABLED
+
+TEST(TraceKindNames, AllDistinctAndStable) {
+  EXPECT_STREQ(to_string(TraceKind::kJoin), "join");
+  EXPECT_STREQ(to_string(TraceKind::kLeave), "leave");
+  EXPECT_STREQ(to_string(TraceKind::kCrash), "crash");
+  EXPECT_STREQ(to_string(TraceKind::kRepair), "repair");
+  EXPECT_STREQ(to_string(TraceKind::kDefect), "defect");
+  EXPECT_STREQ(to_string(TraceKind::kPacketSend), "packet_send");
+  EXPECT_STREQ(to_string(TraceKind::kRankAdvance), "rank_advance");
+  EXPECT_STREQ(to_string(TraceKind::kCongestionOffload), "congestion_offload");
+  EXPECT_STREQ(to_string(TraceKind::kCongestionRestore), "congestion_restore");
+}
+
+TEST(GlobalTrace, IsASingleton) {
+  TraceBuffer& a = trace();
+  TraceBuffer& b = trace();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace ncast::obs

@@ -1,0 +1,350 @@
+// bench_validate — schema validator for BENCH_<name>.json telemetry files.
+//
+//   bench_validate FILE [--require key1,key2,...]
+//
+// Checks that FILE is well-formed JSON and contains the ncast.bench.v1
+// contract: schema/bench/run_id strings, params/counters/gauges/histograms
+// objects, and p50/p90/p99 numbers inside every histogram entry. The
+// optional --require list names parameter keys that must be present in
+// "params" (the smoke test passes k,d,n,seed). Exits 0 on success, 1 with a
+// diagnostic on the first violation.
+//
+// The parser is deliberately independent of obs/json.hpp (writer): a shared
+// implementation could hide a bug on both sides of the contract.
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON model + recursive-descent parser (RFC 8259 subset: no \uXXXX
+// surrogate-pair decoding — escapes are validated and kept verbatim).
+// ---------------------------------------------------------------------------
+
+struct Value;
+using ValuePtr = std::unique_ptr<Value>;
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<ValuePtr> array;
+  std::map<std::string, ValuePtr> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  const Value* get(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : it->second.get();
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  ValuePtr parse() {
+    ValuePtr v = parse_value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing content after top-level value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    std::size_t line = 1;
+    for (std::size_t i = 0; i < pos_ && i < s_.size(); ++i) {
+      if (s_[i] == '\n') ++line;
+    }
+    throw std::runtime_error("parse error at line " + std::to_string(line) +
+                             ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  ValuePtr parse_value() {
+    skip_ws();
+    auto v = std::make_unique<Value>();
+    switch (peek()) {
+      case '{': parse_object(*v); break;
+      case '[': parse_array(*v); break;
+      case '"':
+        v->kind = Value::Kind::kString;
+        v->string = parse_string();
+        break;
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        v->kind = Value::Kind::kBool;
+        v->boolean = true;
+        break;
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        v->kind = Value::Kind::kBool;
+        break;
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        break;
+      default: parse_number(*v);
+    }
+    return v;
+  }
+
+  void parse_object(Value& v) {
+    v.kind = Value::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      if (!v.object.emplace(std::move(key), parse_value()).second) {
+        fail("duplicate object key");
+      }
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return;
+    }
+  }
+
+  void parse_array(Value& v) {
+    v.kind = Value::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ + i]))) {
+              fail("bad \\u escape");
+            }
+          }
+          out += "\\u" + s_.substr(pos_, 4);  // kept verbatim
+          pos_ += 4;
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  void parse_number(Value& v) {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    char* end = nullptr;
+    const std::string token = s_.substr(start, pos_ - start);
+    v.number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("bad number '" + token + "'");
+    v.kind = Value::Kind::kNumber;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Schema checks
+// ---------------------------------------------------------------------------
+
+int violation(const std::string& why) {
+  std::fprintf(stderr, "bench_validate: FAIL: %s\n", why.c_str());
+  return 1;
+}
+
+int validate(const Value& root, const std::vector<std::string>& required_params) {
+  if (!root.is_object()) return violation("top level is not an object");
+
+  const Value* schema = root.get("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    return violation("missing string key 'schema'");
+  }
+  if (schema->string != "ncast.bench.v1") {
+    return violation("unsupported schema '" + schema->string + "'");
+  }
+
+  for (const char* key : {"bench", "run_id"}) {
+    const Value* v = root.get(key);
+    if (v == nullptr || !v->is_string() || v->string.empty()) {
+      return violation(std::string("missing non-empty string key '") + key + "'");
+    }
+  }
+  for (const char* key : {"params", "counters", "gauges", "histograms"}) {
+    const Value* v = root.get(key);
+    if (v == nullptr || !v->is_object()) {
+      return violation(std::string("missing object key '") + key + "'");
+    }
+  }
+
+  const Value& params = *root.get("params");
+  for (const std::string& key : required_params) {
+    if (params.get(key) == nullptr) {
+      return violation("params is missing required key '" + key + "'");
+    }
+  }
+
+  for (const auto& [name, counter] : root.get("counters")->object) {
+    if (!counter->is_number()) {
+      return violation("counter '" + name + "' is not a number");
+    }
+  }
+
+  for (const auto& [name, hist] : root.get("histograms")->object) {
+    if (!hist->is_object()) {
+      return violation("histogram '" + name + "' is not an object");
+    }
+    for (const char* stat : {"count", "p50", "p90", "p99"}) {
+      const Value* v = hist->get(stat);
+      if (v == nullptr || !v->is_number()) {
+        return violation("histogram '" + name + "' lacks numeric '" + stat + "'");
+      }
+    }
+  }
+
+  // Tables are optional, but when present must be {header: [...], rows: [[..]]}.
+  if (const Value* tables = root.get("tables")) {
+    if (!tables->is_object()) return violation("'tables' is not an object");
+    for (const auto& [name, table] : tables->object) {
+      if (!table->is_object() || table->get("header") == nullptr ||
+          table->get("rows") == nullptr) {
+        return violation("table '" + name + "' lacks header/rows");
+      }
+    }
+  }
+
+  return 0;
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string item;
+  std::stringstream ss(csv);
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: bench_validate FILE [--require key1,key2,...]\n");
+    return 2;
+  }
+  const std::string path = argv[1];
+  std::vector<std::string> required;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::string(argv[i]) == "--require") required = split_csv(argv[i + 1]);
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "bench_validate: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  if (text.empty()) return violation("file is empty");
+
+  ValuePtr root;
+  try {
+    root = Parser(text).parse();
+  } catch (const std::exception& e) {
+    return violation(e.what());
+  }
+
+  const int rc = validate(*root, required);
+  if (rc == 0) {
+    std::printf("bench_validate: OK: %s (%zu bytes)\n", path.c_str(), text.size());
+  }
+  return rc;
+}

@@ -22,6 +22,8 @@
 #include <string>
 
 #include "node/driver.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "overlay/curtain_server.hpp"
 #include "overlay/defect.hpp"
 #include "overlay/flow_graph.hpp"
@@ -233,7 +235,45 @@ void usage() {
       "  overlay   --k --d --n --p --seed      connectivity under failures\n"
       "  defect    --k --d --p --steps --seed  exact Theorem-4 process\n"
       "  broadcast --k --d --n --p --g --seed  packet-level RLNC broadcast\n"
-      "  stream    --k --d --n --bytes --seed  protocol endpoints end-to-end\n");
+      "  stream    --k --d --n --bytes --seed  protocol endpoints end-to-end\n"
+      "observability (any command):\n"
+      "  --metrics <file>   dump the metrics registry snapshot as JSON\n"
+      "  --trace <file>     dump the structured trace as JSONL\n");
+}
+
+/// Post-run observability dumps requested via --metrics / --trace.
+/// Returns false if a requested dump could not be written.
+bool dump_observability(const Args& args) {
+  bool ok = true;
+  const auto metrics_it = args.kv.find("metrics");
+  if (metrics_it != args.kv.end()) {
+    const std::string& path = metrics_it->second;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      ok = false;
+    } else {
+      const std::string body = obs::metrics().snapshot_json();
+      std::fwrite(body.data(), 1, body.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("[obs] metrics snapshot -> %s (%zu metrics)\n", path.c_str(),
+                  obs::metrics().size());
+    }
+  }
+  const auto trace_it = args.kv.find("trace");
+  if (trace_it != args.kv.end()) {
+    const std::string& path = trace_it->second;
+    if (obs::trace().write_jsonl(path)) {
+      std::printf("[obs] trace -> %s (%zu events retained, %llu emitted)\n",
+                  path.c_str(), obs::trace().size(),
+                  static_cast<unsigned long long>(obs::trace().total_emitted()));
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 }  // namespace
@@ -245,10 +285,19 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   const Args args = parse(argc, argv, 2);
-  if (cmd == "overlay") return cmd_overlay(args);
-  if (cmd == "defect") return cmd_defect(args);
-  if (cmd == "broadcast") return cmd_broadcast(args);
-  if (cmd == "stream") return cmd_stream(args);
-  usage();
-  return 2;
+  int rc = 2;
+  if (cmd == "overlay") {
+    rc = cmd_overlay(args);
+  } else if (cmd == "defect") {
+    rc = cmd_defect(args);
+  } else if (cmd == "broadcast") {
+    rc = cmd_broadcast(args);
+  } else if (cmd == "stream") {
+    rc = cmd_stream(args);
+  } else {
+    usage();
+    return 2;
+  }
+  if (!dump_observability(args) && rc == 0) rc = 1;
+  return rc;
 }
