@@ -10,6 +10,7 @@
 #include "coding/encoder.hpp"
 #include "coding/recoder.hpp"
 #include "coding/reed_solomon.hpp"
+#include "gf/dispatch.hpp"
 #include "gf/gf256.hpp"
 #include "gf/gf2_16.hpp"
 #include "util/rng.hpp"
@@ -114,6 +115,26 @@ void BM_RlncRecode(benchmark::State& state) {
 }
 BENCHMARK(BM_RlncRecode)->Arg(16)->Arg(32)->Arg(64);
 
+// The allocation-free variant the simulators actually run: one packet whose
+// buffers are recycled across emissions. The delta to BM_RlncRecode is the
+// cost of per-emission packet allocation.
+void BM_RlncRecodeInto(benchmark::State& state) {
+  const auto g = static_cast<std::size_t>(state.range(0));
+  const std::size_t symbols = 1024;
+  Rng rng(5);
+  ncast::coding::SourceEncoder<Gf> enc(0, random_source(g, symbols, rng));
+  ncast::coding::Recoder<Gf> rec(0, g, symbols);
+  while (!rec.complete()) rec.absorb(enc.emit(rng));
+  ncast::coding::CodedPacket<Gf> out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rec.emit_into(out, rng));
+    benchmark::DoNotOptimize(out.payload.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(symbols));
+}
+BENCHMARK(BM_RlncRecodeInto)->Arg(16)->Arg(32)->Arg(64);
+
 void BM_RsEncode(benchmark::State& state) {
   const auto k = static_cast<std::size_t>(state.range(0));
   const std::size_t n = 2 * k;
@@ -166,6 +187,8 @@ int main(int argc, char** argv) {
   session.param("d", "n/a");
   session.param("n", 1024);  // symbols per packet
   session.param("seed", std::uint64_t{1});
+  // Which GF kernel tier these numbers were measured on (see src/gf/dispatch).
+  session.param("gf_tier", ncast::gf::tier_name(ncast::gf::active_tier()));
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

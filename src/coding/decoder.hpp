@@ -3,6 +3,13 @@
 // matrix [coefficients | payload]. Maintains the basis in reduced form so
 // that (a) innovation of an incoming packet is detected in O(rank * width)
 // and (b) once the rank reaches g the original packets are read off directly.
+//
+// Hot-path memory discipline: the basis rows live in one contiguous arena
+// (allocated at construction, one row per possible pivot plus a scratch row)
+// and absorb() builds the candidate directly in the arena's next free slot,
+// so absorbing a packet performs zero heap allocations and zero row copies —
+// see linalg/reduced_basis.hpp for the elimination core and
+// tests/test_codec_alloc.cpp for the enforcement.
 
 #include <algorithm>
 #include <cstdint>
@@ -10,6 +17,7 @@
 #include <vector>
 
 #include "coding/packet.hpp"
+#include "linalg/reduced_basis.hpp"
 #include "obs/metrics.hpp"
 
 namespace ncast::coding {
@@ -22,7 +30,11 @@ class Decoder {
   using Packet = CodedPacket<Field>;
 
   Decoder(std::uint32_t generation, std::size_t generation_size, std::size_t symbols)
-      : generation_(generation), g_(generation_size), symbols_(symbols) {
+      : generation_(generation),
+        g_(generation_size),
+        symbols_(symbols),
+        basis_(generation_size + symbols, generation_size),
+        probe_(generation_size) {
     if (g_ == 0 || symbols_ == 0) {
       throw std::invalid_argument("Decoder: zero generation size or symbols");
     }
@@ -31,7 +43,7 @@ class Decoder {
   std::uint32_t generation() const { return generation_; }
   std::size_t generation_size() const { return g_; }
   std::size_t symbols() const { return symbols_; }
-  std::size_t rank() const { return rows_.size(); }
+  std::size_t rank() const { return basis_.rank(); }
   bool complete() const { return rank() == g_; }
 
   /// Packets ever offered to absorb() on this decoder instance.
@@ -54,33 +66,15 @@ class Decoder {
       reg().redundant.inc();
       return false;
     }
-    // Working row: [coeffs | payload] concatenated.
-    std::vector<value_type> row(g_ + symbols_);
-    std::copy(p.coeffs.begin(), p.coeffs.end(), row.begin());
-    std::copy(p.payload.begin(), p.payload.end(), row.begin() + static_cast<std::ptrdiff_t>(g_));
-
-    for (std::size_t i = 0; i < rows_.size(); ++i) {
-      const value_type f = row[pivot_[i]];
-      if (f != value_type{0}) {
-        Field::region_madd(row.data(), rows_[i].data(), f, row.size());
-      }
-    }
-    std::size_t p_col = 0;
-    while (p_col < g_ && row[p_col] == value_type{0}) ++p_col;
-    if (p_col == g_) {
+    // Working row: [coeffs | payload] concatenated into the basis's scratch
+    // row — the arena slot the row will occupy if it proves innovative.
+    value_type* r = basis_.scratch_row();
+    std::copy(p.coeffs.begin(), p.coeffs.end(), r);
+    std::copy(p.payload.begin(), p.payload.end(), r + g_);
+    if (!basis_.absorb()) {
       reg().redundant.inc();
       return false;  // not innovative
     }
-
-    Field::region_mul(row.data(), Field::inv(row[p_col]), row.size());
-    for (std::size_t i = 0; i < rows_.size(); ++i) {
-      const value_type f = rows_[i][p_col];
-      if (f != value_type{0}) {
-        Field::region_madd(rows_[i].data(), row.data(), f, row.size());
-      }
-    }
-    rows_.push_back(std::move(row));
-    pivot_.push_back(p_col);
     ++innovative_;
     reg().innovative.inc();
     return true;
@@ -92,16 +86,18 @@ class Decoder {
         p.payload.size() != symbols_) {
       return false;
     }
-    std::vector<value_type> c = p.coeffs;
-    for (std::size_t i = 0; i < rows_.size(); ++i) {
-      const value_type f = c[pivot_[i]];
+    // Only the coefficient part matters for innovation; reduce a g-wide probe.
+    std::copy(p.coeffs.begin(), p.coeffs.end(), probe_.begin());
+    for (std::size_t i = 0; i < basis_.rank(); ++i) {
+      const std::size_t piv = basis_.pivot(i);
+      const value_type f = probe_[piv];
       if (f != value_type{0}) {
-        // Only the coefficient part matters for innovation.
-        Field::region_madd(c.data(), rows_[i].data(), f, g_);
+        Field::region_madd(probe_.data() + piv, basis_.row(i) + piv, f,
+                           g_ - piv);
       }
     }
     for (std::size_t j = 0; j < g_; ++j) {
-      if (c[j] != value_type{0}) return true;
+      if (probe_[j] != value_type{0}) return true;
     }
     return false;
   }
@@ -113,20 +109,16 @@ class Decoder {
   /// progressive delivery (e.g. starting playback) before full rank.
   bool recoverable(std::size_t index) const {
     if (index >= g_) throw std::out_of_range("Decoder::recoverable");
-    for (std::size_t i = 0; i < rows_.size(); ++i) {
-      if (pivot_[i] != index) continue;
-      for (std::size_t j = 0; j < g_; ++j) {
-        if (j != index && rows_[i][j] != value_type{0}) return false;
-      }
-      return true;
-    }
-    return false;
+    const std::size_t i = basis_.row_of_pivot(index);
+    return i != Basis::npos && row_is_unit(i);
   }
 
-  /// Number of source packets already individually recoverable.
+  /// Number of source packets already individually recoverable. One pass over
+  /// the basis: a row contributes exactly when its coefficient part is a unit
+  /// vector.
   std::size_t recoverable_count() const {
     std::size_t n = 0;
-    for (std::size_t i = 0; i < g_; ++i) n += recoverable(i) ? 1 : 0;
+    for (std::size_t i = 0; i < basis_.rank(); ++i) n += row_is_unit(i) ? 1 : 0;
     return n;
   }
 
@@ -134,12 +126,12 @@ class Decoder {
   /// it also works mid-decode on systematic or lucky packets.
   std::vector<value_type> recover_packet(std::size_t index) const {
     if (index >= g_) throw std::out_of_range("Decoder::recover_packet");
-    for (std::size_t i = 0; i < rows_.size(); ++i) {
-      if (pivot_[i] != index) continue;
-      if (!recoverable(index)) break;
-      return {rows_[i].begin() + static_cast<std::ptrdiff_t>(g_), rows_[i].end()};
+    const std::size_t i = basis_.row_of_pivot(index);
+    if (i == Basis::npos || !row_is_unit(i)) {
+      throw std::logic_error("Decoder::recover_packet: not yet recoverable");
     }
-    throw std::logic_error("Decoder::recover_packet: not yet recoverable");
+    const value_type* r = basis_.row(i);
+    return {r + g_, r + g_ + symbols_};
   }
 
   /// Recovered source packet `index`; requires complete().
@@ -148,12 +140,10 @@ class Decoder {
     if (index >= g_) throw std::out_of_range("Decoder::source_packet");
     // Basis is in RREF with g pivots, so the row whose pivot is `index` holds
     // exactly e_index in the coefficient part and the source payload beyond.
-    for (std::size_t i = 0; i < rows_.size(); ++i) {
-      if (pivot_[i] == index) {
-        return {rows_[i].begin() + static_cast<std::ptrdiff_t>(g_), rows_[i].end()};
-      }
-    }
-    throw std::logic_error("Decoder::source_packet: pivot missing");
+    const std::size_t i = basis_.row_of_pivot(index);
+    if (i == Basis::npos) throw std::logic_error("Decoder::source_packet: pivot missing");
+    const value_type* r = basis_.row(i);
+    return {r + g_, r + g_ + symbols_};
   }
 
   /// All recovered source packets in order; requires complete().
@@ -164,17 +154,37 @@ class Decoder {
     return out;
   }
 
-  /// Basis row i as a coded packet (used by the recoder).
+  /// Basis row `i` as [coeffs | payload], without copying. Rows are in
+  /// arrival order; the recoder mixes straight from these pointers.
+  const value_type* basis_row(std::size_t i) const {
+    if (i >= basis_.rank()) throw std::out_of_range("Decoder::basis_row");
+    return basis_.row(i);
+  }
+
+  /// Basis row i as a coded packet (allocating; kept for inspection and
+  /// tests — the hot path uses basis_row()).
   Packet basis_packet(std::size_t i) const {
-    if (i >= rows_.size()) throw std::out_of_range("Decoder::basis_packet");
+    const value_type* r = basis_row(i);
     Packet p;
     p.generation = generation_;
-    p.coeffs.assign(rows_[i].begin(), rows_[i].begin() + static_cast<std::ptrdiff_t>(g_));
-    p.payload.assign(rows_[i].begin() + static_cast<std::ptrdiff_t>(g_), rows_[i].end());
+    p.coeffs.assign(r, r + g_);
+    p.payload.assign(r + g_, r + g_ + symbols_);
     return p;
   }
 
  private:
+  using Basis = linalg::ReducedBasis<Field>;
+
+  /// True iff basis row `i`'s coefficient part is exactly e_pivot(i).
+  bool row_is_unit(std::size_t i) const {
+    const value_type* r = basis_.row(i);
+    const std::size_t piv = basis_.pivot(i);
+    for (std::size_t j = 0; j < g_; ++j) {
+      if (j != piv && r[j] != value_type{0}) return false;
+    }
+    return true;
+  }
+
   // Process-wide decode counters and the elimination-time probe, shared by
   // every Decoder instance (the registry guarantees stable references).
   struct Instrumentation {
@@ -193,8 +203,8 @@ class Decoder {
   std::size_t symbols_;
   std::uint64_t received_ = 0;    // per-instance; backs packets_received()
   std::uint64_t innovative_ = 0;  // per-instance; backs packets_innovative()
-  std::vector<std::vector<value_type>> rows_;  // RREF of [coeffs | payload]
-  std::vector<std::size_t> pivot_;
+  Basis basis_;                         // RREF of [coeffs | payload], arena-backed
+  mutable std::vector<value_type> probe_;  // reusable is_innovative() row
 };
 
 }  // namespace ncast::coding

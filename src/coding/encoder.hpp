@@ -36,11 +36,11 @@ class SourceEncoder {
   std::size_t generation_size() const { return source_.size(); }
   std::size_t symbols() const { return symbols_; }
 
-  /// Emits a uniformly random linear combination of the source packets.
-  /// The combination is re-drawn if it comes out all-zero (possible over
-  /// tiny fields), so the result always carries information.
-  Packet emit(Rng& rng) const {
-    Packet p;
+  /// Writes a uniformly random linear combination of the source packets into
+  /// `p`, reusing its buffers (no allocation once `p` has the right
+  /// capacity). The combination is re-drawn if it comes out all-zero
+  /// (possible over tiny fields), so the result always carries information.
+  void emit_into(Packet& p, Rng& rng) const {
     p.generation = generation_;
     p.coeffs.resize(source_.size());
     do {
@@ -52,6 +52,12 @@ class SourceEncoder {
     for (std::size_t i = 0; i < source_.size(); ++i) {
       Field::region_madd(p.payload.data(), source_[i].data(), p.coeffs[i], symbols_);
     }
+  }
+
+  /// Emits a uniformly random linear combination as a fresh packet.
+  Packet emit(Rng& rng) const {
+    Packet p;
+    emit_into(p, rng);
     return p;
   }
 

@@ -3,7 +3,7 @@
 #include <array>
 #include <cassert>
 
-#include "gf/gf256_simd.hpp"
+#include "gf/dispatch.hpp"
 
 namespace ncast::gf {
 namespace {
@@ -40,12 +40,9 @@ const Tables& tables() {
   return t;
 }
 
-/// Runtime SIMD dispatch, decided once. Buffers below this size stay on the
-/// scalar path (the nibble-table setup costs ~a cache line of work).
-bool use_avx2() {
-  static const bool enabled = detail::avx2_available();
-  return enabled;
-}
+/// Buffers below this size skip the dispatched kernels entirely (the
+/// nibble-table setup costs ~a cache line of work); see gf/dispatch.cpp for
+/// the tier decision itself.
 constexpr std::size_t kSimdThreshold = 64;
 
 }  // namespace
@@ -76,20 +73,11 @@ Gf256::value_type Gf256::pow(value_type a, std::uint32_t e) {
 }
 
 void Gf256::region_add(value_type* dst, const value_type* src, std::size_t n) {
-  if (n >= kSimdThreshold && use_avx2()) {
-    detail::region_add_avx2(dst, src, n);
+  if (n >= kSimdThreshold) {
+    detail::gf256_kernels().add(dst, src, n);
     return;
   }
-  std::size_t i = 0;
-  // Word-at-a-time XOR; GF(2^8) addition is carry-free.
-  for (; i + 8 <= n; i += 8) {
-    std::uint64_t a, b;
-    __builtin_memcpy(&a, dst + i, 8);
-    __builtin_memcpy(&b, src + i, 8);
-    a ^= b;
-    __builtin_memcpy(dst + i, &a, 8);
-  }
-  for (; i < n; ++i) dst[i] ^= src[i];
+  detail::gf256_add_scalar(dst, src, n);
 }
 
 void Gf256::region_madd(value_type* dst, const value_type* src, value_type c,
@@ -100,11 +88,11 @@ void Gf256::region_madd(value_type* dst, const value_type* src, value_type c,
     return;
   }
   const auto& row = tables().mul[c];
-  if (n >= kSimdThreshold && use_avx2()) {
-    detail::region_madd_avx2(dst, src, row.data(), n);
+  if (n >= kSimdThreshold) {
+    detail::gf256_kernels().madd(dst, src, row.data(), n);
     return;
   }
-  for (std::size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
+  detail::gf256_madd_scalar(dst, src, row.data(), n);
 }
 
 void Gf256::region_mul(value_type* dst, value_type c, std::size_t n) {
@@ -114,11 +102,11 @@ void Gf256::region_mul(value_type* dst, value_type c, std::size_t n) {
     return;
   }
   const auto& row = tables().mul[c];
-  if (n >= kSimdThreshold && use_avx2()) {
-    detail::region_mul_avx2(dst, row.data(), n);
+  if (n >= kSimdThreshold) {
+    detail::gf256_kernels().mul(dst, row.data(), n);
     return;
   }
-  for (std::size_t i = 0; i < n; ++i) dst[i] = row[dst[i]];
+  detail::gf256_mul_scalar(dst, row.data(), n);
 }
 
 }  // namespace ncast::gf

@@ -1,0 +1,86 @@
+// SSSE3 kernels for GF(2^8) region operations. Compiled with -mssse3 (see
+// CMakeLists); callers must gate on ssse3_available().
+
+#include "gf/gf256_ssse3.hpp"
+
+#include <immintrin.h>
+
+namespace ncast::gf::detail {
+
+bool ssse3_available() {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_cpu_supports("ssse3");
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+/// 16-entry nibble product tables for the coefficient whose full product
+/// table is `mul_row`: lo[x] = c*x, hi[x] = c*(x<<4).
+inline void build_nibble_tables(const std::uint8_t* mul_row, __m128i& lo,
+                                __m128i& hi) {
+  alignas(16) std::uint8_t lo_bytes[16];
+  alignas(16) std::uint8_t hi_bytes[16];
+  for (int x = 0; x < 16; ++x) {
+    lo_bytes[x] = mul_row[x];
+    hi_bytes[x] = mul_row[x << 4];
+  }
+  lo = _mm_load_si128(reinterpret_cast<const __m128i*>(lo_bytes));
+  hi = _mm_load_si128(reinterpret_cast<const __m128i*>(hi_bytes));
+}
+
+}  // namespace
+
+void region_madd_ssse3(std::uint8_t* dst, const std::uint8_t* src,
+                       const std::uint8_t* mul_row, std::size_t n) {
+  __m128i lo, hi;
+  build_nibble_tables(mul_row, lo, hi);
+  const __m128i mask = _mm_set1_epi8(0x0F);
+
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i lo_n = _mm_and_si128(s, mask);
+    const __m128i hi_n = _mm_and_si128(_mm_srli_epi64(s, 4), mask);
+    const __m128i prod = _mm_xor_si128(_mm_shuffle_epi8(lo, lo_n),
+                                       _mm_shuffle_epi8(hi, hi_n));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, prod));
+  }
+  for (; i < n; ++i) dst[i] ^= mul_row[src[i]];
+}
+
+void region_mul_ssse3(std::uint8_t* dst, const std::uint8_t* mul_row,
+                      std::size_t n) {
+  __m128i lo, hi;
+  build_nibble_tables(mul_row, lo, hi);
+  const __m128i mask = _mm_set1_epi8(0x0F);
+
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i lo_n = _mm_and_si128(d, mask);
+    const __m128i hi_n = _mm_and_si128(_mm_srli_epi64(d, 4), mask);
+    const __m128i prod = _mm_xor_si128(_mm_shuffle_epi8(lo, lo_n),
+                                       _mm_shuffle_epi8(hi, hi_n));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), prod);
+  }
+  for (; i < n; ++i) dst[i] = mul_row[dst[i]];
+}
+
+void region_add_ssse3(std::uint8_t* dst, const std::uint8_t* src,
+                      std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, s));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+}  // namespace ncast::gf::detail

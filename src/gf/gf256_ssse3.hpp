@@ -1,0 +1,30 @@
+#pragma once
+// SSSE3 backend for GF(2^8) region operations — the same nibble-table shuffle
+// technique as the AVX2 backend at half the vector width, so pre-AVX2 x86
+// hosts (anything since ~2006) still get 16 multiply-accumulates per shuffle
+// pair instead of falling all the way to the scalar loop.
+//
+// Declarations only; the kernels are compiled in their own translation unit
+// with SSSE3 codegen enabled and selected at runtime (see gf/dispatch.cpp).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ncast::gf::detail {
+
+/// True if the running CPU supports the SSSE3 kernels.
+bool ssse3_available();
+
+/// dst[i] ^= mul_row[src[i]] for n bytes. Requires ssse3_available().
+void region_madd_ssse3(std::uint8_t* dst, const std::uint8_t* src,
+                       const std::uint8_t* mul_row, std::size_t n);
+
+/// dst[i] = mul_row[dst[i]] for n bytes. Requires ssse3_available().
+void region_mul_ssse3(std::uint8_t* dst, const std::uint8_t* mul_row,
+                      std::size_t n);
+
+/// dst[i] ^= src[i] for n bytes. Requires ssse3_available().
+void region_add_ssse3(std::uint8_t* dst, const std::uint8_t* src,
+                      std::size_t n);
+
+}  // namespace ncast::gf::detail

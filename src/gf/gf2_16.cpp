@@ -3,6 +3,8 @@
 #include <cassert>
 #include <vector>
 
+#include "gf/dispatch.hpp"
+
 namespace ncast::gf {
 namespace {
 
@@ -30,6 +32,25 @@ struct Tables {
 const Tables& tables() {
   static const Tables t;
   return t;
+}
+
+/// Regions below this many symbols stay on the direct log/exp loop: the
+/// dispatched kernels amortize a 64-product nibble-table build (128 bytes of
+/// tables, see gf/dispatch.hpp) that only pays off on longer rows.
+constexpr std::size_t kKernelThreshold = 64;
+
+/// nib[k][x] = c * (x << 4k), the coefficient-specific tables the region
+/// kernels consume.
+void build_nibble_tables(std::uint16_t c, std::uint16_t (*nib)[16]) {
+  const auto& t = tables();
+  const std::uint32_t lc = t.log[c];  // c != 0 checked by callers
+  nib[0][0] = nib[1][0] = nib[2][0] = nib[3][0] = 0;
+  for (std::uint32_t x = 1; x < 16; ++x) {
+    nib[0][x] = t.exp[lc + t.log[x]];
+    nib[1][x] = t.exp[lc + t.log[x << 4]];
+    nib[2][x] = t.exp[lc + t.log[x << 8]];
+    nib[3][x] = t.exp[lc + t.log[x << 12]];
+  }
 }
 
 }  // namespace
@@ -63,15 +84,11 @@ Gf2_16::value_type Gf2_16::pow(value_type a, std::uint32_t e) {
 }
 
 void Gf2_16::region_add(value_type* dst, const value_type* src, std::size_t n) {
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    std::uint64_t a, b;
-    __builtin_memcpy(&a, dst + i, 8);
-    __builtin_memcpy(&b, src + i, 8);
-    a ^= b;
-    __builtin_memcpy(dst + i, &a, 8);
+  if (n >= kKernelThreshold) {
+    detail::gf2_16_kernels().add(dst, src, n);
+    return;
   }
-  for (; i < n; ++i) dst[i] ^= src[i];
+  detail::gf2_16_add_scalar(dst, src, n);
 }
 
 void Gf2_16::region_madd(value_type* dst, const value_type* src, value_type c,
@@ -79,6 +96,12 @@ void Gf2_16::region_madd(value_type* dst, const value_type* src, value_type c,
   if (c == 0) return;
   if (c == 1) {
     region_add(dst, src, n);
+    return;
+  }
+  if (n >= kKernelThreshold) {
+    std::uint16_t nib[4][16];
+    build_nibble_tables(c, nib);
+    detail::gf2_16_kernels().madd(dst, src, nib, n);
     return;
   }
   const auto& t = tables();
@@ -92,6 +115,12 @@ void Gf2_16::region_mul(value_type* dst, value_type c, std::size_t n) {
   if (c == 1) return;
   if (c == 0) {
     for (std::size_t i = 0; i < n; ++i) dst[i] = 0;
+    return;
+  }
+  if (n >= kKernelThreshold) {
+    std::uint16_t nib[4][16];
+    build_nibble_tables(c, nib);
+    detail::gf2_16_kernels().mul(dst, nib, n);
     return;
   }
   const auto& t = tables();

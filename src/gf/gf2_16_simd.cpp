@@ -1,0 +1,133 @@
+// AVX2 kernels for GF(2^16) region operations. Compiled with -mavx2 (see
+// CMakeLists); callers must gate on avx2_available().
+//
+// Data layout: symbols stay little-endian interleaved in memory (lo byte,
+// hi byte, ...). Each iteration processes two 256-bit vectors (32 symbols):
+// the lo and hi bytes are deinterleaved with pack instructions, pushed
+// through eight 16-entry nibble shuffles (4 nibble positions x 2 result
+// bytes), and reinterleaved with unpack instructions. pack and unpack both
+// operate per 128-bit lane with the same lane split, so the round trip
+// restores the original symbol order.
+
+#include "gf/gf2_16_simd.hpp"
+
+#include <immintrin.h>
+
+namespace ncast::gf::detail {
+
+namespace {
+
+struct NibbleTables {
+  // [nibble position][result byte]: broadcast 16-byte shuffle tables.
+  __m256i lo[4];  // low result byte of nib[k][x]
+  __m256i hi[4];  // high result byte of nib[k][x]
+};
+
+inline NibbleTables build_tables(const std::uint16_t (*nib)[16]) {
+  NibbleTables t;
+  for (int k = 0; k < 4; ++k) {
+    alignas(16) std::uint8_t lo_bytes[16];
+    alignas(16) std::uint8_t hi_bytes[16];
+    for (int x = 0; x < 16; ++x) {
+      lo_bytes[x] = static_cast<std::uint8_t>(nib[k][x] & 0xFF);
+      hi_bytes[x] = static_cast<std::uint8_t>(nib[k][x] >> 8);
+    }
+    t.lo[k] = _mm256_broadcastsi128_si256(
+        _mm_load_si128(reinterpret_cast<const __m128i*>(lo_bytes)));
+    t.hi[k] = _mm256_broadcastsi128_si256(
+        _mm_load_si128(reinterpret_cast<const __m128i*>(hi_bytes)));
+  }
+  return t;
+}
+
+/// Product of 32 interleaved symbols held in (a, b), written back in place.
+inline void product32(const NibbleTables& t, __m256i& a, __m256i& b) {
+  const __m256i mask00ff = _mm256_set1_epi16(0x00FF);
+  const __m256i nibmask = _mm256_set1_epi8(0x0F);
+
+  // Deinterleave: lo = the 32 low bytes, hi = the 32 high bytes (both in
+  // pack order: per lane, a's bytes then b's bytes).
+  const __m256i lo = _mm256_packus_epi16(_mm256_and_si256(a, mask00ff),
+                                         _mm256_and_si256(b, mask00ff));
+  const __m256i hi = _mm256_packus_epi16(_mm256_srli_epi16(a, 8),
+                                         _mm256_srli_epi16(b, 8));
+  const __m256i n0 = _mm256_and_si256(lo, nibmask);
+  const __m256i n1 = _mm256_and_si256(_mm256_srli_epi16(lo, 4), nibmask);
+  const __m256i n2 = _mm256_and_si256(hi, nibmask);
+  const __m256i n3 = _mm256_and_si256(_mm256_srli_epi16(hi, 4), nibmask);
+
+  const __m256i pl = _mm256_xor_si256(
+      _mm256_xor_si256(_mm256_shuffle_epi8(t.lo[0], n0),
+                       _mm256_shuffle_epi8(t.lo[1], n1)),
+      _mm256_xor_si256(_mm256_shuffle_epi8(t.lo[2], n2),
+                       _mm256_shuffle_epi8(t.lo[3], n3)));
+  const __m256i ph = _mm256_xor_si256(
+      _mm256_xor_si256(_mm256_shuffle_epi8(t.hi[0], n0),
+                       _mm256_shuffle_epi8(t.hi[1], n1)),
+      _mm256_xor_si256(_mm256_shuffle_epi8(t.hi[2], n2),
+                       _mm256_shuffle_epi8(t.hi[3], n3)));
+
+  // Reinterleave product bytes back into 16-bit symbols.
+  a = _mm256_unpacklo_epi8(pl, ph);
+  b = _mm256_unpackhi_epi8(pl, ph);
+}
+
+inline std::uint16_t scalar_product(const std::uint16_t (*nib)[16],
+                                    std::uint16_t v) {
+  return static_cast<std::uint16_t>(nib[0][v & 15] ^ nib[1][(v >> 4) & 15] ^
+                                    nib[2][(v >> 8) & 15] ^ nib[3][v >> 12]);
+}
+
+}  // namespace
+
+void region_madd_avx2_u16(std::uint16_t* dst, const std::uint16_t* src,
+                          const std::uint16_t (*nib)[16], std::size_t n) {
+  const NibbleTables t = build_tables(nib);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 16));
+    product32(t, a, b);
+    const __m256i d0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i d1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 16));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d0, a));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 16),
+                        _mm256_xor_si256(d1, b));
+  }
+  for (; i < n; ++i) dst[i] ^= scalar_product(nib, src[i]);
+}
+
+void region_mul_avx2_u16(std::uint16_t* dst, const std::uint16_t (*nib)[16],
+                         std::size_t n) {
+  const NibbleTables t = build_tables(nib);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 16));
+    product32(t, a, b);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), a);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 16), b);
+  }
+  for (; i < n; ++i) dst[i] = scalar_product(nib, dst[i]);
+}
+
+void region_add_avx2_u16(std::uint16_t* dst, const std::uint16_t* src,
+                         std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, s));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+}  // namespace ncast::gf::detail

@@ -1,0 +1,33 @@
+#pragma once
+// AVX2 backend for GF(2^16) region operations.
+//
+// A 16-bit symbol splits into four nibbles; multiplication by a fixed
+// coefficient c distributes over that split (GF addition is XOR), so
+// c*v = P0[v&15] ^ P1[(v>>4)&15] ^ P2[(v>>8)&15] ^ P3[v>>12] with four
+// 16-entry tables of 16-bit products. Each table splits again into a low-byte
+// and a high-byte shuffle table — two nibble-table shuffle pairs over the
+// lo/hi result bytes, the 16-bit analogue of the GF(2^8) kernel (the layout
+// sparsenc and kodo use for their wide-field SIMD paths).
+//
+// Declarations only; compiled in a separate translation unit with AVX2
+// codegen enabled and selected at runtime (see gf/dispatch.cpp).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ncast::gf::detail {
+
+/// dst[i] ^= c*src[i] for n 16-bit symbols, where nib[k][x] == c*(x<<4k).
+/// Requires avx2_available() (declared in gf256_simd.hpp).
+void region_madd_avx2_u16(std::uint16_t* dst, const std::uint16_t* src,
+                          const std::uint16_t (*nib)[16], std::size_t n);
+
+/// dst[i] = c*dst[i] for n 16-bit symbols. Requires avx2_available().
+void region_mul_avx2_u16(std::uint16_t* dst, const std::uint16_t (*nib)[16],
+                         std::size_t n);
+
+/// dst[i] ^= src[i] for n 16-bit symbols. Requires avx2_available().
+void region_add_avx2_u16(std::uint16_t* dst, const std::uint16_t* src,
+                         std::size_t n);
+
+}  // namespace ncast::gf::detail

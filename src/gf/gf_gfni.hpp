@@ -1,0 +1,41 @@
+#pragma once
+// GFNI (Galois Field New Instructions) kernels for both fields, using 64-byte
+// AVX-512 vectors. `vgf2p8affineqb` applies an arbitrary 8x8 GF(2) bit matrix
+// to every byte of a vector; multiplication by a constant in ANY binary field
+// is GF(2)-linear, so one affine per 64 bytes implements GF(2^8) region mul
+// for our 0x11D polynomial (the instruction's own 0x11B multiply is useless
+// here, the affine form is not). GF(2^16) symbols factor into a 2x2 block
+// matrix of four 8x8 transforms applied to the interleaved lo/hi byte stream.
+//
+// Selected by the dispatch layer (gf/dispatch.cpp) as tier kGfni when the CPU
+// has GFNI + AVX512BW + AVX512VL. Do not call these without checking
+// gfni_available().
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ncast::gf::detail {
+
+/// True when the running CPU supports the kGfni tier
+/// (GFNI + AVX512F + AVX512BW + AVX512VL).
+bool gfni_available();
+
+// GF(2^8): same contract as the other tiers — mul_row is the 256-entry
+// product row for the coefficient (mul_row[x] == c*x, so mul_row[1] == c).
+void region_madd_gfni(std::uint8_t* dst, const std::uint8_t* src,
+                      const std::uint8_t* mul_row, std::size_t n);
+void region_mul_gfni(std::uint8_t* dst, const std::uint8_t* mul_row,
+                     std::size_t n);
+void region_add_gfni(std::uint8_t* dst, const std::uint8_t* src, std::size_t n);
+
+// GF(2^16): same contract as the other tiers — nib[k][x] == c * (x << 4k),
+// from which the kernel derives the coefficient's 16x16 bit matrix
+// (column 4k+b is nib[k][1<<b]).
+void region_madd_gfni_u16(std::uint16_t* dst, const std::uint16_t* src,
+                          const std::uint16_t (*nib)[16], std::size_t n);
+void region_mul_gfni_u16(std::uint16_t* dst, const std::uint16_t (*nib)[16],
+                         std::size_t n);
+void region_add_gfni_u16(std::uint16_t* dst, const std::uint16_t* src,
+                         std::size_t n);
+
+}  // namespace ncast::gf::detail

@@ -3,11 +3,13 @@
 // inversion, and linear solve. These are the building blocks beneath the RLNC
 // decoder and the Reed–Solomon codec.
 
+#include <algorithm>
 #include <cstddef>
 #include <optional>
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "linalg/reduced_basis.hpp"
 #include "obs/metrics.hpp"
 
 namespace ncast::linalg {
@@ -28,17 +30,21 @@ std::vector<std::size_t> rref_in_place(Matrix<Field>& m) {
     if (sel == m.rows()) continue;
     m.swap_rows(sel, pivot_row);
 
-    // Normalize the pivot row.
+    // The pivot row is zero left of `col` (earlier pivot columns were
+    // eliminated; skipped columns were zero in every row at or below the
+    // then-current pivot row), so normalization and elimination only touch
+    // the trailing columns.
+    const std::size_t tail = m.cols() - col;
     const V p = m(pivot_row, col);
     if (p != V{1}) {
-      Field::region_mul(m.row(pivot_row), Field::inv(p), m.cols());
+      Field::region_mul(m.row(pivot_row) + col, Field::inv(p), tail);
     }
     // Eliminate the column everywhere else.
     for (std::size_t r = 0; r < m.rows(); ++r) {
       if (r == pivot_row) continue;
       const V f = m(r, col);
       if (f != V{0}) {
-        Field::region_madd(m.row(r), m.row(pivot_row), f, m.cols());
+        Field::region_madd(m.row(r) + col, m.row(pivot_row) + col, f, tail);
       }
     }
     pivots.push_back(col);
@@ -100,48 +106,32 @@ std::optional<std::vector<typename Field::value_type>> solve(
 /// Incrementally maintained row space: feed rows one at a time; `absorb`
 /// reports whether the row was innovative (increased the rank). Used by the
 /// simulators to track useful information received by a node without keeping
-/// full payloads.
+/// full payloads. A thin shell over ReducedBasis — the same arena-backed
+/// elimination core the RLNC decoder uses.
 template <typename Field>
 class IncrementalRank {
  public:
   using value_type = typename Field::value_type;
 
-  explicit IncrementalRank(std::size_t dimension) : dim_(dimension) {}
+  explicit IncrementalRank(std::size_t dimension)
+      : basis_(dimension, dimension) {}
 
-  std::size_t dimension() const { return dim_; }
-  std::size_t rank() const { return rows_.size(); }
-  bool complete() const { return rank() == dim_; }
+  std::size_t dimension() const { return basis_.pivot_cols(); }
+  std::size_t rank() const { return basis_.rank(); }
+  bool complete() const { return rank() == dimension(); }
 
   /// Reduces `row` against the stored basis; if a remainder survives, stores
   /// it (normalized) and returns true.
-  bool absorb(std::vector<value_type> row) {
-    if (row.size() != dim_) throw std::invalid_argument("IncrementalRank::absorb: arity");
-    for (std::size_t i = 0; i < rows_.size(); ++i) {
-      const value_type f = row[pivot_[i]];
-      if (f != value_type{0}) {
-        Field::region_madd(row.data(), rows_[i].data(), f, dim_);
-      }
+  bool absorb(const std::vector<value_type>& row) {
+    if (row.size() != dimension()) {
+      throw std::invalid_argument("IncrementalRank::absorb: arity");
     }
-    std::size_t p = 0;
-    while (p < dim_ && row[p] == value_type{0}) ++p;
-    if (p == dim_) return false;  // dependent
-    Field::region_mul(row.data(), Field::inv(row[p]), dim_);
-    // Back-substitute into existing rows to keep the basis reduced.
-    for (std::size_t i = 0; i < rows_.size(); ++i) {
-      const value_type f = rows_[i][p];
-      if (f != value_type{0}) {
-        Field::region_madd(rows_[i].data(), row.data(), f, dim_);
-      }
-    }
-    rows_.push_back(std::move(row));
-    pivot_.push_back(p);
-    return true;
+    std::copy(row.begin(), row.end(), basis_.scratch_row());
+    return basis_.absorb();
   }
 
  private:
-  std::size_t dim_;
-  std::vector<std::vector<value_type>> rows_;
-  std::vector<std::size_t> pivot_;
+  ReducedBasis<Field> basis_;
 };
 
 }  // namespace ncast::linalg

@@ -3,6 +3,7 @@
 // exposed as raw spans so Gaussian elimination and packet mixing can use the
 // field's bulk region operations.
 
+#include <algorithm>
 #include <cstddef>
 #include <stdexcept>
 #include <utility>
@@ -53,8 +54,7 @@ class Matrix {
   void swap_rows(std::size_t a, std::size_t b) {
     if (a == b) return;
     value_type* ra = row(a);
-    value_type* rb = row(b);
-    for (std::size_t c = 0; c < cols_; ++c) std::swap(ra[c], rb[c]);
+    std::swap_ranges(ra, ra + cols_, row(b));
   }
 
   /// Appends a row (must have exactly cols() entries).

@@ -76,7 +76,9 @@ class StreamState {
     std::size_t pick = rng.below(with_data);
     for (auto& b : buffers_) {
       if (b.rank() == 0 || pick-- != 0) continue;
-      if (auto packet = b.emit(rng)) return coding::serialize(*packet);
+      // scratch_ recycles the packet buffers across emissions; only the wire
+      // serialization below allocates.
+      if (b.emit_into(scratch_, rng)) return coding::serialize(scratch_);
       return std::nullopt;
     }
     return std::nullopt;
@@ -110,6 +112,7 @@ class StreamState {
   coding::GenerationPlan plan_;
   std::vector<coding::Recoder<gf::Gf256>> buffers_;
   std::vector<coding::NullKeySet<gf::Gf256>> keys_;
+  coding::CodedPacket<gf::Gf256> scratch_;  // reused by emit_wire()
 };
 
 }  // namespace ncast::node

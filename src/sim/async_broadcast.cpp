@@ -108,6 +108,18 @@ AsyncReport simulate_async_broadcast(const graph::Digraph& g,
   EventEngine engine;
   AsyncReport report;
 
+  // Packet pool: buffers cycle sender -> in-flight closure -> absorb ->
+  // pool, so the steady-state event loop performs no per-packet allocation.
+  // Declared before the sender closures, which capture it by reference and
+  // must not outlive it.
+  std::vector<coding::CodedPacket<Gf>> pool;
+  auto acquire = [&pool]() {
+    if (pool.empty()) return coding::CodedPacket<Gf>{};
+    coding::CodedPacket<Gf> p = std::move(pool.back());
+    pool.pop_back();
+    return p;
+  };
+
   // One recurring send event per link; payload content is drawn at send
   // time from the sender's then-current buffer (or the encoder). The sender
   // closures live in a vector that outlives the event loop so their
@@ -116,19 +128,22 @@ AsyncReport simulate_async_broadcast(const graph::Digraph& g,
   for (std::size_t li = 0; li < links.size(); ++li) {
     senders[li] = [&, li]() {
       const Link& l = links[li];
-      std::optional<coding::CodedPacket<Gf>> packet;
+      coding::CodedPacket<Gf> packet = acquire();
+      bool have = false;
       if (l.from == source) {
-        packet = encoder.emit(rng);
+        encoder.emit_into(packet, rng);
+        have = true;
       } else if (state[l.from].rank() > 0) {
-        packet = state[l.from].emit(rng);
+        have = state[l.from].emit_into(packet, rng);
       }
-      if (packet) {
+      if (have) {
         ++report.packets_sent;
-        engine.schedule_in(l.latency, [&, li, p = std::move(*packet)]() {
+        engine.schedule_in(l.latency, [&, li, p = std::move(packet)]() mutable {
           const Link& arrived = links[li];
           const double now = engine.now();
           if (first_arrival[arrived.to] < 0.0) first_arrival[arrived.to] = now;
           const bool fresh = state[arrived.to].absorb(p);
+          pool.push_back(std::move(p));
           if (fresh) {
             ++report.packets_innovative;
             const std::size_t r = state[arrived.to].rank();
@@ -143,6 +158,8 @@ AsyncReport simulate_async_broadcast(const graph::Digraph& g,
             }
           }
         });
+      } else {
+        pool.push_back(std::move(packet));
       }
       engine.schedule_in(config.send_period, senders[li]);
     };

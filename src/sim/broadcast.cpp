@@ -108,8 +108,7 @@ BroadcastReport simulate_broadcast(const overlay::ThreadMatrix& m,
   const std::size_t rounds =
       config.rounds != 0 ? config.rounds : max_depth + 4 * g + 4;
 
-  auto make_jam_packet = [&](Rng& r) {
-    Packet p;
+  auto make_jam_packet = [&](Packet& p, Rng& r) {
     p.generation = 0;
     p.coeffs.resize(g);
     p.payload.resize(symbols);
@@ -117,11 +116,21 @@ BroadcastReport simulate_broadcast(const overlay::ThreadMatrix& m,
       for (auto& c : p.coeffs) c = static_cast<std::uint8_t>(r.below(256));
     } while (p.is_degenerate());
     for (auto& b : p.payload) b = static_cast<std::uint8_t>(r.below(256));
-    return p;
   };
 
   static obs::Counter& sent_ctr = obs::metrics().counter("sim.packets_sent");
   static obs::Counter& lost_ctr = obs::metrics().counter("sim.packets_lost");
+
+  // Packet pool: delivered packets return here and their buffers are reused
+  // by the next round's emissions, so the steady-state event loop does not
+  // allocate per packet (emit_into fills whatever capacity is already there).
+  std::vector<Packet> pool;
+  auto acquire = [&pool]() {
+    if (pool.empty()) return Packet{};
+    Packet p = std::move(pool.back());
+    pool.pop_back();
+    return p;
+  };
 
   for (std::size_t round = 1; round <= rounds; ++round) {
     // Trace time inside a broadcast is the round number (the sim is
@@ -133,23 +142,37 @@ BroadcastReport simulate_broadcast(const overlay::ThreadMatrix& m,
 
     for (const Segment& seg : segments) {
       if (seg.from == overlay::kServerNode) {
-        inflight.emplace_back(seg.to, encoder.emit(rng));
+        Packet p = acquire();
+        encoder.emit_into(p, rng);
+        inflight.emplace_back(seg.to, std::move(p));
         continue;
       }
       switch (effective(seg.from)) {
         case NodeBehavior::kHonest: {
           const auto& recoder = state.at(seg.from);
-          if (auto p = recoder.emit(rng)) inflight.emplace_back(seg.to, std::move(*p));
+          Packet p = acquire();
+          if (recoder.emit_into(p, rng)) {
+            inflight.emplace_back(seg.to, std::move(p));
+          } else {
+            pool.push_back(std::move(p));
+          }
           break;
         }
         case NodeBehavior::kEntropyAttack: {
           const auto it = frozen.find(seg.from);
-          if (it != frozen.end()) inflight.emplace_back(seg.to, it->second);
+          if (it != frozen.end()) {
+            Packet p = acquire();
+            p = it->second;  // copy-assign into recycled capacity
+            inflight.emplace_back(seg.to, std::move(p));
+          }
           break;
         }
-        case NodeBehavior::kJammer:
-          inflight.emplace_back(seg.to, make_jam_packet(rng));
+        case NodeBehavior::kJammer: {
+          Packet p = acquire();
+          make_jam_packet(p, rng);
+          inflight.emplace_back(seg.to, std::move(p));
           break;
+        }
         case NodeBehavior::kOffline:
           break;
       }
@@ -157,28 +180,29 @@ BroadcastReport simulate_broadcast(const overlay::ThreadMatrix& m,
 
     sent_ctr.inc(inflight.size());
     for (auto& [to, packet] : inflight) {
-      if (config.loss_p > 0.0 && rng.chance(config.loss_p)) {
-        lost_ctr.inc();
-        continue;
+      const bool lost = config.loss_p > 0.0 && rng.chance(config.loss_p);
+      if (lost) lost_ctr.inc();
+      const auto it = lost ? state.end() : state.find(to);
+      if (it != state.end()) {
+        // Honest verifying receivers discard unverifiable packets outright.
+        const bool verified = !(keys && effective(to) == NodeBehavior::kHonest &&
+                                !keys->verify(packet));
+        if (verified) {
+          if (effective(to) == NodeBehavior::kEntropyAttack &&
+              frozen.find(to) == frozen.end()) {
+            frozen.emplace(to, packet);
+          }
+          if (it->second.absorb(packet)) {
+            obs::trace().emit(obs::TraceKind::kRankAdvance, to,
+                              it->second.rank());
+          }
+          if (it->second.complete() &&
+              decode_round.find(to) == decode_round.end()) {
+            decode_round[to] = round;
+          }
+        }
       }
-      auto it = state.find(to);
-      if (it == state.end()) continue;
-      // Honest verifying receivers discard unverifiable packets outright.
-      if (keys && effective(to) == NodeBehavior::kHonest &&
-          !keys->verify(packet)) {
-        continue;
-      }
-      if (effective(to) == NodeBehavior::kEntropyAttack &&
-          frozen.find(to) == frozen.end()) {
-        frozen.emplace(to, packet);
-      }
-      if (it->second.absorb(packet)) {
-        obs::trace().emit(obs::TraceKind::kRankAdvance, to,
-                          it->second.rank());
-      }
-      if (it->second.complete() && decode_round.find(to) == decode_round.end()) {
-        decode_round[to] = round;
-      }
+      pool.push_back(std::move(packet));
     }
   }
 

@@ -1,0 +1,146 @@
+// Proof that the codec hot path is allocation-free in steady state: global
+// operator new/new[] are replaced with counting versions, and the count must
+// not move across Decoder::absorb, Recoder::emit_into, and
+// SourceEncoder::emit_into loops once construction and first-use metric
+// registration are behind us. This is the enforcement half of the contract
+// documented in coding/decoder.hpp and linalg/reduced_basis.hpp.
+//
+// The counter is bumped in the replaced operators themselves, so ANY heap
+// allocation on the measured path — vector growth, metric registration, a
+// stray temporary — fails the test. gtest assertions allocate, so the
+// measured regions contain no EXPECT/ASSERT; deltas are checked after.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "coding/decoder.hpp"
+#include "coding/encoder.hpp"
+#include "coding/recoder.hpp"
+#include "gf/gf256.hpp"
+#include "gf/gf2_16.hpp"
+#include "util/rng.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_news{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace ncast {
+namespace {
+
+template <typename Field>
+std::vector<std::vector<typename Field::value_type>> random_source(
+    std::size_t g, std::size_t symbols, Rng& rng) {
+  std::vector<std::vector<typename Field::value_type>> src(
+      g, std::vector<typename Field::value_type>(symbols));
+  for (auto& row : src) {
+    for (auto& v : row) {
+      v = static_cast<typename Field::value_type>(rng.below(Field::order));
+    }
+  }
+  return src;
+}
+
+template <typename Field>
+void run_absorb_alloc_free(std::uint64_t seed) {
+  const std::size_t g = 16, symbols = 128;
+  Rng rng(seed);
+  const auto source = random_source<Field>(g, symbols, rng);
+  const coding::SourceEncoder<Field> enc(0, source);
+  std::vector<coding::CodedPacket<Field>> packets;
+  for (std::size_t i = 0; i < g + 8; ++i) packets.push_back(enc.emit(rng));
+
+  coding::Decoder<Field> dec(0, g, symbols);
+  // Warm-up: the first absorb registers the decode metrics (one-time heap
+  // work behind a static) and faults in the GF kernel tables.
+  dec.absorb(packets[0]);
+  dec.absorb(packets[1]);
+
+  const std::uint64_t before = g_news.load();
+  for (std::size_t i = 2; i < packets.size(); ++i) dec.absorb(packets[i]);
+  const std::uint64_t delta = g_news.load() - before;
+
+  ASSERT_TRUE(dec.complete());
+  // Innovative, redundant, AND shape-rejected packets must all be free.
+  EXPECT_EQ(delta, 0u);
+}
+
+TEST(CodecAllocFree, DecoderAbsorbGf256) {
+  run_absorb_alloc_free<gf::Gf256>(31);
+}
+
+TEST(CodecAllocFree, DecoderAbsorbGf2_16) {
+  run_absorb_alloc_free<gf::Gf2_16>(32);
+}
+
+TEST(CodecAllocFree, RecoderEmitIntoSteadyState) {
+  using Field = gf::Gf256;
+  const std::size_t g = 16, symbols = 128;
+  Rng rng(33);
+  const auto source = random_source<Field>(g, symbols, rng);
+  const coding::SourceEncoder<Field> enc(0, source);
+  coding::Recoder<Field> rec(0, g, symbols);
+  while (!rec.complete()) rec.absorb(enc.emit(rng));
+
+  // Warm-up sizes the packet's buffers and registers recoder.emit_ns.
+  coding::CodedPacket<Field> out;
+  ASSERT_TRUE(rec.emit_into(out, rng));
+
+  const std::uint64_t before = g_news.load();
+  bool ok = true;
+  for (int i = 0; i < 200; ++i) ok = rec.emit_into(out, rng) && ok;
+  const std::uint64_t delta = g_news.load() - before;
+
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(delta, 0u);
+  // The recycled packet still carries a decodable combination.
+  coding::Decoder<Field> check(0, g, symbols);
+  EXPECT_TRUE(check.absorb(out));
+}
+
+TEST(CodecAllocFree, EncoderEmitIntoSteadyState) {
+  using Field = gf::Gf256;
+  const std::size_t g = 8, symbols = 64;
+  Rng rng(34);
+  const auto source = random_source<Field>(g, symbols, rng);
+  const coding::SourceEncoder<Field> enc(0, source);
+
+  coding::CodedPacket<Field> out;
+  enc.emit_into(out, rng);  // warm-up sizes the buffers
+
+  const std::uint64_t before = g_news.load();
+  for (int i = 0; i < 200; ++i) enc.emit_into(out, rng);
+  const std::uint64_t delta = g_news.load() - before;
+
+  EXPECT_EQ(delta, 0u);
+}
+
+// A rank-0 recoder declines without touching the heap either.
+TEST(CodecAllocFree, EmptyRecoderEmitIntoIsFreeAndSilent) {
+  using Field = gf::Gf256;
+  Rng rng(35);
+  coding::Recoder<Field> rec(0, 8, 64);
+  coding::CodedPacket<Field> out;
+  const std::uint64_t before = g_news.load();
+  const bool emitted = rec.emit_into(out, rng);
+  const std::uint64_t delta = g_news.load() - before;
+  EXPECT_FALSE(emitted);
+  EXPECT_EQ(delta, 0u);
+}
+
+}  // namespace
+}  // namespace ncast

@@ -316,6 +316,73 @@ TEST(Packet, WireSizeAndDegeneracy) {
   EXPECT_EQ(p.wire_size(), sizeof(std::uint32_t) + 8 + 16);
 }
 
+TEST(RecoderEmitInto, ReusesBuffersAndMatchesEmit) {
+  const std::size_t g = 8, symbols = 32;
+  Rng rng(21);
+  const auto source = random_source<Gf>(g, symbols, rng);
+  coding::SourceEncoder<Gf> enc(0, source);
+  coding::Recoder<Gf> rec(0, g, symbols);
+  while (!rec.complete()) rec.absorb(enc.emit(rng));
+
+  coding::CodedPacket<Gf> p;
+  ASSERT_TRUE(rec.emit_into(p, rng));
+  ASSERT_EQ(p.coeffs.size(), g);
+  ASSERT_EQ(p.payload.size(), symbols);
+  const auto* coeffs_buf = p.coeffs.data();
+  const auto* payload_buf = p.payload.data();
+
+  // Re-emitting into the same packet reuses the existing buffers.
+  ASSERT_TRUE(rec.emit_into(p, rng));
+  EXPECT_EQ(p.coeffs.data(), coeffs_buf);
+  EXPECT_EQ(p.payload.data(), payload_buf);
+
+  // emit() and emit_into() draw from the same RNG stream: two recoders with
+  // identical state and identical RNGs produce identical packets either way.
+  Rng a(77), b(77);
+  const auto via_emit = rec.emit(a);
+  coding::CodedPacket<Gf> via_into;
+  ASSERT_TRUE(rec.emit_into(via_into, b));
+  ASSERT_TRUE(via_emit.has_value());
+  EXPECT_EQ(via_emit->coeffs, via_into.coeffs);
+  EXPECT_EQ(via_emit->payload, via_into.payload);
+
+  // And what comes out still decodes.
+  coding::Decoder<Gf> dec(0, g, symbols);
+  Rng c(5);
+  while (!dec.complete()) {
+    coding::CodedPacket<Gf> q;
+    ASSERT_TRUE(rec.emit_into(q, c));
+    dec.absorb(q);
+  }
+  EXPECT_EQ(dec.source_packets(), source);
+}
+
+TEST(RecoderEmitInto, EmptyRecoderStaysSilent) {
+  Rng rng(22);
+  coding::Recoder<Gf> rec(0, 4, 8);
+  coding::CodedPacket<Gf> p;
+  EXPECT_FALSE(rec.emit_into(p, rng));
+  EXPECT_FALSE(rec.emit(rng).has_value());
+}
+
+TEST(EncoderEmitInto, MatchesEmitAndReusesBuffers) {
+  const std::size_t g = 6, symbols = 16;
+  Rng rng(23);
+  const auto source = random_source<Gf>(g, symbols, rng);
+  coding::SourceEncoder<Gf> enc(0, source);
+
+  Rng a(9), b(9);
+  const auto via_emit = enc.emit(a);
+  coding::CodedPacket<Gf> via_into;
+  enc.emit_into(via_into, b);
+  EXPECT_EQ(via_emit.coeffs, via_into.coeffs);
+  EXPECT_EQ(via_emit.payload, via_into.payload);
+
+  const auto* buf = via_into.payload.data();
+  enc.emit_into(via_into, b);
+  EXPECT_EQ(via_into.payload.data(), buf);
+}
+
 TEST(Gf2_16Codec, RoundTrip) {
   using F = gf::Gf2_16;
   Rng rng(15);
