@@ -132,5 +132,49 @@ int main() {
       "threads wholesale; nodes below are cut off). C should match A —\n"
       "random insertion makes a coordinated burst no more harmful than iid\n"
       "failures, which is exactly the Section 5 claim.\n");
+
+  // E6b — the attack, replayed with real packets: the same adversary cohort
+  // crashes mid-broadcast (a scheduled FaultPlan burst), under append vs
+  // random-position insertion. Decoded fraction tells the same story as the
+  // min-cut analysis above, at packet level.
+  bench::banner(
+      "E6b: mid-broadcast coordinated crash (scenario kernel)",
+      "k = 16, d = 2, N = 400, 5% adversary burst crashing at t = 6,\n"
+      "g = 8, async latency U[0.2, 1.2]. Decoded fraction of survivors.");
+  {
+    const std::size_t pn = 400;
+    const auto pburst = static_cast<std::size_t>(0.05 * pn);
+    Table pkt({"policy", "decoded%", "mean rate/cut", "packets lost"});
+    for (const bool random_insert : {false, true}) {
+      auto m = bench::grow_overlay(k, d, pn, 0xE66,
+                                   random_insert
+                                       ? overlay::InsertPolicy::kRandomPosition
+                                       : overlay::InsertPolicy::kAppend);
+      bench::ScenarioBuilder scenario(0xE67);
+      scenario.generation(8, 4).uniform_latency(0.2, 1.2).horizon(250.0);
+      // The cohort is consecutive arrivals (ids n/2 ..); append keeps them
+      // contiguous in the matrix, random insertion scatters them.
+      for (std::size_t i = pn / 2; i < pn / 2 + pburst; ++i) {
+        scenario.crash(6.0, static_cast<overlay::NodeId>(i));
+      }
+      if (!random_insert) scenario.describe(session, "packet_level_");
+      const auto report = scenario.run(m);
+      RunningStats vs_cut;
+      for (const auto& o : report.outcomes) {
+        if (o.decoded && o.max_flow > 0) {
+          vs_cut.add(std::min(1.0, o.rate() / static_cast<double>(o.max_flow)));
+        }
+      }
+      pkt.add_row({random_insert ? "random insert" : "append",
+                   fmt(100.0 * report.decoded_fraction(), 1),
+                   fmt(vs_cut.mean(), 3), std::to_string(report.packets_lost)});
+    }
+    pkt.print();
+    session.add_table("packet_burst", pkt);
+    std::printf(
+        "\nReading: under append the burst band starves the nodes below it\n"
+        "(decoded%% drops); random insertion keeps the decoded fraction near\n"
+        "the iid-failure level — the defense holds under real packet flow.\n");
+  }
   return 0;
 }

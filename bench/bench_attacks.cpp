@@ -7,8 +7,9 @@
 
 #include <cstdio>
 
+#include <cmath>
+
 #include "bench_common.hpp"
-#include "sim/broadcast.hpp"
 #include "util/stats.hpp"
 
 using namespace ncast;
@@ -35,12 +36,11 @@ Outcome run(const overlay::ThreadMatrix& m, sim::NodeBehavior attack,
       is_attacker[i] = true;
     }
   }
-  sim::BroadcastConfig cfg;
-  cfg.generation_size = g;
-  cfg.symbols = 8;
-  cfg.seed = seed ^ 0x5555;
-  cfg.null_keys = null_keys;
-  const auto report = simulate_broadcast(m, cfg, behavior);
+  const auto report = bench::ScenarioBuilder(seed ^ 0x5555)
+                          .generation(g, 8)
+                          .rounds(0)  // round-synchronous, auto budget
+                          .null_keys(null_keys)
+                          .run(m, behavior);
 
   Outcome out;
   std::size_t honest = 0, decoded = 0, corrupted = 0;
@@ -53,8 +53,9 @@ Outcome run(const overlay::ThreadMatrix& m, sim::NodeBehavior attack,
     if (o.decoded) {
       ++decoded;
       if (o.corrupted) ++corrupted;
-      slack_sum += static_cast<double>(o.decode_round) -
-                   static_cast<double>(o.depth);
+      // In round mode deliveries land at round boundaries, so the decode
+      // round is the floor of the decode time.
+      slack_sum += std::floor(o.decode_time) - static_cast<double>(o.depth);
     }
   }
   if (honest == 0) return out;

@@ -13,6 +13,7 @@
 #include "metrics_session.hpp"
 #include "overlay/curtain_server.hpp"
 #include "overlay/thread_matrix.hpp"
+#include "sim/scenario.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -39,5 +40,120 @@ inline void tag_iid_failures(overlay::ThreadMatrix& m, double p, Rng& rng) {
     if (rng.chance(p)) m.mark_failed(n);
   }
 }
+
+/// Fluent builder for composed scenario specs (layer 4 of the simulation
+/// kernel). Every packet-level experiment goes through this, so a driver is
+/// just: build the overlay, describe the adversity, run, read the report —
+/// and the scenario parameters land in the telemetry dump uniformly via
+/// describe().
+class ScenarioBuilder {
+ public:
+  explicit ScenarioBuilder(std::uint64_t seed) { spec_.seed = seed; }
+
+  ScenarioBuilder& generation(std::size_t g, std::size_t symbols) {
+    spec_.generation_size = g;
+    spec_.symbols = symbols;
+    return *this;
+  }
+  /// Round-synchronous mode (the paper's lockstep rounds): latency is pinned
+  /// to half a period so every round's packets land before the next round.
+  ScenarioBuilder& rounds(std::size_t r) {
+    spec_.round_sync = true;
+    spec_.rounds = r;
+    spec_.link.latency = sim::LatencySpec::fixed_delay(spec_.send_period / 2.0);
+    return *this;
+  }
+  ScenarioBuilder& horizon(double h) {
+    spec_.horizon = h;
+    return *this;
+  }
+  ScenarioBuilder& send_period(double p) {
+    spec_.send_period = p;
+    if (spec_.round_sync) {
+      spec_.link.latency = sim::LatencySpec::fixed_delay(p / 2.0);
+    }
+    return *this;
+  }
+  ScenarioBuilder& fixed_latency(double t) {
+    spec_.link.latency = sim::LatencySpec::fixed_delay(t);
+    return *this;
+  }
+  ScenarioBuilder& uniform_latency(double lo, double hi) {
+    spec_.link.latency = sim::LatencySpec::uniform(lo, hi);
+    return *this;
+  }
+  ScenarioBuilder& bernoulli_loss(double p) {
+    spec_.link.loss = sim::LossSpec::bernoulli(p);
+    return *this;
+  }
+  ScenarioBuilder& gilbert_elliott_loss(double enter_bad, double exit_bad) {
+    spec_.link.loss = sim::LossSpec::gilbert_elliott(enter_bad, exit_bad);
+    return *this;
+  }
+  ScenarioBuilder& bandwidth_cap(double per_period) {
+    spec_.link.bandwidth_cap = per_period;
+    return *this;
+  }
+  ScenarioBuilder& partition(double from, double until, double b_fraction) {
+    spec_.link.partition = sim::PartitionSpec::window(from, until, b_fraction);
+    return *this;
+  }
+  ScenarioBuilder& null_keys(std::size_t count) {
+    spec_.null_keys = count;
+    return *this;
+  }
+  ScenarioBuilder& crash(double t, overlay::NodeId node) {
+    spec_.faults.crash_at(t, node);
+    return *this;
+  }
+  ScenarioBuilder& repair(double t, overlay::NodeId node) {
+    spec_.faults.repair_at(t, node);
+    return *this;
+  }
+  ScenarioBuilder& leave(double t, overlay::NodeId node) {
+    spec_.faults.leave_at(t, node);
+    return *this;
+  }
+  ScenarioBuilder& behavior(double t, overlay::NodeId node,
+                            sim::NodeBehavior b) {
+    spec_.faults.behavior_at(t, node, b);
+    return *this;
+  }
+  ScenarioBuilder& faults(const sim::FaultPlan& plan) {
+    spec_.faults.merge(plan);
+    return *this;
+  }
+
+  const sim::ScenarioSpec& spec() const { return spec_; }
+
+  sim::ScenarioReport run(const overlay::ThreadMatrix& m,
+                          const std::vector<sim::NodeBehavior>& b = {}) const {
+    return sim::run_scenario(m, spec_, b);
+  }
+  sim::ScenarioReport run(const graph::Digraph& g, graph::Vertex source,
+                          const std::vector<sim::NodeBehavior>& b = {}) const {
+    return sim::run_scenario(g, source, spec_, b);
+  }
+
+  /// Records the scenario's knobs as session parameters (prefixed, so a
+  /// driver can describe several scenarios in one telemetry dump).
+  void describe(MetricsSession& session, const std::string& prefix = "") const {
+    const auto key = [&prefix](const char* name) { return prefix + name; };
+    session.param(key("generation_size"), spec_.generation_size);
+    session.param(key("symbols"), spec_.symbols);
+    session.param(key("mode"), spec_.round_sync ? "rounds" : "async");
+    session.param(key("mean_loss"), spec_.link.loss.mean_loss());
+    session.param(key("latency_bound"), spec_.link.latency.upper_bound());
+    if (spec_.link.bandwidth_cap > 0.0) {
+      session.param(key("bandwidth_cap"), spec_.link.bandwidth_cap);
+    }
+    if (!spec_.faults.empty()) {
+      session.param(key("fault_events"), spec_.faults.size());
+    }
+  }
+
+ private:
+  sim::ScenarioSpec spec_;
+};
 
 }  // namespace ncast::bench

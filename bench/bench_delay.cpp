@@ -90,5 +90,50 @@ int main() {
       "Linear-in-N vs logarithmic-in-N, as Section 6 claims.\n",
       lin.intercept, lin.slope, lin.r2, static_cast<double>(d) / k / 2,
       log_fit.intercept, log_fit.slope, log_fit.r2);
+
+  // E7b — graph depth is not an abstraction: measured first-arrival and
+  // decode times under heterogeneous per-link latency scale with it. Same
+  // asynchronous link model on both overlays, via the scenario kernel.
+  bench::banner(
+      "E7b: packet-level delivery delay (async kernel, uniform latency)",
+      "N = 500, per-link latency ~ U[0.2, 1.8] periods, g = 8. First-arrival\n"
+      "and decode times, curtain vs random graph.");
+  {
+    const std::size_t pn = 500;
+    bench::ScenarioBuilder scenario(0xE75);
+    scenario.generation(8, 4).uniform_latency(0.2, 1.8);
+    scenario.describe(session, "packet_level_");
+
+    const auto m = bench::grow_overlay(k, d, pn, 0xE76);
+    const auto curtain = scenario.run(m);
+
+    overlay::RandomGraphOverlay rg(d, 4, Rng(0xE77));
+    for (std::size_t i = 0; i < pn; ++i) rg.join();
+    const auto random = scenario.run(rg.graph(), overlay::RandomGraphOverlay::kServer);
+
+    Table pkt({"overlay", "mean first arrival", "max first arrival",
+               "mean decode time", "decoded%"});
+    const auto add = [&pkt](const char* name, const sim::ScenarioReport& r) {
+      RunningStats first, decode;
+      double worst = 0;
+      for (const auto& o : r.outcomes) {
+        if (o.first_arrival >= 0) {
+          first.add(o.first_arrival);
+          worst = std::max(worst, o.first_arrival);
+        }
+        if (o.decoded) decode.add(o.decode_time);
+      }
+      pkt.add_row({name, fmt(first.mean(), 1), fmt(worst, 1),
+                   fmt(decode.mean(), 1), fmt(100.0 * r.decoded_fraction(), 1)});
+    };
+    add("curtain", curtain);
+    add("random graph", random);
+    pkt.print();
+    session.add_table("packet_delay", pkt);
+    std::printf(
+        "\nReading: the curtain's mean first-arrival time tracks its linear\n"
+        "depth; the random graph's tracks its logarithmic depth. Throughput\n"
+        "(decoded%%) is unaffected either way — delay and rate decouple.\n");
+  }
   return 0;
 }

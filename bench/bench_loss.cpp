@@ -102,5 +102,53 @@ int main() {
       "failures in Section 2 are a rate headache, not a correctness one —\n"
       "see also Broadcast.ErgodicPacketLossOnlySlowsThingsDown in the tests.\n",
       harmonic);
+
+  // E21b — burstiness is free (for coding): at the same mean loss rate, a
+  // bursty Gilbert-Elliott channel and an iid Bernoulli channel decode in
+  // (nearly) the same time, because any surviving coded packet is useful —
+  // it does not matter *which* ones the burst ate. Run through the unified
+  // scenario kernel over a full curtain overlay.
+  bench::banner(
+      "E21b: iid vs bursty loss at equal mean rate (scenario kernel)",
+      "k = 8, d = 3, N = 60, g = 32. Bernoulli(q) vs Gilbert-Elliott with\n"
+      "stationary loss q (mean burst ~2.2 packets). Mean decode time over\n"
+      "nodes, packet-level simulation.");
+  {
+    const auto m = bench::grow_overlay(8, 3, 60, 0xE215);
+    Table burst({"mean loss q", "bernoulli decode time", "GE decode time",
+                 "bernoulli lost", "GE lost", "decoded% (both)"});
+    for (const double q : {0.1, 0.3}) {
+      // Matched stationary rate: pi_bad = enter/(enter+exit) = q with
+      // loss_bad = 1; exit 0.45 gives mean bad-run length ~2.2.
+      const double exit_bad = 0.45;
+      const double enter_bad = q * exit_bad / (1.0 - q);
+
+      bench::ScenarioBuilder iid(0xE216);
+      iid.generation(32, 4).fixed_latency(0.25).horizon(400.0).bernoulli_loss(q);
+      bench::ScenarioBuilder bursty(0xE216);
+      bursty.generation(32, 4).fixed_latency(0.25).horizon(400.0)
+          .gilbert_elliott_loss(enter_bad, exit_bad);
+
+      const auto a = iid.run(m);
+      const auto b = bursty.run(m);
+      RunningStats ta, tb;
+      std::size_t both = 0;
+      for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+        if (a.outcomes[i].decoded) ta.add(a.outcomes[i].decode_time);
+        if (b.outcomes[i].decoded) tb.add(b.outcomes[i].decode_time);
+        if (a.outcomes[i].decoded && b.outcomes[i].decoded) ++both;
+      }
+      burst.add_row({fmt(q, 1), fmt(ta.mean(), 1), fmt(tb.mean(), 1),
+                     std::to_string(a.packets_lost), std::to_string(b.packets_lost),
+                     fmt(100.0 * static_cast<double>(both) /
+                             static_cast<double>(a.outcomes.size()), 1)});
+    }
+    burst.print();
+    session.add_table("iid_vs_bursty", burst);
+    std::printf(
+        "\nReading: the two decode-time columns track each other — loss\n"
+        "correlation changes *when* packets die, not how many rank units\n"
+        "survive, and coding only counts survivors.\n");
+  }
   return 0;
 }

@@ -1,0 +1,125 @@
+// E22 — the unified kernel's reason to exist: one run with EVERYTHING on.
+// Bursty Gilbert-Elliott loss, heterogeneous per-link latency, a bandwidth
+// cap, scheduled churn (crashes with delayed repairs, graceful leaves), and
+// entropy attackers — composed in a single ScenarioSpec and executed on the
+// shared event engine. No pre-kernel simulator could run this experiment:
+// each owned one adversity axis and its own event loop.
+//
+// The claim under test is the paper's headline robustness story: as long as
+// a node keeps a positive min-cut of honest, live capacity, network coding
+// delivers — adversity axes do not interact destructively, they just
+// subtract capacity.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "overlay/flow_graph.hpp"
+#include "util/stats.hpp"
+
+using namespace ncast;
+
+int main() {
+  const bool smoke = bench::smoke();
+  const std::uint32_t k = 8, d = 3;
+  const std::size_t n = smoke ? 40 : 120;
+  const std::size_t g = smoke ? 8 : 16;
+  const double horizon = smoke ? 300.0 : 600.0;
+
+  bench::MetricsSession session("scenario");
+  session.param("k", k);
+  session.param("d", d);
+  session.param("n", n);
+  session.param("seed", std::uint64_t{0xE220});
+
+  bench::banner(
+      "E22: composed adversity — loss x latency x churn x attacks (kernel)",
+      "One packet-level run with Gilbert-Elliott loss (~10% mean, bursty),\n"
+      "latency U[0.2, 1.2], bandwidth cap 4/period, scheduled crashes with\n"
+      "repairs, graceful leaves, and entropy attackers. Decoded fraction vs\n"
+      "the honest-capacity min-cut bound.");
+
+  const auto m = bench::grow_overlay(k, d, n, 0xE220);
+  const auto order = m.nodes_in_order();
+
+  // Adversity cast: 5% entropy attackers from the start, 5% crash at t = 20
+  // (half repaired at t = 80), 3% leave gracefully at t = 40.
+  std::vector<sim::NodeBehavior> behavior(n, sim::NodeBehavior::kHonest);
+  std::vector<overlay::NodeId> attackers, crashed, leavers;
+  Rng cast_rng(0xE221);
+  for (const auto node : order) {
+    const double u = cast_rng.uniform();
+    if (u < 0.05) {
+      attackers.push_back(node);
+      behavior[node] = sim::NodeBehavior::kEntropyAttack;
+    } else if (u < 0.10) {
+      crashed.push_back(node);
+    } else if (u < 0.13) {
+      leavers.push_back(node);
+    }
+  }
+
+  bench::ScenarioBuilder scenario(0xE222);
+  scenario.generation(g, 4)
+      .uniform_latency(0.2, 1.2)
+      .gilbert_elliott_loss(0.05, 0.45)  // stationary mean loss 10%, bursty
+      .bandwidth_cap(4.0)
+      .horizon(horizon);
+  for (std::size_t i = 0; i < crashed.size(); ++i) {
+    scenario.crash(20.0, crashed[i]);
+    if (i % 2 == 0) scenario.repair(80.0, crashed[i]);
+  }
+  for (const auto node : leavers) scenario.leave(40.0, node);
+  scenario.describe(session);
+  session.param("attackers", attackers.size());
+  session.param("crashes", crashed.size());
+  session.param("leaves", leavers.size());
+
+  const auto report = scenario.run(m, behavior);
+
+  // The bound: min-cut in the capacity view where attackers and permanently
+  // absent nodes contribute nothing. (Repaired crashers DO contribute — they
+  // forward again from t = 80 on, and the horizon is generous.)
+  auto honest_view = m;
+  for (const auto node : attackers) honest_view.mark_failed(node);
+  for (const auto node : leavers) honest_view.mark_failed(node);
+  for (std::size_t i = 0; i < crashed.size(); ++i) {
+    if (i % 2 != 0) honest_view.mark_failed(crashed[i]);
+  }
+  const auto honest_fg = overlay::build_flow_graph(honest_view);
+
+  std::size_t guaranteed = 0, guaranteed_decoded = 0;
+  RunningStats rate_vs_cut;
+  for (const auto& o : report.outcomes) {
+    if (honest_view.row(o.node).failed) continue;
+    if (overlay::node_connectivity(honest_fg, o.node) <= 0) continue;
+    ++guaranteed;
+    if (o.decoded) ++guaranteed_decoded;
+    if (o.decoded && o.max_flow > 0 && o.rate() > 0.0) {
+      rate_vs_cut.add(std::min(1.0, o.rate() / static_cast<double>(o.max_flow)));
+    }
+  }
+
+  Table table({"nodes", "guaranteed (honest cut > 0)", "of which decoded",
+               "overall decoded%", "corrupted%", "mean rate/cut",
+               "packets sent", "lost"});
+  table.add_row({std::to_string(report.outcomes.size()),
+                 std::to_string(guaranteed), std::to_string(guaranteed_decoded),
+                 fmt(100.0 * report.decoded_fraction(), 1),
+                 fmt(100.0 * report.corrupted_fraction(), 1),
+                 fmt(rate_vs_cut.mean(), 3), std::to_string(report.packets_sent),
+                 std::to_string(report.packets_lost)});
+  table.print();
+  session.add_table("composed", table);
+  session.note("decoded_fraction", report.decoded_fraction());
+  session.note("guaranteed", static_cast<std::uint64_t>(guaranteed));
+  session.note("guaranteed_decoded", static_cast<std::uint64_t>(guaranteed_decoded));
+  session.note("events_executed", report.events_executed);
+
+  std::printf(
+      "\nReading: every node with a positive honest min-cut decodes despite\n"
+      "four adversity axes running at once (guaranteed == decoded), and no\n"
+      "decode is corrupted. Bursty loss, latency spread, churn, and entropy\n"
+      "attacks compose by subtracting capacity, never by breaking coding.\n");
+
+  return guaranteed_decoded == guaranteed ? 0 : 1;
+}

@@ -16,12 +16,13 @@
 #include <cstdio>
 #include <map>
 
+#include <cmath>
+
 #include "baselines/forwarding.hpp"
 #include "baselines/tree_packing.hpp"
 #include "baselines/trees.hpp"
 #include "bench_common.hpp"
 #include "overlay/flow_graph.hpp"
-#include "sim/broadcast.hpp"
 #include "util/stats.hpp"
 
 using namespace ncast;
@@ -111,11 +112,11 @@ int main() {
     auto m = bench::grow_overlay(k, d, smoke ? 100 : 400, 0xE82);
     Rng rng(0xE83);
     bench::tag_iid_failures(m, 0.05, rng);
-    sim::BroadcastConfig cfg;
-    cfg.generation_size = 24;
-    cfg.symbols = 16;
-    cfg.seed = 0xE84;
-    const auto report = sim::simulate_broadcast(m, cfg);
+    const std::size_t g = 24;
+    bench::ScenarioBuilder scenario(0xE84);
+    scenario.generation(g, 16).rounds(0);
+    scenario.describe(session, "packet_level_");
+    const auto report = scenario.run(m);
 
     RunningStats ratio;
     std::size_t decoded = 0, eligible = 0;
@@ -125,8 +126,8 @@ int main() {
       if (!o.decoded) continue;
       ++decoded;
       const double active =
-          static_cast<double>(o.decode_round) - static_cast<double>(o.depth) + 1;
-      const double rate = static_cast<double>(cfg.generation_size) / active;
+          std::floor(o.decode_time) - static_cast<double>(o.depth) + 1;
+      const double rate = static_cast<double>(g) / active;
       ratio.add(std::min(1.0, rate / static_cast<double>(o.max_flow)));
     }
     Table t({"nodes with min-cut > 0", "decoded", "mean achieved/min-cut"});

@@ -13,6 +13,7 @@
 #include "coding/recoder.hpp"
 #include "coding/wire.hpp"
 #include "gf/gf256.hpp"
+#include "sim/packet_pool.hpp"
 #include "util/rng.hpp"
 
 namespace ncast::node {
@@ -76,9 +77,10 @@ class StreamState {
     std::size_t pick = rng.below(with_data);
     for (auto& b : buffers_) {
       if (b.rank() == 0 || pick-- != 0) continue;
-      // scratch_ recycles the packet buffers across emissions; only the wire
-      // serialization below allocates.
-      if (b.emit_into(scratch_, rng)) return coding::serialize(scratch_);
+      // The pooled packet recycles its buffers across emissions; only the
+      // wire serialization below allocates.
+      sim::PacketLease<gf::Gf256> scratch(pool_);
+      if (b.emit_into(*scratch, rng)) return coding::serialize(*scratch);
       return std::nullopt;
     }
     return std::nullopt;
@@ -112,7 +114,7 @@ class StreamState {
   coding::GenerationPlan plan_;
   std::vector<coding::Recoder<gf::Gf256>> buffers_;
   std::vector<coding::NullKeySet<gf::Gf256>> keys_;
-  coding::CodedPacket<gf::Gf256> scratch_;  // reused by emit_wire()
+  sim::PacketPool<gf::Gf256> pool_;  // recycled emit_wire() scratch packets
 };
 
 }  // namespace ncast::node

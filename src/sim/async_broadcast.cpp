@@ -1,30 +1,14 @@
 #include "sim/async_broadcast.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <functional>
-#include <optional>
-#include <stdexcept>
+#include <cstddef>
 
-#include "coding/encoder.hpp"
-#include "coding/recoder.hpp"
-#include "gf/gf256.hpp"
-#include "graph/maxflow.hpp"
-#include "sim/event_engine.hpp"
-#include "util/rng.hpp"
+#include "sim/scenario.hpp"
 
 namespace ncast::sim {
 
-using Gf = gf::Gf256;
-
 double AsyncOutcome::rate() const {
-  if (third_time < 0.0 || two_thirds_time <= third_time) return 0.0;
-  const auto g = static_cast<double>(rank_achieved);
-  // Ranks at the crossings: ceil(g/3) and ceil(2g/3) of the rank the node
-  // eventually reached.
-  const double r1 = std::ceil(g / 3.0);
-  const double r2 = std::ceil(2.0 * g / 3.0);
-  return (r2 - r1) / (two_thirds_time - third_time);
+  return steady_state_rate(rank_achieved, third_time, two_thirds_time);
 }
 
 double AsyncReport::decoded_fraction() const {
@@ -48,138 +32,35 @@ double AsyncReport::mean_rate_vs_cut() const {
 AsyncReport simulate_async_broadcast(const graph::Digraph& g,
                                      graph::Vertex source,
                                      const AsyncConfig& config) {
-  if (source >= g.vertex_count()) {
-    throw std::out_of_range("simulate_async_broadcast: source");
-  }
-  if (config.generation_size == 0 || config.symbols == 0) {
-    throw std::invalid_argument("simulate_async_broadcast: bad config");
-  }
-  Rng rng(config.seed);
-  const std::size_t gs = config.generation_size;
+  // The async model as a scenario: lossless links with uniform latencies and
+  // desynchronized send phases. The runner replays the old async
+  // simulator's RNG draw order exactly, so seeds reproduce old runs.
+  ScenarioSpec spec;
+  spec.generation_size = config.generation_size;
+  spec.symbols = config.symbols;
+  spec.send_period = config.send_period;
+  spec.round_sync = false;
+  spec.horizon = config.horizon;
+  spec.seed = config.seed;
+  spec.link.latency = LatencySpec::uniform(config.min_latency, config.max_latency);
 
-  // Source data + encoder.
-  std::vector<std::vector<std::uint8_t>> source_data(
-      gs, std::vector<std::uint8_t>(config.symbols));
-  for (auto& row : source_data) {
-    for (auto& b : row) b = static_cast<std::uint8_t>(rng.below(256));
-  }
-  const coding::SourceEncoder<Gf> encoder(0, source_data);
+  const ScenarioReport run = run_scenario(g, source, spec);
 
-  // Receiver state.
-  std::vector<coding::Recoder<Gf>> state;
-  state.reserve(g.vertex_count());
-  for (graph::Vertex v = 0; v < g.vertex_count(); ++v) {
-    state.emplace_back(0, gs, config.symbols);
-  }
-  std::vector<double> first_arrival(g.vertex_count(), -1.0);
-  std::vector<double> decode_time(g.vertex_count(), -1.0);
-  std::vector<double> third_time(g.vertex_count(), -1.0);
-  std::vector<double> two_thirds_time(g.vertex_count(), -1.0);
-  const std::size_t third_rank = (gs + 2) / 3;            // ceil(g/3)
-  const std::size_t two_thirds_rank = (2 * gs + 2) / 3;   // ceil(2g/3)
-
-  // Alive edges with their fixed latencies and send phases.
-  struct Link {
-    graph::Vertex from;
-    graph::Vertex to;
-    double latency;
-    double phase;
-  };
-  std::vector<Link> links;
-  for (graph::EdgeId id = 0; id < g.edge_count(); ++id) {
-    const auto& e = g.edge(id);
-    if (!e.alive) continue;
-    links.push_back(Link{e.from, e.to,
-                         config.min_latency + rng.uniform() * (config.max_latency -
-                                                               config.min_latency),
-                         rng.uniform() * config.send_period});
-  }
-
-  // Horizon: enough for the information wavefront plus the generation.
-  const auto depths = graph::bfs_depths(g, source);
-  std::int64_t max_depth = 1;
-  for (auto d : depths) max_depth = std::max(max_depth, d);
-  const double horizon =
-      config.horizon > 0.0
-          ? config.horizon
-          : (static_cast<double>(max_depth) * config.max_latency +
-             4.0 * static_cast<double>(gs) * config.send_period + 4.0);
-
-  EventEngine engine;
   AsyncReport report;
-
-  // Packet pool: buffers cycle sender -> in-flight closure -> absorb ->
-  // pool, so the steady-state event loop performs no per-packet allocation.
-  // Declared before the sender closures, which capture it by reference and
-  // must not outlive it.
-  std::vector<coding::CodedPacket<Gf>> pool;
-  auto acquire = [&pool]() {
-    if (pool.empty()) return coding::CodedPacket<Gf>{};
-    coding::CodedPacket<Gf> p = std::move(pool.back());
-    pool.pop_back();
-    return p;
-  };
-
-  // One recurring send event per link; payload content is drawn at send
-  // time from the sender's then-current buffer (or the encoder). The sender
-  // closures live in a vector that outlives the event loop so their
-  // self-rescheduling references stay valid.
-  std::vector<std::function<void()>> senders(links.size());
-  for (std::size_t li = 0; li < links.size(); ++li) {
-    senders[li] = [&, li]() {
-      const Link& l = links[li];
-      coding::CodedPacket<Gf> packet = acquire();
-      bool have = false;
-      if (l.from == source) {
-        encoder.emit_into(packet, rng);
-        have = true;
-      } else if (state[l.from].rank() > 0) {
-        have = state[l.from].emit_into(packet, rng);
-      }
-      if (have) {
-        ++report.packets_sent;
-        engine.schedule_in(l.latency, [&, li, p = std::move(packet)]() mutable {
-          const Link& arrived = links[li];
-          const double now = engine.now();
-          if (first_arrival[arrived.to] < 0.0) first_arrival[arrived.to] = now;
-          const bool fresh = state[arrived.to].absorb(p);
-          pool.push_back(std::move(p));
-          if (fresh) {
-            ++report.packets_innovative;
-            const std::size_t r = state[arrived.to].rank();
-            if (r == third_rank && third_time[arrived.to] < 0.0) {
-              third_time[arrived.to] = now;
-            }
-            if (r == two_thirds_rank && two_thirds_time[arrived.to] < 0.0) {
-              two_thirds_time[arrived.to] = now;
-            }
-            if (state[arrived.to].complete() && decode_time[arrived.to] < 0.0) {
-              decode_time[arrived.to] = now;
-            }
-          }
-        });
-      } else {
-        pool.push_back(std::move(packet));
-      }
-      engine.schedule_in(config.send_period, senders[li]);
-    };
-    engine.schedule_at(links[li].phase, senders[li]);
-  }
-
-  engine.run_until(horizon);
-  report.horizon = horizon;
-
-  for (graph::Vertex v = 0; v < g.vertex_count(); ++v) {
-    if (v == source) continue;
+  report.horizon = run.horizon;
+  report.packets_sent = run.packets_sent;
+  report.packets_innovative = run.packets_innovative;
+  report.outcomes.reserve(run.outcomes.size());
+  for (const ScenarioOutcome& s : run.outcomes) {
     AsyncOutcome o;
-    o.vertex = v;
-    o.max_flow = graph::unit_max_flow(g, source, v);
-    o.rank_achieved = state[v].rank();
-    o.decoded = state[v].complete();
-    o.first_arrival = first_arrival[v];
-    o.decode_time = decode_time[v];
-    o.third_time = third_time[v];
-    o.two_thirds_time = two_thirds_time[v];
+    o.vertex = s.vertex;
+    o.max_flow = s.max_flow;
+    o.rank_achieved = s.rank_achieved;
+    o.decoded = s.decoded;
+    o.first_arrival = s.first_arrival;
+    o.decode_time = s.decode_time;
+    o.third_time = s.third_time;
+    o.two_thirds_time = s.two_thirds_time;
     report.outcomes.push_back(o);
   }
   return report;

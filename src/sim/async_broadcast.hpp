@@ -8,6 +8,10 @@
 // "downward", so late packets are still innovative); on a cyclic overlay
 // information can circulate and some transmissions are wasted, in exchange
 // for logarithmic depth.
+//
+// simulate_async_broadcast is a thin wrapper over the unified scenario
+// runner (sim/scenario.hpp). New code wanting loss processes, bandwidth
+// caps, partitions, or scheduled faults should use run_scenario directly.
 
 #include <cstddef>
 #include <cstdint>
@@ -41,6 +45,8 @@ struct AsyncOutcome {
   /// Steady-state achieved rate (innovative packets per period), measured as
   /// the rank-growth slope between the g/3 and 2g/3 crossings — a window
   /// where the pipeline is full, so fill latency does not pollute the rate.
+  /// Returns 0 whenever either crossing never happened (sentinel -1 in
+  /// third_time / two_thirds_time): no slope is measurable for such a node.
   double rate() const;
 };
 

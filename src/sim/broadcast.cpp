@@ -1,22 +1,10 @@
 #include "sim/broadcast.hpp"
 
-#include <algorithm>
-#include <optional>
-#include <unordered_map>
+#include <cstddef>
 
-#include "coding/encoder.hpp"
-#include "coding/null_keys.hpp"
-#include "coding/recoder.hpp"
-#include "gf/gf256.hpp"
-#include "obs/metrics.hpp"
-#include "obs/trace.hpp"
-#include "overlay/flow_graph.hpp"
-#include "util/rng.hpp"
+#include "sim/scenario.hpp"
 
 namespace ncast::sim {
-
-using Gf = gf::Gf256;
-using Packet = coding::CodedPacket<Gf>;
 
 double BroadcastReport::decoded_fraction() const {
   if (outcomes.empty()) return 0.0;
@@ -32,197 +20,39 @@ double BroadcastReport::corrupted_fraction() const {
   return static_cast<double>(n) / static_cast<double>(outcomes.size());
 }
 
-namespace {
-
-NodeBehavior behavior_of(const std::vector<NodeBehavior>& behavior,
-                         overlay::NodeId node) {
-  return node < behavior.size() ? behavior[node] : NodeBehavior::kHonest;
-}
-
-}  // namespace
-
 BroadcastReport simulate_broadcast(const overlay::ThreadMatrix& m,
                                    const BroadcastConfig& config,
                                    const std::vector<NodeBehavior>& behavior) {
-  const std::size_t g = config.generation_size;
-  const std::size_t symbols = config.symbols;
-  Rng rng(config.seed);
+  // The round model as a scenario: unit send period, every link half a
+  // period of latency (so round r's deliveries land before round r+1's
+  // sends), synchronized phases. The runner replays the old round
+  // simulator's RNG draw order exactly, so seeds reproduce old runs.
+  ScenarioSpec spec;
+  spec.generation_size = config.generation_size;
+  spec.symbols = config.symbols;
+  spec.send_period = 1.0;
+  spec.round_sync = true;
+  spec.rounds = config.rounds;
+  spec.seed = config.seed;
+  spec.null_keys = config.null_keys;
+  spec.link.latency = LatencySpec::fixed_delay(0.5);
+  if (config.loss_p > 0.0) spec.link.loss = LossSpec::bernoulli(config.loss_p);
 
-  // Random source data for one generation.
-  std::vector<std::vector<std::uint8_t>> source(g, std::vector<std::uint8_t>(symbols));
-  for (auto& row : source) {
-    for (auto& b : row) b = static_cast<std::uint8_t>(rng.below(256));
-  }
-  const coding::SourceEncoder<Gf> encoder(0, source);
-
-  // Null-key verification (jamming defense), if enabled.
-  std::optional<coding::NullKeySet<Gf>> keys;
-  if (config.null_keys > 0) {
-    keys = coding::NullKeySet<Gf>::generate(0, source, config.null_keys, rng);
-  }
-
-  // Rows already tagged failed in the matrix behave as offline regardless of
-  // the caller-supplied behavior vector.
-  auto effective = [&](overlay::NodeId n) {
-    if (m.row(n).failed) return NodeBehavior::kOffline;
-    return behavior_of(behavior, n);
-  };
-
-  // Capacity bound: treat offline nodes as failed in a copy of the matrix
-  // (jammers and entropy attackers do forward, so they count as capacity).
-  overlay::ThreadMatrix capacity_view = m;
-  for (overlay::NodeId n : m.nodes_in_order()) {
-    if (effective(n) == NodeBehavior::kOffline) {
-      capacity_view.mark_failed(n);
-    }
-  }
-  const overlay::FlowGraph fg = build_flow_graph(capacity_view);
-  const auto depths = node_depths(fg);
-
-  // Static per-round send plan: every alive thread segment (from -> to).
-  // Segments whose sender is offline still exist but never carry packets.
-  struct Segment {
-    overlay::NodeId from;  // kServerNode for server-fed segments
-    overlay::NodeId to;
-  };
-  std::vector<Segment> segments;
-  for (const auto& e : m.edges()) {
-    if (effective(e.to) == NodeBehavior::kOffline) continue;
-    segments.push_back(Segment{e.from, e.to});
-  }
-
-  // Receiver state.
-  const auto order = m.nodes_in_order();
-  std::unordered_map<overlay::NodeId, coding::Recoder<Gf>> state;
-  std::unordered_map<overlay::NodeId, std::size_t> decode_round;
-  // Entropy attackers freeze the first packet they receive and replay it
-  // verbatim forever — formally valid traffic with zero marginal information.
-  std::unordered_map<overlay::NodeId, Packet> frozen;
-  for (overlay::NodeId n : order) {
-    if (effective(n) == NodeBehavior::kOffline) continue;
-    state.emplace(n, coding::Recoder<Gf>(0, g, symbols));
-  }
-
-  std::size_t max_depth = 0;
-  for (const auto d : depths) max_depth = std::max<std::size_t>(max_depth, d > 0 ? static_cast<std::size_t>(d) : 0);
-  const std::size_t rounds =
-      config.rounds != 0 ? config.rounds : max_depth + 4 * g + 4;
-
-  auto make_jam_packet = [&](Packet& p, Rng& r) {
-    p.generation = 0;
-    p.coeffs.resize(g);
-    p.payload.resize(symbols);
-    do {
-      for (auto& c : p.coeffs) c = static_cast<std::uint8_t>(r.below(256));
-    } while (p.is_degenerate());
-    for (auto& b : p.payload) b = static_cast<std::uint8_t>(r.below(256));
-  };
-
-  static obs::Counter& sent_ctr = obs::metrics().counter("sim.packets_sent");
-  static obs::Counter& lost_ctr = obs::metrics().counter("sim.packets_lost");
-
-  // Packet pool: delivered packets return here and their buffers are reused
-  // by the next round's emissions, so the steady-state event loop does not
-  // allocate per packet (emit_into fills whatever capacity is already there).
-  std::vector<Packet> pool;
-  auto acquire = [&pool]() {
-    if (pool.empty()) return Packet{};
-    Packet p = std::move(pool.back());
-    pool.pop_back();
-    return p;
-  };
-
-  for (std::size_t round = 1; round <= rounds; ++round) {
-    // Trace time inside a broadcast is the round number (the sim is
-    // round-synchronous; there is no finer clock).
-    obs::trace().set_now(static_cast<double>(round));
-    // Collect this round's transmissions, then deliver at the boundary.
-    std::vector<std::pair<overlay::NodeId, Packet>> inflight;
-    inflight.reserve(segments.size());
-
-    for (const Segment& seg : segments) {
-      if (seg.from == overlay::kServerNode) {
-        Packet p = acquire();
-        encoder.emit_into(p, rng);
-        inflight.emplace_back(seg.to, std::move(p));
-        continue;
-      }
-      switch (effective(seg.from)) {
-        case NodeBehavior::kHonest: {
-          const auto& recoder = state.at(seg.from);
-          Packet p = acquire();
-          if (recoder.emit_into(p, rng)) {
-            inflight.emplace_back(seg.to, std::move(p));
-          } else {
-            pool.push_back(std::move(p));
-          }
-          break;
-        }
-        case NodeBehavior::kEntropyAttack: {
-          const auto it = frozen.find(seg.from);
-          if (it != frozen.end()) {
-            Packet p = acquire();
-            p = it->second;  // copy-assign into recycled capacity
-            inflight.emplace_back(seg.to, std::move(p));
-          }
-          break;
-        }
-        case NodeBehavior::kJammer: {
-          Packet p = acquire();
-          make_jam_packet(p, rng);
-          inflight.emplace_back(seg.to, std::move(p));
-          break;
-        }
-        case NodeBehavior::kOffline:
-          break;
-      }
-    }
-
-    sent_ctr.inc(inflight.size());
-    for (auto& [to, packet] : inflight) {
-      const bool lost = config.loss_p > 0.0 && rng.chance(config.loss_p);
-      if (lost) lost_ctr.inc();
-      const auto it = lost ? state.end() : state.find(to);
-      if (it != state.end()) {
-        // Honest verifying receivers discard unverifiable packets outright.
-        const bool verified = !(keys && effective(to) == NodeBehavior::kHonest &&
-                                !keys->verify(packet));
-        if (verified) {
-          if (effective(to) == NodeBehavior::kEntropyAttack &&
-              frozen.find(to) == frozen.end()) {
-            frozen.emplace(to, packet);
-          }
-          if (it->second.absorb(packet)) {
-            obs::trace().emit(obs::TraceKind::kRankAdvance, to,
-                              it->second.rank());
-          }
-          if (it->second.complete() &&
-              decode_round.find(to) == decode_round.end()) {
-            decode_round[to] = round;
-          }
-        }
-      }
-      pool.push_back(std::move(packet));
-    }
-  }
+  const ScenarioReport run = run_scenario(m, spec, behavior);
 
   BroadcastReport report;
-  report.rounds = rounds;
-  for (overlay::NodeId n : order) {
-    if (effective(n) == NodeBehavior::kOffline) continue;
+  report.rounds = run.rounds;
+  report.outcomes.reserve(run.outcomes.size());
+  for (const ScenarioOutcome& s : run.outcomes) {
     NodeOutcome o;
-    o.node = n;
-    o.max_flow = node_connectivity(fg, n);
-    const auto& recoder = state.at(n);
-    o.rank_achieved = recoder.rank();
-    const auto it = decode_round.find(n);
-    o.decoded = it != decode_round.end();
-    o.decode_round = o.decoded ? it->second : 0;
-    if (o.decoded) {
-      o.corrupted = recoder.decoder().source_packets() != source;
-    }
-    const auto v = fg.vertex_of(n);
-    o.depth = depths[v];
+    o.node = s.node;
+    o.max_flow = s.max_flow;
+    o.rank_achieved = s.rank_achieved;
+    o.decoded = s.decoded;
+    // Deliveries happen at round + 0.5; the decode round is that round.
+    o.decode_round = s.decoded ? static_cast<std::size_t>(s.decode_time) : 0;
+    o.corrupted = s.corrupted;
+    o.depth = s.depth;
     report.outcomes.push_back(o);
   }
   return report;

@@ -5,22 +5,20 @@
 // boundary. This is the machinery that demonstrates the network coding
 // theorem empirically (achieved rank == max-flow) and hosts the Section 5/7
 // attack experiments.
+//
+// simulate_broadcast is a thin wrapper over the unified scenario runner
+// (sim/scenario.hpp): rounds are the degenerate fixed-latency link model.
+// New code wanting loss processes, latency spreads, bandwidth caps, or
+// scheduled faults should use run_scenario directly.
 
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "overlay/thread_matrix.hpp"
+#include "sim/fault_plan.hpp"  // NodeBehavior lives with the fault layer now
 
 namespace ncast::sim {
-
-/// What a node does with the packets it should be forwarding.
-enum class NodeBehavior : std::uint8_t {
-  kHonest = 0,         ///< recodes properly (random linear combinations)
-  kOffline = 1,        ///< sends nothing (failure / failure attack)
-  kEntropyAttack = 2,  ///< forwards the same trivial combination every round
-  kJammer = 3,         ///< injects well-formed packets with garbage contents
-};
 
 struct BroadcastConfig {
   std::size_t generation_size = 16;  ///< g: packets per generation

@@ -1,59 +1,73 @@
 #include "sim/churn.hpp"
 
+#include <algorithm>
 #include <functional>
 
 #include "obs/trace.hpp"
 
 namespace ncast::sim {
 
-ChurnReport run_churn(std::uint32_t k, std::uint32_t d,
-                      overlay::InsertPolicy policy, const ChurnConfig& config,
-                      std::uint64_t seed, overlay::CurtainServer* server_out) {
-  overlay::CurtainServer server(k, d, Rng(seed), policy);
-  Rng rng(seed ^ 0x5bd1e995u);
+ChurnReport run_fault_plan(overlay::CurtainServer& server, const FaultPlan& plan,
+                           SimTime horizon, std::uint64_t max_population) {
   EventEngine engine;
   ChurnReport report;
 
-  // Departure handler for one node: crash (then repair) or graceful leave.
   // Keeps the process-wide trace clock in sync with virtual time so events
   // emitted by the server (join/leave/crash/repair) carry SimTime stamps.
   auto sync_trace_clock = [&engine] { obs::trace().set_now(engine.now()); };
 
-  auto schedule_departure = [&](overlay::NodeId node) {
-    const double life = rng.exponential(1.0 / config.mean_lifetime);
-    engine.schedule_in(life, [&, node] {
-      sync_trace_clock();
-      if (!server.matrix().contains(node)) return;
-      if (rng.chance(config.failure_fraction)) {
-        server.report_failure(node);
-        ++report.failures;
-        engine.schedule_in(config.repair_delay, [&, node] {
-          sync_trace_clock();
-          if (server.matrix().contains(node) && server.matrix().row(node).failed) {
-            server.repair(node);
-            ++report.repairs;
-          }
-        });
-      } else {
-        server.leave(node);
-        ++report.graceful_leaves;
-      }
-    });
+  // Node ids created by executed kJoin events, indexed by join_ref. A join
+  // skipped for capacity leaves its slot empty, so the departure and repair
+  // that were planned for it dissolve instead of hitting some other node.
+  std::vector<std::optional<overlay::NodeId>> joined(plan.join_count());
+  auto resolve = [&](const FaultEvent& e) -> std::optional<overlay::NodeId> {
+    if (e.targets_join()) return joined[e.join_ref];
+    if (e.node == overlay::kServerNode) return std::nullopt;
+    return e.node;
   };
 
-  std::function<void()> arrival = [&] {
-    sync_trace_clock();
-    const bool has_room =
-        config.max_population == 0 ||
-        server.matrix().working_count() < config.max_population;
-    if (has_room) {
-      const auto ticket = server.join();
-      ++report.joins;
-      schedule_departure(ticket.node);
-    }
-    engine.schedule_in(rng.exponential(config.arrival_rate), arrival);
-  };
-  engine.schedule_in(rng.exponential(config.arrival_rate), arrival);
+  for (const FaultEvent& e : plan.sorted()) {
+    engine.schedule_at(e.at, [&, e] {
+      sync_trace_clock();
+      switch (e.kind) {
+        case FaultKind::kJoin: {
+          const bool has_room =
+              max_population == 0 ||
+              server.matrix().working_count() < max_population;
+          if (!has_room) return;
+          const auto ticket = server.join();
+          if (e.targets_join()) joined[e.join_ref] = ticket.node;
+          ++report.joins;
+          break;
+        }
+        case FaultKind::kLeave: {
+          const auto node = resolve(e);
+          if (!node || !server.matrix().contains(*node)) return;
+          server.leave(*node);
+          ++report.graceful_leaves;
+          break;
+        }
+        case FaultKind::kCrash: {
+          const auto node = resolve(e);
+          if (!node || !server.matrix().contains(*node)) return;
+          if (server.matrix().row(*node).failed) return;
+          server.report_failure(*node);
+          ++report.failures;
+          break;
+        }
+        case FaultKind::kRepair: {
+          const auto node = resolve(e);
+          if (!node || !server.matrix().contains(*node)) return;
+          if (!server.matrix().row(*node).failed) return;
+          server.repair(*node);
+          ++report.repairs;
+          break;
+        }
+        case FaultKind::kBehavior:
+          break;  // packet-level only; meaningless to the membership protocol
+      }
+    });
+  }
 
   // Unit-interval population sampling.
   std::function<void()> sample = [&] {
@@ -64,10 +78,29 @@ ChurnReport run_churn(std::uint32_t k, std::uint32_t d,
   };
   engine.schedule_in(1.0, sample);
 
-  report.events_executed = engine.run_until(config.horizon);
+  report.events_executed = engine.run_until(horizon);
   report.final_population = server.matrix().row_count();
   report.final_failed_tagged = server.matrix().failed_count();
   report.server_stats = server.stats();
+  return report;
+}
+
+ChurnReport run_churn(std::uint32_t k, std::uint32_t d,
+                      overlay::InsertPolicy policy, const ChurnConfig& config,
+                      std::uint64_t seed, overlay::CurtainServer* server_out) {
+  overlay::CurtainServer server(k, d, Rng(seed), policy);
+
+  ChurnProcessSpec process;
+  process.arrival_rate = config.arrival_rate;
+  process.mean_lifetime = config.mean_lifetime;
+  process.failure_fraction = config.failure_fraction;
+  process.repair_delay = config.repair_delay;
+  process.horizon = config.horizon;
+  const FaultPlan plan =
+      FaultPlan::poisson_churn(process, RngStreams(seed).stream("churn"));
+
+  ChurnReport report =
+      run_fault_plan(server, plan, config.horizon, config.max_population);
   if (server_out != nullptr) *server_out = std::move(server);
   return report;
 }

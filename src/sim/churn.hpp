@@ -3,6 +3,12 @@
 // departures, non-ergodic failures, and delayed repairs — the full membership
 // life cycle of Section 3. Backs the server-load scalability experiment and
 // the integration tests.
+//
+// The process no longer owns an event loop: run_churn generates the life
+// cycle as a FaultPlan (all randomness up front) and hands it to
+// run_fault_plan, the membership executor that turns plan entries into
+// CurtainServer protocol calls on the shared EventEngine. Hand-written or
+// merged plans can be executed the same way.
 
 #include <cstdint>
 #include <optional>
@@ -10,6 +16,7 @@
 
 #include "overlay/curtain_server.hpp"
 #include "sim/event_engine.hpp"
+#include "sim/fault_plan.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -41,8 +48,19 @@ struct ChurnReport {
   ncast::RunningStats population_samples;  ///< sampled at unit intervals
 };
 
+/// Executes a membership fault plan against `server` on a fresh EventEngine:
+/// kJoin becomes server.join() (skipped when `max_population` (0 = unbounded)
+/// working nodes already exist — dependent events on that join then no-op),
+/// kLeave/kCrash/kRepair become leave/report_failure/repair on the resolved
+/// node, and kBehavior entries are ignored (they only mean something to the
+/// packet-level scenario runner). Samples the working population at unit
+/// intervals until `horizon`.
+ChurnReport run_fault_plan(overlay::CurtainServer& server, const FaultPlan& plan,
+                           SimTime horizon, std::uint64_t max_population = 0);
+
 /// Runs a churn process against a fresh CurtainServer and reports totals.
-/// The server is constructed with (k, d, policy) and seeded from `seed`.
+/// The server is constructed with (k, d, policy) and seeded from `seed`;
+/// the life cycle is FaultPlan::poisson_churn executed by run_fault_plan.
 ChurnReport run_churn(std::uint32_t k, std::uint32_t d,
                       overlay::InsertPolicy policy, const ChurnConfig& config,
                       std::uint64_t seed,

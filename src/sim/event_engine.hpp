@@ -1,20 +1,68 @@
 #pragma once
-// Minimal discrete-event engine: a time-ordered queue of callbacks. The churn
-// simulator schedules joins, lifetimes, failures, and repair timers on it.
+// Layer 1 of the simulation kernel (docs/architecture.md): a minimal
+// discrete-event engine — a time-ordered queue of callbacks with cancellable
+// timer handles — plus the deterministic per-run RNG stream splitter every
+// higher layer draws from. The scenario runner schedules sends, deliveries,
+// and fault events on it; the churn executor schedules joins, lifetimes,
+// failures, and repair timers.
 
 #include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <queue>
 #include <stdexcept>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/rng.hpp"
 
 namespace ncast::sim {
 
 using SimTime = double;
+
+/// Handle for a scheduled event; pass to EventEngine::cancel() to revoke it.
+/// Value-copyable and cheap; a default-constructed handle refers to nothing.
+struct TimerHandle {
+  static constexpr std::uint64_t kInvalid = static_cast<std::uint64_t>(-1);
+  std::uint64_t seq = kInvalid;
+  bool valid() const { return seq != kInvalid; }
+};
+
+/// Deterministic per-run RNG stream splitter. Each tagged stream is an
+/// independent-looking generator derived from (run seed, tag) alone, so the
+/// number of draws one subsystem makes cannot shift another subsystem's
+/// sequence — the property that keeps composed scenarios (loss x latency x
+/// churn x attacks) seed-stable as features toggle on and off.
+class RngStreams {
+ public:
+  explicit RngStreams(std::uint64_t run_seed) : run_seed_(run_seed) {}
+
+  /// Stream for a numeric tag. Streams for distinct tags are uncorrelated.
+  Rng stream(std::uint64_t tag) const {
+    // splitmix64-style finalizer over the (seed, tag) pair; Rng::reseed runs
+    // the state through splitmix again, so even adjacent tags decorrelate.
+    std::uint64_t z = run_seed_ ^ (tag * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return Rng(z ^ (z >> 31));
+  }
+
+  /// Stream for a string tag (FNV-1a over the bytes, then split).
+  Rng stream(const char* tag) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char* p = tag; *p != '\0'; ++p) {
+      h = (h ^ static_cast<unsigned char>(*p)) * 0x100000001b3ULL;
+    }
+    return stream(h);
+  }
+
+  std::uint64_t run_seed() const { return run_seed_; }
+
+ private:
+  std::uint64_t run_seed_;
+};
 
 /// Discrete-event scheduler. Events at equal times fire in scheduling order.
 class EventEngine {
@@ -22,26 +70,40 @@ class EventEngine {
   using Callback = std::function<void()>;
 
   SimTime now() const { return now_; }
-  std::size_t pending() const { return queue_.size(); }
+
+  /// Scheduled-but-not-yet-run events, excluding cancelled ones.
+  std::size_t pending() const { return live_.size(); }
 
   /// Schedules `fn` to run at absolute time `at` (must be >= now()).
-  void schedule_at(SimTime at, Callback fn) {
+  TimerHandle schedule_at(SimTime at, Callback fn) {
     if (at < now_) throw std::invalid_argument("EventEngine: scheduling in the past");
+    const TimerHandle handle{seq_};
     queue_.push(Item{at, seq_++, std::move(fn)});
+    live_.insert(handle.seq);
     depth_hwm_->set_max(static_cast<double>(queue_.size()));
+    return handle;
   }
 
   /// Schedules `fn` after a delay (must be >= 0).
-  void schedule_in(SimTime delay, Callback fn) {
-    schedule_at(now_ + delay, std::move(fn));
+  TimerHandle schedule_in(SimTime delay, Callback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Revokes a scheduled event. Returns true iff the event was still pending;
+  /// a cancelled event never runs and is not counted as executed. Returns
+  /// false for invalid handles, already-fired events, and double cancels.
+  bool cancel(TimerHandle handle) {
+    if (!handle.valid()) return false;
+    return live_.erase(handle.seq) > 0;
   }
 
   /// Runs events until the queue is empty or the horizon is passed.
-  /// Returns the number of events executed.
+  /// Returns the number of events executed (cancelled events excluded).
   std::size_t run_until(SimTime horizon) {
     std::size_t executed = 0;
     while (!queue_.empty() && queue_.top().at <= horizon) {
       Item item = pop_top();
+      if (live_.erase(item.seq) == 0) continue;  // cancelled
       now_ = item.at;
       item.fn();
       ++executed;
@@ -53,12 +115,15 @@ class EventEngine {
 
   /// Runs a single event if any is pending; returns whether one ran.
   bool step() {
-    if (queue_.empty()) return false;
-    Item item = pop_top();
-    now_ = item.at;
-    item.fn();
-    executed_ctr_->inc();
-    return true;
+    while (!queue_.empty()) {
+      Item item = pop_top();
+      if (live_.erase(item.seq) == 0) continue;  // cancelled
+      now_ = item.at;
+      item.fn();
+      executed_ctr_->inc();
+      return true;
+    }
+    return false;
   }
 
  private:
@@ -85,6 +150,10 @@ class EventEngine {
   std::priority_queue<Item, std::vector<Item>, std::greater<>> queue_;
   SimTime now_ = 0.0;
   std::uint64_t seq_ = 0;
+  // Seqs scheduled but neither fired nor cancelled. One hash insert + one
+  // erase per event; the node allocations are dwarfed by the std::function
+  // allocation each scheduled callback already makes.
+  std::unordered_set<std::uint64_t> live_;
   // Process-wide instrumentation; registry entries are never deallocated, so
   // caching the pointers once per engine keeps the hot paths lookup-free.
   obs::Counter* executed_ctr_ = &obs::metrics().counter("engine.events_executed");

@@ -1,0 +1,107 @@
+#include "sim/fault_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ncast::sim {
+
+FaultPlan& FaultPlan::push(double t, FaultKind kind, overlay::NodeId node,
+                           std::uint32_t join_ref, NodeBehavior behavior) {
+  if (t < 0.0) throw std::invalid_argument("FaultPlan: negative event time");
+  FaultEvent e;
+  e.at = t;
+  e.kind = kind;
+  e.node = node;
+  e.join_ref = join_ref;
+  e.behavior = behavior;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_at(double t, overlay::NodeId node) {
+  return push(t, FaultKind::kCrash, node, FaultEvent::kNoJoinRef,
+              NodeBehavior::kHonest);
+}
+
+FaultPlan& FaultPlan::leave_at(double t, overlay::NodeId node) {
+  return push(t, FaultKind::kLeave, node, FaultEvent::kNoJoinRef,
+              NodeBehavior::kHonest);
+}
+
+FaultPlan& FaultPlan::repair_at(double t, overlay::NodeId node) {
+  return push(t, FaultKind::kRepair, node, FaultEvent::kNoJoinRef,
+              NodeBehavior::kHonest);
+}
+
+FaultPlan& FaultPlan::behavior_at(double t, overlay::NodeId node,
+                                  NodeBehavior behavior) {
+  return push(t, FaultKind::kBehavior, node, FaultEvent::kNoJoinRef, behavior);
+}
+
+FaultPlan& FaultPlan::behavior_from_start(overlay::NodeId node,
+                                          NodeBehavior behavior) {
+  return behavior_at(0.0, node, behavior);
+}
+
+std::uint32_t FaultPlan::join_at(double t) {
+  const std::uint32_t ref = join_count_++;
+  push(t, FaultKind::kJoin, overlay::kServerNode, ref, NodeBehavior::kHonest);
+  return ref;
+}
+
+FaultPlan& FaultPlan::leave_join_at(double t, std::uint32_t join_ref) {
+  if (join_ref >= join_count_) throw std::invalid_argument("FaultPlan: bad join_ref");
+  return push(t, FaultKind::kLeave, overlay::kServerNode, join_ref,
+              NodeBehavior::kHonest);
+}
+
+FaultPlan& FaultPlan::crash_join_at(double t, std::uint32_t join_ref) {
+  if (join_ref >= join_count_) throw std::invalid_argument("FaultPlan: bad join_ref");
+  return push(t, FaultKind::kCrash, overlay::kServerNode, join_ref,
+              NodeBehavior::kHonest);
+}
+
+FaultPlan& FaultPlan::repair_join_at(double t, std::uint32_t join_ref) {
+  if (join_ref >= join_count_) throw std::invalid_argument("FaultPlan: bad join_ref");
+  return push(t, FaultKind::kRepair, overlay::kServerNode, join_ref,
+              NodeBehavior::kHonest);
+}
+
+FaultPlan& FaultPlan::merge(const FaultPlan& other) {
+  const std::uint32_t base = join_count_;
+  for (FaultEvent e : other.events_) {
+    if (e.targets_join()) e.join_ref += base;
+    events_.push_back(e);
+  }
+  join_count_ += other.join_count_;
+  return *this;
+}
+
+FaultPlan FaultPlan::poisson_churn(const ChurnProcessSpec& spec, Rng rng) {
+  if (spec.arrival_rate <= 0.0 || spec.mean_lifetime <= 0.0) {
+    throw std::invalid_argument("FaultPlan::poisson_churn: bad rates");
+  }
+  FaultPlan plan;
+  double t = rng.exponential(spec.arrival_rate);
+  while (t < spec.horizon) {
+    const std::uint32_t ref = plan.join_at(t);
+    const double life = rng.exponential(1.0 / spec.mean_lifetime);
+    if (rng.chance(spec.failure_fraction)) {
+      plan.crash_join_at(t + life, ref);
+      plan.repair_join_at(t + life + spec.repair_delay, ref);
+    } else {
+      plan.leave_join_at(t + life, ref);
+    }
+    t += rng.exponential(spec.arrival_rate);
+  }
+  return plan;
+}
+
+std::vector<FaultEvent> FaultPlan::sorted() const {
+  std::vector<FaultEvent> out = events_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  return out;
+}
+
+}  // namespace ncast::sim

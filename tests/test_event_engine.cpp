@@ -129,5 +129,104 @@ TEST(EventEngine, ScheduleInUsesCurrentTime) {
   EXPECT_DOUBLE_EQ(fired_at, 5.0);
 }
 
+TEST(EventEngine, CancelledEventNeverFires) {
+  EventEngine e;
+  int fired = 0;
+  const auto h = e.schedule_at(1.0, [&] { ++fired; });
+  e.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_EQ(e.pending(), 2u);
+  EXPECT_TRUE(e.cancel(h));
+  EXPECT_EQ(e.pending(), 1u);
+  // Cancelled events are not counted as executed.
+  EXPECT_EQ(e.run_until(10.0), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventEngine, CancelAfterFiringReturnsFalse) {
+  EventEngine e;
+  const auto h = e.schedule_at(1.0, [] {});
+  e.run_until(2.0);
+  EXPECT_FALSE(e.cancel(h));
+}
+
+TEST(EventEngine, DoubleCancelReturnsFalse) {
+  EventEngine e;
+  const auto h = e.schedule_at(1.0, [] {});
+  EXPECT_TRUE(e.cancel(h));
+  EXPECT_FALSE(e.cancel(h));
+  EXPECT_FALSE(e.cancel(sim::TimerHandle{}));  // invalid handle
+  e.run_until(2.0);
+}
+
+TEST(EventEngine, CancelFromEarlierEventAtSameTime) {
+  // An event may revoke another event scheduled for the very same instant,
+  // as long as it was scheduled later in FIFO order (e.g. a crash at time t
+  // revoking a send at time t).
+  EventEngine e;
+  int fired = 0;
+  sim::TimerHandle victim;
+  e.schedule_at(1.0, [&] { EXPECT_TRUE(e.cancel(victim)); });
+  victim = e.schedule_at(1.0, [&] { ++fired; });
+  EXPECT_EQ(e.run_until(5.0), 1u);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventEngine, StepSkipsCancelledEvents) {
+  EventEngine e;
+  int fired = 0;
+  const auto h = e.schedule_at(1.0, [&] { ++fired; });
+  e.schedule_at(2.0, [&] { ++fired; });
+  e.cancel(h);
+  EXPECT_TRUE(e.step());  // skips the cancelled item, runs the live one
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+  EXPECT_FALSE(e.step());
+}
+
+TEST(EventEngine, CallbackCanScheduleAtNow) {
+  // Re-entrancy: a callback scheduling at the current instant (zero delay)
+  // runs within the same run_until, after all earlier same-time events.
+  EventEngine e;
+  std::vector<int> order;
+  e.schedule_at(1.0, [&] {
+    order.push_back(0);
+    e.schedule_in(0.0, [&] { order.push_back(2); });
+  });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  EXPECT_EQ(e.run_until(1.0), 3u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(e.now(), 1.0);
+}
+
+TEST(RngStreams, SameSeedSameTagReproduces) {
+  sim::RngStreams a(42), b(42);
+  Rng ra = a.stream("loss");
+  Rng rb = b.stream("loss");
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(ra(), rb());
+}
+
+TEST(RngStreams, DistinctTagsDecorrelate) {
+  sim::RngStreams s(42);
+  Rng a = s.stream(std::uint64_t{0});
+  Rng b = s.stream(std::uint64_t{1});
+  Rng c = s.stream("churn");
+  bool all_equal_ab = true, all_equal_ac = true;
+  for (int i = 0; i < 16; ++i) {
+    const auto va = a(), vb = b(), vc = c();
+    all_equal_ab = all_equal_ab && va == vb;
+    all_equal_ac = all_equal_ac && va == vc;
+  }
+  EXPECT_FALSE(all_equal_ab);
+  EXPECT_FALSE(all_equal_ac);
+}
+
+TEST(RngStreams, DistinctSeedsDiverge) {
+  Rng a = sim::RngStreams(1).stream("x");
+  Rng b = sim::RngStreams(2).stream("x");
+  bool all_equal = true;
+  for (int i = 0; i < 16; ++i) all_equal = all_equal && a() == b();
+  EXPECT_FALSE(all_equal);
+}
+
 }  // namespace
 }  // namespace ncast

@@ -1,0 +1,136 @@
+// Determinism regression (the seed contract): every simulator run twice with
+// the same seed must produce bit-identical reports AND execute exactly the
+// same number of engine events. This pins the unified kernel's draw order —
+// an accidental extra RNG draw or a reordered event shows up here first.
+
+#include <gtest/gtest.h>
+
+#include "overlay/curtain_server.hpp"
+#include "overlay/flow_graph.hpp"
+#include "sim/async_broadcast.hpp"
+#include "sim/broadcast.hpp"
+#include "sim/churn.hpp"
+#include "sim/scenario.hpp"
+
+namespace ncast {
+namespace {
+
+using namespace sim;
+
+overlay::ThreadMatrix grow_overlay(std::uint32_t k, std::uint32_t d, int n,
+                                   std::uint64_t seed) {
+  overlay::CurtainServer server(k, d, Rng(seed));
+  for (int i = 0; i < n; ++i) server.join();
+  return server.matrix();
+}
+
+void expect_identical(const ScenarioOutcome& a, const ScenarioOutcome& b) {
+  EXPECT_EQ(a.vertex, b.vertex);
+  EXPECT_EQ(a.node, b.node);
+  EXPECT_EQ(a.max_flow, b.max_flow);
+  EXPECT_EQ(a.rank_achieved, b.rank_achieved);
+  EXPECT_EQ(a.decoded, b.decoded);
+  EXPECT_EQ(a.corrupted, b.corrupted);
+  EXPECT_EQ(a.first_arrival, b.first_arrival);  // bit-identical doubles
+  EXPECT_EQ(a.decode_time, b.decode_time);
+  EXPECT_EQ(a.third_time, b.third_time);
+  EXPECT_EQ(a.two_thirds_time, b.two_thirds_time);
+  EXPECT_EQ(a.depth, b.depth);
+}
+
+TEST(Determinism, RoundBroadcastReproduces) {
+  const auto m = grow_overlay(6, 2, 24, 11);
+  BroadcastConfig cfg;
+  cfg.generation_size = 8;
+  cfg.symbols = 4;
+  cfg.seed = 12;
+  cfg.loss_p = 0.1;
+  std::vector<NodeBehavior> behavior(24, NodeBehavior::kHonest);
+  behavior[5] = NodeBehavior::kEntropyAttack;
+
+  const auto a = simulate_broadcast(m, cfg, behavior);
+  const auto b = simulate_broadcast(m, cfg, behavior);
+  EXPECT_EQ(a.rounds, b.rounds);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].node, b.outcomes[i].node);
+    EXPECT_EQ(a.outcomes[i].rank_achieved, b.outcomes[i].rank_achieved);
+    EXPECT_EQ(a.outcomes[i].decode_round, b.outcomes[i].decode_round);
+    EXPECT_EQ(a.outcomes[i].decoded, b.outcomes[i].decoded);
+    EXPECT_EQ(a.outcomes[i].corrupted, b.outcomes[i].corrupted);
+  }
+}
+
+TEST(Determinism, AsyncBroadcastReproduces) {
+  const auto m = grow_overlay(6, 2, 24, 13);
+  const auto fg = overlay::build_flow_graph(m);
+  AsyncConfig cfg;
+  cfg.generation_size = 8;
+  cfg.symbols = 4;
+  cfg.seed = 14;
+
+  const auto a =
+      simulate_async_broadcast(fg.graph, overlay::FlowGraph::kServerVertex, cfg);
+  const auto b =
+      simulate_async_broadcast(fg.graph, overlay::FlowGraph::kServerVertex, cfg);
+  EXPECT_EQ(a.horizon, b.horizon);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].vertex, b.outcomes[i].vertex);
+    EXPECT_EQ(a.outcomes[i].rank_achieved, b.outcomes[i].rank_achieved);
+    EXPECT_EQ(a.outcomes[i].decode_time, b.outcomes[i].decode_time);
+    EXPECT_EQ(a.outcomes[i].first_arrival, b.outcomes[i].first_arrival);
+    EXPECT_EQ(a.outcomes[i].third_time, b.outcomes[i].third_time);
+    EXPECT_EQ(a.outcomes[i].two_thirds_time, b.outcomes[i].two_thirds_time);
+  }
+}
+
+TEST(Determinism, ComposedScenarioReproducesWithIdenticalEventCounts) {
+  const auto m = grow_overlay(8, 3, 30, 15);
+
+  ScenarioSpec spec;
+  spec.generation_size = 8;
+  spec.symbols = 4;
+  spec.seed = 16;
+  spec.horizon = 120.0;
+  spec.link.latency = LatencySpec::uniform(0.2, 1.2);
+  spec.link.loss = LossSpec::gilbert_elliott(0.05, 0.45);
+  spec.link.bandwidth_cap = 4.0;
+  const auto order = m.nodes_in_order();
+  spec.faults.crash_at(10.0, order[4]).repair_at(40.0, order[4]);
+  spec.faults.behavior_at(20.0, order[9], NodeBehavior::kEntropyAttack);
+  std::vector<NodeBehavior> behavior(30, NodeBehavior::kHonest);
+  behavior[order[2]] = NodeBehavior::kJammer;
+
+  const auto a = run_scenario(m, spec, behavior);
+  const auto b = run_scenario(m, spec, behavior);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.packets_sent, b.packets_sent);
+  EXPECT_EQ(a.packets_lost, b.packets_lost);
+  EXPECT_EQ(a.packets_innovative, b.packets_innovative);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    expect_identical(a.outcomes[i], b.outcomes[i]);
+  }
+}
+
+TEST(Determinism, ChurnReproducesWithIdenticalEventCounts) {
+  ChurnConfig cfg;
+  cfg.horizon = 40.0;
+  cfg.arrival_rate = 5.0;
+  cfg.mean_lifetime = 20.0;
+
+  const auto a = run_churn(6, 2, overlay::InsertPolicy::kRandomPosition, cfg, 17);
+  const auto b = run_churn(6, 2, overlay::InsertPolicy::kRandomPosition, cfg, 17);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.joins, b.joins);
+  EXPECT_EQ(a.graceful_leaves, b.graceful_leaves);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.repairs, b.repairs);
+  EXPECT_EQ(a.final_population, b.final_population);
+  EXPECT_EQ(a.final_failed_tagged, b.final_failed_tagged);
+  EXPECT_EQ(a.peak_population, b.peak_population);
+}
+
+}  // namespace
+}  // namespace ncast
