@@ -38,10 +38,21 @@ inline bool smoke() {
 class MetricsSession {
  public:
   explicit MetricsSession(std::string name) : name_(std::move(name)) {
+    // Run ids exist to tell apart runs of the same bench in telemetry, so the
+    // wall clock is the entropy — deliberately, and nowhere near any
+    // experiment draw. The 16-bit suffix is a splitmix-style hash of
+    // (time, name): unlike the unseeded std::rand() it replaces, it actually
+    // differs between same-second runs of different benches.
+    const auto wall = static_cast<std::uint64_t>(
+        std::time(nullptr));  // ncast:allow(determinism.wall_clock): run ids must differ across runs; never feeds results
+    std::uint64_t z = wall ^ 0x9e3779b97f4a7c15ULL;
+    for (const char c : name_) {
+      z = (z ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+    }
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
     char id[64];
-    std::snprintf(id, sizeof id, "%s-%" PRIx64 "-%u", name_.c_str(),
-                  static_cast<std::uint64_t>(std::time(nullptr)),
-                  static_cast<unsigned>(std::rand()) & 0xffffu);
+    std::snprintf(id, sizeof id, "%s-%" PRIx64 "-%u", name_.c_str(), wall,
+                  static_cast<unsigned>(z & 0xffffu));
     run_id_ = id;
   }
 

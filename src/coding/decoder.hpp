@@ -53,6 +53,9 @@ class Decoder {
   std::uint64_t packets_innovative() const { return innovative_; }
   std::uint64_t packets_redundant() const { return received_ - innovative_; }
 
+  // ncast:hot-begin — per-packet absorb/innovation probes: no allocation, no
+  // throw (stray packets are data, not errors).
+
   /// Consumes a packet; returns true iff it was innovative.
   /// Packets from other generations or with wrong shape are rejected
   /// (returns false) rather than throwing, since in a network simulation
@@ -101,6 +104,8 @@ class Decoder {
     }
     return false;
   }
+
+  // ncast:hot-end
 
   /// True iff source packet `index` is already individually recoverable,
   /// i.e. the unit vector e_index lies in the received row space. Because

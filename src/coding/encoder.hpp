@@ -36,13 +36,16 @@ class SourceEncoder {
   std::size_t generation_size() const { return source_.size(); }
   std::size_t symbols() const { return symbols_; }
 
+  // ncast:hot-begin — per-emission encode: reuses the caller's packet
+  // capacity, zero heap allocations in steady state.
+
   /// Writes a uniformly random linear combination of the source packets into
   /// `p`, reusing its buffers (no allocation once `p` has the right
   /// capacity). The combination is re-drawn if it comes out all-zero
   /// (possible over tiny fields), so the result always carries information.
   void emit_into(Packet& p, Rng& rng) const {
     p.generation = generation_;
-    p.coeffs.resize(source_.size());
+    p.coeffs.resize(source_.size());  // ncast:allow(hot_path.alloc): reuses caller capacity; allocates only on first use
     do {
       for (auto& c : p.coeffs) {
         c = static_cast<value_type>(rng.below(Field::order));
@@ -53,6 +56,8 @@ class SourceEncoder {
       Field::region_madd(p.payload.data(), source_[i].data(), p.coeffs[i], symbols_);
     }
   }
+
+  // ncast:hot-end
 
   /// Emits a uniformly random linear combination as a fresh packet.
   Packet emit(Rng& rng) const {

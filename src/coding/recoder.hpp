@@ -39,6 +39,9 @@ class Recoder {
   std::uint32_t generation() const { return basis_.generation(); }
   const Decoder<Field>& decoder() const { return basis_; }
 
+  // ncast:hot-begin — per-emission mixing: reuses the caller's packet
+  // capacity, zero heap allocations in steady state.
+
   /// Writes a random combination of everything received so far into `out`,
   /// reusing its buffers. Returns false (and leaves `out` unspecified) if
   /// nothing has been received — a node with an empty buffer stays silent.
@@ -54,7 +57,7 @@ class Recoder {
     // retried against the basis: one uniformly random position is forced to a
     // uniformly random nonzero value instead, so the fix-up costs O(1) and
     // the emitted packet still carries information.
-    mix_.resize(r);
+    mix_.resize(r);  // ncast:allow(hot_path.alloc): capacity reserved at construction (generation_size entries)
     bool nonzero = false;
     for (std::size_t i = 0; i < r; ++i) {
       mix_[i] = static_cast<value_type>(rng.below(Field::order));
@@ -76,6 +79,8 @@ class Recoder {
     }
     return true;
   }
+
+  // ncast:hot-end
 
   /// Emits a random combination of everything received so far, or nullopt if
   /// nothing has been received. Allocates a fresh packet; loops that care

@@ -16,6 +16,8 @@ namespace ncast::gf {
 
 namespace detail {
 
+// ncast:hot-begin — scalar fallback kernels: allocation- and throw-free.
+
 void gf256_madd_scalar(std::uint8_t* dst, const std::uint8_t* src,
                        const std::uint8_t* mul_row, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) dst[i] ^= mul_row[src[i]];
@@ -70,6 +72,8 @@ void gf2_16_add_scalar(std::uint16_t* dst, const std::uint16_t* src,
   }
   for (; i < n; ++i) dst[i] ^= src[i];
 }
+
+// ncast:hot-end
 
 }  // namespace detail
 

@@ -23,6 +23,7 @@ struct Gf2 {
   static value_type inv(value_type /*a*/) { return 1; }
   static value_type pow(value_type a, std::uint32_t e) { return e == 0 ? 1 : a; }
 
+  // ncast:hot-begin
   static void region_add(value_type* dst, const value_type* src, std::size_t n) {
     for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
   }
@@ -35,6 +36,7 @@ struct Gf2 {
     if (c != 0) return;
     for (std::size_t i = 0; i < n; ++i) dst[i] = 0;
   }
+  // ncast:hot-end
 };
 
 }  // namespace ncast::gf

@@ -72,6 +72,9 @@ Gf256::value_type Gf256::pow(value_type a, std::uint32_t e) {
   return t.exp[l];
 }
 
+// ncast:hot-begin — region kernels: the innermost loops of every decode,
+// recode, and elimination; allocation- and throw-free by contract.
+
 void Gf256::region_add(value_type* dst, const value_type* src, std::size_t n) {
   if (n >= kSimdThreshold) {
     detail::gf256_kernels().add(dst, src, n);
@@ -108,5 +111,7 @@ void Gf256::region_mul(value_type* dst, value_type c, std::size_t n) {
   }
   detail::gf256_mul_scalar(dst, row.data(), n);
 }
+
+// ncast:hot-end
 
 }  // namespace ncast::gf

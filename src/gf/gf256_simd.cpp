@@ -6,6 +6,8 @@
 #include <immintrin.h>
 
 namespace ncast::gf::detail {
+// ncast:hot-begin — region kernels: allocation- and throw-free by contract.
+
 
 bool avx2_available() {
 #if defined(__GNUC__) || defined(__clang__)
@@ -90,5 +92,7 @@ void region_add_avx2(std::uint8_t* dst, const std::uint8_t* src,
   }
   for (; i < n; ++i) dst[i] ^= src[i];
 }
+
+// ncast:hot-end
 
 }  // namespace ncast::gf::detail

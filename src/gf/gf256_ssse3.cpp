@@ -6,6 +6,8 @@
 #include <immintrin.h>
 
 namespace ncast::gf::detail {
+// ncast:hot-begin — region kernels: allocation- and throw-free by contract.
+
 
 bool ssse3_available() {
 #if defined(__GNUC__) || defined(__clang__)
@@ -82,5 +84,7 @@ void region_add_ssse3(std::uint8_t* dst, const std::uint8_t* src,
   }
   for (; i < n; ++i) dst[i] ^= src[i];
 }
+
+// ncast:hot-end
 
 }  // namespace ncast::gf::detail

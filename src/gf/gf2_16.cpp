@@ -83,6 +83,8 @@ Gf2_16::value_type Gf2_16::pow(value_type a, std::uint32_t e) {
   return t.exp[l];
 }
 
+// ncast:hot-begin — region kernels: allocation- and throw-free by contract.
+
 void Gf2_16::region_add(value_type* dst, const value_type* src, std::size_t n) {
   if (n >= kKernelThreshold) {
     detail::gf2_16_kernels().add(dst, src, n);
@@ -129,5 +131,7 @@ void Gf2_16::region_mul(value_type* dst, value_type c, std::size_t n) {
     if (dst[i] != 0) dst[i] = t.exp[lc + t.log[dst[i]]];
   }
 }
+
+// ncast:hot-end
 
 }  // namespace ncast::gf

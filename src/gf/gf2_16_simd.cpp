@@ -14,6 +14,8 @@
 #include <immintrin.h>
 
 namespace ncast::gf::detail {
+// ncast:hot-begin — region kernels: allocation- and throw-free by contract.
+
 
 namespace {
 
@@ -129,5 +131,7 @@ void region_add_avx2_u16(std::uint16_t* dst, const std::uint16_t* src,
   }
   for (; i < n; ++i) dst[i] ^= src[i];
 }
+
+// ncast:hot-end
 
 }  // namespace ncast::gf::detail

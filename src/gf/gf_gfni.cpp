@@ -15,6 +15,8 @@
 #include <array>
 
 namespace ncast::gf::detail {
+// ncast:hot-begin — region kernels: allocation- and throw-free by contract.
+
 
 bool gfni_available() {
   __builtin_cpu_init();
@@ -218,5 +220,7 @@ void region_add_gfni_u16(std::uint16_t* dst, const std::uint16_t* src,
   region_add_gfni(reinterpret_cast<std::uint8_t*>(dst),
                   reinterpret_cast<const std::uint8_t*>(src), 2 * n);
 }
+
+// ncast:hot-end
 
 }  // namespace ncast::gf::detail

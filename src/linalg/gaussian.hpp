@@ -22,7 +22,10 @@ std::vector<std::size_t> rref_in_place(Matrix<Field>& m) {
   static obs::Histogram& rref_ns = obs::metrics().histogram("linalg.rref_ns");
   obs::ScopeTimer timer(rref_ns);
   std::vector<std::size_t> pivots;
+  pivots.reserve(std::min(m.rows(), m.cols()));
   std::size_t pivot_row = 0;
+  // ncast:hot-begin — elimination sweep: region kernels only; the pivot
+  // vector's capacity is reserved above so the loop allocates nothing.
   for (std::size_t col = 0; col < m.cols() && pivot_row < m.rows(); ++col) {
     // Find a row at or below pivot_row with a nonzero entry in this column.
     std::size_t sel = pivot_row;
@@ -47,9 +50,10 @@ std::vector<std::size_t> rref_in_place(Matrix<Field>& m) {
         Field::region_madd(m.row(r) + col, m.row(pivot_row) + col, f, tail);
       }
     }
-    pivots.push_back(col);
+    pivots.push_back(col);  // ncast:allow(hot_path.alloc): capacity reserved before the sweep
     ++pivot_row;
   }
+  // ncast:hot-end
   return pivots;
 }
 

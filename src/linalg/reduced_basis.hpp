@@ -93,6 +93,10 @@ class ReducedBasis {
   /// candidate).
   value_type* scratch_row() { return base_ + pivots_.size() * stride_; }
 
+  // ncast:hot-begin — per-packet elimination core; allocation-free by
+  // contract (PR 2), enforced statically by ncast_lint and at runtime by
+  // tests/test_codec_alloc.cpp.
+
   /// Eliminates the stored rows from `r` (length width()) in place. After the
   /// call, r[pivot(i)] == 0 for every stored row i.
   void reduce(value_type* r) const {
@@ -132,9 +136,11 @@ class ReducedBasis {
         Field::region_madd(ri + a, r + a, f, width_ - a);
       }
     }
-    pivots_.push_back(p);
+    pivots_.push_back(p);  // ncast:allow(hot_path.alloc): capacity reserved at construction (pivot_cols_ entries)
     return true;
   }
+
+  // ncast:hot-end
 
  private:
   static constexpr std::size_t kAlignBytes = 64;

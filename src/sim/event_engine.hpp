@@ -153,6 +153,12 @@ class EventEngine {
   // Seqs scheduled but neither fired nor cancelled. One hash insert + one
   // erase per event; the node allocations are dwarfed by the std::function
   // allocation each scheduled callback already makes.
+  //
+  // Determinism audit (determinism.unordered_iteration): this set is only
+  // ever probed point-wise — insert() in schedule_at, erase() in cancel and
+  // the dispatch loops, size() in pending(). It is never iterated, so its
+  // hash order cannot leak into event ordering or the RNG draw sequence;
+  // execution order is fixed entirely by the (at, seq) priority queue.
   std::unordered_set<std::uint64_t> live_;
   // Process-wide instrumentation; registry entries are never deallocated, so
   // caching the pointers once per engine keeps the hot paths lookup-free.

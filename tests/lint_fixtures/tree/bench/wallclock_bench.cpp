@@ -1,0 +1,5 @@
+// Fixture: bench/ is inside the scan roots — determinism applies there too.
+
+#include <cstdlib>
+
+inline int jitter() { return rand(); }

@@ -1,0 +1,38 @@
+#pragma once
+// Fixture: hot_path rules fire inside the marked region, stay quiet outside
+// it, and are suppressible with a justification.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace fix {
+
+inline void cold_path(std::vector<int>& v) {
+  v.push_back(1);
+  v.resize(8);
+}
+
+// ncast:hot-begin
+inline int hot_violations(std::vector<int>& v) {
+  v.push_back(2);
+  v.resize(16);
+  int* p = new int(3);
+  void* q = std::malloc(4);
+  std::string s = "boom";
+  if (v.empty()) throw 1;
+  std::free(q);
+  delete p;
+  return static_cast<int>(s.size());
+}
+
+inline void hot_allowed(std::vector<int>& v) {
+  v.push_back(3);  // ncast:allow(hot_path.alloc): capacity reserved by the caller
+  std::string tag = "x";  // ncast:allow(hot_path.string): fixture demonstrates suppression
+  if (tag.empty()) throw 2;  // ncast:allow(hot_path.throw): fixture demonstrates suppression
+}
+// ncast:hot-end
+
+inline void cold_again(std::vector<int>& v) { v.push_back(4); }
+
+}  // namespace fix

@@ -1,0 +1,22 @@
+#pragma once
+// Fixture: a fully clean file — resolvable include, clean hot region, string
+// and comment contents that must NOT trip token rules (masking test).
+
+#include "coding/hot.hpp"
+
+#include <cstddef>
+
+namespace fix {
+
+// The tokens below live in literals/comments only: srand(, system_clock,
+// push_back( in a comment must never fire.
+inline const char* decoy() { return "std::rand() system_clock throw"; }
+
+// ncast:hot-begin
+inline void region_add(unsigned char* dst, const unsigned char* src,
+                       std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+}
+// ncast:hot-end
+
+}  // namespace fix

@@ -1,0 +1,37 @@
+// Fixture: the determinism family — libc PRNG, hardware entropy, wall-clock
+// reads, and monotonic clocks outside src/obs — plus suppression.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fix {
+
+inline unsigned bad_entropy() {
+  std::srand(42);
+  std::random_device rd;
+  return static_cast<unsigned>(rd()) + static_cast<unsigned>(std::rand());
+}
+
+inline long bad_clocks() {
+  const auto wall = std::time(nullptr);
+  const auto sys = std::chrono::system_clock::now().time_since_epoch().count();
+  const auto mono = std::chrono::steady_clock::now().time_since_epoch().count();
+  return static_cast<long>(wall) + static_cast<long>(sys) +
+         static_cast<long>(mono);
+}
+
+inline long allowed_wall() {
+  return static_cast<long>(std::time(nullptr));  // ncast:allow(determinism.wall_clock): fixture demonstrates suppression
+}
+
+inline unsigned allowed_entropy() {
+  std::srand(7);  // ncast:allow(determinism.libc_rand): fixture demonstrates suppression
+  std::random_device rd2;  // ncast:allow(determinism.random_device): fixture demonstrates suppression
+  // ncast:allow(determinism.steady_clock): fixture demonstrates suppression
+  const auto m2 = std::chrono::steady_clock::now().time_since_epoch().count();
+  return static_cast<unsigned>(rd2()) + static_cast<unsigned>(m2);
+}
+
+}  // namespace fix

@@ -1,0 +1,12 @@
+#pragma once
+// Fixture: monotonic clocks are legal inside src/obs — no finding expected.
+
+#include <chrono>
+
+namespace fix {
+
+inline std::chrono::steady_clock::time_point probe_now() {
+  return std::chrono::steady_clock::now();
+}
+
+}  // namespace fix

@@ -1,0 +1,13 @@
+// ncast:allow(header.pragma_once): fixture demonstrates suppression
+// Fixture: every header rule suppressed — this file must yield only
+// suppressed findings, plus the suppressed unterminated hot region below.
+
+#include <vector>
+
+using namespace std;  // ncast:allow(header.using_namespace): fixture demonstrates suppression
+
+inline vector<int> four() { return {4}; }
+
+// ncast:allow(totally.bogus) ncast:allow(lint.bad_annotation): fixture demonstrates suppression
+
+// ncast:hot-begin  ncast:allow(hot_path.region): fixture demonstrates suppression

@@ -1,0 +1,11 @@
+// Fixture: header hygiene — this header is missing #pragma once, injects a
+// namespace, has an unresolvable quoted include, and carries a typo'd allow.
+
+#include "overlay/no_such_header.hpp"
+#include "overlay/also_missing.hpp"  // ncast:allow(header.include_resolves): fixture demonstrates suppression
+#include <vector>
+
+using namespace std;
+
+// ncast:allow(nonexistent.rule): typo'd rule ids must be reported, not ignored
+inline vector<int> three() { return {1, 2, 3}; }

@@ -1,0 +1,14 @@
+// Fixture: hot_path.region — an end marker without a begin, then a begin
+// that is never closed before end of file.
+
+namespace fix {
+
+inline int noop() { return 0; }
+
+}  // namespace fix
+
+// ncast:hot-end
+
+// ncast:hot-end  ncast:allow(hot_path.region): fixture demonstrates suppression
+
+// ncast:hot-begin

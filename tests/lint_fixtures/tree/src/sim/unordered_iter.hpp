@@ -1,0 +1,31 @@
+#pragma once
+// Fixture: determinism.unordered_iteration fires on the range-for and the
+// explicit begin() walk, stays quiet on pure lookups, and is suppressible.
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fix {
+
+inline int sum_order_dependent(const std::unordered_map<int, int>& m) {
+  int acc = 0;
+  for (const auto& [k, v] : m) acc += k ^ v;
+  return acc;
+}
+
+inline bool lookup_is_fine(const std::unordered_set<int>& s) {
+  return s.count(3) > 0;
+}
+
+inline int first_bucket(const std::unordered_set<int>& s) {
+  return s.empty() ? 0 : *s.begin();
+}
+
+inline int allowed_sum(const std::unordered_map<int, int>& m) {
+  int acc = 0;
+  // ncast:allow(determinism.unordered_iteration): XOR reduction is order-invariant
+  for (const auto& [k, v] : m) acc ^= k ^ v;
+  return acc;
+}
+
+}  // namespace fix

@@ -1,0 +1,32 @@
+// Fixture: obs.metric_name — the dotted snake_case convention for registry
+// lookups, non-literal names, wrapped literals, and suppression.
+
+#include <string>
+
+namespace fix {
+
+struct Registry {
+  int& counter(const std::string& name);
+  int& gauge(const std::string& name);
+  int& histogram(const std::string& name);
+};
+
+Registry& metrics();
+
+inline void good_names() {
+  metrics().counter("node.packets_sent");
+  metrics().histogram(
+      "decoder.absorb_ns");
+}
+
+inline void bad_camel() { metrics().counter("NodePacketsSent"); }
+
+inline void bad_dotless() { metrics().gauge("depth"); }
+
+inline void bad_dynamic(const std::string& n) { metrics().histogram(n); }
+
+inline void allowed_dynamic(const std::string& n) {
+  metrics().counter(n);  // ncast:allow(obs.metric_name): fixture demonstrates suppression
+}
+
+}  // namespace fix

@@ -1,0 +1,245 @@
+// Tests for tools/lint — the project-specific static analysis pass.
+//
+// Two layers:
+//   * unit tests drive lint_source() on in-memory buffers (empty repo_root
+//     disables include resolution) and pin down each rule's firing and
+//     suppression semantics, including the comment/string masking that keeps
+//     the scanner from chasing decoys;
+//   * a golden test runs lint_tree() over tests/lint_fixtures/tree and
+//     compares the serialized report byte-for-byte against
+//     tests/lint_fixtures/golden.json, proving every rule fires somewhere in
+//     the corpus and that every rule is suppressible.
+//
+// The fixture markers below are assembled from fragments so this test file
+// itself stays clean under the repo-wide lint_tree ctest run.
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/lint_engine.hpp"
+
+namespace {
+
+using ncast::lint::Finding;
+using ncast::lint::Options;
+using ncast::lint::Report;
+
+// Marker fragments: concatenated at runtime so the real linter does not see
+// literal annotations inside this (scanned) test file.
+const std::string kAllow = std::string("// ncast:") + "allow(";
+const std::string kHotBegin = std::string("// ncast:") + "hot-begin";
+const std::string kHotEnd = std::string("// ncast:") + "hot-end";
+
+std::vector<Finding> lint(const std::string& path, const std::string& text) {
+  std::vector<Finding> out;
+  ncast::lint::lint_source(path, text, /*repo_root=*/"", out);
+  return out;
+}
+
+std::vector<std::string> rules_of(const std::vector<Finding>& fs,
+                                  bool suppressed) {
+  std::vector<std::string> out;
+  for (const auto& f : fs) {
+    if (f.suppressed == suppressed) out.push_back(f.rule);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(LintDeterminism, LibcRandFires) {
+  const auto fs = lint("src/node/x.cpp", "int f() { return rand(); }\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "determinism.libc_rand");
+  EXPECT_EQ(fs[0].line, 1u);
+  EXPECT_FALSE(fs[0].suppressed);
+}
+
+TEST(LintDeterminism, WallClockVariantsFire) {
+  const std::string text =
+      "#include <ctime>\n"
+      "long a() { return std::time(nullptr); }\n"
+      "long b();  // uses system_clock::now() eventually\n"
+      "auto c = std::chrono::system_clock::now();\n";
+  const auto fs = lint("src/sim/x.cpp", text);
+  const auto v = rules_of(fs, /*suppressed=*/false);
+  EXPECT_EQ(v, (std::vector<std::string>{"determinism.wall_clock",
+                                         "determinism.wall_clock"}));
+}
+
+TEST(LintDeterminism, SteadyClockExemptUnderObs) {
+  const std::string text = "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(lint("src/obs/timer.cpp", text).empty());
+  const auto fs = lint("src/sim/timer.cpp", text);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "determinism.steady_clock");
+}
+
+TEST(LintDeterminism, UnorderedIterationScopedToSimOverlayNode) {
+  const std::string text =
+      "#pragma once\n"
+      "#include <unordered_map>\n"
+      "int sum(const std::unordered_map<int, int>& m) {\n"
+      "  int acc = 0;\n"
+      "  for (const auto& kv : m) acc += kv.second;\n"
+      "  return acc;\n"
+      "}\n";
+  const auto fs = lint("src/sim/x.hpp", text);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "determinism.unordered_iteration");
+  EXPECT_EQ(fs[0].line, 5u);
+  // The same code is fine outside the scoped directories (util, gf, ...).
+  EXPECT_TRUE(lint("src/util/x.hpp", text).empty());
+}
+
+TEST(LintDeterminism, UnorderedLookupIsQuiet) {
+  const std::string text =
+      "#pragma once\n"
+      "#include <unordered_map>\n"
+      "int get(const std::unordered_map<int, int>& m) {\n"
+      "  auto it = m.find(3);\n"
+      "  return it == m.end() ? 0 : it->second + static_cast<int>(m.size());\n"
+      "}\n";
+  EXPECT_TRUE(lint("src/overlay/x.hpp", text).empty());
+}
+
+TEST(LintHotPath, RulesOnlyFireInsideRegion) {
+  const std::string text =
+      "void cold(std::vector<int>& v) { v.push_back(1); }\n" +
+      kHotBegin + "\n" +
+      "void hot(std::vector<int>& v) { v.push_back(2); }\n" +
+      kHotEnd + "\n";
+  const auto fs = lint("src/coding/x.cpp", text);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "hot_path.alloc");
+  EXPECT_EQ(fs[0].line, 3u);
+}
+
+TEST(LintHotPath, StringAndThrowFire) {
+  const std::string text = kHotBegin + "\n" +
+                           "void f() { std::string s; if (s.empty()) throw 1; }\n" +
+                           kHotEnd + "\n";
+  const auto fs = lint("src/linalg/x.cpp", text);
+  EXPECT_EQ(rules_of(fs, false),
+            (std::vector<std::string>{"hot_path.string", "hot_path.throw"}));
+}
+
+TEST(LintHotPath, UnbalancedRegionFires) {
+  const auto end_only = lint("src/gf/x.cpp", kHotEnd + "\n");
+  ASSERT_EQ(end_only.size(), 1u);
+  EXPECT_EQ(end_only[0].rule, "hot_path.region");
+
+  const auto begin_only = lint("src/gf/x.cpp", kHotBegin + "\n");
+  ASSERT_EQ(begin_only.size(), 1u);
+  EXPECT_EQ(begin_only[0].rule, "hot_path.region");
+  EXPECT_EQ(begin_only[0].line, 1u);
+}
+
+TEST(LintHeader, PragmaOnceAndUsingNamespace) {
+  const std::string text = "using namespace std;\nint x = 0;\n";
+  const auto fs = lint("src/overlay/x.hpp", text);
+  EXPECT_EQ(rules_of(fs, false),
+            (std::vector<std::string>{"header.pragma_once",
+                                      "header.using_namespace"}));
+  // Source files are exempt from header hygiene.
+  EXPECT_TRUE(lint("src/overlay/x.cpp", text).empty());
+}
+
+TEST(LintObs, MetricNamesMustBeDottedSnakeCase) {
+  const std::string text =
+      "void f() {\n"
+      "  metrics().counter(\"node.packets_sent\").add(1);\n"
+      "  metrics().gauge(\"BadName\").set(2);\n"
+      "  metrics().histogram(\n"
+      "      \"decode.rank_delta\");\n"
+      "}\n";
+  const auto fs = lint("src/node/x.cpp", text);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "obs.metric_name");
+  EXPECT_EQ(fs[0].line, 3u);
+}
+
+TEST(LintAnnotations, InlineAllowSuppressesOwnLine) {
+  const std::string text = "int f() { return rand(); }  " + kAllow +
+                           "determinism.libc_rand): unit test\n";
+  const auto fs = lint("src/node/x.cpp", text);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_TRUE(fs[0].suppressed);
+  EXPECT_EQ(fs[0].justification, "unit test");
+}
+
+TEST(LintAnnotations, StandaloneAllowCoversNextCodeLine) {
+  const std::string text = kAllow + "determinism.libc_rand): unit test\n" +
+                           "int f() { return rand(); }\n";
+  const auto fs = lint("src/node/x.cpp", text);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_TRUE(fs[0].suppressed);
+  // ...but not the line after that.
+  const auto far = lint("src/node/x.cpp",
+                        kAllow + "determinism.libc_rand): unit test\n" +
+                            "int g = 0;\n" + "int f() { return rand(); }\n");
+  ASSERT_EQ(far.size(), 1u);
+  EXPECT_FALSE(far[0].suppressed);
+}
+
+TEST(LintAnnotations, UnknownRuleIsReportedAndSuppressible) {
+  const auto bad = lint("src/node/x.cpp", kAllow + "no.such_rule): why\n");
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0].rule, "lint.bad_annotation");
+  EXPECT_FALSE(bad[0].suppressed);
+
+  const auto ok = lint("src/node/x.cpp",
+                       kAllow + "no.such_rule): why  " + kAllow +
+                           "lint.bad_annotation): unit test\n");
+  ASSERT_EQ(ok.size(), 1u);
+  EXPECT_TRUE(ok[0].suppressed);
+}
+
+TEST(LintMasking, CommentsAndStringsAreInert) {
+  const std::string text =
+      "// calls rand() and std::random_device in prose only\n"
+      "const char* s = \"system_clock and malloc( and throw\";\n"
+      "/* using namespace std; time(nullptr) */\n"
+      "const char* r = R\"(rand() push_back()\";\n";
+  EXPECT_TRUE(lint("src/sim/x.cpp", text).empty());
+}
+
+TEST(LintTree, GoldenReportIsByteStable) {
+  Options opts;
+  opts.repo_root = std::string(NCAST_LINT_FIXTURE_DIR) + "/tree";
+  opts.roots = {"src", "bench"};
+  const Report report = ncast::lint::lint_tree(opts);
+
+  std::ifstream in(std::string(NCAST_LINT_FIXTURE_DIR) + "/golden.json",
+                   std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing tests/lint_fixtures/golden.json";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+
+  EXPECT_EQ(ncast::lint::report_json(report), golden.str());
+}
+
+TEST(LintTree, EveryRuleFiresAndIsSuppressedInFixtures) {
+  Options opts;
+  opts.repo_root = std::string(NCAST_LINT_FIXTURE_DIR) + "/tree";
+  opts.roots = {"src", "bench"};
+  const Report report = ncast::lint::lint_tree(opts);
+
+  std::set<std::string> fired;
+  std::set<std::string> suppressed;
+  for (const auto& f : report.findings) {
+    (f.suppressed ? suppressed : fired).insert(f.rule);
+  }
+  for (const auto& rule : ncast::lint::rule_ids()) {
+    EXPECT_TRUE(fired.count(rule)) << rule << " never fires in the fixtures";
+    EXPECT_TRUE(suppressed.count(rule))
+        << rule << " is never suppressed in the fixtures";
+  }
+}
+
+}  // namespace

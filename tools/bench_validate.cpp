@@ -1,13 +1,18 @@
-// bench_validate — schema validator for BENCH_<name>.json telemetry files.
+// bench_validate — schema validator for the repo's machine-readable
+// telemetry formats, dispatched on the top-level "schema" key:
 //
 //   bench_validate FILE [--require key1,key2,...]
 //
-// Checks that FILE is well-formed JSON and contains the ncast.bench.v1
-// contract: schema/bench/run_id strings, params/counters/gauges/histograms
-// objects, and p50/p90/p99 numbers inside every histogram entry. The
-// optional --require list names parameter keys that must be present in
-// "params" (the smoke test passes k,d,n,seed). Exits 0 on success, 1 with a
-// diagnostic on the first violation.
+//   ncast.bench.v1 — BENCH_<name>.json: schema/bench/run_id strings,
+//     params/counters/gauges/histograms objects, p50/p90/p99 numbers inside
+//     every histogram entry. The optional --require list names parameter
+//     keys that must be present in "params" (the smoke test passes
+//     k,d,n,seed).
+//   ncast.lint.v1 — LINT_*.json from tools/ncast_lint: tool/roots/rules,
+//     a counts object consistent with the violations and suppressed arrays,
+//     and well-formed finding entries (known rule, file, 1-based line).
+//
+// Exits 0 on success, 1 with a diagnostic on the first violation.
 //
 // The parser is deliberately independent of obs/json.hpp (writer): a shared
 // implementation could hide a bug on both sides of the contract.
@@ -239,6 +244,82 @@ int violation(const std::string& why) {
   return 1;
 }
 
+int validate_lint(const Value& root) {
+  for (const char* key : {"tool"}) {
+    const Value* v = root.get(key);
+    if (v == nullptr || !v->is_string() || v->string.empty()) {
+      return violation(std::string("missing non-empty string key '") + key + "'");
+    }
+  }
+
+  const Value* rules = root.get("rules");
+  if (rules == nullptr || rules->kind != Value::Kind::kArray ||
+      rules->array.empty()) {
+    return violation("missing non-empty array key 'rules'");
+  }
+  std::map<std::string, bool> known_rules;
+  for (const auto& r : rules->array) {
+    if (!r->is_string() || r->string.empty()) {
+      return violation("'rules' entries must be non-empty strings");
+    }
+    known_rules[r->string] = true;
+  }
+
+  const Value* roots = root.get("roots");
+  if (roots == nullptr || roots->kind != Value::Kind::kArray) {
+    return violation("missing array key 'roots'");
+  }
+
+  const Value* counts = root.get("counts");
+  if (counts == nullptr || !counts->is_object()) {
+    return violation("missing object key 'counts'");
+  }
+  for (const char* key : {"files", "violations", "suppressed"}) {
+    const Value* v = counts->get(key);
+    if (v == nullptr || !v->is_number()) {
+      return violation(std::string("counts lacks numeric '") + key + "'");
+    }
+  }
+
+  for (const char* section : {"violations", "suppressed"}) {
+    const Value* arr = root.get(section);
+    if (arr == nullptr || arr->kind != Value::Kind::kArray) {
+      return violation(std::string("missing array key '") + section + "'");
+    }
+    const double declared = counts->get(section)->number;
+    if (declared != static_cast<double>(arr->array.size())) {
+      return violation(std::string("counts.") + section +
+                       " disagrees with the array length");
+    }
+    const bool suppressed = std::string(section) == "suppressed";
+    for (const auto& f : arr->array) {
+      if (!f->is_object()) {
+        return violation(std::string(section) + " entries must be objects");
+      }
+      const Value* rule = f->get("rule");
+      if (rule == nullptr || !rule->is_string() || !known_rules.count(rule->string)) {
+        return violation(std::string(section) +
+                         " entry has a rule id absent from 'rules'");
+      }
+      const Value* file = f->get("file");
+      if (file == nullptr || !file->is_string() || file->string.empty()) {
+        return violation(std::string(section) + " entry lacks a file");
+      }
+      const Value* line = f->get("line");
+      if (line == nullptr || !line->is_number() || line->number < 1) {
+        return violation(std::string(section) + " entry lacks a 1-based line");
+      }
+      const char* text_key = suppressed ? "justification" : "message";
+      const Value* text = f->get(text_key);
+      if (text == nullptr || !text->is_string()) {
+        return violation(std::string(section) + " entry lacks string '" +
+                         text_key + "'");
+      }
+    }
+  }
+  return 0;
+}
+
 int validate(const Value& root, const std::vector<std::string>& required_params) {
   if (!root.is_object()) return violation("top level is not an object");
 
@@ -246,6 +327,7 @@ int validate(const Value& root, const std::vector<std::string>& required_params)
   if (schema == nullptr || !schema->is_string()) {
     return violation("missing string key 'schema'");
   }
+  if (schema->string == "ncast.lint.v1") return validate_lint(root);
   if (schema->string != "ncast.bench.v1") {
     return violation("unsupported schema '" + schema->string + "'");
   }

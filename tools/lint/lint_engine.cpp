@@ -1,0 +1,717 @@
+#include "lint/lint_engine.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace ncast::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Annotation markers. Kept as string constants (never spelled out in
+// comments) so the engine stays clean when linting its own source.
+constexpr const char* kAllowMarker = "ncast:allow(";
+constexpr const char* kHotBegin = "ncast:hot-begin";
+constexpr const char* kHotEnd = "ncast:hot-end";
+
+// ---------------------------------------------------------------------------
+// Scanner: splits a translation unit into per-line views with comments and
+// literals separated, so token rules never fire inside either.
+// ---------------------------------------------------------------------------
+
+struct Scanned {
+  /// Code with comments AND string/char literal bodies blanked to spaces.
+  std::vector<std::string> code;
+  /// Code with comments blanked but string literals kept verbatim (the obs
+  /// rule and include resolution need the literal text).
+  std::vector<std::string> code_strings;
+  /// Concatenated comment text per line (annotations live here).
+  std::vector<std::string> comment;
+};
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+Scanned scan(const std::string& text) {
+  enum class Mode { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
+  Scanned out;
+  std::string code, code_strings, comment;
+  Mode mode = Mode::kCode;
+  std::string raw_end;     // ")delim\"" terminator of the active raw literal
+  char prev_sig = '\0';    // last non-space code char (digit-separator check)
+
+  auto flush_line = [&]() {
+    out.code.push_back(code);
+    out.code_strings.push_back(code_strings);
+    out.comment.push_back(comment);
+    code.clear();
+    code_strings.clear();
+    comment.clear();
+  };
+
+  const std::size_t n = text.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      if (mode == Mode::kLineComment || mode == Mode::kString ||
+          mode == Mode::kChar) {
+        mode = Mode::kCode;  // strings/chars cannot span lines; be tolerant
+      }
+      flush_line();
+      continue;
+    }
+    switch (mode) {
+      case Mode::kCode: {
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+          mode = Mode::kLineComment;
+          code += "  ";
+          code_strings += "  ";
+          ++i;
+        } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+          mode = Mode::kBlockComment;
+          code += "  ";
+          code_strings += "  ";
+          ++i;
+        } else if (c == '"') {
+          // Raw literal? Only the plain R"..( prefix is recognized; the rare
+          // u8R/LR spellings degrade to ordinary-string handling.
+          if (prev_sig == 'R' && !code.empty() && code.back() == 'R' &&
+              (code.size() < 2 || !is_ident_char(code[code.size() - 2]))) {
+            std::string delim;
+            std::size_t j = i + 1;
+            while (j < n && text[j] != '(' && text[j] != '\n') {
+              delim += text[j++];
+            }
+            if (j < n && text[j] == '(') {
+              mode = Mode::kRaw;
+              raw_end = ")" + delim + "\"";
+              code += std::string(j - i + 1, ' ');
+              code_strings.append(text, i, j - i + 1);
+              i = j;
+              break;
+            }
+          }
+          mode = Mode::kString;
+          code += ' ';
+          code_strings += '"';
+        } else if (c == '\'' && !is_ident_char(prev_sig)) {
+          mode = Mode::kChar;
+          code += ' ';
+          code_strings += ' ';
+        } else {
+          code += c;
+          code_strings += c;
+          if (c != ' ' && c != '\t') prev_sig = c;
+        }
+        break;
+      }
+      case Mode::kLineComment:
+        comment += c;
+        code += ' ';
+        code_strings += ' ';
+        break;
+      case Mode::kBlockComment:
+        if (c == '*' && i + 1 < n && text[i + 1] == '/') {
+          mode = Mode::kCode;
+          code += "  ";
+          code_strings += "  ";
+          ++i;
+        } else {
+          comment += c;
+          code += ' ';
+          code_strings += ' ';
+        }
+        break;
+      case Mode::kString:
+        code += ' ';
+        if (c == '\\' && i + 1 < n && text[i + 1] != '\n') {
+          code_strings += c;
+          code_strings += text[i + 1];
+          code += ' ';
+          ++i;
+        } else {
+          code_strings += c;
+          if (c == '"') mode = Mode::kCode;
+        }
+        break;
+      case Mode::kChar:
+        code += ' ';
+        code_strings += ' ';
+        if (c == '\\' && i + 1 < n && text[i + 1] != '\n') {
+          code += ' ';
+          code_strings += ' ';
+          ++i;
+        } else if (c == '\'') {
+          mode = Mode::kCode;
+        }
+        break;
+      case Mode::kRaw:
+        if (text.compare(i, raw_end.size(), raw_end) == 0) {
+          code += std::string(raw_end.size(), ' ');
+          code_strings += raw_end;
+          i += raw_end.size() - 1;
+          mode = Mode::kCode;
+        } else {
+          code += ' ';
+          code_strings += c;
+        }
+        break;
+    }
+  }
+  flush_line();  // final (possibly unterminated) line
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rule table
+// ---------------------------------------------------------------------------
+
+struct TokenRule {
+  const char* id;
+  const char* pattern;  // ECMAScript; first match is quoted in the message
+  const char* why;
+};
+
+// Determinism rules, applied to masked code everywhere under the scan roots.
+const TokenRule kLibcRand = {
+    "determinism.libc_rand",
+    R"(\b(?:std\s*::\s*)?s?rand\s*\(|\brandom_shuffle\b)",
+    "libc PRNG breaks seed-stable runs; draw from util/rng.hpp streams"};
+const TokenRule kRandomDevice = {
+    "determinism.random_device", R"(\brandom_device\b)",
+    "hardware entropy is nondeterministic; derive seeds from the run seed"};
+const TokenRule kWallClock = {
+    "determinism.wall_clock",
+    R"(\bsystem_clock\b|\bstd\s*::\s*time\s*\(|\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)|\bgettimeofday\b|\bclock_gettime\b|\blocaltime\b|\bgmtime\b|\bmktime\b)",
+    "wall-clock reads make runs irreproducible"};
+const TokenRule kSteadyClock = {
+    "determinism.steady_clock",
+    R"(\bsteady_clock\b|\bhigh_resolution_clock\b)",
+    "monotonic clocks are confined to src/obs (timing is observability)"};
+
+// Hot-region rules, applied only between the hot markers.
+const TokenRule kHotAlloc = {
+    "hot_path.alloc",
+    R"(\bnew\b|\bmalloc\s*\(|\bcalloc\s*\(|\brealloc\s*\(|\bpush_back\s*\(|\bemplace_back\s*\(|\bresize\s*\(|\breserve\s*\()",
+    "hot regions are allocation-free (see docs/performance.md)"};
+const TokenRule kHotString = {
+    "hot_path.string",
+    R"(\bstd\s*::\s*(?:string|to_string|stringstream|ostringstream)\b)",
+    "std::string construction allocates in hot regions"};
+const TokenRule kHotThrow = {
+    "hot_path.throw", R"(\bthrow\b)",
+    "hot regions must not throw (unwinding is not allocation-free)"};
+
+const TokenRule kUsingNamespace = {
+    "header.using_namespace", R"(\busing\s+namespace\b)",
+    "headers must not inject namespaces into every includer"};
+
+const char* kRuleList[] = {
+    "determinism.libc_rand",     "determinism.random_device",
+    "determinism.wall_clock",    "determinism.steady_clock",
+    "determinism.unordered_iteration",
+    "hot_path.alloc",            "hot_path.string",
+    "hot_path.throw",            "hot_path.region",
+    "header.pragma_once",        "header.using_namespace",
+    "header.include_resolves",   "obs.metric_name",
+    "lint.bad_annotation",
+};
+
+bool known_rule(const std::string& id) {
+  for (const char* r : kRuleList) {
+    if (id == r) return true;
+  }
+  return false;
+}
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool blank(const std::string& s) {
+  return s.find_first_not_of(" \t") == std::string::npos;
+}
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Per-file lint pass
+// ---------------------------------------------------------------------------
+
+struct AllowEntry {
+  std::map<std::string, std::string> rules;  // rule id -> justification
+};
+
+class FileLinter {
+ public:
+  FileLinter(const std::string& rel_path, const std::string& text,
+             const std::string& repo_root, std::vector<Finding>& out)
+      : rel_(rel_path),
+        repo_root_(repo_root),
+        out_(out),
+        sc_(scan(text)),
+        lines_(sc_.code.size()) {}
+
+  void run() {
+    classify();
+    collect_allows();
+    collect_unordered_ids();
+
+    bool hot = false;
+    std::size_t hot_begin_line = 0;
+    bool saw_pragma_once = false;
+
+    for (std::size_t i = 0; i < lines_; ++i) {
+      const std::size_t ln = i + 1;
+      const std::string& comment = sc_.comment[i];
+      const std::string& code = sc_.code[i];
+      const std::string& cs = sc_.code_strings[i];
+
+      if (comment.find(kHotEnd) != std::string::npos) {
+        if (!hot) {
+          report("hot_path.region", ln, "hot-end marker without a begin");
+        }
+        hot = false;
+      }
+
+      if (!blank(code)) {
+        if (is_header_ &&
+            std::regex_search(code, re(R"(^\s*#\s*pragma\s+once\b)"))) {
+          saw_pragma_once = true;
+        }
+        check_token(kLibcRand, code, ln);
+        check_token(kRandomDevice, code, ln);
+        check_token(kWallClock, code, ln);
+        if (!starts_with(rel_, "src/obs/")) {
+          check_token(kSteadyClock, code, ln);
+        }
+        if (unordered_scope_) check_unordered_iteration(code, ln);
+        if (hot) {
+          check_token(kHotAlloc, code, ln);
+          check_token(kHotString, code, ln);
+          check_token(kHotThrow, code, ln);
+        }
+        if (is_header_) check_token(kUsingNamespace, code, ln);
+        check_include(cs, ln);
+      }
+      check_obs_names(i, ln);
+
+      if (comment.find(kHotBegin) != std::string::npos) {
+        if (hot) {
+          report("hot_path.region", ln, "nested hot-begin marker");
+        } else {
+          hot = true;
+          hot_begin_line = ln;
+        }
+      }
+    }
+
+    if (hot) {
+      report("hot_path.region", hot_begin_line,
+             "hot region is never closed (missing end marker)");
+    }
+    if (is_header_ && !saw_pragma_once) {
+      report("header.pragma_once", 1, "header lacks #pragma once");
+    }
+  }
+
+ private:
+  static const std::regex& re(const char* pattern) {
+    // The rule set is a fixed table, so the cache never grows unbounded.
+    static std::map<const char*, std::regex> cache;
+    auto it = cache.find(pattern);
+    if (it == cache.end()) {
+      it = cache.emplace(pattern, std::regex(pattern)).first;
+    }
+    return it->second;
+  }
+
+  void classify() {
+    const auto dot = rel_.find_last_of('.');
+    const std::string ext = dot == std::string::npos ? "" : rel_.substr(dot);
+    is_header_ = ext == ".hpp" || ext == ".h" || ext == ".ipp";
+    unordered_scope_ = starts_with(rel_, "src/sim/") ||
+                       starts_with(rel_, "src/overlay/") ||
+                       starts_with(rel_, "src/node/");
+  }
+
+  /// Parses allow annotations out of comment text. An annotation on a line
+  /// with code applies to that line; a standalone comment annotation applies
+  /// to its own line (for file- and region-level findings reported there)
+  /// and to the next line that has code. Unknown rule ids are reported only
+  /// after every annotation is registered, so an allow for
+  /// lint.bad_annotation itself works no matter where it sits on the line.
+  void collect_allows() {
+    std::vector<std::pair<std::size_t, std::string>> unknown;
+    for (std::size_t i = 0; i < lines_; ++i) {
+      const std::string& comment = sc_.comment[i];
+      std::size_t pos = 0;
+      while ((pos = comment.find(kAllowMarker, pos)) != std::string::npos) {
+        const std::size_t open = pos + std::string(kAllowMarker).size();
+        const std::size_t close = comment.find(')', open);
+        if (close == std::string::npos) break;
+        const std::string rule_csv = comment.substr(open, close - open);
+        std::string justification;
+        std::size_t after = close + 1;
+        if (after < comment.size() && comment[after] == ':') {
+          justification = trim(comment.substr(after + 1));
+        }
+        std::vector<std::size_t> targets = {i + 1};  // 1-based own line
+        if (blank(sc_.code[i])) {
+          std::size_t j = i + 1;
+          while (j < lines_ && blank(sc_.code[j])) ++j;
+          if (j < lines_) targets.push_back(j + 1);
+        }
+        std::stringstream ss(rule_csv);
+        std::string rule;
+        while (std::getline(ss, rule, ',')) {
+          rule = trim(rule);
+          if (rule.empty()) continue;
+          if (!known_rule(rule)) {
+            unknown.emplace_back(i + 1, rule);
+            continue;
+          }
+          for (const std::size_t t : targets) {
+            allows_[t].rules[rule] = justification;
+          }
+        }
+        pos = close;
+      }
+    }
+    for (const auto& [line, rule] : unknown) {
+      report("lint.bad_annotation", line,
+             "allow names unknown rule '" + rule + "'");
+    }
+  }
+
+  /// Best-effort collection of identifiers declared with an unordered
+  /// container type anywhere in the file (members, locals, parameters).
+  void collect_unordered_ids() {
+    if (!unordered_scope_) return;
+    std::string joined;
+    for (const auto& l : sc_.code) {
+      joined += l;
+      joined += '\n';
+    }
+    std::size_t pos = 0;
+    while ((pos = joined.find("unordered_", pos)) != std::string::npos) {
+      std::size_t p = pos + 10;
+      std::string kind;
+      while (p < joined.size() && is_ident_char(joined[p])) kind += joined[p++];
+      ++pos;
+      if (kind != "map" && kind != "set" && kind != "multimap" &&
+          kind != "multiset") {
+        continue;
+      }
+      while (p < joined.size() && std::isspace(static_cast<unsigned char>(joined[p]))) ++p;
+      if (p >= joined.size() || joined[p] != '<') continue;
+      int depth = 1;
+      ++p;
+      while (p < joined.size() && depth > 0) {
+        if (joined[p] == '<') ++depth;
+        if (joined[p] == '>') --depth;
+        ++p;
+      }
+      while (p < joined.size() &&
+             (std::isspace(static_cast<unsigned char>(joined[p])) ||
+              joined[p] == '&' || joined[p] == '*')) {
+        ++p;
+      }
+      std::string ident;
+      while (p < joined.size() && is_ident_char(joined[p])) ident += joined[p++];
+      while (p < joined.size() && std::isspace(static_cast<unsigned char>(joined[p]))) ++p;
+      if (ident.empty() || p >= joined.size()) continue;
+      // Only a terminator that ends a declarator counts — this skips return
+      // types (followed by '(') and nested-name uses (followed by ':').
+      const char t = joined[p];
+      if (t == ';' || t == '=' || t == ',' || t == ')' || t == '{') {
+        unordered_ids_.insert(ident);
+      }
+    }
+  }
+
+  void check_token(const TokenRule& rule, const std::string& code,
+                   std::size_t ln) {
+    std::smatch m;
+    if (std::regex_search(code, m, re(rule.pattern))) {
+      report(rule.id, ln,
+             "'" + trim(m.str(0)) + "': " + std::string(rule.why));
+    }
+  }
+
+  void check_unordered_iteration(const std::string& code, std::size_t ln) {
+    static const char* kMsg =
+        "iteration order of an unordered container can leak into the RNG "
+        "draw sequence";
+    if (code.find("for") != std::string::npos &&
+        std::regex_search(code, re(R"(\bfor\s*\(.*:.*unordered_)"))) {
+      report("determinism.unordered_iteration", ln, kMsg);
+      return;
+    }
+    for (const std::string& id : unordered_ids_) {
+      if (code.find(id) == std::string::npos) continue;
+      const std::string range_for = R"(\bfor\s*\(.*:.*\b)" + id + R"(\b)";
+      // .begin() exposes the first element in hash order; a bare .end() is
+      // the idiomatic find()-lookup sentinel and stays quiet.
+      const std::string begin_call =
+          R"(\b)" + id + R"(\s*\.\s*c?r?begin\s*\()";
+      if (std::regex_search(code, std::regex(range_for)) ||
+          std::regex_search(code, std::regex(begin_call))) {
+        report("determinism.unordered_iteration", ln,
+               "'" + id + "': " + kMsg);
+        return;
+      }
+    }
+  }
+
+  void check_include(const std::string& cs, std::size_t ln) {
+    if (repo_root_.empty()) return;
+    std::smatch m;
+    if (!std::regex_search(cs, m, re(R"rx(^\s*#\s*include\s*"([^"]+)")rx"))) {
+      return;
+    }
+    const std::string inc = m.str(1);
+    const fs::path root(repo_root_);
+    const fs::path self_dir = (root / rel_).parent_path();
+    for (const fs::path& base :
+         {self_dir, root / "src", root, root / "bench", root / "tools"}) {
+      std::error_code ec;
+      if (fs::exists(base / inc, ec)) return;
+    }
+    report("header.include_resolves", ln,
+           "\"" + inc + "\" does not resolve against the project include "
+           "roots (self dir, src/, repo root, bench/, tools/)");
+  }
+
+  /// Metric-name hygiene: registry lookups must pass a dotted snake_case
+  /// string literal. Handles a call whose literal wraps to the next line.
+  void check_obs_names(std::size_t i, std::size_t ln) {
+    static const std::regex call(
+        R"(\bmetrics\s*\(\s*\)\s*\.\s*(?:counter|gauge|histogram)\s*\()");
+    static const std::regex name_ok(
+        R"(^[a-z][a-z0-9_]*(?:\.[a-z][a-z0-9_]*)+$)");
+    const std::string& cur = sc_.code_strings[i];
+    if (cur.find("metrics") == std::string::npos) return;
+    std::string joined = cur;
+    joined += '\n';
+    if (i + 1 < lines_) joined += sc_.code_strings[i + 1];
+    for (auto it = std::sregex_iterator(joined.begin(), joined.end(), call);
+         it != std::sregex_iterator(); ++it) {
+      if (static_cast<std::size_t>(it->position()) >= cur.size()) continue;
+      std::size_t p = static_cast<std::size_t>(it->position() + it->length());
+      while (p < joined.size() &&
+             std::isspace(static_cast<unsigned char>(joined[p]))) {
+        ++p;
+      }
+      if (p >= joined.size() || joined[p] != '"') {
+        report("obs.metric_name", ln,
+               "metric name is not a string literal (dynamic names defeat "
+               "grep and the naming convention)");
+        continue;
+      }
+      const std::size_t close = joined.find('"', p + 1);
+      if (close == std::string::npos) continue;
+      const std::string name = joined.substr(p + 1, close - p - 1);
+      if (!std::regex_match(name, name_ok)) {
+        report("obs.metric_name", ln,
+               "'" + name + "' is not dotted snake_case "
+               "(subsystem.metric_name)");
+      }
+    }
+  }
+
+  void report(const std::string& rule, std::size_t ln, std::string message) {
+    Finding f;
+    f.rule = rule;
+    f.file = rel_;
+    f.line = ln;
+    f.message = std::move(message);
+    const auto it = allows_.find(ln);
+    if (it != allows_.end()) {
+      const auto jt = it->second.rules.find(rule);
+      if (jt != it->second.rules.end()) {
+        f.suppressed = true;
+        f.justification = jt->second;
+      }
+    }
+    out_.push_back(std::move(f));
+  }
+
+  const std::string rel_;
+  const std::string repo_root_;
+  std::vector<Finding>& out_;
+  const Scanned sc_;
+  const std::size_t lines_;
+  bool is_header_ = false;
+  bool unordered_scope_ = false;
+  std::map<std::size_t, AllowEntry> allows_;
+  std::set<std::string> unordered_ids_;
+};
+
+// ---------------------------------------------------------------------------
+// Tree walk + JSON serialization
+// ---------------------------------------------------------------------------
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".ipp" || ext == ".cpp" ||
+         ext == ".cc" || ext == ".cxx";
+}
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  json_escape_into(out, s);
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_ids() {
+  static const std::vector<std::string> ids(std::begin(kRuleList),
+                                            std::end(kRuleList));
+  return ids;
+}
+
+void lint_source(const std::string& rel_path, const std::string& text,
+                 const std::string& repo_root, std::vector<Finding>& out) {
+  FileLinter(rel_path, text, repo_root, out).run();
+}
+
+Report lint_tree(const Options& opts) {
+  Report report;
+  report.roots = opts.roots;
+  const fs::path root(opts.repo_root.empty() ? "." : opts.repo_root);
+
+  std::vector<std::string> files;
+  for (const std::string& r : opts.roots) {
+    const fs::path p = root / r;
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (fs::recursive_directory_iterator it(p, ec), end; it != end;
+           it.increment(ec)) {
+        if (it->is_regular_file(ec) && lintable(it->path())) {
+          files.push_back(fs::relative(it->path(), root, ec).generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec) && lintable(p)) {
+      files.push_back(fs::relative(p, root, ec).generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  for (const std::string& rel : files) {
+    std::ifstream in(root / rel, std::ios::binary);
+    if (!in) continue;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    lint_source(rel, buf.str(), root.string(), report.findings);
+    ++report.files_scanned;
+  }
+
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return report;
+}
+
+std::size_t violation_count(const Report& report) {
+  std::size_t n = 0;
+  for (const auto& f : report.findings) n += f.suppressed ? 0 : 1;
+  return n;
+}
+
+std::size_t suppressed_count(const Report& report) {
+  return report.findings.size() - violation_count(report);
+}
+
+std::string report_json(const Report& report) {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"ncast.lint.v1\",\n";
+  out += "  \"tool\": \"ncast_lint\",\n";
+  out += "  \"roots\": [";
+  for (std::size_t i = 0; i < report.roots.size(); ++i) {
+    out += (i ? ", " : "") + quoted(report.roots[i]);
+  }
+  out += "],\n";
+  out += "  \"counts\": {\"files\": " + std::to_string(report.files_scanned) +
+         ", \"violations\": " + std::to_string(violation_count(report)) +
+         ", \"suppressed\": " + std::to_string(suppressed_count(report)) +
+         "},\n";
+  out += "  \"rules\": [";
+  const auto& ids = rule_ids();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    out += (i ? ", " : "") + quoted(ids[i]);
+  }
+  out += "],\n";
+
+  const auto emit = [&out](const Finding& f, bool last, bool suppressed) {
+    out += "    {\"rule\": " + quoted(f.rule) + ", \"file\": " +
+           quoted(f.file) + ", \"line\": " + std::to_string(f.line);
+    if (suppressed) {
+      out += ", \"justification\": " + quoted(f.justification);
+    } else {
+      out += ", \"message\": " + quoted(f.message);
+    }
+    out += last ? "}\n" : "},\n";
+  };
+
+  for (const bool suppressed : {false, true}) {
+    std::vector<const Finding*> sel;
+    for (const auto& f : report.findings) {
+      if (f.suppressed == suppressed) sel.push_back(&f);
+    }
+    out += suppressed ? "  \"suppressed\": [" : "  \"violations\": [";
+    if (sel.empty()) {
+      out += suppressed ? "]\n" : "],\n";
+      continue;
+    }
+    out += '\n';
+    for (std::size_t i = 0; i < sel.size(); ++i) {
+      emit(*sel[i], i + 1 == sel.size(), suppressed);
+    }
+    out += suppressed ? "  ]\n" : "  ],\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ncast::lint

@@ -1,0 +1,78 @@
+#pragma once
+// ncast_lint engine: a project-specific token/line-level static-analysis pass
+// over the C++ tree (no libclang). It enforces the invariants the runtime
+// regression suites can only spot-check:
+//
+//   determinism.*  — no libc PRNG, no entropy sources, no wall-clock reads,
+//                    monotonic clocks confined to src/obs, and no iteration
+//                    over unordered containers in src/sim, src/overlay,
+//                    src/node (where hash order could leak into the RNG draw
+//                    sequence and silently break seed-stable runs).
+//   hot_path.*     — inside annotated hot regions (see docs/static_analysis.md
+//                    for the marker syntax) no allocation, no std::string
+//                    construction, no throw; guards PR 2's allocation-free
+//                    RLNC invariant at build time.
+//   header.*       — #pragma once, no using-namespace directives in headers,
+//                    quoted includes must resolve against the project roots.
+//   obs.*          — metric names must be dotted snake_case string literals.
+//
+// Every rule is individually suppressible with an inline allow annotation
+// (exact syntax in docs/static_analysis.md); suppressions are reported, not
+// hidden. The engine is dependency-free (std only) so the lint binary and its
+// tests build before — and independently of — the ncast libraries.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ncast::lint {
+
+/// One diagnostic. `file` is repo-relative with '/' separators; `line` is
+/// 1-based. Suppressed findings carry the annotation's justification text.
+struct Finding {
+  std::string rule;
+  std::string file;
+  std::size_t line = 0;
+  std::string message;
+  bool suppressed = false;
+  std::string justification;
+};
+
+struct Options {
+  /// Absolute (or cwd-relative) repo root. Scoped rules classify files by
+  /// their path below this root; quoted includes resolve against it. When
+  /// empty, include resolution is skipped (unit tests lint raw buffers).
+  std::string repo_root;
+  /// Repo-relative files or directories to scan (default: src bench tools).
+  std::vector<std::string> roots;
+};
+
+struct Report {
+  std::vector<std::string> roots;
+  std::size_t files_scanned = 0;
+  /// All findings, suppressed and not, sorted by (file, line, rule).
+  std::vector<Finding> findings;
+};
+
+/// Every rule id the engine knows, sorted; the report embeds this list so
+/// downstream tooling can detect rule-set drift.
+const std::vector<std::string>& rule_ids();
+
+/// Lints one in-memory translation unit. `rel_path` drives path-scoped rules
+/// ("src/obs/...", header-vs-source); `repo_root` may be empty (skips include
+/// resolution). Appends findings to `out`.
+void lint_source(const std::string& rel_path, const std::string& text,
+                 const std::string& repo_root, std::vector<Finding>& out);
+
+/// Walks `opts.roots` under `opts.repo_root` (extensions: hpp/h/ipp/cpp/cc/
+/// cxx), lints every file, and returns the sorted report.
+Report lint_tree(const Options& opts);
+
+/// Serializes a report as the machine-readable `ncast.lint.v1` document.
+/// Deterministic: stable key order, findings pre-sorted by lint_tree.
+std::string report_json(const Report& report);
+
+std::size_t violation_count(const Report& report);
+std::size_t suppressed_count(const Report& report);
+
+}  // namespace ncast::lint

@@ -1,0 +1,75 @@
+// ncast_lint — project-specific static analysis for determinism, hot-path
+// hygiene, header hygiene, and observability naming (docs/static_analysis.md).
+//
+//   ncast_lint [--repo DIR] [--json FILE] [--quiet] [PATH...]
+//
+// PATHs are repo-relative files or directories (default: src bench tools).
+// Human-readable diagnostics go to stdout; --json also writes the
+// machine-readable ncast.lint.v1 report (validated by tools/bench_validate).
+// Exit codes: 0 = clean (suppressed findings are fine), 1 = unsuppressed
+// violations, 2 = usage or I/O error.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint_engine.hpp"
+
+int main(int argc, char** argv) {
+  ncast::lint::Options opts;
+  opts.repo_root = ".";
+  std::string json_path;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--repo" && i + 1 < argc) {
+      opts.repo_root = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: ncast_lint [--repo DIR] [--json FILE] [--quiet] [PATH...]\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "ncast_lint: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      opts.roots.push_back(arg);
+    }
+  }
+  if (opts.roots.empty()) opts.roots = {"src", "bench", "tools"};
+
+  const ncast::lint::Report report = ncast::lint::lint_tree(opts);
+  if (report.files_scanned == 0) {
+    std::fprintf(stderr, "ncast_lint: no lintable files under the given roots\n");
+    return 2;
+  }
+
+  if (!quiet) {
+    for (const auto& f : report.findings) {
+      if (f.suppressed) continue;
+      std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "ncast_lint: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    out << ncast::lint::report_json(report);
+  }
+
+  const std::size_t violations = ncast::lint::violation_count(report);
+  std::printf("ncast_lint: %zu files, %zu violations, %zu suppressed\n",
+              report.files_scanned, violations,
+              ncast::lint::suppressed_count(report));
+  return violations == 0 ? 0 : 1;
+}
