@@ -11,6 +11,7 @@
 #include <set>
 
 #include "bench_common.hpp"
+#include "node/protocol_scenario.hpp"
 #include "overlay/curtain_server.hpp"
 #include "overlay/flow_graph.hpp"
 #include "util/stats.hpp"
@@ -166,6 +167,62 @@ int main() {
         "\nReading: children pay a visible rate penalty for the outage window\n"
         "they sat through; strangers run at full speed. The repair restores\n"
         "the children's feed mid-run, so the decoded fraction stays ~100%%.\n");
+  }
+
+  // E16c — the same life cycle on the MESSAGE plane: no omniscient
+  // report_failure call. The crashes are detected by the children's silence
+  // timers, the complaints ride (possibly lossy) control links, and the
+  // repair interval is protocol time: crash -> complaint -> splice. This is
+  // the path the membership-level timeline above idealizes away.
+  bench::banner(
+      "E16c: repair driven by complaints over the message plane",
+      "N = 60 clients on the event kernel (k = 12, d = 3, latency\n"
+      "U[0.5, 1.5]), three early joiners crash at t = 50. Repair must\n"
+      "emerge from silence detection; control loss delays but never\n"
+      "cancels it.");
+  {
+    Table msg({"control loss%", "repairs done", "crash -> last splice",
+               "complaints", "decoded%"});
+    for (const double loss : {0.0, 0.10}) {
+      RunningStats repairs, conv, complaints, decoded;
+      for (std::uint64_t trial = 0; trial < 3; ++trial) {
+        node::ProtocolScenarioSpec spec;
+        spec.k = 12;
+        spec.default_degree = 3;
+        spec.repair_delay = 2.0;
+        spec.generation_size = 8;
+        spec.symbols = 8;
+        spec.generations = 2;
+        spec.silence_timeout = 8;
+        spec.seed = 0xE163 + trial;
+        spec.transport.latency = sim::LatencySpec::uniform(0.5, 1.5);
+        if (loss > 0.0) {
+          spec.transport.control_loss = sim::LossSpec::bernoulli(loss);
+        }
+        spec.faults.join_burst(1.0, 60, 1.0);
+        spec.faults.crash_join_at(50.0, 0);
+        spec.faults.crash_join_at(50.0, 1);
+        spec.faults.crash_join_at(50.0, 2);
+
+        const auto report = node::run_scenario(spec);
+        repairs.add(static_cast<double>(report.repairs_done));
+        if (report.repairs_done > 0) conv.add(report.last_repair_time - 50.0);
+        complaints.add(static_cast<double>(report.total_complaints()));
+        decoded.add(100.0 * report.decoded_fraction());
+      }
+      msg.add_row({fmt(loss * 100, 0), fmt(repairs.mean(), 1),
+                   fmt(conv.mean(), 1), fmt(complaints.mean(), 1),
+                   fmt(decoded.mean(), 1)});
+    }
+    msg.print();
+    session.add_table("message_plane", msg);
+    std::printf(
+        "\nReading: on clean control links the crash -> splice interval is\n"
+        "silence_timeout + repair_delay plus one round trip. Lossy control\n"
+        "links stretch it (lost complaints wait out a backoff period) and\n"
+        "can add spurious repairs (a lost redirect order makes a healthy\n"
+        "parent look dead), but the overlay always converges back to a\n"
+        "fully-repaired curtain — the retry logic turns loss into delay.\n");
   }
   return 0;
 }

@@ -7,6 +7,23 @@
 
 namespace ncast::node {
 
+namespace {
+
+// Process-wide retry counters (event mode only; tick mode cannot lose
+// control messages, so it never retries). Cached once.
+struct RetryCounters {
+  obs::Counter& join_retries = obs::metrics().counter("protocol.join_retries");
+  obs::Counter& complaint_retries =
+      obs::metrics().counter("protocol.complaint_retries");
+
+  static RetryCounters& get() {
+    static RetryCounters c;
+    return c;
+  }
+};
+
+}  // namespace
+
 ClientNode::ClientNode(Address address, ClientConfig config)
     : address_(address),
       config_(config),
@@ -16,12 +33,27 @@ ClientNode::ClientNode(Address address, ClientConfig config)
   }
 }
 
+double ClientNode::now() const { return engine_ ? engine_->now() : now_; }
+
 std::vector<std::uint8_t> ClientNode::data() const {
   if (!decoded()) throw std::logic_error("ClientNode::data: incomplete");
   return stream_.data();
 }
 
-void ClientNode::join(InMemoryNetwork& net, std::uint32_t degree) {
+void ClientNode::crash() {
+  crashed_ = true;
+  if (engine_) {
+    engine_->cancel(join_timer_);
+    engine_->cancel(serve_timer_);
+    for (const auto& [column, handle] : silence_timers_) {
+      engine_->cancel(handle);
+    }
+    silence_timers_.clear();
+  }
+}
+
+void ClientNode::join(Transport& net, std::uint32_t degree) {
+  if (join_sent_time_ < 0.0) join_sent_time_ = now();
   Message m;
   m.type = MessageType::kJoinRequest;
   m.from = address_;
@@ -30,37 +62,135 @@ void ClientNode::join(InMemoryNetwork& net, std::uint32_t degree) {
   net.send(std::move(m));
 }
 
-void ClientNode::leave(InMemoryNetwork& net) {
+void ClientNode::leave(Transport& net) {
   Message m;
   m.type = MessageType::kGoodbye;
   m.from = address_;
   m.to = kServerAddress;
   net.send(std::move(m));
+  // Retire: once the good-bye is out, the server splices us from the
+  // curtain, our feeds legitimately stop, and our children are reattached
+  // upstream — so neither a complaint nor another served packet from this
+  // node is meaningful.
+  departed_ = true;
+  children_.clear();
+  if (engine_) {
+    engine_->cancel(join_timer_);
+    for (const auto& [column, handle] : silence_timers_) {
+      engine_->cancel(handle);
+    }
+    silence_timers_.clear();
+    complaint_streak_.clear();
+  }
 }
 
-void ClientNode::handle_accept(const Message& m, std::uint64_t tick) {
+void ClientNode::start(sim::EventEngine& engine, KernelTransport& net,
+                       std::uint32_t degree) {
+  engine_ = &engine;
+  net_ = &net;
+  join_degree_ = degree;
+  net.attach(address_, this);
+  join(net, degree);
+  schedule_join_retry(config_.join_retry);
+  serve_timer_ = engine.schedule_in(1.0, [this] { event_tick(); });
+}
+
+void ClientNode::schedule_join_retry(double delay) {
+  join_timer_ = engine_->schedule_in(delay, [this, delay] {
+    if (joined_ || crashed_) return;
+    ++join_retries_;
+    RetryCounters::get().join_retries.inc();
+    join(*net_, join_degree_);
+    // Doubling backoff, capped: a congested server is not helped by a
+    // thundering herd of hellos, but the client must never give up.
+    const double cap =
+        config_.join_retry * static_cast<double>(1u << config_.max_backoff_exp);
+    schedule_join_retry(std::min(delay * 2.0, cap));
+  });
+}
+
+void ClientNode::event_tick() {
+  if (crashed_ || departed_) return;  // the serve loop dies with the node
+  serve_children();
+  serve_timer_ = engine_->schedule_in(1.0, [this] { event_tick(); });
+}
+
+void ClientNode::note_liveness(overlay::ColumnId column) {
+  last_data_[column] = now();
+  if (engine_ && joined_ && !departed_) {
+    complaint_streak_[column] = 0;
+    arm_silence(column);
+  }
+}
+
+void ClientNode::arm_silence(overlay::ColumnId column) {
+  disarm_silence(column);
+  const std::uint32_t exp =
+      std::min(complaint_streak_[column], config_.max_backoff_exp);
+  const double delay =
+      static_cast<double>(config_.silence_timeout) * static_cast<double>(1u << exp);
+  silence_timers_[column] =
+      engine_->schedule_in(delay, [this, column] { silence_fired(column); });
+}
+
+void ClientNode::disarm_silence(overlay::ColumnId column) {
+  const auto it = silence_timers_.find(column);
+  if (it != silence_timers_.end()) {
+    engine_->cancel(it->second);
+    silence_timers_.erase(it);
+  }
+}
+
+void ClientNode::silence_fired(overlay::ColumnId column) {
+  silence_timers_.erase(column);
+  if (crashed_ || departed_ || !joined_) return;
+  if (std::find(columns_.begin(), columns_.end(), column) == columns_.end()) {
+    return;  // column was dropped while the timer was in flight
+  }
+  Message complaint;
+  complaint.type = MessageType::kComplaint;
+  complaint.from = address_;
+  complaint.to = kServerAddress;
+  complaint.column = column;
+  net_->send(std::move(complaint));
+  ++complaints_sent_;
+  std::uint32_t& streak = complaint_streak_[column];
+  if (streak > 0) {
+    // Same outage, another complaint: either the complaint or the repair's
+    // effect got lost on the control plane — retransmit with backoff.
+    ++complaint_retries_;
+    RetryCounters::get().complaint_retries.inc();
+  }
+  if (streak < config_.max_backoff_exp) ++streak;
+  arm_silence(column);
+}
+
+void ClientNode::handle_accept(const Message& m) {
   if (joined_) return;  // duplicate accept
   if (!stream_.initialize(m.data_size, m.gen_count, m.gen_size, m.symbols)) {
     return;
   }
   joined_ = true;
+  joined_time_ = now();
+  if (engine_) engine_->cancel(join_timer_);
   columns_ = m.columns;
   stream_.install_keys(m.key_bundles);
-  for (overlay::ColumnId c : columns_) last_data_[c] = tick;
+  for (overlay::ColumnId c : columns_) note_liveness(c);
 }
 
-void ClientNode::handle_data(const Message& m, std::uint64_t tick) {
+void ClientNode::handle_data(const Message& m) {
   // Any well-formed-enough frame proves the feed is alive, even if its
   // content turns out to be garbage; verification happens inside absorb.
-  last_data_[m.column] = tick;
+  note_liveness(m.column);
   if (stream_.absorb_wire(m.wire)) {
     ++packets_received_;
+    if (decode_time_ < 0.0 && stream_.decoded()) decode_time_ = now();
   } else {
     ++packets_rejected_;
   }
 }
 
-void ClientNode::request_offload(InMemoryNetwork& net) {
+void ClientNode::request_offload(Transport& net) {
   Message m;
   m.type = MessageType::kCongestionOffload;
   m.from = address_;
@@ -68,7 +198,7 @@ void ClientNode::request_offload(InMemoryNetwork& net) {
   net.send(std::move(m));
 }
 
-void ClientNode::request_restore(InMemoryNetwork& net) {
+void ClientNode::request_restore(Transport& net) {
   Message m;
   m.type = MessageType::kCongestionRestore;
   m.from = address_;
@@ -76,54 +206,62 @@ void ClientNode::request_restore(InMemoryNetwork& net) {
   net.send(std::move(m));
 }
 
-void ClientNode::process_messages(std::uint64_t tick, InMemoryNetwork& net) {
-  while (auto m = net.poll(address_)) {
-    if (crashed_) continue;  // drain silently
-    switch (m->type) {
-      case MessageType::kJoinAccept:
-        handle_accept(*m, tick);
-        break;
-      case MessageType::kAttachChild:
-        children_[m->column] = m->subject;
-        break;
-      case MessageType::kDetachChild:
-        children_.erase(m->column);
-        break;
-      case MessageType::kData:
-        handle_data(*m, tick);
-        break;
-      case MessageType::kKeepalive:
-        // Liveness without payload: a healthy parent whose own buffer is
-        // still empty. Resets the silence clock, carries no information.
-        last_data_[m->column] = tick;
-        break;
-      case MessageType::kColumnDropped: {
-        // Congestion offload granted: stop receiving and serving the column.
-        const auto it = std::find(columns_.begin(), columns_.end(), m->column);
-        if (it != columns_.end()) columns_.erase(it);
-        last_data_.erase(m->column);
-        children_.erase(m->column);
-        break;
+void ClientNode::on_message(const Message& m) {
+  if (crashed_) return;  // drain silently
+  switch (m.type) {
+    case MessageType::kJoinAccept:
+      handle_accept(m);
+      break;
+    case MessageType::kAttachChild:
+      children_[m.column] = m.subject;
+      break;
+    case MessageType::kDetachChild:
+      children_.erase(m.column);
+      break;
+    case MessageType::kData:
+      handle_data(m);
+      break;
+    case MessageType::kKeepalive:
+      // Liveness without payload: a healthy parent whose own buffer is
+      // still empty. Resets the silence clock, carries no information.
+      note_liveness(m.column);
+      break;
+    case MessageType::kColumnDropped: {
+      // Congestion offload granted: stop receiving and serving the column.
+      const auto it = std::find(columns_.begin(), columns_.end(), m.column);
+      if (it != columns_.end()) columns_.erase(it);
+      last_data_.erase(m.column);
+      children_.erase(m.column);
+      if (engine_) {
+        disarm_silence(m.column);
+        complaint_streak_.erase(m.column);
       }
-      case MessageType::kColumnAdded:
-        // Congestion restore granted: start receiving on the column and, if
-        // the server named a downstream clipper, start serving it.
-        if (std::find(columns_.begin(), columns_.end(), m->column) ==
-            columns_.end()) {
-          columns_.push_back(m->column);
-        }
-        last_data_[m->column] = tick;
-        if (m->subject != kServerAddress) children_[m->column] = m->subject;
-        break;
-      default:
-        break;
+      break;
     }
+    case MessageType::kColumnAdded:
+      // Congestion restore granted: start receiving on the column and, if
+      // the server named a downstream clipper, start serving it.
+      if (std::find(columns_.begin(), columns_.end(), m.column) ==
+          columns_.end()) {
+        columns_.push_back(m.column);
+      }
+      note_liveness(m.column);
+      if (m.subject != kServerAddress) children_[m.column] = m.subject;
+      break;
+    default:
+      break;
   }
 }
 
-void ClientNode::on_tick(std::uint64_t tick, InMemoryNetwork& net) {
-  if (crashed_ || !joined_) return;
+void ClientNode::process_messages(std::uint64_t tick, InMemoryNetwork& net) {
+  net_ = &net;
+  now_ = static_cast<double>(tick);
+  while (auto m = net.poll(address_)) {
+    on_message(*m);
+  }
+}
 
+void ClientNode::serve_children() {
   // Serve the children the server attached to us; a random generation per
   // child per tick (random, not round-robin — a deterministic rotation over
   // a fixed edge order can starve a descendant of entire generations). With
@@ -140,14 +278,24 @@ void ClientNode::on_tick(std::uint64_t tick, InMemoryNetwork& net) {
     } else {
       out.type = MessageType::kKeepalive;
     }
-    net.send(std::move(out));
+    net_->send(std::move(out));
   }
+}
+
+void ClientNode::on_tick(std::uint64_t tick, InMemoryNetwork& net) {
+  if (crashed_ || departed_ || !joined_) return;
+  net_ = &net;
+  now_ = static_cast<double>(tick);
+
+  serve_children();
 
   // Liveness: complain about columns that went silent.
   for (overlay::ColumnId c : columns_) {
     const auto last = last_data_.find(c);
     if (last == last_data_.end()) continue;
-    if (tick - last->second < config_.silence_timeout) continue;
+    if (now_ - last->second < static_cast<double>(config_.silence_timeout)) {
+      continue;
+    }
     // Re-complaints are allowed after another full timeout (the reset of
     // last_data_ below is the back-off); the server dedupes via the failed
     // tag, so a lost complaint is retried and a handled one is harmless.
@@ -158,7 +306,7 @@ void ClientNode::on_tick(std::uint64_t tick, InMemoryNetwork& net) {
     complaint.column = c;
     net.send(std::move(complaint));
     ++complaints_sent_;
-    last->second = tick;  // back off before re-complaining
+    last->second = now_;  // back off before re-complaining
   }
 }
 

@@ -4,6 +4,17 @@
 // packets on its threads, recodes onto the children the server attaches to
 // it, and complains when a feed goes silent. A crashed client simply stops —
 // its children's complaints drive the repair path.
+//
+// Two execution modes over the same handlers:
+//   - tick mode (process_messages/on_tick): the historical lock-step loop;
+//     silence is checked by comparing ticks, and a lost control message is
+//     impossible, so there is no retransmission machinery.
+//   - event mode (start): the endpoint runs on the kernel's EventEngine with
+//     cancellable timers — a periodic serve timer, a join-retry timer that
+//     retransmits the hello with doubling backoff until the accept arrives
+//     (control links can now drop it), and one silence timer per column that
+//     fires a complaint and re-arms with doubling backoff until data flows
+//     again. This is the protocol's first real retry logic.
 
 #include <cstdint>
 #include <map>
@@ -13,24 +24,29 @@
 #include "node/message.hpp"
 #include "node/network.hpp"
 #include "node/stream_state.hpp"
+#include "node/transport.hpp"
+#include "sim/event_engine.hpp"
 #include "util/rng.hpp"
 
 namespace ncast::node {
 
 struct ClientConfig {
-  std::uint64_t silence_timeout = 4;  ///< ticks without liveness -> complain
+  std::uint64_t silence_timeout = 4;  ///< time without liveness -> complain
+  double join_retry = 4.0;            ///< event mode: hello retransmit delay
+  std::uint32_t max_backoff_exp = 4;  ///< cap retransmit doubling at 2^this
   std::uint64_t seed = 1;
 };
 
 /// Peer endpoint. The stream geometry (generations, g, symbols) arrives in
 /// the join acknowledgment, so the client needs no out-of-band setup.
-class ClientNode {
+class ClientNode : public Endpoint {
  public:
   ClientNode(Address address, ClientConfig config);
 
   Address address() const { return address_; }
   bool joined() const { return joined_; }
   bool crashed() const { return crashed_; }
+  bool departed() const { return departed_; }
 
   /// Innovative packets accumulated, summed over generations.
   std::size_t rank() const { return stream_.rank(); }
@@ -44,50 +60,97 @@ class ClientNode {
   std::uint64_t packets_rejected() const { return packets_rejected_; }
   bool verification_enabled() const { return stream_.verification_enabled(); }
 
+  /// Event mode — retry/latency observability.
+  std::uint64_t join_retries() const { return join_retries_; }
+  std::uint64_t complaint_retries() const { return complaint_retries_; }
+  /// Hello-sent and accept-received times (-1 until they happen).
+  double join_sent_time() const { return join_sent_time_; }
+  double joined_time() const { return joined_time_; }
+  /// Time the last generation reached full rank (-1 if not decoded).
+  double decode_time() const { return decode_time_; }
+
   /// Sends the hello. `degree` requests that many threads (Section 5
   /// heterogeneity); 0 accepts the server's default.
-  void join(InMemoryNetwork& net, std::uint32_t degree = 0);
+  void join(Transport& net, std::uint32_t degree = 0);
 
-  /// Sends the good-bye.
-  void leave(InMemoryNetwork& net);
+  /// Sends the good-bye and retires the endpoint: the node stops serving,
+  /// stops complaining (its feeds are about to be rewired around it), and
+  /// cancels its event-mode timers. Good-bye means gone.
+  void leave(Transport& net);
 
   /// Congestion adaptation (Section 5): ask the server to shed one of this
   /// node's threads / to hand one back.
-  void request_offload(InMemoryNetwork& net);
-  void request_restore(InMemoryNetwork& net);
+  void request_offload(Transport& net);
+  void request_restore(Transport& net);
 
   /// Current number of in-threads (degree after offloads/restores).
   std::size_t degree() const { return columns_.size(); }
 
-  /// Non-ergodic failure: the node goes dark. Callers should also
-  /// net.crash(address()) so in-flight mail is dropped.
-  void crash() { crashed_ = true; }
+  /// Non-ergodic failure: the node goes dark (pending timers are cancelled
+  /// in event mode). Callers should also net.crash(address()) so in-flight
+  /// mail is dropped.
+  void crash();
 
-  /// Drains the mailbox.
+  /// Event mode: attaches to the transport, sends the hello, and arms the
+  /// join-retry and serve timers.
+  void start(sim::EventEngine& engine, KernelTransport& net,
+             std::uint32_t degree = 0);
+
+  /// Handles one protocol message (both modes route through here).
+  void on_message(const Message& m) override;
+
+  /// Tick mode: drains the mailbox.
   void process_messages(std::uint64_t tick, InMemoryNetwork& net);
 
-  /// Emits recoded packets (or keepalives) to attached children and checks
-  /// feed liveness.
+  /// Tick mode: emits recoded packets (or keepalives) to attached children
+  /// and checks feed liveness.
   void on_tick(std::uint64_t tick, InMemoryNetwork& net);
 
  private:
-  void handle_accept(const Message& m, std::uint64_t tick);
-  void handle_data(const Message& m, std::uint64_t tick);
+  void handle_accept(const Message& m);
+  void handle_data(const Message& m);
+  void serve_children();
+  void event_tick();
+  void note_liveness(overlay::ColumnId column);
+  void arm_silence(overlay::ColumnId column);
+  void disarm_silence(overlay::ColumnId column);
+  void silence_fired(overlay::ColumnId column);
+  void schedule_join_retry(double delay);
+  double now() const;
 
   Address address_;
   ClientConfig config_;
   Rng rng_;
   bool joined_ = false;
   bool crashed_ = false;
+  bool departed_ = false;
 
   StreamState stream_;
 
   std::vector<overlay::ColumnId> columns_;
   std::map<overlay::ColumnId, Address> children_;
-  std::map<overlay::ColumnId, std::uint64_t> last_data_;
+  std::map<overlay::ColumnId, double> last_data_;
   std::uint64_t complaints_sent_ = 0;
   std::uint64_t packets_received_ = 0;
   std::uint64_t packets_rejected_ = 0;
+
+  // Event-mode state.
+  Transport* net_ = nullptr;
+  sim::EventEngine* engine_ = nullptr;
+  double now_ = 0.0;
+  std::uint32_t join_degree_ = 0;
+  sim::TimerHandle join_timer_{};
+  sim::TimerHandle serve_timer_{};
+  /// One cancellable silence timer per column (the keepalive/complaint
+  /// clock), re-armed on every sign of life.
+  std::map<overlay::ColumnId, sim::TimerHandle> silence_timers_;
+  /// Consecutive unanswered complaints per column (backoff exponent).
+  std::map<overlay::ColumnId, std::uint32_t> complaint_streak_;
+  std::uint64_t join_retries_ = 0;
+  std::uint64_t complaint_retries_ = 0;
+  double join_sent_time_ = -1.0;
+  double joined_time_ = -1.0;
+  double decode_time_ = -1.0;
 };
 
 }  // namespace ncast::node

@@ -1,7 +1,14 @@
 #pragma once
-// Tick driver: advances a server and a set of clients in lock-step over an
-// in-memory network. One tick = one unit of bandwidth per thread segment.
-// Message latency is one tick (sent this tick, processed next tick).
+// Compatibility drivers: the historical lock-step tick loop, re-expressed as
+// integer-time events on the unified simulation kernel. Each tick is one
+// EventEngine event that drains every mailbox of the degenerate
+// InMemoryNetwork transport (fixed one-tick latency, loss-free), then lets
+// every endpoint emit — exactly the old "everyone drains, then everyone
+// emits" two-phase semantics, so pre-kernel seeds reproduce bit-identically.
+// New code that wants latency/loss/partitions on the protocol plane should
+// use node::run_scenario (protocol_scenario.hpp) over a KernelTransport
+// instead; these wrappers exist so the historical tests and walkthroughs
+// keep their exact behavior.
 
 #include <cstdint>
 #include <memory>
@@ -12,6 +19,7 @@
 #include "node/network.hpp"
 #include "node/server_node.hpp"
 #include "obs/trace.hpp"
+#include "sim/event_engine.hpp"
 
 namespace ncast::node {
 
@@ -22,6 +30,7 @@ class TickDriver {
       : server_(server), clients_(std::move(clients)) {}
 
   InMemoryNetwork& network() { return net_; }
+  sim::EventEngine& engine() { return engine_; }
   std::uint64_t now() const { return tick_; }
 
   void add_client(ClientNode* client) { clients_.push_back(client); }
@@ -32,16 +41,15 @@ class TickDriver {
     net_.crash(client.address());
   }
 
-  /// Runs `n` ticks: everyone drains mail, then everyone emits.
+  /// Runs `n` ticks, each scheduled as one kernel event at the next integer
+  /// times: everyone drains mail, then everyone emits.
   void run(std::uint64_t n) {
-    for (std::uint64_t i = 0; i < n; ++i) {
-      ++tick_;
-      obs::trace().set_now(static_cast<double>(tick_));
-      server_.process_messages(net_);
-      for (ClientNode* c : clients_) c->process_messages(tick_, net_);
-      server_.on_tick(tick_, net_);
-      for (ClientNode* c : clients_) c->on_tick(tick_, net_);
+    const std::uint64_t base = tick_;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      engine_.schedule_at(static_cast<sim::SimTime>(base + i),
+                          [this] { step(); });
     }
+    engine_.run_until(static_cast<sim::SimTime>(base + n));
   }
 
   /// Runs until every live, joined client decoded, or `max_ticks` elapse.
@@ -65,9 +73,19 @@ class TickDriver {
   }
 
  private:
+  void step() {
+    ++tick_;
+    obs::trace().set_now(static_cast<double>(tick_));
+    server_.process_messages(net_);
+    for (ClientNode* c : clients_) c->process_messages(tick_, net_);
+    server_.on_tick(tick_, net_);
+    for (ClientNode* c : clients_) c->on_tick(tick_, net_);
+  }
+
   ServerNode& server_;
   std::vector<ClientNode*> clients_;
   InMemoryNetwork net_;
+  sim::EventEngine engine_;
   std::uint64_t tick_ = 0;
 };
 
@@ -79,6 +97,7 @@ class GossipDriver {
       : peers_(std::move(peers)) {}
 
   InMemoryNetwork& network() { return net_; }
+  sim::EventEngine& engine() { return engine_; }
   std::uint64_t now() const { return tick_; }
   void add_peer(GossipPeer* peer) { peers_.push_back(peer); }
 
@@ -88,12 +107,12 @@ class GossipDriver {
   }
 
   void run(std::uint64_t n) {
-    for (std::uint64_t i = 0; i < n; ++i) {
-      ++tick_;
-      obs::trace().set_now(static_cast<double>(tick_));
-      for (GossipPeer* p : peers_) p->process_messages(tick_, net_);
-      for (GossipPeer* p : peers_) p->on_tick(tick_, net_);
+    const std::uint64_t base = tick_;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      engine_.schedule_at(static_cast<sim::SimTime>(base + i),
+                          [this] { step(); });
     }
+    engine_.run_until(static_cast<sim::SimTime>(base + n));
   }
 
   /// Runs until every live non-source peer decoded, or the budget runs out.
@@ -116,8 +135,16 @@ class GossipDriver {
   }
 
  private:
+  void step() {
+    ++tick_;
+    obs::trace().set_now(static_cast<double>(tick_));
+    for (GossipPeer* p : peers_) p->process_messages(tick_, net_);
+    for (GossipPeer* p : peers_) p->on_tick(tick_, net_);
+  }
+
   std::vector<GossipPeer*> peers_;
   InMemoryNetwork net_;
+  sim::EventEngine engine_;
   std::uint64_t tick_ = 0;
 };
 

@@ -32,9 +32,29 @@ GossipPeer::GossipPeer(Address address, GossipPeerConfig config,
   }
 }
 
+double GossipPeer::now() const { return engine_ ? engine_->now() : now_; }
+
 std::vector<std::uint8_t> GossipPeer::data() const {
   if (is_source()) return content_;
   return stream_.data();
+}
+
+void GossipPeer::crash() {
+  crashed_ = true;
+  if (engine_) engine_->cancel(tick_timer_);
+}
+
+void GossipPeer::start(sim::EventEngine& engine, KernelTransport& net) {
+  engine_ = &engine;
+  net_ = &net;
+  net.attach(address_, this);
+  tick_timer_ = engine.schedule_in(1.0, [this] { event_tick(); });
+}
+
+void GossipPeer::event_tick() {
+  if (crashed_) return;  // the periodic loop dies with the peer
+  if (active()) tick_body();
+  tick_timer_ = engine_->schedule_in(1.0, [this] { event_tick(); });
 }
 
 void GossipPeer::learn(Address peer) {
@@ -59,7 +79,7 @@ std::vector<Address> GossipPeer::sample_view(std::size_t count,
   return pool;
 }
 
-void GossipPeer::leave(InMemoryNetwork& net) {
+void GossipPeer::leave(Transport& net) {
   if (!active()) return;
   departed_ = true;
   for (const auto& [parent, last] : parents_) {
@@ -80,7 +100,7 @@ void GossipPeer::leave(InMemoryNetwork& net) {
   children_.clear();
 }
 
-void GossipPeer::handle_slot_request(const Message& m, InMemoryNetwork& net) {
+void GossipPeer::handle_slot_request(const Message& m) {
   learn(m.from);
   const bool can_serve = is_source() || stream_.initialized();
   if (can_serve && children_.size() < config_.upload_slots &&
@@ -96,7 +116,7 @@ void GossipPeer::handle_slot_request(const Message& m, InMemoryNetwork& net) {
     grant.gen_size = static_cast<std::uint16_t>(plan.generation_size);
     grant.symbols = static_cast<std::uint16_t>(plan.symbols);
     grant.key_bundles = key_bundles_;
-    net.send(std::move(grant));
+    net_->send(std::move(grant));
   } else {
     // Denials still help: they carry a sample of this peer's view, so the
     // requester's search fans out instead of stalling.
@@ -105,12 +125,11 @@ void GossipPeer::handle_slot_request(const Message& m, InMemoryNetwork& net) {
     deny.from = address_;
     deny.to = m.from;
     deny.peers = sample_view(config_.sample_size, m.from);
-    net.send(std::move(deny));
+    net_->send(std::move(deny));
   }
 }
 
-void GossipPeer::handle_slot_grant(const Message& m, std::uint64_t tick,
-                                   InMemoryNetwork& net) {
+void GossipPeer::handle_slot_grant(const Message& m) {
   pending_.erase(m.from);
   learn(m.from);
   if (parents_.size() >= config_.want_parents ||
@@ -120,7 +139,7 @@ void GossipPeer::handle_slot_grant(const Message& m, std::uint64_t tick,
     release.type = MessageType::kSlotRelease;
     release.from = address_;
     release.to = m.from;
-    net.send(std::move(release));
+    net_->send(std::move(release));
     return;
   }
   if (!stream_.initialized()) {
@@ -130,61 +149,70 @@ void GossipPeer::handle_slot_grant(const Message& m, std::uint64_t tick,
     stream_.install_keys(m.key_bundles);
     if (stream_.verification_enabled()) key_bundles_ = m.key_bundles;
   }
-  parents_[m.from] = tick;
+  parents_[m.from] = now();
 }
 
-void GossipPeer::process_messages(std::uint64_t tick, InMemoryNetwork& net) {
-  while (auto m = net.poll(address_)) {
-    if (!active()) continue;  // drain silently
-    switch (m->type) {
-      case MessageType::kSlotRequest:
-        handle_slot_request(*m, net);
-        break;
-      case MessageType::kSlotGrant:
-        handle_slot_grant(*m, tick, net);
-        break;
-      case MessageType::kSlotDeny:
-        pending_.erase(m->from);
-        for (Address a : m->peers) learn(a);
-        break;
-      case MessageType::kSlotRelease:
-        children_.erase(m->from);
-        break;
-      case MessageType::kParentBye:
-        parents_.erase(m->from);
-        learn(m->from);  // it still exists; it just stopped serving us
-        break;
-      case MessageType::kData: {
-        const auto it = parents_.find(m->from);
-        if (it != parents_.end()) it->second = tick;
-        if (!is_source()) stream_.absorb_wire(m->wire);
-        break;
+void GossipPeer::on_message(const Message& m) {
+  if (!active()) return;  // drain silently
+  switch (m.type) {
+    case MessageType::kSlotRequest:
+      handle_slot_request(m);
+      break;
+    case MessageType::kSlotGrant:
+      handle_slot_grant(m);
+      break;
+    case MessageType::kSlotDeny:
+      pending_.erase(m.from);
+      for (Address a : m.peers) learn(a);
+      break;
+    case MessageType::kSlotRelease:
+      children_.erase(m.from);
+      break;
+    case MessageType::kParentBye:
+      parents_.erase(m.from);
+      learn(m.from);  // it still exists; it just stopped serving us
+      break;
+    case MessageType::kData: {
+      const auto it = parents_.find(m.from);
+      if (it != parents_.end()) it->second = now();
+      if (!is_source()) {
+        stream_.absorb_wire(m.wire);
+        if (decode_time_ < 0.0 && stream_.decoded()) decode_time_ = now();
       }
-      case MessageType::kKeepalive: {
-        const auto it = parents_.find(m->from);
-        if (it != parents_.end()) it->second = tick;
-        break;
-      }
-      case MessageType::kPeerSampleRequest: {
-        learn(m->from);
-        Message reply;
-        reply.type = MessageType::kPeerSampleReply;
-        reply.from = address_;
-        reply.to = m->from;
-        reply.peers = sample_view(config_.sample_size, m->from);
-        net.send(std::move(reply));
-        break;
-      }
-      case MessageType::kPeerSampleReply:
-        for (Address a : m->peers) learn(a);
-        break;
-      default:
-        break;  // centralized-protocol messages are not ours
+      break;
     }
+    case MessageType::kKeepalive: {
+      const auto it = parents_.find(m.from);
+      if (it != parents_.end()) it->second = now();
+      break;
+    }
+    case MessageType::kPeerSampleRequest: {
+      learn(m.from);
+      Message reply;
+      reply.type = MessageType::kPeerSampleReply;
+      reply.from = address_;
+      reply.to = m.from;
+      reply.peers = sample_view(config_.sample_size, m.from);
+      net_->send(std::move(reply));
+      break;
+    }
+    case MessageType::kPeerSampleReply:
+      for (Address a : m.peers) learn(a);
+      break;
+    default:
+      break;  // centralized-protocol messages are not ours
   }
 }
 
-void GossipPeer::serve_children(InMemoryNetwork& net) {
+void GossipPeer::process_messages(std::uint64_t tick, InMemoryNetwork& net) {
+  net_ = &net;
+  now_ = static_cast<double>(tick);
+  while (auto m = net.poll(address_)) {
+    on_message(*m);
+  }
+}
+
+void GossipPeer::serve_children() {
   for (Address child : children_) {
     Message out;
     out.from = address_;
@@ -199,14 +227,16 @@ void GossipPeer::serve_children(InMemoryNetwork& net) {
     } else {
       out.type = MessageType::kKeepalive;
     }
-    net.send(std::move(out));
+    net_->send(std::move(out));
   }
 }
 
-void GossipPeer::acquire_parents(std::uint64_t tick, InMemoryNetwork& net) {
-  // Expire stale slot requests (the target may be gone or overloaded).
+void GossipPeer::acquire_parents() {
+  // Expire stale slot requests (the target may be gone or overloaded; the
+  // grant or denial may also have been lost on a lossy control plane —
+  // expiry-then-reissue is this protocol's retransmission).
   for (auto it = pending_.begin(); it != pending_.end();) {
-    if (tick - it->second >= config_.request_timeout) {
+    if (now() - it->second >= static_cast<double>(config_.request_timeout)) {
       it = pending_.erase(it);
     } else {
       ++it;
@@ -229,20 +259,18 @@ void GossipPeer::acquire_parents(std::uint64_t tick, InMemoryNetwork& net) {
     req.type = MessageType::kSlotRequest;
     req.from = address_;
     req.to = candidates[i];
-    net.send(std::move(req));
-    pending_[candidates[i]] = tick;
+    net_->send(std::move(req));
+    pending_[candidates[i]] = now();
   }
 }
 
-void GossipPeer::on_tick(std::uint64_t tick, InMemoryNetwork& net) {
-  if (!active()) return;
-
-  serve_children(net);
+void GossipPeer::tick_body() {
+  serve_children();
 
   if (!is_source()) {
     // Decentralized repair: drop silent feeds, look for replacements.
     for (auto it = parents_.begin(); it != parents_.end();) {
-      if (tick - it->second >= config_.silence_timeout) {
+      if (now() - it->second >= static_cast<double>(config_.silence_timeout)) {
         // The feed is dead (or hopelessly congested): forget the peer too,
         // so we do not immediately re-request from a corpse.
         view_.erase(std::remove(view_.begin(), view_.end(), it->first),
@@ -253,18 +281,26 @@ void GossipPeer::on_tick(std::uint64_t tick, InMemoryNetwork& net) {
         ++it;
       }
     }
-    acquire_parents(tick, net);
+    acquire_parents();
   }
 
   // Proactive view gossip keeps partitions from fossilizing.
-  if (!view_.empty() && tick - last_sample_ >= config_.sample_period) {
-    last_sample_ = tick;
+  if (!view_.empty() &&
+      now() - last_sample_ >= static_cast<double>(config_.sample_period)) {
+    last_sample_ = now();
     Message req;
     req.type = MessageType::kPeerSampleRequest;
     req.from = address_;
     req.to = view_[rng_.below(view_.size())];
-    net.send(std::move(req));
+    net_->send(std::move(req));
   }
+}
+
+void GossipPeer::on_tick(std::uint64_t tick, InMemoryNetwork& net) {
+  if (!active()) return;
+  net_ = &net;
+  now_ = static_cast<double>(tick);
+  tick_body();
 }
 
 }  // namespace ncast::node

@@ -9,8 +9,14 @@
 //     samples and acquires feeds by asking peers for slots (full peers deny
 //     but include a sample of their view, so rejection still makes progress);
 //   - a peer whose feed goes silent simply drops it and re-acquires a slot
-//     elsewhere — repair without any central authority;
+//     elsewhere — repair without any central authority. The pending-request
+//     expiry (request_timeout) is this protocol's retransmission: a slot
+//     request whose grant or denial is lost is simply re-issued elsewhere;
 //   - the source is just a peer that holds the content and never requests.
+//
+// Runs in lock-step tick mode under GossipDriver, or event-driven on the
+// simulation kernel via start() — same handlers, so lossy/latent control
+// links (KernelTransport) exercise exactly the logic the ideal fabric does.
 //
 // Trade-off vs the curtain (measured in bench_gossip / the protocol tests):
 // the topology is only approximately the analyzed random model, join costs
@@ -27,6 +33,8 @@
 #include "node/message.hpp"
 #include "node/network.hpp"
 #include "node/stream_state.hpp"
+#include "node/transport.hpp"
+#include "sim/event_engine.hpp"
 #include "util/rng.hpp"
 
 namespace ncast::node {
@@ -34,18 +42,18 @@ namespace ncast::node {
 struct GossipPeerConfig {
   std::uint32_t want_parents = 3;     ///< feeds this peer tries to hold
   std::uint32_t upload_slots = 3;     ///< children this peer will serve
-  std::uint64_t silence_timeout = 6;  ///< ticks before a feed counts as dead
-  std::uint64_t request_timeout = 4;  ///< ticks before a slot request expires
+  std::uint64_t silence_timeout = 6;  ///< time before a feed counts as dead
+  std::uint64_t request_timeout = 4;  ///< time before a slot request expires
   std::size_t view_limit = 32;        ///< bounded partial membership view
   std::size_t sample_size = 6;        ///< addresses per gossip reply
-  std::uint64_t sample_period = 8;    ///< ticks between proactive samples
+  std::uint64_t sample_period = 8;    ///< time between proactive samples
   std::size_t null_keys = 0;          ///< source only: keys per generation
   std::uint64_t seed = 1;
 };
 
 /// A tracker-less endpoint: downloader, uploader, and membership gossip all
 /// in one. Construct with content to act as the source.
-class GossipPeer {
+class GossipPeer : public Endpoint {
  public:
   /// Regular peer; `introducer` is the one address it starts out knowing.
   GossipPeer(Address address, GossipPeerConfig config, Address introducer);
@@ -73,12 +81,21 @@ class GossipPeer {
   std::size_t rank() const { return stream_.rank(); }
   /// Reconstructed (or original, for the source) content.
   std::vector<std::uint8_t> data() const;
+  /// Time the stream reached full rank (-1 if not decoded; event mode).
+  double decode_time() const { return decode_time_; }
 
   /// Non-ergodic failure; callers should also net.crash(address()).
-  void crash() { crashed_ = true; }
+  void crash();
 
   /// Graceful departure: releases parents, tells children to rewire.
-  void leave(InMemoryNetwork& net);
+  void leave(Transport& net);
+
+  /// Event mode: attaches to the transport and schedules the periodic
+  /// serve/repair/gossip timer on the kernel engine.
+  void start(sim::EventEngine& engine, KernelTransport& net);
+
+  /// Handles one protocol message (both modes route through here).
+  void on_message(const Message& m) override;
 
   void process_messages(std::uint64_t tick, InMemoryNetwork& net);
   void on_tick(std::uint64_t tick, InMemoryNetwork& net);
@@ -87,11 +104,13 @@ class GossipPeer {
   bool active() const { return !crashed_ && !departed_; }
   void learn(Address peer);
   std::vector<Address> sample_view(std::size_t count, Address exclude);
-  void handle_slot_request(const Message& m, InMemoryNetwork& net);
-  void handle_slot_grant(const Message& m, std::uint64_t tick,
-                         InMemoryNetwork& net);
-  void serve_children(InMemoryNetwork& net);
-  void acquire_parents(std::uint64_t tick, InMemoryNetwork& net);
+  void handle_slot_request(const Message& m);
+  void handle_slot_grant(const Message& m);
+  void serve_children();
+  void acquire_parents();
+  void tick_body();
+  void event_tick();
+  double now() const;
 
   Address address_;
   GossipPeerConfig config_;
@@ -99,11 +118,11 @@ class GossipPeer {
   bool crashed_ = false;
   bool departed_ = false;
 
-  std::vector<Address> view_;              // bounded partial membership
-  std::map<Address, std::uint64_t> parents_;  // feed -> last liveness tick
+  std::vector<Address> view_;            // bounded partial membership
+  std::map<Address, double> parents_;    // feed -> last liveness time
   std::set<Address> children_;
-  std::map<Address, std::uint64_t> pending_;  // slot request -> sent tick
-  std::uint64_t last_sample_ = 0;
+  std::map<Address, double> pending_;    // slot request -> sent time
+  double last_sample_ = 0.0;
   std::uint64_t reacquisitions_ = 0;
 
   StreamState stream_;
@@ -112,6 +131,13 @@ class GossipPeer {
   /// Serialized null-key bundles; generated by the source, then handed from
   /// parent to child inside every slot grant (trust flows with the slots).
   std::vector<std::vector<std::uint8_t>> key_bundles_;
+
+  // Event-mode state.
+  Transport* net_ = nullptr;
+  sim::EventEngine* engine_ = nullptr;
+  sim::TimerHandle tick_timer_{};
+  double now_ = 0.0;
+  double decode_time_ = -1.0;
 };
 
 }  // namespace ncast::node

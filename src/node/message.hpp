@@ -61,11 +61,26 @@ struct Message {
   /// Peer addresses (gossip sample replies / denial hints).
   std::vector<Address> peers;
 
-  /// Approximate control-plane size in bytes (data payloads excluded).
+  /// Approximate control-plane size in bytes (data payloads excluded): the
+  /// fixed header (type + from + to + column + subject) plus every
+  /// variable-length field the message actually carries — assigned thread
+  /// columns, gossip peer samples, and for join accepts / slot grants the
+  /// stream plan and the serialized null-key bundles (each with a length
+  /// prefix). Earlier versions ignored peers/key_bundles/plan entirely,
+  /// which made gossip and join-accept byte accounting silently optimistic.
   std::size_t control_size() const {
-    return type == MessageType::kData
-               ? 0
-               : 16 + columns.size() * sizeof(overlay::ColumnId);
+    if (type == MessageType::kData) return 0;
+    std::size_t bytes = 1 + 4 * sizeof(std::uint32_t);  // type, from, to, column, subject
+    bytes += columns.size() * sizeof(overlay::ColumnId);
+    bytes += peers.size() * sizeof(Address);
+    if (type == MessageType::kJoinAccept || type == MessageType::kSlotGrant) {
+      bytes += sizeof(data_size) + sizeof(gen_count) + sizeof(gen_size) +
+               sizeof(symbols);
+      for (const auto& bundle : key_bundles) {
+        bytes += sizeof(std::uint32_t) + bundle.size();
+      }
+    }
+    return bytes;
   }
 };
 

@@ -1,28 +1,6 @@
 #include "node/network.hpp"
 
-#include "obs/trace.hpp"
-
 namespace ncast::node {
-
-namespace {
-
-// Process-wide transport counters (aggregated across all InMemoryNetwork
-// instances in the process; the per-instance accessors stay exact). Cached
-// once — registry entries are never deallocated.
-struct NetCounters {
-  obs::Counter& sent = obs::metrics().counter("net.messages_sent");
-  obs::Counter& dropped = obs::metrics().counter("net.messages_dropped");
-  obs::Counter& control = obs::metrics().counter("net.messages_control");
-  obs::Counter& data = obs::metrics().counter("net.messages_data");
-  obs::Counter& keepalive = obs::metrics().counter("net.messages_keepalive");
-
-  static NetCounters& get() {
-    static NetCounters c;
-    return c;
-  }
-};
-
-}  // namespace
 
 void InMemoryNetwork::ensure(Address addr) {
   if (addr >= boxes_.size()) {
@@ -31,28 +9,11 @@ void InMemoryNetwork::ensure(Address addr) {
   }
 }
 
-void InMemoryNetwork::send(Message m) {
+void InMemoryNetwork::route(Message m) {
   ensure(m.to);
   ensure(m.from);
-  NetCounters& reg = NetCounters::get();
-  ++sent_;
-  reg.sent.inc();
-  if (m.type == MessageType::kData) {
-    ++data_;
-    reg.data.inc();
-    // Data-plane send event; the tick drivers keep the trace clock at the
-    // current tick, so these interleave with overlay control events.
-    obs::trace().emit(obs::TraceKind::kPacketSend, m.from, m.to);
-  } else if (m.type == MessageType::kKeepalive) {
-    ++keepalive_;
-    reg.keepalive.inc();
-  } else {
-    ++control_;
-    reg.control.inc();
-  }
   if (crashed_[m.to] || crashed_[m.from]) {
-    ++dropped_;
-    reg.dropped.inc();
+    note_dropped(m);
     return;
   }
   boxes_[m.to].push_back(std::move(m));

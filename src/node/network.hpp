@@ -1,7 +1,10 @@
 #pragma once
-// In-memory transport for protocol-level simulation and testing. Delivery is
-// FIFO per destination; crashed addresses blackhole their mail (a crashed
-// box neither receives nor sends — its silence is what children detect).
+// The degenerate zero-adversity Transport: FIFO per-destination mailboxes
+// for the lock-step tick drivers. Delivery takes exactly one tick (sent this
+// tick, polled next tick) and nothing is ever lost except mail touching a
+// crashed address — a crashed box neither receives nor sends; its silence is
+// what children detect. Counting lives in the Transport base, so assertions
+// written against this fabric hold verbatim on the event-driven one.
 
 #include <cstdint>
 #include <deque>
@@ -9,51 +12,32 @@
 #include <vector>
 
 #include "node/message.hpp"
-#include "obs/metrics.hpp"
+#include "node/transport.hpp"
 
 namespace ncast::node {
 
-/// Deterministic in-memory message fabric.
-class InMemoryNetwork {
+/// Deterministic in-memory message fabric (poll-based).
+class InMemoryNetwork final : public Transport {
  public:
-  /// Queues a message for delivery. Mail to crashed addresses is dropped
-  /// (and counted).
-  void send(Message m);
-
   /// Next pending message for `addr`, if any.
   std::optional<Message> poll(Address addr);
 
   /// True if any mailbox (except crashed ones) is non-empty.
   bool idle() const;
 
-  /// Marks an address as crashed: pending and future mail is dropped.
-  void crash(Address addr);
+  void crash(Address addr) override;
+  void revive(Address addr) override;
+  bool crashed(Address addr) const override;
 
-  /// Clears the crashed flag (a repaired address can be reused).
-  void revive(Address addr);
-
-  bool crashed(Address addr) const;
-
-  std::uint64_t messages_sent() const { return sent_; }
-  std::uint64_t messages_dropped() const { return dropped_; }
-  std::uint64_t control_messages() const { return control_; }
-  std::uint64_t data_messages() const { return data_; }
-  std::uint64_t keepalive_messages() const { return keepalive_; }
+ protected:
+  /// Queues a counted message; mail touching a crashed address is dropped.
+  void route(Message m) override;
 
  private:
   void ensure(Address addr);
 
   std::vector<std::deque<Message>> boxes_;
   std::vector<bool> crashed_;
-  // Per-instance totals backing the accessors above (always counted, so the
-  // API is independent of the NCAST_OBS switch). Every event additionally
-  // lands in the process-wide registry under net.* — see struct Counters in
-  // network.cpp — which is what bench telemetry snapshots.
-  std::uint64_t sent_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::uint64_t control_ = 0;
-  std::uint64_t data_ = 0;
-  std::uint64_t keepalive_ = 0;
 };
 
 }  // namespace ncast::node

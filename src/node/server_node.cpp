@@ -9,20 +9,39 @@ namespace ncast::node {
 ServerNode::ServerNode(ServerConfig config, std::vector<std::uint8_t> data)
     : config_(config),
       matrix_(config.k),
-      rng_(config.seed),
+      membership_rng_(config.seed),
+      emit_rng_(sim::RngStreams(config.seed).stream("node.server.emit")),
       data_(std::move(data)),
       encoder_(data_, config.generation_size, config.symbols) {
   if (config_.null_keys > 0) {
     // One key set per generation, generated once and handed to every joiner
-    // over the control channel.
+    // over the control channel. Key generation draws from its own derived
+    // stream so enabling verification cannot shift membership picks.
+    Rng key_rng = sim::RngStreams(config_.seed).stream("node.server.keys");
     key_bundles_.reserve(encoder_.generations());
     for (std::size_t g = 0; g < encoder_.generations(); ++g) {
       const auto source = coding::generation_packets(data_, encoder_.plan(), g);
       const auto keys = coding::NullKeySet<gf::Gf256>::generate(
-          static_cast<std::uint32_t>(g), source, config_.null_keys, rng_);
+          static_cast<std::uint32_t>(g), source, config_.null_keys, key_rng);
       key_bundles_.push_back(keys.serialize());
     }
   }
+}
+
+double ServerNode::now() const {
+  return engine_ ? engine_->now() : static_cast<double>(now_);
+}
+
+void ServerNode::start(sim::EventEngine& engine, KernelTransport& net) {
+  engine_ = &engine;
+  net_ = &net;
+  net.attach(kServerAddress, this);
+  emit_timer_ = engine.schedule_in(1.0, [this] { event_tick(); });
+}
+
+void ServerNode::event_tick() {
+  emit_direct();
+  emit_timer_ = engine_->schedule_in(1.0, [this] { event_tick(); });
 }
 
 Address ServerNode::parent_on_column(Address addr,
@@ -57,9 +76,30 @@ std::optional<Address> ServerNode::child_on_column(
   return std::nullopt;
 }
 
-void ServerNode::handle_join(const Message& m, InMemoryNetwork& net) {
+void ServerNode::send_accept(Address addr,
+                             const std::vector<overlay::ColumnId>& columns) {
+  Message accept;
+  accept.type = MessageType::kJoinAccept;
+  accept.from = kServerAddress;
+  accept.to = addr;
+  accept.columns = columns;
+  accept.data_size = data_.size();
+  accept.gen_count = static_cast<std::uint32_t>(encoder_.generations());
+  accept.gen_size = static_cast<std::uint16_t>(config_.generation_size);
+  accept.symbols = static_cast<std::uint16_t>(config_.symbols);
+  accept.key_bundles = key_bundles_;
+  net_->send(std::move(accept));
+}
+
+void ServerNode::handle_join(const Message& m) {
   const Address addr = m.from;
-  if (matrix_.contains(addr)) return;  // duplicate hello
+  if (matrix_.contains(addr)) {
+    // Duplicate hello: the accept was lost (or is still in flight) and the
+    // client retried. Joining is idempotent — resend the accept with the
+    // already-assigned columns instead of leaving the client stranded.
+    send_accept(addr, matrix_.row(addr).threads);
+    return;
+  }
 
   // Heterogeneous bandwidths (Section 5): the hello may carry a requested
   // degree in `subject`; 0 means "use the default".
@@ -67,7 +107,7 @@ void ServerNode::handle_join(const Message& m, InMemoryNetwork& net) {
   if (m.subject >= 1 && m.subject <= config_.k) {
     degree = static_cast<std::uint32_t>(m.subject);
   }
-  const auto picks = rng_.sample_without_replacement(config_.k, degree);
+  const auto picks = membership_rng_.sample_without_replacement(config_.k, degree);
   std::vector<overlay::ColumnId> columns(picks.begin(), picks.end());
   std::sort(columns.begin(), columns.end());
 
@@ -88,24 +128,14 @@ void ServerNode::handle_join(const Message& m, InMemoryNetwork& net) {
       attach.to = parent;
       attach.column = c;
       attach.subject = addr;
-      net.send(std::move(attach));
+      net_->send(std::move(attach));
     }
   }
 
-  Message accept;
-  accept.type = MessageType::kJoinAccept;
-  accept.from = kServerAddress;
-  accept.to = addr;
-  accept.columns = columns;
-  accept.data_size = data_.size();
-  accept.gen_count = static_cast<std::uint32_t>(encoder_.generations());
-  accept.gen_size = static_cast<std::uint16_t>(config_.generation_size);
-  accept.symbols = static_cast<std::uint16_t>(config_.symbols);
-  accept.key_bundles = key_bundles_;
-  net.send(std::move(accept));
+  send_accept(addr, columns);
 }
 
-void ServerNode::splice_out(Address addr, InMemoryNetwork& net) {
+void ServerNode::splice_out(Address addr) {
   if (!matrix_.contains(addr)) return;
   const auto columns = matrix_.row(addr).threads;
 
@@ -129,34 +159,52 @@ void ServerNode::splice_out(Address addr, InMemoryNetwork& net) {
       } else {
         msg.type = MessageType::kDetachChild;
       }
-      net.send(std::move(msg));
+      net_->send(std::move(msg));
     }
   }
   matrix_.erase_row(addr);
   pending_repairs_.erase(addr);
+  // A goodbye can race an already-scheduled repair of the same node; the
+  // cancellable handle is what makes the race harmless in event mode.
+  const auto timer = repair_timers_.find(addr);
+  if (timer != repair_timers_.end()) {
+    if (engine_) engine_->cancel(timer->second);
+    repair_timers_.erase(timer);
+  }
 }
 
-void ServerNode::handle_goodbye(const Message& m, InMemoryNetwork& net) {
-  splice_out(m.from, net);
+void ServerNode::finish_repair(Address addr) {
+  repair_timers_.erase(addr);
+  splice_out(addr);
+  ++repairs_done_;
+  last_repair_time_ = now();
 }
 
-void ServerNode::handle_complaint(const Message& m, InMemoryNetwork&) {
+void ServerNode::handle_goodbye(const Message& m) { splice_out(m.from); }
+
+void ServerNode::handle_complaint(const Message& m) {
   if (!matrix_.contains(m.from)) return;
   const Address parent = parent_on_column(m.from, m.column);
   if (parent == kServerAddress) return;  // the server does not crash
   if (!matrix_.contains(parent)) return;
   if (matrix_.row(parent).failed) return;  // repair already scheduled
   matrix_.mark_failed(parent);
-  pending_repairs_[parent] = now_ + config_.repair_delay;
+  if (engine_) {
+    repair_timers_[parent] = engine_->schedule_in(
+        static_cast<double>(config_.repair_delay),
+        [this, parent] { finish_repair(parent); });
+  } else {
+    pending_repairs_[parent] = now_ + config_.repair_delay;
+  }
 }
 
-void ServerNode::handle_offload(const Message& m, InMemoryNetwork& net) {
+void ServerNode::handle_offload(const Message& m) {
   const Address addr = m.from;
   if (!matrix_.contains(addr)) return;
   const auto& threads = matrix_.row(addr).threads;
   if (threads.size() <= 1) return;  // cannot shed the last thread
   const overlay::ColumnId column =
-      threads[rng_.below(threads.size())];
+      threads[membership_rng_.below(threads.size())];
 
   // Join the column's parent and child directly across the shedding node.
   const Address parent = parent_on_column(addr, column);
@@ -169,7 +217,7 @@ void ServerNode::handle_offload(const Message& m, InMemoryNetwork& net) {
   dropped.from = kServerAddress;
   dropped.to = addr;
   dropped.column = column;
-  net.send(std::move(dropped));
+  net_->send(std::move(dropped));
 
   if (parent == kServerAddress) {
     if (next) {
@@ -188,11 +236,11 @@ void ServerNode::handle_offload(const Message& m, InMemoryNetwork& net) {
     } else {
       msg.type = MessageType::kDetachChild;
     }
-    net.send(std::move(msg));
+    net_->send(std::move(msg));
   }
 }
 
-void ServerNode::handle_restore(const Message& m, InMemoryNetwork& net) {
+void ServerNode::handle_restore(const Message& m) {
   const Address addr = m.from;
   if (!matrix_.contains(addr)) return;
   const auto& threads = matrix_.row(addr).threads;
@@ -203,7 +251,7 @@ void ServerNode::handle_restore(const Message& m, InMemoryNetwork& net) {
   for (overlay::ColumnId c = 0; c < config_.k; ++c) {
     if (!std::binary_search(threads.begin(), threads.end(), c)) zeros.push_back(c);
   }
-  const overlay::ColumnId column = zeros[rng_.below(zeros.size())];
+  const overlay::ColumnId column = zeros[membership_rng_.below(zeros.size())];
 
   // Splice the node into the column at its curtain position: its parent now
   // feeds it, and it now feeds the next clipper below (if any).
@@ -217,7 +265,7 @@ void ServerNode::handle_restore(const Message& m, InMemoryNetwork& net) {
   added.to = addr;
   added.column = column;
   added.subject = next ? *next : kServerAddress;  // whom to feed (server = none)
-  net.send(std::move(added));
+  net_->send(std::move(added));
 
   if (parent == kServerAddress) {
     direct_children_[column] = addr;
@@ -228,47 +276,40 @@ void ServerNode::handle_restore(const Message& m, InMemoryNetwork& net) {
     attach.to = parent;
     attach.column = column;
     attach.subject = addr;
-    net.send(std::move(attach));
+    net_->send(std::move(attach));
+  }
+}
+
+void ServerNode::on_message(const Message& m) {
+  switch (m.type) {
+    case MessageType::kJoinRequest:
+      handle_join(m);
+      break;
+    case MessageType::kGoodbye:
+      handle_goodbye(m);
+      break;
+    case MessageType::kComplaint:
+      handle_complaint(m);
+      break;
+    case MessageType::kCongestionOffload:
+      handle_offload(m);
+      break;
+    case MessageType::kCongestionRestore:
+      handle_restore(m);
+      break;
+    default:
+      break;  // the server ignores data and stray control
   }
 }
 
 void ServerNode::process_messages(InMemoryNetwork& net) {
+  net_ = &net;
   while (auto m = net.poll(kServerAddress)) {
-    switch (m->type) {
-      case MessageType::kJoinRequest:
-        handle_join(*m, net);
-        break;
-      case MessageType::kGoodbye:
-        handle_goodbye(*m, net);
-        break;
-      case MessageType::kComplaint:
-        handle_complaint(*m, net);
-        break;
-      case MessageType::kCongestionOffload:
-        handle_offload(*m, net);
-        break;
-      case MessageType::kCongestionRestore:
-        handle_restore(*m, net);
-        break;
-      default:
-        break;  // the server ignores data and stray control
-    }
+    on_message(*m);
   }
 }
 
-void ServerNode::on_tick(std::uint64_t tick, InMemoryNetwork& net) {
-  now_ = tick;
-
-  // Execute due repairs.
-  std::vector<Address> due;
-  for (const auto& [addr, at] : pending_repairs_) {
-    if (at <= now_) due.push_back(addr);
-  }
-  for (Address addr : due) {
-    splice_out(addr, net);
-    ++repairs_done_;
-  }
-
+void ServerNode::emit_direct() {
   // Emit one coded packet per directly-fed column, from a random generation
   // (random, not round-robin: a fixed edge order plus round-robin would lock
   // each edge into a residue class of generations).
@@ -278,10 +319,28 @@ void ServerNode::on_tick(std::uint64_t tick, InMemoryNetwork& net) {
     data.from = kServerAddress;
     data.to = child;
     data.column = column;
-    const auto gen = rng_.below(encoder_.generations());
-    data.wire = coding::serialize(encoder_.emit(gen, rng_));
-    net.send(std::move(data));
+    const auto gen = emit_rng_.below(encoder_.generations());
+    data.wire = coding::serialize(encoder_.emit(gen, emit_rng_));
+    net_->send(std::move(data));
   }
+}
+
+void ServerNode::on_tick(std::uint64_t tick, InMemoryNetwork& net) {
+  net_ = &net;
+  now_ = tick;
+
+  // Execute due repairs.
+  std::vector<Address> due;
+  for (const auto& [addr, at] : pending_repairs_) {
+    if (at <= now_) due.push_back(addr);
+  }
+  for (Address addr : due) {
+    splice_out(addr);
+    ++repairs_done_;
+    last_repair_time_ = static_cast<double>(now_);
+  }
+
+  emit_direct();
 }
 
 }  // namespace ncast::node

@@ -3,6 +3,14 @@
 // message exchanges, maintains the thread matrix, and streams a complete
 // multi-generation content object on the threads it still feeds directly.
 // This is the component a deployment would run on the content origin.
+//
+// Two execution modes over the same handlers:
+//   - tick mode (process_messages/on_tick): the historical lock-step loop,
+//     driven by TickDriver over an InMemoryNetwork;
+//   - event mode (start): the endpoint schedules itself on the simulation
+//     kernel's EventEngine — a periodic emit timer plus one cancellable
+//     repair timer per complained-about node — and receives messages via
+//     Endpoint::on_message from a KernelTransport.
 
 #include <cstdint>
 #include <map>
@@ -14,7 +22,9 @@
 #include "gf/gf256.hpp"
 #include "node/message.hpp"
 #include "node/network.hpp"
+#include "node/transport.hpp"
 #include "overlay/thread_matrix.hpp"
+#include "sim/event_engine.hpp"
 #include "util/rng.hpp"
 
 namespace ncast::node {
@@ -22,7 +32,7 @@ namespace ncast::node {
 struct ServerConfig {
   std::uint32_t k = 16;              ///< server threads
   std::uint32_t default_degree = 3;  ///< d assigned to joiners
-  std::uint64_t repair_delay = 3;    ///< ticks from complaint to repair
+  std::uint64_t repair_delay = 3;    ///< time units from complaint to repair
   std::size_t generation_size = 16;  ///< packets per generation
   std::size_t symbols = 16;          ///< payload bytes per packet
   std::size_t null_keys = 0;         ///< keys per generation (0 = off)
@@ -30,7 +40,7 @@ struct ServerConfig {
 };
 
 /// Content-origin endpoint.
-class ServerNode {
+class ServerNode : public Endpoint {
  public:
   /// `data` is the content being broadcast; it is segmented into
   /// generations per the config.
@@ -43,27 +53,43 @@ class ServerNode {
   /// The original content (for end-to-end verification in tests).
   const std::vector<std::uint8_t>& data() const { return data_; }
 
-  /// Drains this endpoint's mailbox and handles each protocol message.
+  /// Event mode: attaches to the transport and schedules the emit loop.
+  void start(sim::EventEngine& engine, KernelTransport& net);
+
+  /// Handles one protocol message (both modes route through here).
+  void on_message(const Message& m) override;
+
+  /// Tick mode: drains this endpoint's mailbox and handles each message.
   void process_messages(InMemoryNetwork& net);
 
-  /// Advances one time unit: executes due repairs, then emits one coded
-  /// packet (random generation) on every column the server itself feeds.
+  /// Tick mode: advances one time unit — executes due repairs, then emits
+  /// one coded packet (random generation) on every directly-fed column.
   void on_tick(std::uint64_t tick, InMemoryNetwork& net);
 
   /// Number of repairs executed so far.
   std::uint64_t repairs_done() const { return repairs_done_; }
+  /// Time the most recent repair completed (-1 if none yet) — the repair
+  /// convergence measurement bench_control_loss sweeps.
+  double last_repair_time() const { return last_repair_time_; }
 
  private:
-  void handle_join(const Message& m, InMemoryNetwork& net);
-  void handle_goodbye(const Message& m, InMemoryNetwork& net);
-  void handle_complaint(const Message& m, InMemoryNetwork& net);
-  void handle_offload(const Message& m, InMemoryNetwork& net);
-  void handle_restore(const Message& m, InMemoryNetwork& net);
+  void handle_join(const Message& m);
+  void handle_goodbye(const Message& m);
+  void handle_complaint(const Message& m);
+  void handle_offload(const Message& m);
+  void handle_restore(const Message& m);
+  void send_accept(Address addr, const std::vector<overlay::ColumnId>& columns);
 
   /// Performs the good-bye steps for `addr` (used by both graceful leaves
   /// and repairs): for each of its columns, rewires the previous clipper to
   /// the next one, then deletes the row.
-  void splice_out(Address addr, InMemoryNetwork& net);
+  void splice_out(Address addr);
+  void finish_repair(Address addr);
+
+  /// Emits one coded packet per directly-fed column.
+  void emit_direct();
+  void event_tick();
+  double now() const;
 
   /// Previous clipper of `column` above the row of `addr` (server if none).
   Address parent_on_column(Address addr, overlay::ColumnId column) const;
@@ -73,17 +99,30 @@ class ServerNode {
 
   ServerConfig config_;
   overlay::ThreadMatrix matrix_;
-  Rng rng_;
+  /// Membership draws only (join/offload/restore thread picks). Seeded with
+  /// the raw config seed and touched by nothing else, so the pick sequence
+  /// matches a CurtainServer built with Rng(seed) call for call — the
+  /// cross-plane equivalence the Lemma 1 test pins down.
+  Rng membership_rng_;
+  /// Data-plane draws (generation choice + coding coefficients), decoupled
+  /// from membership so emission volume cannot shift topology decisions.
+  Rng emit_rng_;
   std::vector<std::uint8_t> data_;
   coding::FileEncoder encoder_;
   /// Serialized null-key bundles, one per generation (empty if disabled).
   std::vector<std::vector<std::uint8_t>> key_bundles_;
   /// Columns the server currently feeds directly: column -> child address.
   std::map<overlay::ColumnId, Address> direct_children_;
-  /// Scheduled repairs: address -> tick at which to execute.
+  /// Tick mode — scheduled repairs: address -> tick at which to execute.
   std::map<Address, std::uint64_t> pending_repairs_;
+  /// Event mode — one cancellable repair timer per failed node.
+  std::map<Address, sim::TimerHandle> repair_timers_;
+  Transport* net_ = nullptr;
+  sim::EventEngine* engine_ = nullptr;
+  sim::TimerHandle emit_timer_{};
   std::uint64_t now_ = 0;
   std::uint64_t repairs_done_ = 0;
+  double last_repair_time_ = -1.0;
 };
 
 }  // namespace ncast::node

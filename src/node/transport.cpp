@@ -1,0 +1,169 @@
+#include "node/transport.hpp"
+
+#include "obs/trace.hpp"
+
+namespace ncast::node {
+
+namespace {
+
+// Process-wide transport counters (aggregated across every Transport in the
+// process; the per-instance accessors stay exact). Cached once — registry
+// entries are never deallocated.
+struct NetCounters {
+  obs::Counter& sent = obs::metrics().counter("net.messages_sent");
+  obs::Counter& dropped = obs::metrics().counter("net.messages_dropped");
+  obs::Counter& control = obs::metrics().counter("net.messages_control");
+  obs::Counter& data = obs::metrics().counter("net.messages_data");
+  obs::Counter& keepalive = obs::metrics().counter("net.messages_keepalive");
+  obs::Counter& control_dropped = obs::metrics().counter("net.control_dropped");
+  obs::Counter& control_bytes = obs::metrics().counter("net.control_bytes");
+
+  static NetCounters& get() {
+    static NetCounters c;
+    return c;
+  }
+};
+
+bool is_data_plane(const Message& m) {
+  return m.type == MessageType::kData || m.type == MessageType::kKeepalive;
+}
+
+// splitmix64 finalizer: the partition side assignment must depend on the
+// address alone (plus a per-run salt), not on first-contact order, so two
+// runs of the same seed agree on sides no matter how traffic interleaves.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Transport::send(Message m) {
+  NetCounters& reg = NetCounters::get();
+  ++sent_;
+  reg.sent.inc();
+  if (m.type == MessageType::kData) {
+    ++data_;
+    reg.data.inc();
+    // Data-plane send event; the drivers keep the trace clock at the current
+    // sim time, so these interleave with overlay control events.
+    obs::trace().emit(obs::TraceKind::kPacketSend, m.from, m.to);
+  } else if (m.type == MessageType::kKeepalive) {
+    ++keepalive_;
+    reg.keepalive.inc();
+  } else {
+    ++control_;
+    reg.control.inc();
+    const std::size_t bytes = m.control_size();
+    control_bytes_ += bytes;
+    reg.control_bytes.inc(bytes);
+  }
+  route(std::move(m));
+}
+
+void Transport::note_dropped(const Message& m) {
+  NetCounters& reg = NetCounters::get();
+  ++dropped_;
+  reg.dropped.inc();
+  if (!is_data_plane(m)) {
+    ++control_dropped_;
+    reg.control_dropped.inc();
+  }
+}
+
+KernelTransport::KernelTransport(sim::EventEngine& engine, TransportSpec spec,
+                                 Rng rng)
+    : engine_(engine),
+      spec_(spec),
+      rng_(rng),
+      partition_salt_(rng_()) {}
+
+void KernelTransport::attach(Address addr, Endpoint* endpoint) {
+  endpoints_[addr] = endpoint;
+}
+
+void KernelTransport::detach(Address addr) { endpoints_.erase(addr); }
+
+void KernelTransport::crash(Address addr) { crashed_[addr] = true; }
+
+void KernelTransport::revive(Address addr) { crashed_[addr] = false; }
+
+bool KernelTransport::crashed(Address addr) const {
+  const auto it = crashed_.find(addr);
+  return it != crashed_.end() && it->second;
+}
+
+bool KernelTransport::side_b(Address addr) const {
+  if (!spec_.partition.active()) return false;
+  if (addr == kServerAddress) return false;  // the source stays on side A
+  const std::uint64_t z =
+      mix64(partition_salt_ ^
+            (static_cast<std::uint64_t>(addr) * 0x9e3779b97f4a7c15ULL));
+  const double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+  return u < spec_.partition.side_b_fraction;
+}
+
+bool KernelTransport::crossing_partition(Address a, Address b,
+                                         double when) const {
+  if (!spec_.partition.active()) return false;
+  if (when < spec_.partition.start || when >= spec_.partition.end) return false;
+  return side_b(a) != side_b(b);
+}
+
+bool KernelTransport::survives(const Message& m) {
+  const bool data_plane = is_data_plane(m);
+  const sim::LossSpec& loss = data_plane ? spec_.data_loss : spec_.control_loss;
+  switch (loss.kind) {
+    case sim::LossSpec::Kind::kNone:
+      return true;
+    case sim::LossSpec::Kind::kBernoulli:
+      return !(loss.p > 0.0 && rng_.chance(loss.p));
+    case sim::LossSpec::Kind::kGilbertElliott: {
+      bool& bad = ge_bad_[{{m.from, m.to}, data_plane}];
+      bad = bad ? !rng_.chance(loss.p_exit_bad) : rng_.chance(loss.p_enter_bad);
+      const double drop = bad ? loss.loss_bad : loss.loss_good;
+      return !rng_.chance(drop);
+    }
+  }
+  return true;
+}
+
+void KernelTransport::route(Message m) {
+  if (crashed(m.from) || crashed(m.to)) {
+    note_dropped(m);
+    return;
+  }
+  // Draw order per message is fixed — latency, then loss — so the stream of
+  // transport draws depends only on the send sequence, never on queue state.
+  const double delay = spec_.latency.sample(rng_);
+  if (!survives(m) || crossing_partition(m.from, m.to, engine_.now() + delay)) {
+    note_dropped(m);
+    return;
+  }
+  ++in_flight_;
+  if (in_flight_ > max_in_flight_) max_in_flight_ = in_flight_;
+  in_flight_gauge_->set(static_cast<double>(in_flight_));
+  in_flight_hwm_->set_max(static_cast<double>(in_flight_));
+  engine_.schedule_in(delay, [this, msg = std::move(m)]() mutable {
+    arrive(std::move(msg));
+  });
+}
+
+void KernelTransport::arrive(Message m) {
+  --in_flight_;
+  in_flight_gauge_->set(static_cast<double>(in_flight_));
+  if (crashed(m.to)) {  // died while the message was in flight
+    note_dropped(m);
+    return;
+  }
+  const auto it = endpoints_.find(m.to);
+  if (it == endpoints_.end() || it->second == nullptr) {
+    note_dropped(m);
+    return;
+  }
+  ++delivered_;
+  it->second->on_message(m);
+}
+
+}  // namespace ncast::node

@@ -1,0 +1,155 @@
+#pragma once
+// The message-plane transport abstraction. A Transport carries node::Message
+// traffic between addresses; every concrete fabric counts the same way (the
+// base class owns the accounting), so benches and tests can swap fabrics
+// without touching their assertions.
+//
+// Two implementations:
+//   - InMemoryNetwork (network.hpp): the degenerate zero-adversity fabric —
+//     FIFO per-destination mailboxes drained by the lock-step tick drivers.
+//     Latency is exactly one tick, nothing is ever lost.
+//   - KernelTransport (below): the event-driven fabric on the unified
+//     simulation kernel. Every send becomes an EventEngine timer, with a
+//     composable per-message link model — latency distributions, independent
+//     Bernoulli / Gilbert-Elliott loss processes for the control and data
+//     planes, and timed partitions. This is what finally exposes the
+//     hello / good-bye / repair control plane of Section 3 to the same
+//     adversity the data plane has always faced.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "node/message.hpp"
+#include "obs/metrics.hpp"
+#include "sim/event_engine.hpp"
+#include "sim/link_model.hpp"
+#include "util/rng.hpp"
+
+namespace ncast::node {
+
+/// A message consumer attached to a KernelTransport address.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  /// Delivers one message at the engine's current time.
+  virtual void on_message(const Message& m) = 0;
+};
+
+/// Declarative description of what the fabric does to messages. The control
+/// and data planes get independent loss processes (the whole point of the
+/// event-driven transport: control traffic can now be lossy too), but share
+/// one latency distribution and one partition window.
+struct TransportSpec {
+  sim::LatencySpec latency = sim::LatencySpec::fixed_delay(1.0);
+  sim::LossSpec control_loss = sim::LossSpec::none();  ///< everything but data/keepalive
+  sim::LossSpec data_loss = sim::LossSpec::none();     ///< kData + kKeepalive
+  sim::PartitionSpec partition;  ///< crossing deliveries dropped in the window
+};
+
+/// Abstract message fabric. Owns all traffic accounting: per-instance totals
+/// behind the accessors (always counted, independent of the NCAST_OBS
+/// switch), plus process-wide registry counters under net.* that bench
+/// telemetry snapshots — see transport.cpp.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Counts the message, then hands it to the concrete fabric's route().
+  void send(Message m);
+
+  /// Marks an address as crashed: pending and future mail is dropped.
+  virtual void crash(Address addr) = 0;
+  /// Clears the crashed flag (a repaired address can be reused).
+  virtual void revive(Address addr) = 0;
+  virtual bool crashed(Address addr) const = 0;
+
+  std::uint64_t messages_sent() const { return sent_; }
+  std::uint64_t messages_dropped() const { return dropped_; }
+  std::uint64_t control_messages() const { return control_; }
+  std::uint64_t data_messages() const { return data_; }
+  std::uint64_t keepalive_messages() const { return keepalive_; }
+  /// Dropped messages that belonged to the control plane (the quantity the
+  /// paper's robustness story silently assumed was zero).
+  std::uint64_t control_dropped() const { return control_dropped_; }
+  /// Total control_size() bytes sent (gossip-overhead accounting).
+  std::uint64_t control_bytes() const { return control_bytes_; }
+
+ protected:
+  /// Implementation hook: deliver (or drop) an already-counted message.
+  virtual void route(Message m) = 0;
+
+  /// Counts a message that will never arrive. Every implementation must call
+  /// this for each routed-but-undelivered message, whatever the reason
+  /// (crashed box, loss process, partition, unattached address).
+  void note_dropped(const Message& m);
+
+ private:
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t control_ = 0;
+  std::uint64_t data_ = 0;
+  std::uint64_t keepalive_ = 0;
+  std::uint64_t control_dropped_ = 0;
+  std::uint64_t control_bytes_ = 0;
+};
+
+/// Event-driven fabric on the simulation kernel (Layer 1). Each send samples
+/// a latency from the spec and schedules the delivery as an EventEngine
+/// timer; the loss draw happens at send time (one draw per message, in send
+/// order — deterministic for a fixed seed), the partition test at the
+/// already-known arrival time, and crash state is re-checked at delivery so
+/// mail in flight toward a node that dies mid-flight is lost like anything
+/// else. Gilbert-Elliott channels keep per-directed-pair, per-plane state in
+/// ordered maps (determinism: no unordered iteration anywhere).
+class KernelTransport final : public Transport {
+ public:
+  KernelTransport(sim::EventEngine& engine, TransportSpec spec, Rng rng);
+
+  /// Binds `endpoint` to `addr`; mail for unattached addresses is dropped.
+  void attach(Address addr, Endpoint* endpoint);
+  void detach(Address addr);
+
+  void crash(Address addr) override;
+  void revive(Address addr) override;
+  bool crashed(Address addr) const override;
+
+  /// Messages currently riding a timer (the queue-depth gauge's source).
+  std::size_t in_flight() const { return in_flight_; }
+  std::size_t max_in_flight() const { return max_in_flight_; }
+  std::uint64_t delivered() const { return delivered_; }
+
+  const TransportSpec& spec() const { return spec_; }
+  sim::EventEngine& engine() { return engine_; }
+
+ protected:
+  void route(Message m) override;
+
+ private:
+  /// Directed (from, to) channel key; the bool distinguishes the data plane
+  /// from the control plane so each keeps its own Gilbert-Elliott chain.
+  using ChannelKey = std::pair<std::pair<Address, Address>, bool>;
+
+  void arrive(Message m);
+  bool survives(const Message& m);
+  bool crossing_partition(Address a, Address b, double when) const;
+  bool side_b(Address addr) const;
+
+  sim::EventEngine& engine_;
+  TransportSpec spec_;
+  Rng rng_;
+  std::uint64_t partition_salt_;
+  std::map<Address, Endpoint*> endpoints_;
+  std::map<Address, bool> crashed_;
+  std::map<ChannelKey, bool> ge_bad_;  ///< Gilbert-Elliott state per channel
+  std::size_t in_flight_ = 0;
+  std::size_t max_in_flight_ = 0;
+  std::uint64_t delivered_ = 0;
+  // Process-wide instrumentation, cached once (registry entries are never
+  // deallocated): the in-flight queue-depth gauge pair under net.*.
+  obs::Gauge* in_flight_gauge_ = &obs::metrics().gauge("net.transport_in_flight");
+  obs::Gauge* in_flight_hwm_ = &obs::metrics().gauge("net.transport_in_flight_hwm");
+};
+
+}  // namespace ncast::node

@@ -49,6 +49,16 @@ std::uint32_t FaultPlan::join_at(double t) {
   return ref;
 }
 
+std::uint32_t FaultPlan::join_burst(double t0, std::uint32_t count,
+                                    double spacing) {
+  if (count == 0) throw std::invalid_argument("FaultPlan: empty join burst");
+  const std::uint32_t first = join_at(t0);
+  for (std::uint32_t i = 1; i < count; ++i) {
+    join_at(t0 + spacing * static_cast<double>(i));
+  }
+  return first;
+}
+
 FaultPlan& FaultPlan::leave_join_at(double t, std::uint32_t join_ref) {
   if (join_ref >= join_count_) throw std::invalid_argument("FaultPlan: bad join_ref");
   return push(t, FaultKind::kLeave, overlay::kServerNode, join_ref,

@@ -71,6 +71,11 @@ class FaultPlan {
 
   /// Adds a join; returns its join_ref for targeting the created node later.
   std::uint32_t join_at(double t);
+  /// Adds `count` joins starting at `t0`, spaced `spacing` apart; returns
+  /// the join_ref of the first (the rest follow consecutively). Convenience
+  /// for arrival waves — e.g. the message-plane scenario runner's join
+  /// bursts in bench_control_loss.
+  std::uint32_t join_burst(double t0, std::uint32_t count, double spacing);
   FaultPlan& leave_join_at(double t, std::uint32_t join_ref);
   FaultPlan& crash_join_at(double t, std::uint32_t join_ref);
   FaultPlan& repair_join_at(double t, std::uint32_t join_ref);

@@ -1,0 +1,171 @@
+// The message-plane scenario runner, and the cross-plane equivalence the
+// refactor must preserve (Lemma 1): a seeded sequence of join/leave/crash
+// driven through real hello/good-bye/complaint messages over the kernel
+// transport must leave the ServerNode's thread matrix identical to the same
+// sequence issued as direct CurtainServer calls. The mapping is fixed by
+// construction — CurtainServer assigns ids 0,1,2,... in join order, the
+// message plane assigns addresses 1,2,3,... in spawn order — so message
+// address a corresponds to CurtainServer node a - 1.
+
+#include <gtest/gtest.h>
+
+#include "node/protocol_scenario.hpp"
+#include "overlay/curtain_server.hpp"
+#include "sim/link_model.hpp"
+
+namespace ncast::node {
+namespace {
+
+/// Asserts the message-plane matrix equals the direct-call matrix under the
+/// address = id + 1 mapping: same curtain order, same rows, same tags.
+void expect_matrix_equivalent(const overlay::ThreadMatrix& via_messages,
+                              const overlay::ThreadMatrix& via_calls) {
+  ASSERT_EQ(via_messages.k(), via_calls.k());
+  const auto msg_order = via_messages.nodes_in_order();
+  const auto call_order = via_calls.nodes_in_order();
+  ASSERT_EQ(msg_order.size(), call_order.size());
+  for (std::size_t i = 0; i < msg_order.size(); ++i) {
+    EXPECT_EQ(msg_order[i], call_order[i] + 1) << "curtain order row " << i;
+    const auto& msg_row = via_messages.row(msg_order[i]);
+    const auto& call_row = via_calls.row(call_order[i]);
+    EXPECT_EQ(msg_row.threads, call_row.threads) << "row of address "
+                                                 << msg_order[i];
+    EXPECT_EQ(msg_row.failed, call_row.failed);
+  }
+}
+
+/// A small, quiet baseline: ideal fixed-latency links, content short enough
+/// to decode, silence timers generous enough that nothing complains.
+ProtocolScenarioSpec quiet_spec(std::uint64_t seed) {
+  ProtocolScenarioSpec spec;
+  spec.k = 6;
+  spec.default_degree = 2;
+  spec.generations = 2;
+  spec.generation_size = 8;
+  spec.symbols = 8;
+  spec.silence_timeout = 12;
+  spec.repair_delay = 2.0;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(ProtocolScenario, HappyPathJoinsAndDecodes) {
+  ProtocolScenarioSpec spec = quiet_spec(21);
+  spec.faults.join_burst(1.0, 6, 1.0);
+
+  const auto report = run_scenario(spec);
+
+  ASSERT_EQ(report.outcomes.size(), 6u);
+  for (const auto& o : report.outcomes) {
+    EXPECT_TRUE(o.joined) << "address " << o.address;
+    EXPECT_TRUE(o.decoded) << "address " << o.address;
+    EXPECT_EQ(o.join_retries, 0u);  // nothing is lost on ideal links
+    EXPECT_GE(o.join_latency, 2.0);  // hello out + accept back, 1.0 each way
+  }
+  EXPECT_DOUBLE_EQ(report.decoded_fraction(), 1.0);
+  EXPECT_EQ(report.total_complaints(), 0u);
+  EXPECT_EQ(report.repairs_done, 0u);
+  EXPECT_EQ(report.messages_dropped, 0u);
+  EXPECT_EQ(report.matrix.row_count(), 6u);
+  EXPECT_GT(report.max_in_flight, 0u);
+}
+
+TEST(ProtocolScenario, CrossPlaneEquivalenceJoinsAndLeaves) {
+  // Message plane: 8 arrivals at distinct times, then two good-byes.
+  ProtocolScenarioSpec spec = quiet_spec(31);
+  spec.faults.join_burst(1.0, 8, 1.0);
+  spec.faults.leave_join_at(20.0, 2).leave_join_at(24.0, 5);
+
+  const auto report = run_scenario(spec);
+
+  // Guard the comparison: no complaint fired, so the only matrix mutations
+  // were the planned joins and leaves.
+  EXPECT_EQ(report.total_complaints(), 0u);
+  EXPECT_EQ(report.repairs_done, 0u);
+  for (const auto& o : report.outcomes) EXPECT_TRUE(o.joined);
+
+  // Direct plane: the same sequence as CurtainServer calls on the same seed.
+  overlay::CurtainServer direct(spec.k, spec.default_degree, Rng(spec.seed));
+  for (int i = 0; i < 8; ++i) direct.join();
+  direct.leave(2);
+  direct.leave(5);
+
+  expect_matrix_equivalent(report.matrix, direct.matrix());
+}
+
+TEST(ProtocolScenario, CrossPlaneEquivalenceCrashAndRepair) {
+  // Crash the first joiner once the overlay is deep enough that it has
+  // children on its columns; their complaints must drive a repair whose
+  // splice leaves the matrix exactly as report_failure + repair would.
+  ProtocolScenarioSpec spec = quiet_spec(41);
+  spec.k = 6;
+  spec.default_degree = 3;
+  spec.silence_timeout = 8;
+  spec.faults.join_burst(1.0, 10, 1.0);
+  spec.faults.crash_join_at(40.0, 0);
+
+  const auto report = run_scenario(spec);
+
+  // Exactly one repair: the crashed node's. A cascade (children of a starved
+  // node complaining about it) would show up as extra repairs here.
+  EXPECT_EQ(report.repairs_done, 1u);
+  EXPECT_GE(report.total_complaints(), 1u);
+  EXPECT_GT(report.last_repair_time, 40.0);
+
+  overlay::CurtainServer direct(spec.k, spec.default_degree, Rng(spec.seed));
+  for (int i = 0; i < 10; ++i) direct.join();
+  direct.report_failure(0);  // address 1 <-> CurtainServer node 0
+  direct.repair(0);
+
+  expect_matrix_equivalent(report.matrix, direct.matrix());
+}
+
+TEST(ProtocolScenario, JoinRetriesPushHellosThroughLossyControlLinks) {
+  ProtocolScenarioSpec spec = quiet_spec(51);
+  spec.transport.control_loss = sim::LossSpec::bernoulli(0.4);
+  spec.join_retry = 3.0;
+  spec.faults.join_burst(1.0, 8, 2.0);
+
+  const auto report = run_scenario(spec);
+
+  // 40% control loss eats hellos and accepts; the retry timer must carry
+  // every client through anyway.
+  for (const auto& o : report.outcomes) {
+    EXPECT_TRUE(o.joined) << "address " << o.address;
+  }
+  EXPECT_GT(report.total_join_retries(), 0u);
+  EXPECT_GT(report.control_dropped, 0u);
+}
+
+TEST(ProtocolScenario, RepairConvergesUnderControlLoss) {
+  ProtocolScenarioSpec spec = quiet_spec(61);
+  spec.default_degree = 3;
+  spec.silence_timeout = 8;
+  spec.transport.control_loss = sim::LossSpec::bernoulli(0.1);
+  spec.faults.join_burst(1.0, 10, 1.0);
+  spec.faults.crash_join_at(40.0, 0);
+
+  const auto report = run_scenario(spec);
+
+  // Complaints retransmit with backoff until one lands, so the repair may be
+  // late but must not be lost.
+  EXPECT_GE(report.repairs_done, 1u);
+  EXPECT_GT(report.last_repair_time, 40.0);
+  EXPECT_FALSE(report.matrix.contains(1));  // the crashed row was spliced out
+}
+
+TEST(ProtocolScenario, LeaveOfCrashedClientIsIgnored) {
+  // A leave scheduled after a crash must not send a good-bye from the grave.
+  ProtocolScenarioSpec spec = quiet_spec(71);
+  spec.faults.join_burst(1.0, 4, 1.0);
+  spec.faults.crash_join_at(20.0, 3);
+  spec.faults.leave_join_at(25.0, 3);
+
+  const auto report = run_scenario(spec);
+  ASSERT_EQ(report.outcomes.size(), 4u);
+  EXPECT_TRUE(report.outcomes[3].crashed);
+  EXPECT_FALSE(report.outcomes[3].departed);
+}
+
+}  // namespace
+}  // namespace ncast::node

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "node/protocol_scenario.hpp"
 #include "overlay/curtain_server.hpp"
 #include "overlay/flow_graph.hpp"
 #include "sim/async_broadcast.hpp"
@@ -130,6 +131,49 @@ TEST(Determinism, ChurnReproducesWithIdenticalEventCounts) {
   EXPECT_EQ(a.final_population, b.final_population);
   EXPECT_EQ(a.final_failed_tagged, b.final_failed_tagged);
   EXPECT_EQ(a.peak_population, b.peak_population);
+}
+
+TEST(Determinism, ProtocolScenarioReproducesWithIdenticalEventCounts) {
+  node::ProtocolScenarioSpec spec;
+  spec.k = 6;
+  spec.default_degree = 2;
+  spec.generations = 2;
+  spec.generation_size = 8;
+  spec.symbols = 8;
+  spec.silence_timeout = 8;
+  spec.seed = 19;
+  spec.transport.latency = LatencySpec::uniform(0.5, 1.5);
+  spec.transport.control_loss = LossSpec::bernoulli(0.15);
+  spec.transport.data_loss = LossSpec::gilbert_elliott(0.05, 0.45);
+  spec.faults.join_burst(1.0, 8, 1.0);
+  spec.faults.crash_join_at(30.0, 1);
+  spec.faults.leave_join_at(35.0, 4);
+
+  const auto a = node::run_scenario(spec);
+  const auto b = node::run_scenario(spec);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.messages_dropped, b.messages_dropped);
+  EXPECT_EQ(a.control_messages, b.control_messages);
+  EXPECT_EQ(a.data_messages, b.data_messages);
+  EXPECT_EQ(a.control_dropped, b.control_dropped);
+  EXPECT_EQ(a.control_bytes, b.control_bytes);
+  EXPECT_EQ(a.max_in_flight, b.max_in_flight);
+  EXPECT_EQ(a.repairs_done, b.repairs_done);
+  EXPECT_EQ(a.last_repair_time, b.last_repair_time);  // bit-identical doubles
+  EXPECT_EQ(a.matrix.nodes_in_order(), b.matrix.nodes_in_order());
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].address, b.outcomes[i].address);
+    EXPECT_EQ(a.outcomes[i].joined, b.outcomes[i].joined);
+    EXPECT_EQ(a.outcomes[i].crashed, b.outcomes[i].crashed);
+    EXPECT_EQ(a.outcomes[i].departed, b.outcomes[i].departed);
+    EXPECT_EQ(a.outcomes[i].decoded, b.outcomes[i].decoded);
+    EXPECT_EQ(a.outcomes[i].join_latency, b.outcomes[i].join_latency);
+    EXPECT_EQ(a.outcomes[i].decode_time, b.outcomes[i].decode_time);
+    EXPECT_EQ(a.outcomes[i].join_retries, b.outcomes[i].join_retries);
+    EXPECT_EQ(a.outcomes[i].complaints, b.outcomes[i].complaints);
+  }
 }
 
 }  // namespace
