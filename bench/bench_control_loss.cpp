@@ -9,10 +9,13 @@
 // up to at least 10% control loss.
 
 #include <cstdio>
+#include <map>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "node/protocol_scenario.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_event.hpp"
 #include "util/stats.hpp"
 
 using namespace ncast;
@@ -25,6 +28,79 @@ struct SweepPoint {
   RunningStats repairs, repair_time, decoded_pct, control_dropped;
   bool converged = true;  // every trial joined everyone and repaired the crash
 };
+
+// What one join's span must contain for the causal trace to be usable as a
+// post-mortem: the hello retransmission(s), the accept delivery, and the
+// node's first rank advance, all carrying the same span id.
+struct JoinChain {
+  bool retried = false;
+  bool accepted = false;
+  bool advanced = false;
+  bool complete() const { return retried && accepted && advanced; }
+};
+
+// Runs one deliberately lossy scenario against a cleared trace ring and
+// checks that at least one join episode's full retry chain reconstructs by
+// span id alone. Exports the buffer in both formats (JSONL for grep/diff,
+// Chrome trace_event for Perfetto) as a side effect.
+bool capture_trace(std::uint32_t n) {
+  ncast::obs::trace().clear();
+
+  node::ProtocolScenarioSpec spec;
+  spec.k = 12;
+  spec.default_degree = 3;
+  spec.generations = 1;
+  spec.generation_size = 8;
+  spec.symbols = 8;
+  spec.silence_timeout = 8;
+  spec.repair_delay = 2.0;
+  spec.join_retry = 4.0;
+  spec.seed = 0xE221;
+  spec.horizon = 80.0;  // joins + first rank advances; full decode not needed
+  spec.transport.latency = sim::LatencySpec::uniform(0.5, 1.5);
+  // 20% control loss: with n joins, some hello or accept is essentially
+  // guaranteed to be lost, which is exactly the chain we want on record.
+  spec.transport.control_loss = sim::LossSpec::bernoulli(0.20);
+  spec.faults.join_burst(1.0, n, 1.0);
+  node::run_scenario(spec);
+
+  std::map<ncast::obs::SpanId, JoinChain> chains;
+  for (const auto& e : ncast::obs::trace().events_in_order()) {
+    if (e.span == ncast::obs::kNoSpan) continue;
+    switch (e.kind) {
+      case ncast::obs::TraceKind::kMsgRetry:
+        if (e.b == static_cast<std::uint64_t>(node::MessageType::kJoinRequest)) {
+          chains[e.span].retried = true;
+        }
+        break;
+      case ncast::obs::TraceKind::kMsgDeliver:
+        if (e.b == static_cast<std::uint64_t>(node::MessageType::kJoinAccept)) {
+          chains[e.span].accepted = true;
+        }
+        break;
+      case ncast::obs::TraceKind::kRankAdvance:
+        chains[e.span].advanced = true;
+        break;
+      default:
+        break;
+    }
+  }
+  std::size_t complete = 0;
+  for (const auto& [span, chain] : chains) {
+    if (chain.complete()) ++complete;
+  }
+
+  ncast::obs::trace().write_jsonl("TRACE_control_loss.jsonl");
+  ncast::obs::write_trace_event(ncast::obs::trace(),
+                                "TRACE_control_loss.trace.json");
+  std::printf(
+      "\nCausal trace: %zu retained events, %zu join spans with a complete\n"
+      "retry chain (hello retransmission -> accept -> first rank advance);\n"
+      "exported TRACE_control_loss.jsonl and TRACE_control_loss.trace.json\n"
+      "(load the latter in Perfetto / chrome://tracing).\n",
+      ncast::obs::trace().size(), complete);
+  return complete > 0;
+}
 
 }  // namespace
 
@@ -121,6 +197,19 @@ int main() {
     if (pt.loss <= 0.10 && !pt.converged) gate_ok = false;
   }
   session.note("converged_at_10pct", gate_ok);
+
+  // Causal-trace acceptance: a lossy run must leave behind a span tree from
+  // which one join's full retry chain reconstructs. With the obs kill switch
+  // compiled out there is no trace to check, so the gate only bites when the
+  // buffer is live.
+  const bool trace_ok = capture_trace(n);
+  session.note("trace_span_chain", trace_ok);
+  if (NCAST_OBS_ENABLED && !trace_ok) {
+    std::fprintf(stderr,
+                 "bench_control_loss: no join span with a complete retry "
+                 "chain in the captured trace\n");
+    return 1;
+  }
 
   std::printf(
       "\nReading: loss on the control plane taxes the protocol in time, not\n"

@@ -23,6 +23,7 @@
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/table.hpp"
 
 namespace ncast::bench {
@@ -96,7 +97,13 @@ class MetricsSession {
     w.key("bench").value(name_);
     w.key("run_id").value(run_id_);
     w.key("smoke").value(smoke());
+    // Telemetry provenance: whether the obs kill switch was compiled in and
+    // how the trace ring ended the run. bench_compare refuses to diff runs
+    // whose smoke/obs_enabled flags disagree, and nonzero dropped_events
+    // flags a trace whose span trees may be missing their heads.
     w.key("obs_enabled").value(NCAST_OBS_ENABLED != 0);
+    w.key("trace_capacity").value(static_cast<std::uint64_t>(obs::trace().capacity()));
+    w.key("trace_dropped_events").value(obs::trace().dropped_events());
 
     w.key("params").begin_object();
     for (const auto& [key, rendered] : params_) w.key(key).raw_value(rendered);

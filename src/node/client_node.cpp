@@ -53,12 +53,21 @@ void ClientNode::crash() {
 }
 
 void ClientNode::join(Transport& net, std::uint32_t degree) {
-  if (join_sent_time_ < 0.0) join_sent_time_ = now();
+  if (join_sent_time_ < 0.0) {
+    join_sent_time_ = now();
+    // The join episode's span: opened at the first hello, carried by every
+    // retransmission and by the server's accept, referenced by the node's
+    // rank advances — the trace's reconstruction key for this join.
+    join_span_ = obs::trace().new_span();
+    obs::trace().emit(obs::TraceKind::kSpanBegin, address_, 0, 0, "join",
+                      join_span_);
+  }
   Message m;
   m.type = MessageType::kJoinRequest;
   m.from = address_;
   m.to = kServerAddress;
   m.subject = degree;  // 0 = server default
+  m.span = join_span_;
   net.send(std::move(m));
 }
 
@@ -92,33 +101,48 @@ void ClientNode::start(sim::EventEngine& engine, KernelTransport& net,
   net.attach(address_, this);
   join(net, degree);
   schedule_join_retry(config_.join_retry);
-  serve_timer_ = engine.schedule_in(1.0, [this] { event_tick(); });
+  serve_timer_ = engine.schedule_in(1.0, [this] { event_tick(); },
+                                    sim::TimerClass::kServe);
 }
 
 void ClientNode::schedule_join_retry(double delay) {
-  join_timer_ = engine_->schedule_in(delay, [this, delay] {
-    if (joined_ || crashed_) return;
-    ++join_retries_;
-    RetryCounters::get().join_retries.inc();
-    join(*net_, join_degree_);
-    // Doubling backoff, capped: a congested server is not helped by a
-    // thundering herd of hellos, but the client must never give up.
-    const double cap =
-        config_.join_retry * static_cast<double>(1u << config_.max_backoff_exp);
-    schedule_join_retry(std::min(delay * 2.0, cap));
-  });
+  join_timer_ = engine_->schedule_in(
+      delay,
+      [this, delay] {
+        if (joined_ || crashed_) return;
+        ++join_retries_;
+        RetryCounters::get().join_retries.inc();
+        obs::trace().emit(obs::TraceKind::kMsgRetry, address_, join_retries_,
+                          static_cast<std::uint64_t>(MessageType::kJoinRequest),
+                          {}, join_span_);
+        join(*net_, join_degree_);
+        // Doubling backoff, capped: a congested server is not helped by a
+        // thundering herd of hellos, but the client must never give up.
+        const double cap = config_.join_retry *
+                           static_cast<double>(1u << config_.max_backoff_exp);
+        schedule_join_retry(std::min(delay * 2.0, cap));
+      },
+      sim::TimerClass::kJoinRetry);
 }
 
 void ClientNode::event_tick() {
   if (crashed_ || departed_) return;  // the serve loop dies with the node
   serve_children();
-  serve_timer_ = engine_->schedule_in(1.0, [this] { event_tick(); });
+  serve_timer_ = engine_->schedule_in(1.0, [this] { event_tick(); },
+                                      sim::TimerClass::kServe);
 }
 
 void ClientNode::note_liveness(overlay::ColumnId column) {
   last_data_[column] = now();
   if (engine_ && joined_ && !departed_) {
     complaint_streak_[column] = 0;
+    // Data flowing again closes the column's outage episode, if one is open.
+    const auto span = complaint_spans_.find(column);
+    if (span != complaint_spans_.end()) {
+      obs::trace().emit(obs::TraceKind::kSpanEnd, address_, column, 0,
+                        "complaint", span->second);
+      complaint_spans_.erase(span);
+    }
     arm_silence(column);
   }
 }
@@ -130,7 +154,8 @@ void ClientNode::arm_silence(overlay::ColumnId column) {
   const double delay =
       static_cast<double>(config_.silence_timeout) * static_cast<double>(1u << exp);
   silence_timers_[column] =
-      engine_->schedule_in(delay, [this, column] { silence_fired(column); });
+      engine_->schedule_in(delay, [this, column] { silence_fired(column); },
+                           sim::TimerClass::kSilence);
 }
 
 void ClientNode::disarm_silence(overlay::ColumnId column) {
@@ -147,19 +172,31 @@ void ClientNode::silence_fired(overlay::ColumnId column) {
   if (std::find(columns_.begin(), columns_.end(), column) == columns_.end()) {
     return;  // column was dropped while the timer was in flight
   }
+  std::uint32_t& streak = complaint_streak_[column];
+  obs::SpanId& span = complaint_spans_[column];
+  if (streak == 0 || span == obs::kNoSpan) {
+    // A fresh outage opens its own span, parented on the join span so the
+    // node's whole history hangs off one tree.
+    span = obs::trace().new_span();
+    obs::trace().emit(obs::TraceKind::kSpanBegin, address_, column, 0,
+                      "complaint", span, join_span_);
+  }
   Message complaint;
   complaint.type = MessageType::kComplaint;
   complaint.from = address_;
   complaint.to = kServerAddress;
   complaint.column = column;
+  complaint.span = span;
   net_->send(std::move(complaint));
   ++complaints_sent_;
-  std::uint32_t& streak = complaint_streak_[column];
   if (streak > 0) {
     // Same outage, another complaint: either the complaint or the repair's
     // effect got lost on the control plane — retransmit with backoff.
     ++complaint_retries_;
     RetryCounters::get().complaint_retries.inc();
+    obs::trace().emit(obs::TraceKind::kMsgRetry, address_, streak,
+                      static_cast<std::uint64_t>(MessageType::kComplaint), {},
+                      span);
   }
   if (streak < config_.max_backoff_exp) ++streak;
   arm_silence(column);
@@ -175,6 +212,9 @@ void ClientNode::handle_accept(const Message& m) {
   if (engine_) engine_->cancel(join_timer_);
   columns_ = m.columns;
   stream_.install_keys(m.key_bundles);
+  // The accept closes the join episode the first hello opened.
+  obs::trace().emit(obs::TraceKind::kSpanEnd, address_, 0, 0, "join",
+                    join_span_);
   for (overlay::ColumnId c : columns_) note_liveness(c);
 }
 
@@ -182,9 +222,24 @@ void ClientNode::handle_data(const Message& m) {
   // Any well-formed-enough frame proves the feed is alive, even if its
   // content turns out to be garbage; verification happens inside absorb.
   note_liveness(m.column);
+  const std::size_t rank_before = stream_.rank();
   if (stream_.absorb_wire(m.wire)) {
     ++packets_received_;
-    if (decode_time_ < 0.0 && stream_.decoded()) decode_time_ = now();
+    const std::size_t rank_after = stream_.rank();
+    if (rank_after > rank_before) {
+      // Rank advances reference the join span: the decode-to-full-rank path
+      // hangs off the same tree as the hello/accept exchange.
+      obs::trace().emit(obs::TraceKind::kRankAdvance, address_, rank_after, 0,
+                        {}, join_span_);
+    }
+    if (decode_time_ < 0.0 && stream_.decoded()) {
+      decode_time_ = now();
+      if (joined_time_ >= 0.0) {
+        static obs::Histogram& decode_delay =
+            obs::metrics().histogram("protocol.decode_delay");
+        decode_delay.observe(decode_time_ - joined_time_);
+      }
+    }
   } else {
     ++packets_rejected_;
   }

@@ -63,6 +63,10 @@ class ClientNode : public Endpoint {
   /// Event mode — retry/latency observability.
   std::uint64_t join_retries() const { return join_retries_; }
   std::uint64_t complaint_retries() const { return complaint_retries_; }
+  /// Causal span of this node's join episode (kNoSpan before the first
+  /// hello): every hello retransmission, the accept, and the node's rank
+  /// advances carry it, so the whole chain reconstructs from the trace.
+  obs::SpanId join_span() const { return join_span_; }
   /// Hello-sent and accept-received times (-1 until they happen).
   double join_sent_time() const { return join_sent_time_; }
   double joined_time() const { return joined_time_; }
@@ -146,6 +150,10 @@ class ClientNode : public Endpoint {
   std::map<overlay::ColumnId, sim::TimerHandle> silence_timers_;
   /// Consecutive unanswered complaints per column (backoff exponent).
   std::map<overlay::ColumnId, std::uint32_t> complaint_streak_;
+  /// Open complaint span per column (one span per outage episode: begun on
+  /// the first complaint, ended when data flows again).
+  std::map<overlay::ColumnId, obs::SpanId> complaint_spans_;
+  obs::SpanId join_span_ = obs::kNoSpan;
   std::uint64_t join_retries_ = 0;
   std::uint64_t complaint_retries_ = 0;
   double join_sent_time_ = -1.0;

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "overlay/thread_matrix.hpp"
 
 namespace ncast::node {
@@ -60,6 +61,13 @@ struct Message {
   std::vector<std::vector<std::uint8_t>> key_bundles;
   /// Peer addresses (gossip sample replies / denial hints).
   std::vector<Address> peers;
+
+  /// Causal trace context (out-of-band, like a W3C traceparent header): the
+  /// span this message belongs to — a join exchange, a complaint/repair
+  /// cycle. Replies and retransmissions inherit the originating span so the
+  /// whole episode reconstructs from the trace by span id. Telemetry only:
+  /// protocol decisions never read it and control_size() excludes it.
+  obs::SpanId span = obs::kNoSpan;
 
   /// Approximate control-plane size in bytes (data payloads excluded): the
   /// fixed header (type + from + to + column + subject) plus every

@@ -13,7 +13,7 @@ void InMemoryNetwork::route(Message m) {
   ensure(m.to);
   ensure(m.from);
   if (crashed_[m.to] || crashed_[m.from]) {
-    note_dropped(m);
+    note_dropped(m, DropReason::kCrashed);
     return;
   }
   boxes_[m.to].push_back(std::move(m));

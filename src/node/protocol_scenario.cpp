@@ -99,32 +99,35 @@ ProtocolScenarioReport run_scenario(const ProtocolScenarioSpec& spec) {
   };
   const auto events = spec.faults.sorted();
   for (const sim::FaultEvent& e : events) {
-    engine.schedule_at(e.at, [&, e] {
-      switch (e.kind) {
-        case sim::FaultKind::kJoin:
-          spawn();
-          break;
-        case sim::FaultKind::kLeave:
-        case sim::FaultKind::kCrash: {
-          const Address addr = target_of(e);
-          if (addr == kServerAddress || addr > clients.size()) break;
-          ClientNode& c = *clients[addr - 1];
-          if (e.kind == sim::FaultKind::kLeave) {
-            if (!c.crashed()) {
-              c.leave(net);
-              departed.insert(addr);
+    engine.schedule_at(
+        e.at,
+        [&, e] {
+          switch (e.kind) {
+            case sim::FaultKind::kJoin:
+              spawn();
+              break;
+            case sim::FaultKind::kLeave:
+            case sim::FaultKind::kCrash: {
+              const Address addr = target_of(e);
+              if (addr == kServerAddress || addr > clients.size()) break;
+              ClientNode& c = *clients[addr - 1];
+              if (e.kind == sim::FaultKind::kLeave) {
+                if (!c.crashed()) {
+                  c.leave(net);
+                  departed.insert(addr);
+                }
+              } else {
+                c.crash();
+                net.crash(addr);
+              }
+              break;
             }
-          } else {
-            c.crash();
-            net.crash(addr);
+            case sim::FaultKind::kRepair:
+            case sim::FaultKind::kBehavior:
+              break;  // emergent / packet-level only — see header
           }
-          break;
-        }
-        case sim::FaultKind::kRepair:
-        case sim::FaultKind::kBehavior:
-          break;  // emergent / packet-level only — see header
-      }
-    });
+        },
+        sim::TimerClass::kFault);
   }
 
   double horizon = spec.horizon;

@@ -36,12 +36,14 @@ void ServerNode::start(sim::EventEngine& engine, KernelTransport& net) {
   engine_ = &engine;
   net_ = &net;
   net.attach(kServerAddress, this);
-  emit_timer_ = engine.schedule_in(1.0, [this] { event_tick(); });
+  emit_timer_ = engine.schedule_in(1.0, [this] { event_tick(); },
+                                   sim::TimerClass::kEmit);
 }
 
 void ServerNode::event_tick() {
   emit_direct();
-  emit_timer_ = engine_->schedule_in(1.0, [this] { event_tick(); });
+  emit_timer_ = engine_->schedule_in(1.0, [this] { event_tick(); },
+                                     sim::TimerClass::kEmit);
 }
 
 Address ServerNode::parent_on_column(Address addr,
@@ -77,11 +79,13 @@ std::optional<Address> ServerNode::child_on_column(
 }
 
 void ServerNode::send_accept(Address addr,
-                             const std::vector<overlay::ColumnId>& columns) {
+                             const std::vector<overlay::ColumnId>& columns,
+                             obs::SpanId span) {
   Message accept;
   accept.type = MessageType::kJoinAccept;
   accept.from = kServerAddress;
   accept.to = addr;
+  accept.span = span;
   accept.columns = columns;
   accept.data_size = data_.size();
   accept.gen_count = static_cast<std::uint32_t>(encoder_.generations());
@@ -96,8 +100,9 @@ void ServerNode::handle_join(const Message& m) {
   if (matrix_.contains(addr)) {
     // Duplicate hello: the accept was lost (or is still in flight) and the
     // client retried. Joining is idempotent — resend the accept with the
-    // already-assigned columns instead of leaving the client stranded.
-    send_accept(addr, matrix_.row(addr).threads);
+    // already-assigned columns instead of leaving the client stranded. The
+    // resend rides the retried hello's span, so the retry chain stays whole.
+    send_accept(addr, matrix_.row(addr).threads, m.span);
     return;
   }
 
@@ -114,6 +119,7 @@ void ServerNode::handle_join(const Message& m) {
   // Parents are the current hanging-end owners of the chosen columns.
   const auto ends = matrix_.hanging_ends();
   matrix_.append_row(addr, columns);
+  obs::trace().emit(obs::TraceKind::kJoin, addr, degree, 0, {}, m.span);
 
   for (overlay::ColumnId c : columns) {
     const Address parent = ends[c].owner == overlay::kServerNode
@@ -128,14 +134,15 @@ void ServerNode::handle_join(const Message& m) {
       attach.to = parent;
       attach.column = c;
       attach.subject = addr;
+      attach.span = m.span;  // the rewiring belongs to the join episode
       net_->send(std::move(attach));
     }
   }
 
-  send_accept(addr, columns);
+  send_accept(addr, columns, m.span);
 }
 
-void ServerNode::splice_out(Address addr) {
+void ServerNode::splice_out(Address addr, obs::SpanId span) {
   if (!matrix_.contains(addr)) return;
   const auto columns = matrix_.row(addr).threads;
 
@@ -153,6 +160,7 @@ void ServerNode::splice_out(Address addr) {
       msg.from = kServerAddress;
       msg.to = parent;
       msg.column = c;
+      msg.span = span;
       if (next) {
         msg.type = MessageType::kAttachChild;
         msg.subject = *next;
@@ -171,16 +179,33 @@ void ServerNode::splice_out(Address addr) {
     if (engine_) engine_->cancel(timer->second);
     repair_timers_.erase(timer);
   }
+  // If a repair episode was open for this node and something else (a racing
+  // good-bye) spliced it out, close the span here rather than leaking it.
+  const auto open = repair_spans_.find(addr);
+  if (open != repair_spans_.end()) {
+    if (open->second != span) {
+      obs::trace().emit(obs::TraceKind::kSpanEnd, addr, 0, 0, "repair",
+                        open->second);
+    }
+    repair_spans_.erase(open);
+  }
 }
 
 void ServerNode::finish_repair(Address addr) {
   repair_timers_.erase(addr);
-  splice_out(addr);
+  const auto it = repair_spans_.find(addr);
+  const obs::SpanId span =
+      it != repair_spans_.end() ? it->second : obs::kNoSpan;
+  splice_out(addr, span);
   ++repairs_done_;
   last_repair_time_ = now();
+  obs::trace().emit(obs::TraceKind::kRepair, addr, 0, 0, {}, span);
+  obs::trace().emit(obs::TraceKind::kSpanEnd, addr, 0, 0, "repair", span);
 }
 
-void ServerNode::handle_goodbye(const Message& m) { splice_out(m.from); }
+void ServerNode::handle_goodbye(const Message& m) {
+  splice_out(m.from, m.span);
+}
 
 void ServerNode::handle_complaint(const Message& m) {
   if (!matrix_.contains(m.from)) return;
@@ -189,10 +214,17 @@ void ServerNode::handle_complaint(const Message& m) {
   if (!matrix_.contains(parent)) return;
   if (matrix_.row(parent).failed) return;  // repair already scheduled
   matrix_.mark_failed(parent);
+  // The repair episode: a child span of the triggering complaint, open from
+  // here until the splice completes. Tick mode gets the same span tree —
+  // only the scheduling mechanism differs.
+  const obs::SpanId span = obs::trace().new_span();
+  repair_spans_[parent] = span;
+  obs::trace().emit(obs::TraceKind::kSpanBegin, parent, m.column, m.from,
+                    "repair", span, m.span);
   if (engine_) {
     repair_timers_[parent] = engine_->schedule_in(
         static_cast<double>(config_.repair_delay),
-        [this, parent] { finish_repair(parent); });
+        [this, parent] { finish_repair(parent); }, sim::TimerClass::kRepair);
   } else {
     pending_repairs_[parent] = now_ + config_.repair_delay;
   }
@@ -329,15 +361,14 @@ void ServerNode::on_tick(std::uint64_t tick, InMemoryNetwork& net) {
   net_ = &net;
   now_ = tick;
 
-  // Execute due repairs.
+  // Execute due repairs (finish_repair, same as event mode, so the trace's
+  // repair spans close identically under both drivers).
   std::vector<Address> due;
   for (const auto& [addr, at] : pending_repairs_) {
     if (at <= now_) due.push_back(addr);
   }
   for (Address addr : due) {
-    splice_out(addr);
-    ++repairs_done_;
-    last_repair_time_ = static_cast<double>(now_);
+    finish_repair(addr);
   }
 
   emit_direct();

@@ -78,12 +78,16 @@ class ServerNode : public Endpoint {
   void handle_complaint(const Message& m);
   void handle_offload(const Message& m);
   void handle_restore(const Message& m);
-  void send_accept(Address addr, const std::vector<overlay::ColumnId>& columns);
+  /// `span` is the causal span the accept rides (the hello's span, so the
+  /// join episode's request and response share one id).
+  void send_accept(Address addr, const std::vector<overlay::ColumnId>& columns,
+                   obs::SpanId span);
 
   /// Performs the good-bye steps for `addr` (used by both graceful leaves
   /// and repairs): for each of its columns, rewires the previous clipper to
-  /// the next one, then deletes the row.
-  void splice_out(Address addr);
+  /// the next one, then deletes the row. `span` tags the rewiring messages
+  /// (the repair span during a repair, the good-bye's span on a leave).
+  void splice_out(Address addr, obs::SpanId span = obs::kNoSpan);
   void finish_repair(Address addr);
 
   /// Emits one coded packet per directly-fed column.
@@ -117,6 +121,10 @@ class ServerNode : public Endpoint {
   std::map<Address, std::uint64_t> pending_repairs_;
   /// Event mode — one cancellable repair timer per failed node.
   std::map<Address, sim::TimerHandle> repair_timers_;
+  /// Open repair span per failed node (begun at the complaint that scheduled
+  /// the repair, parented on the complaint's span, ended when the splice
+  /// completes) — the server half of the complaint/repair span tree.
+  std::map<Address, obs::SpanId> repair_spans_;
   Transport* net_ = nullptr;
   sim::EventEngine* engine_ = nullptr;
   sim::TimerHandle emit_timer_{};

@@ -28,6 +28,21 @@ bool is_data_plane(const Message& m) {
   return m.type == MessageType::kData || m.type == MessageType::kKeepalive;
 }
 
+}  // namespace
+
+const char* to_string(DropReason reason) {
+  switch (reason) {
+    case DropReason::kCrashed: return "crashed";
+    case DropReason::kLoss: return "loss";
+    case DropReason::kPartition: return "partition";
+    case DropReason::kBlackhole: return "blackhole";
+    case DropReason::kUnattached: return "unattached";
+  }
+  return "unknown";
+}
+
+namespace {
+
 // splitmix64 finalizer: the partition side assignment must depend on the
 // address alone (plus a per-run salt), not on first-contact order, so two
 // runs of the same seed agree on sides no matter how traffic interleaves.
@@ -48,7 +63,8 @@ void Transport::send(Message m) {
     reg.data.inc();
     // Data-plane send event; the drivers keep the trace clock at the current
     // sim time, so these interleave with overlay control events.
-    obs::trace().emit(obs::TraceKind::kPacketSend, m.from, m.to);
+    obs::trace().emit(obs::TraceKind::kPacketSend, m.from, m.to, 0, {},
+                      m.span);
   } else if (m.type == MessageType::kKeepalive) {
     ++keepalive_;
     reg.keepalive.inc();
@@ -58,11 +74,16 @@ void Transport::send(Message m) {
     const std::size_t bytes = m.control_size();
     control_bytes_ += bytes;
     reg.control_bytes.inc(bytes);
+    // Control-plane lifecycle: send, then (in the concrete fabric) deliver
+    // or drop-with-reason. Each carries the message's span so an episode's
+    // wire traffic reconstructs by span id.
+    obs::trace().emit(obs::TraceKind::kMsgSend, m.from, m.to,
+                      static_cast<std::uint64_t>(m.type), {}, m.span);
   }
   route(std::move(m));
 }
 
-void Transport::note_dropped(const Message& m) {
+void Transport::note_dropped(const Message& m, DropReason reason) {
   NetCounters& reg = NetCounters::get();
   ++dropped_;
   reg.dropped.inc();
@@ -70,6 +91,11 @@ void Transport::note_dropped(const Message& m) {
     ++control_dropped_;
     reg.control_dropped.inc();
   }
+  // Reason strings are short (<= 15 chars): small-string optimized, so the
+  // drop path stays allocation-free.
+  obs::trace().emit(obs::TraceKind::kMsgDrop, m.from, m.to,
+                    static_cast<std::uint64_t>(m.type), to_string(reason),
+                    m.span);
 }
 
 KernelTransport::KernelTransport(sim::EventEngine& engine, TransportSpec spec,
@@ -131,38 +157,48 @@ bool KernelTransport::survives(const Message& m) {
 
 void KernelTransport::route(Message m) {
   if (crashed(m.from) || crashed(m.to)) {
-    note_dropped(m);
+    note_dropped(m, DropReason::kCrashed);
     return;
   }
   // Draw order per message is fixed — latency, then loss — so the stream of
   // transport draws depends only on the send sequence, never on queue state.
   const double delay = spec_.latency.sample(rng_);
-  if (!survives(m) || crossing_partition(m.from, m.to, engine_.now() + delay)) {
-    note_dropped(m);
+  if (!survives(m)) {
+    note_dropped(m, DropReason::kLoss);
+    return;
+  }
+  if (crossing_partition(m.from, m.to, engine_.now() + delay)) {
+    note_dropped(m, DropReason::kPartition);
     return;
   }
   ++in_flight_;
   if (in_flight_ > max_in_flight_) max_in_flight_ = in_flight_;
   in_flight_gauge_->set(static_cast<double>(in_flight_));
   in_flight_hwm_->set_max(static_cast<double>(in_flight_));
-  engine_.schedule_in(delay, [this, msg = std::move(m)]() mutable {
-    arrive(std::move(msg));
-  });
+  delivery_delay_->observe(delay);
+  engine_.schedule_in(
+      delay,
+      [this, msg = std::move(m)]() mutable { arrive(std::move(msg)); },
+      sim::TimerClass::kDelivery);
 }
 
 void KernelTransport::arrive(Message m) {
   --in_flight_;
   in_flight_gauge_->set(static_cast<double>(in_flight_));
   if (crashed(m.to)) {  // died while the message was in flight
-    note_dropped(m);
+    note_dropped(m, DropReason::kBlackhole);
     return;
   }
   const auto it = endpoints_.find(m.to);
   if (it == endpoints_.end() || it->second == nullptr) {
-    note_dropped(m);
+    note_dropped(m, DropReason::kUnattached);
     return;
   }
   ++delivered_;
+  if (!is_data_plane(m)) {
+    obs::trace().emit(obs::TraceKind::kMsgDeliver, m.to, m.from,
+                      static_cast<std::uint64_t>(m.type), {}, m.span);
+  }
   it->second->on_message(m);
 }
 

@@ -37,6 +37,20 @@ class Endpoint {
   virtual void on_message(const Message& m) = 0;
 };
 
+/// Why a routed message never arrived. Dropped messages are traced as
+/// kMsgDrop with the reason in the detail field (short strings — SSO, no
+/// allocation), so a lossy run's post-mortem can tell a loss process from a
+/// partition from a crash blackhole.
+enum class DropReason : std::uint8_t {
+  kCrashed,     ///< sender or receiver already marked crashed at send time
+  kLoss,        ///< the plane's loss process fired
+  kPartition,   ///< delivery would cross an active partition
+  kBlackhole,   ///< receiver crashed while the message was in flight
+  kUnattached,  ///< no endpoint bound to the destination address
+};
+
+const char* to_string(DropReason reason);
+
 /// Declarative description of what the fabric does to messages. The control
 /// and data planes get independent loss processes (the whole point of the
 /// event-driven transport: control traffic can now be lossy too), but share
@@ -80,10 +94,10 @@ class Transport {
   /// Implementation hook: deliver (or drop) an already-counted message.
   virtual void route(Message m) = 0;
 
-  /// Counts a message that will never arrive. Every implementation must call
-  /// this for each routed-but-undelivered message, whatever the reason
-  /// (crashed box, loss process, partition, unattached address).
-  void note_dropped(const Message& m);
+  /// Counts a message that will never arrive and traces the drop with its
+  /// reason. Every implementation must call this for each
+  /// routed-but-undelivered message.
+  void note_dropped(const Message& m, DropReason reason);
 
  private:
   std::uint64_t sent_ = 0;
@@ -147,9 +161,13 @@ class KernelTransport final : public Transport {
   std::size_t max_in_flight_ = 0;
   std::uint64_t delivered_ = 0;
   // Process-wide instrumentation, cached once (registry entries are never
-  // deallocated): the in-flight queue-depth gauge pair under net.*.
+  // deallocated): the in-flight queue-depth gauge pair under net.*, plus the
+  // per-message delivery-delay distribution (sim-time units) — the quantity
+  // real-time broadcast evaluation cares about (cf. DRAGONCAST), known at
+  // schedule time because the latency draw happens at send.
   obs::Gauge* in_flight_gauge_ = &obs::metrics().gauge("net.transport_in_flight");
   obs::Gauge* in_flight_hwm_ = &obs::metrics().gauge("net.transport_in_flight_hwm");
+  obs::Histogram* delivery_delay_ = &obs::metrics().histogram("net.delivery_delay");
 };
 
 }  // namespace ncast::node

@@ -207,4 +207,36 @@ class ScopeTimer {
 #endif
 };
 
+/// Manual wall-clock probe for call sites that cannot use RAII scoping —
+/// e.g. the event engine's sampled handler profiling, where only every Nth
+/// callback is timed. Lives in obs so the clock read stays behind the kill
+/// switch (and so deterministic subsystems never touch a clock directly —
+/// the lint determinism rules forbid steady_clock outside obs/).
+class Stopwatch {
+ public:
+  Stopwatch()
+#if NCAST_OBS_ENABLED
+      : start_(std::chrono::steady_clock::now())
+#endif
+  {
+  }
+
+  /// Nanoseconds since construction; 0 with NCAST_OBS disabled.
+  double elapsed_ns() const {
+#if NCAST_OBS_ENABLED
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+#else
+    return 0.0;
+#endif
+  }
+
+ private:
+#if NCAST_OBS_ENABLED
+  std::chrono::steady_clock::time_point start_;
+#endif
+};
+
 }  // namespace ncast::obs

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace ncast::obs {
 
@@ -19,6 +20,12 @@ const char* to_string(TraceKind kind) {
     case TraceKind::kRankAdvance: return "rank_advance";
     case TraceKind::kCongestionOffload: return "congestion_offload";
     case TraceKind::kCongestionRestore: return "congestion_restore";
+    case TraceKind::kMsgSend: return "msg_send";
+    case TraceKind::kMsgDeliver: return "msg_deliver";
+    case TraceKind::kMsgDrop: return "msg_drop";
+    case TraceKind::kMsgRetry: return "msg_retry";
+    case TraceKind::kSpanBegin: return "span_begin";
+    case TraceKind::kSpanEnd: return "span_end";
   }
   return "unknown";
 }
@@ -28,20 +35,32 @@ TraceBuffer::TraceBuffer(std::size_t capacity) : ring_(capacity) {
 }
 
 void TraceBuffer::emit(TraceKind kind, std::uint64_t node, std::uint64_t a,
-                       std::uint64_t b, std::string detail) {
+                       std::uint64_t b, std::string detail, SpanId span,
+                       SpanId parent) {
 #if NCAST_OBS_ENABLED
+  if (size_ == ring_.size()) {
+    // Overwriting the oldest retained event. The registry counter is the
+    // cheap cross-check bench telemetry snapshots; dropped_ feeds the export
+    // header so a truncated trace file carries its own warning.
+    ++dropped_;
+    static Counter& dropped_ctr = metrics().counter("trace.dropped_events");
+    dropped_ctr.inc();
+  }
   TraceEvent& e = ring_[next_];
   e.t = now_;
   e.kind = kind;
   e.node = node;
   e.a = a;
   e.b = b;
+  e.span = span;
+  e.parent = parent;
   e.detail = std::move(detail);
   next_ = (next_ + 1) % ring_.size();
   if (size_ < ring_.size()) ++size_;
   ++total_;
 #else
   (void)kind; (void)node; (void)a; (void)b; (void)detail;
+  (void)span; (void)parent;
 #endif
 }
 
@@ -58,6 +77,17 @@ std::vector<TraceEvent> TraceBuffer::events_in_order() const {
 
 std::string TraceBuffer::to_jsonl() const {
   std::string out;
+  {
+    JsonWriter w;
+    w.begin_object();
+    w.key("schema").value("ncast.trace.v1");
+    w.key("capacity").value(static_cast<std::uint64_t>(ring_.size()));
+    w.key("total_emitted").value(total_);
+    w.key("dropped_events").value(dropped_);
+    w.end_object();
+    out += w.str();
+    out += '\n';
+  }
   for (const TraceEvent& e : events_in_order()) {
     JsonWriter w;
     w.begin_object();
@@ -66,6 +96,8 @@ std::string TraceBuffer::to_jsonl() const {
     w.key("node").value(e.node);
     w.key("a").value(e.a);
     w.key("b").value(e.b);
+    if (e.span != kNoSpan) w.key("span").value(e.span);
+    if (e.parent != kNoSpan) w.key("parent").value(e.parent);
     if (!e.detail.empty()) w.key("detail").value(e.detail);
     w.end_object();
     out += w.str();
@@ -89,6 +121,7 @@ void TraceBuffer::clear() {
   next_ = 0;
   size_ = 0;
   total_ = 0;
+  dropped_ = 0;
 }
 
 TraceBuffer& trace() {

@@ -3,8 +3,17 @@
 // with simulation time. The overlay server, the churn driver, and the
 // packet-level simulators emit into the process-wide buffer; when it fills,
 // the oldest events are overwritten (the tail of a run is what post-mortems
-// need). Export is JSONL — one JSON object per line — so runs can be grepped
-// and diffed without a parser.
+// need) and trace.dropped_events counts the loss so a truncated post-mortem
+// is detectable. Export is JSONL — a schema header line followed by one JSON
+// object per event — so runs can be grepped and diffed without a parser; the
+// Chrome trace_event exporter (obs/trace_event.hpp) renders the same buffer
+// for Perfetto / chrome://tracing.
+//
+// Causality: events may carry a span id and a parent span id. A span groups
+// every event of one protocol episode — a join (hello, retransmissions,
+// accept, first rank advances), a complaint/repair cycle — and the parent
+// link turns related spans into a tree. Span ids are allocated from a
+// process-wide sequence (new_span()) and never reused; 0 means "no span".
 
 #ifndef NCAST_OBS_ENABLED
 #define NCAST_OBS_ENABLED 1
@@ -16,8 +25,13 @@
 
 namespace ncast::obs {
 
+/// Span identifier. 0 is "no span"; real ids start at 1.
+using SpanId = std::uint64_t;
+inline constexpr SpanId kNoSpan = 0;
+
 /// Event vocabulary. Kept deliberately small: one enum across the stack so a
-/// single trace interleaves overlay control events with data-plane progress.
+/// single trace interleaves overlay control events with data-plane progress
+/// and message-plane lifecycle.
 enum class TraceKind : std::uint8_t {
   kJoin,               ///< node joined the overlay (a = degree)
   kLeave,              ///< graceful good-bye (a = parents, b = children)
@@ -28,19 +42,30 @@ enum class TraceKind : std::uint8_t {
   kRankAdvance,        ///< receiver's decoder rank increased (a = new rank)
   kCongestionOffload,  ///< node dropped a thread under load (a = column)
   kCongestionRestore,  ///< node re-acquired a thread (a = column)
+  // Message-plane lifecycle (PR 6): the causal skeleton of the event-driven
+  // protocol. node/a/b = from/to/message type unless noted.
+  kMsgSend,     ///< control message handed to the transport
+  kMsgDeliver,  ///< control message delivered to its endpoint
+  kMsgDrop,     ///< message lost (detail = reason: loss/partition/crash/...)
+  kMsgRetry,    ///< sender retransmitted (a = attempt number, b = msg type)
+  kSpanBegin,   ///< a protocol episode opened (detail = span name)
+  kSpanEnd,     ///< the episode closed (detail = span name)
 };
 
 const char* to_string(TraceKind kind);
 
 /// One trace record. `node`, `a`, `b` are kind-dependent numeric payloads
 /// (see TraceKind comments); `detail` is optional free text, JSON-escaped on
-/// export. Keeping the payload numeric keeps hot-path emission cheap.
+/// export. `span`/`parent` carry the causal links (kNoSpan = unlinked).
+/// Keeping the payload numeric keeps hot-path emission cheap.
 struct TraceEvent {
   double t = 0.0;
   TraceKind kind = TraceKind::kJoin;
   std::uint64_t node = 0;
   std::uint64_t a = 0;
   std::uint64_t b = 0;
+  SpanId span = kNoSpan;
+  SpanId parent = kNoSpan;
   std::string detail;
 };
 
@@ -57,20 +82,33 @@ class TraceBuffer {
   double now() const { return now_; }
 
   void emit(TraceKind kind, std::uint64_t node = 0, std::uint64_t a = 0,
-            std::uint64_t b = 0, std::string detail = {});
+            std::uint64_t b = 0, std::string detail = {},
+            SpanId span = kNoSpan, SpanId parent = kNoSpan);
+
+  /// Allocates a fresh span id (never 0, never reused). Not gated by the
+  /// kill switch: span ids ride protocol messages, so their allocation must
+  /// not depend on whether telemetry is compiled in.
+  SpanId new_span() { return ++span_seq_; }
 
   std::size_t capacity() const { return ring_.size(); }
   /// Events currently retained (<= capacity()).
   std::size_t size() const { return size_; }
   /// Events ever emitted, including overwritten ones.
   std::uint64_t total_emitted() const { return total_; }
+  /// Events lost to ring overwrite since the last clear() — when nonzero,
+  /// the head of any reconstructed span tree may be missing.
+  std::uint64_t dropped_events() const { return dropped_; }
 
   /// Retained events, oldest first.
   std::vector<TraceEvent> events_in_order() const;
 
-  /// One JSON object per retained event, oldest first, '\n'-terminated lines:
-  /// {"t":..,"kind":"join","node":..,"a":..,"b":..,"detail":".."}
-  /// ("detail" is omitted when empty).
+  /// JSONL export ("ncast.trace.v1"): a header line
+  ///   {"schema":"ncast.trace.v1","capacity":..,"total_emitted":..,
+  ///    "dropped_events":..}
+  /// then one object per retained event, oldest first, '\n'-terminated:
+  ///   {"t":..,"kind":"join","node":..,"a":..,"b":..,
+  ///    "span":..,"parent":..,"detail":".."}
+  /// ("span"/"parent" omitted when kNoSpan, "detail" omitted when empty).
   std::string to_jsonl() const;
 
   /// Writes to_jsonl() to a file; returns false on I/O failure.
@@ -83,6 +121,8 @@ class TraceBuffer {
   std::size_t next_ = 0;  // slot the next event lands in
   std::size_t size_ = 0;
   std::uint64_t total_ = 0;
+  std::uint64_t dropped_ = 0;
+  SpanId span_seq_ = 0;
   double now_ = 0.0;
 };
 

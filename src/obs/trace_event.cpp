@@ -1,0 +1,93 @@
+#include "obs/trace_event.hpp"
+
+#include <cstdio>
+#include <map>
+
+#include "obs/json.hpp"
+
+namespace ncast::obs {
+
+namespace {
+
+// Common fields every trace_event record carries. Keeping the field order
+// fixed (name, cat, ph, ts, pid, tid, ...) makes the export golden-testable.
+void common_fields(JsonWriter& w, const char* name, const char* cat,
+                   const char* ph, double ts, std::uint64_t tid) {
+  w.key("name").value(name);
+  w.key("cat").value(cat);
+  w.key("ph").value(ph);
+  w.key("ts").value(ts);
+  w.key("pid").value(std::uint64_t{0});
+  w.key("tid").value(tid);
+}
+
+}  // namespace
+
+std::string to_trace_event_json(const TraceBuffer& buffer) {
+  const auto events = buffer.events_in_order();
+
+  // Async begin/end pairs must agree on (cat, id, name) for the viewer to
+  // close the bar; ends are emitted with whatever name their begin declared
+  // (an end whose begin was overwritten falls back to "span").
+  std::map<SpanId, std::string> span_names;
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceKind::kSpanBegin && e.span != kNoSpan) {
+      span_names[e.span] = e.detail.empty() ? "span" : e.detail;
+    }
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (const TraceEvent& e : events) {
+    const double ts = e.t * kTraceEventTimeScale;
+    w.begin_object();
+    if (e.kind == TraceKind::kSpanBegin || e.kind == TraceKind::kSpanEnd) {
+      const bool begin = e.kind == TraceKind::kSpanBegin;
+      const auto named = span_names.find(e.span);
+      const std::string& name =
+          named != span_names.end() ? named->second : std::string("span");
+      common_fields(w, name.c_str(), "span", begin ? "b" : "e", ts, e.node);
+      w.key("id").value(std::to_string(e.span));
+      w.key("args").begin_object();
+      w.key("span").value(e.span);
+      if (e.parent != kNoSpan) w.key("parent").value(e.parent);
+      if (e.a != 0) w.key("a").value(e.a);
+      if (e.b != 0) w.key("b").value(e.b);
+      w.end_object();
+    } else {
+      common_fields(w, to_string(e.kind), to_string(e.kind), "i", ts, e.node);
+      w.key("s").value("t");  // thread-scoped instant: one tick per node row
+      w.key("args").begin_object();
+      w.key("a").value(e.a);
+      w.key("b").value(e.b);
+      if (e.span != kNoSpan) w.key("span").value(e.span);
+      if (e.parent != kNoSpan) w.key("parent").value(e.parent);
+      if (!e.detail.empty()) w.key("detail").value(e.detail);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("displayTimeUnit").value("ms");
+  w.key("otherData").begin_object();
+  w.key("schema").value("ncast.trace_event.v1");
+  w.key("capacity").value(static_cast<std::uint64_t>(buffer.capacity()));
+  w.key("total_emitted").value(buffer.total_emitted());
+  w.key("dropped_events").value(buffer.dropped_events());
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+bool write_trace_event(const TraceBuffer& buffer, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = to_trace_event_json(buffer);
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const bool ok = written == body.size() && std::fclose(f) == 0;
+  if (!ok && written != body.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace ncast::obs

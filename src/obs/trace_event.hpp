@@ -1,0 +1,34 @@
+#pragma once
+// Chrome trace_event exporter: renders a TraceBuffer as the JSON Trace Event
+// Format understood by Perfetto (ui.perfetto.dev) and chrome://tracing, so
+// any sim or bench run can be opened in a real trace viewer. Mapping:
+//
+//   - kSpanBegin / kSpanEnd become async "b"/"e" events keyed by the span id
+//     ("cat":"span"), so each protocol episode (a join, a complaint/repair
+//     cycle) renders as one horizontal bar on its node's track;
+//   - every other TraceKind becomes a thread-scoped instant event ("ph":"i")
+//     with the numeric payloads, span, and parent in "args";
+//   - pid is always 0 (one simulated process), tid is the node id, so the
+//     viewer groups events per node;
+//   - ts is sim-time scaled by 1000 (one sim time unit displays as 1 ms).
+//
+// The top-level object also carries "otherData" with the buffer's capacity,
+// total_emitted, and dropped_events counters, so a truncated trace is
+// detectable inside the viewer's metadata panel too.
+
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace ncast::obs {
+
+/// Sim-time -> trace_event timestamp scale (1 sim unit = 1000 "us" = 1 ms).
+inline constexpr double kTraceEventTimeScale = 1000.0;
+
+/// The full trace_event JSON document for the buffer's retained events.
+std::string to_trace_event_json(const TraceBuffer& buffer);
+
+/// Writes to_trace_event_json() to a file; returns false on I/O failure.
+bool write_trace_event(const TraceBuffer& buffer, const std::string& path);
+
+}  // namespace ncast::obs

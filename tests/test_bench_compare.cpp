@@ -1,0 +1,161 @@
+// Tolerance-logic tests for the perf-regression gate (tools/compare). These
+// drive bench_compare_core in-process: budget parsing, pass/fail verdicts in
+// both directions, the missing-metric and new-metric cases, the mode guard,
+// and the acceptance scenario — an injected 2x regression must fail.
+
+#include "compare/bench_compare_core.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ncast::tools::compare {
+namespace {
+
+ValuePtr doc(const std::string& json) {
+  return Parser(json).parse();
+}
+
+Budget budget(const std::string& spec) {
+  Budget b;
+  std::string error;
+  EXPECT_TRUE(parse_budget(spec, &b, &error)) << error;
+  return b;
+}
+
+const char* kBaseline = R"({
+  "schema":"ncast.bench.v1","bench":"x","smoke":true,"obs_enabled":true,
+  "counters":{"net.control_bytes":1000,"engine.events_executed":5000},
+  "gauges":{"engine.events_per_sec":200000},
+  "histograms":{"decoder.absorb_ns":{"count":10,"p50":500,"p90":900,"p99":2000}},
+  "notes":{"events_per_sec":100000}
+})";
+
+TEST(BudgetParse, AcceptsTheDocumentedForms) {
+  const Budget c = budget("counters:net.control_bytes:le:1.25");
+  EXPECT_EQ(c.section, "counters");
+  EXPECT_EQ(c.name, "net.control_bytes");
+  EXPECT_TRUE(c.stat.empty());
+  EXPECT_EQ(c.dir, Budget::Dir::kLe);
+  EXPECT_DOUBLE_EQ(c.ratio, 1.25);
+
+  const Budget h = budget("histograms:decoder.absorb_ns:p99:le:10");
+  EXPECT_EQ(h.stat, "p99");
+
+  const Budget g = budget("gauges:engine.events_per_sec:ge:0.05");
+  EXPECT_EQ(g.dir, Budget::Dir::kGe);
+}
+
+TEST(BudgetParse, RejectsMalformedSpecs) {
+  Budget b;
+  std::string error;
+  EXPECT_FALSE(parse_budget("counters:x", &b, &error));
+  EXPECT_FALSE(parse_budget("mystery:x:le:1.0", &b, &error));
+  EXPECT_FALSE(parse_budget("counters:x:gt:1.0", &b, &error));
+  EXPECT_FALSE(parse_budget("counters:x:le:0", &b, &error));
+  EXPECT_FALSE(parse_budget("counters:x:le:-2", &b, &error));
+  EXPECT_FALSE(parse_budget("counters:x:le:fast", &b, &error));
+  // Histograms need a stat; scalar sections must not have one.
+  EXPECT_FALSE(parse_budget("histograms:h:le:2", &b, &error));
+  EXPECT_FALSE(parse_budget("histograms:h:p42:le:2", &b, &error));
+  EXPECT_FALSE(parse_budget("counters:x:p99:le:2", &b, &error));
+}
+
+TEST(Compare, WithinBudgetPasses) {
+  const auto base = doc(kBaseline);
+  const auto fresh = doc(R"({
+    "smoke":true,"obs_enabled":true,
+    "counters":{"net.control_bytes":1200},
+    "histograms":{"decoder.absorb_ns":{"count":10,"p50":480,"p90":880,"p99":2100}}
+  })");
+  const Report r = compare(*base, *fresh,
+                           {budget("counters:net.control_bytes:le:1.25"),
+                            budget("histograms:decoder.absorb_ns:p99:le:2")});
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.count(Finding::Kind::kPass), 2u);
+}
+
+TEST(Compare, InjectedTwoXRegressionFails) {
+  // The acceptance criterion: double a gated metric, the gate must trip.
+  const auto base = doc(kBaseline);
+  const auto fresh = doc(R"({
+    "smoke":true,"obs_enabled":true,
+    "counters":{"net.control_bytes":2000}
+  })");
+  const Report r = compare(*base, *fresh,
+                           {budget("counters:net.control_bytes:le:1.25")});
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].kind, Finding::Kind::kFail);
+  EXPECT_DOUBLE_EQ(r.findings[0].bound, 1250.0);
+  EXPECT_DOUBLE_EQ(r.findings[0].fresh, 2000.0);
+}
+
+TEST(Compare, GeDirectionGuardsThroughputFloors) {
+  const auto base = doc(kBaseline);
+  const auto ok_run = doc(R"({"gauges":{"engine.events_per_sec":50000}})");
+  const auto slow_run = doc(R"({"gauges":{"engine.events_per_sec":5000}})");
+  const auto spec = budget("gauges:engine.events_per_sec:ge:0.1");
+  EXPECT_TRUE(compare(*base, *ok_run, {spec}).ok());
+  EXPECT_FALSE(compare(*base, *slow_run, {spec}).ok());
+}
+
+TEST(Compare, BoundaryIsInclusive) {
+  const auto base = doc(kBaseline);
+  const auto fresh = doc(R"({"counters":{"net.control_bytes":1250}})");
+  EXPECT_TRUE(
+      compare(*base, *fresh, {budget("counters:net.control_bytes:le:1.25")})
+          .ok());
+}
+
+TEST(Compare, BudgetedMetricMissingFromFreshFails) {
+  // A gated metric silently vanishing is a regression-shaped hole.
+  const auto base = doc(kBaseline);
+  const auto fresh = doc(R"({"counters":{}})");
+  const Report r = compare(*base, *fresh,
+                           {budget("counters:net.control_bytes:le:1.25")});
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].kind, Finding::Kind::kMissingFresh);
+}
+
+TEST(Compare, MetricAbsentFromBaselineIsNonFailNewMetric) {
+  // Can't gate without a reference; the finding is the baseline-refresh
+  // reminder, not a failure.
+  const auto base = doc(kBaseline);
+  const auto fresh = doc(R"({"counters":{"net.new_thing":42}})");
+  const Report r =
+      compare(*base, *fresh, {budget("counters:net.new_thing:le:1.25")});
+  EXPECT_TRUE(r.ok());
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].kind, Finding::Kind::kNewMetric);
+}
+
+TEST(Compare, ModeMismatchFailsRegardlessOfBudgets) {
+  const auto base = doc(kBaseline);  // smoke:true
+  const auto fresh = doc(R"({
+    "smoke":false,"obs_enabled":true,
+    "counters":{"net.control_bytes":1000}
+  })");
+  const Report r = compare(*base, *fresh,
+                           {budget("counters:net.control_bytes:le:1.25")});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.count(Finding::Kind::kModeMismatch), 1u);
+  // The budget itself passed; the mode guard is what failed the run.
+  EXPECT_EQ(r.count(Finding::Kind::kPass), 1u);
+}
+
+TEST(Compare, ReportJsonRoundTripsThroughTheReader) {
+  const auto base = doc(kBaseline);
+  const auto fresh = doc(R"({"counters":{"net.control_bytes":2000}})");
+  const Report r = compare(*base, *fresh,
+                           {budget("counters:net.control_bytes:le:1.25")});
+  const ValuePtr parsed = Parser(r.to_json()).parse();
+  ASSERT_TRUE(parsed->is_object());
+  EXPECT_EQ(parsed->get("schema")->string, "ncast.compare.v1");
+  EXPECT_EQ(parsed->get("ok")->kind, Value::Kind::kBool);
+  EXPECT_FALSE(parsed->get("ok")->boolean);
+  ASSERT_EQ(parsed->get("findings")->array.size(), 1u);
+  EXPECT_EQ(parsed->get("findings")->array[0]->get("kind")->string, "fail");
+}
+
+}  // namespace
+}  // namespace ncast::tools::compare

@@ -9,7 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+
 #include "node/protocol_scenario.hpp"
+#include "obs/trace.hpp"
 #include "overlay/curtain_server.hpp"
 #include "sim/link_model.hpp"
 
@@ -166,6 +170,95 @@ TEST(ProtocolScenario, LeaveOfCrashedClientIsIgnored) {
   EXPECT_TRUE(report.outcomes[3].crashed);
   EXPECT_FALSE(report.outcomes[3].departed);
 }
+
+#if NCAST_OBS_ENABLED
+
+TEST(ProtocolScenarioTrace, LossyJoinChainReconstructsBySpanId) {
+  // The tentpole's acceptance shape: under control loss, at least one join
+  // episode's full retry chain — hello retransmission(s), the accept
+  // delivery, the node's first rank advance — must group under one span id
+  // in the process trace, with nothing but the span linking the pieces.
+  obs::trace().clear();
+  ProtocolScenarioSpec spec = quiet_spec(51);
+  spec.transport.control_loss = sim::LossSpec::bernoulli(0.4);
+  spec.join_retry = 3.0;
+  spec.faults.join_burst(1.0, 8, 2.0);
+  const auto report = run_scenario(spec);
+  ASSERT_GT(report.total_join_retries(), 0u);
+
+  struct Chain {
+    bool retried = false, accepted = false, advanced = false;
+  };
+  std::map<obs::SpanId, Chain> chains;
+  for (const auto& e : obs::trace().events_in_order()) {
+    if (e.span == obs::kNoSpan) continue;
+    if (e.kind == obs::TraceKind::kMsgRetry &&
+        e.b == static_cast<std::uint64_t>(MessageType::kJoinRequest)) {
+      chains[e.span].retried = true;
+    } else if (e.kind == obs::TraceKind::kMsgDeliver &&
+               e.b == static_cast<std::uint64_t>(MessageType::kJoinAccept)) {
+      chains[e.span].accepted = true;
+    } else if (e.kind == obs::TraceKind::kRankAdvance) {
+      chains[e.span].advanced = true;
+    }
+  }
+  bool complete = false;
+  for (const auto& [span, c] : chains) {
+    if (c.retried && c.accepted && c.advanced) complete = true;
+  }
+  EXPECT_TRUE(complete)
+      << "no join span carries retry + accept + rank advance";
+}
+
+TEST(ProtocolScenarioTrace, RepairSpanIsParentedOnTheComplaint) {
+  // The complaint/repair cycle as a span tree: the client opens a complaint
+  // span, its complaint message carries it, and the server's repair span is
+  // born with that span as parent and closes when the splice completes.
+  obs::trace().clear();
+  ProtocolScenarioSpec spec = quiet_spec(41);
+  spec.default_degree = 3;
+  spec.silence_timeout = 8;
+  spec.faults.join_burst(1.0, 10, 1.0);
+  spec.faults.crash_join_at(40.0, 0);
+  const auto report = run_scenario(spec);
+  ASSERT_EQ(report.repairs_done, 1u);
+
+  std::set<obs::SpanId> complaint_spans;
+  obs::SpanId repair_span = obs::kNoSpan;
+  obs::SpanId repair_parent = obs::kNoSpan;
+  bool repair_closed = false;
+  for (const auto& e : obs::trace().events_in_order()) {
+    if (e.kind == obs::TraceKind::kSpanBegin && e.detail == "complaint") {
+      complaint_spans.insert(e.span);
+    } else if (e.kind == obs::TraceKind::kSpanBegin && e.detail == "repair") {
+      repair_span = e.span;
+      repair_parent = e.parent;
+    } else if (e.kind == obs::TraceKind::kSpanEnd && e.detail == "repair" &&
+               e.span == repair_span) {
+      repair_closed = true;
+    }
+  }
+  ASSERT_FALSE(complaint_spans.empty());
+  ASSERT_NE(repair_span, obs::kNoSpan);
+  // Several children may complain about the same dead parent; the repair is
+  // parented on whichever complaint reached the server first.
+  EXPECT_TRUE(complaint_spans.count(repair_parent))
+      << "repair parent " << repair_parent << " is not a complaint span";
+  EXPECT_TRUE(repair_closed);
+}
+
+TEST(ProtocolScenarioTrace, SpanFieldDoesNotChangeControlBytes) {
+  // Message::span is telemetry context, not wire payload: the byte
+  // accounting (and with it every gossip-overhead claim) must be identical
+  // whether or not an episode stamped its messages.
+  Message m;
+  m.type = MessageType::kComplaint;
+  const std::size_t before = m.control_size();
+  m.span = 12345;
+  EXPECT_EQ(m.control_size(), before);
+}
+
+#endif  // NCAST_OBS_ENABLED
 
 }  // namespace
 }  // namespace ncast::node

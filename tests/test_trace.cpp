@@ -45,6 +45,7 @@ TEST(TraceBuffer, RingKeepsTheNewestEvents) {
   EXPECT_EQ(tb.capacity(), 4u);
   EXPECT_EQ(tb.size(), 4u);
   EXPECT_EQ(tb.total_emitted(), 6u);
+  EXPECT_EQ(tb.dropped_events(), 2u);
   const auto events = tb.events_in_order();
   ASSERT_EQ(events.size(), 4u);
   // Oldest two (0, 1) were overwritten; 2..5 remain, oldest first.
@@ -53,6 +54,26 @@ TEST(TraceBuffer, RingKeepsTheNewestEvents) {
     EXPECT_EQ(events[i].a, i + 102);
     EXPECT_DOUBLE_EQ(events[i].t, static_cast<double>(i + 2));
   }
+}
+
+TEST(TraceBuffer, DroppedEventsCountsOverwritesOnly) {
+  TraceBuffer tb(2);
+  tb.emit(TraceKind::kJoin, 1);
+  tb.emit(TraceKind::kJoin, 2);
+  EXPECT_EQ(tb.dropped_events(), 0u);
+  tb.emit(TraceKind::kJoin, 3);
+  EXPECT_EQ(tb.dropped_events(), 1u);
+  tb.clear();
+  EXPECT_EQ(tb.dropped_events(), 0u);
+}
+
+TEST(TraceBuffer, SpanIdsAreSequentialAndNeverZero) {
+  TraceBuffer tb(4);
+  const SpanId s1 = tb.new_span();
+  const SpanId s2 = tb.new_span();
+  EXPECT_NE(s1, kNoSpan);
+  EXPECT_NE(s2, kNoSpan);
+  EXPECT_NE(s1, s2);
 }
 
 TEST(TraceBuffer, ExactlyFullDoesNotWrap) {
@@ -74,7 +95,7 @@ TEST(TraceBuffer, ClearEmptiesButKeepsCapacity) {
   EXPECT_EQ(tb.events_in_order()[0].kind, TraceKind::kLeave);
 }
 
-TEST(TraceBuffer, JsonlOneObjectPerLine) {
+TEST(TraceBuffer, JsonlHeaderThenOneObjectPerLine) {
   TraceBuffer tb(8);
   tb.set_now(0.25);
   tb.emit(TraceKind::kJoin, 1, 2, 3);
@@ -83,10 +104,31 @@ TEST(TraceBuffer, JsonlOneObjectPerLine) {
   std::istringstream lines(out);
   std::string line;
   ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line,
+            R"({"schema":"ncast.trace.v1","capacity":8,"total_emitted":2,)"
+            R"("dropped_events":0})");
+  ASSERT_TRUE(std::getline(lines, line));
   EXPECT_EQ(line, R"({"t":0.25,"kind":"join","node":1,"a":2,"b":3})");
   ASSERT_TRUE(std::getline(lines, line));
   EXPECT_EQ(line, R"({"t":0.25,"kind":"rank_advance","node":4,"a":5,"b":0})");
   EXPECT_FALSE(std::getline(lines, line));
+}
+
+TEST(TraceBuffer, JsonlCarriesSpanAndParentWhenSet) {
+  TraceBuffer tb(8);
+  const SpanId parent = tb.new_span();
+  const SpanId child = tb.new_span();
+  tb.emit(TraceKind::kSpanBegin, 3, 0, 0, "repair", child, parent);
+  const std::string out = tb.to_jsonl();
+  EXPECT_NE(out.find("\"span\":" + std::to_string(child)), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"parent\":" + std::to_string(parent)), std::string::npos)
+      << out;
+  // kNoSpan is spelled by omission, not as 0.
+  tb.clear();
+  tb.emit(TraceKind::kJoin, 1);
+  EXPECT_EQ(tb.to_jsonl().find("\"span\""), std::string::npos);
+  EXPECT_EQ(tb.to_jsonl().find("\"parent\""), std::string::npos);
 }
 
 TEST(TraceBuffer, JsonlEscapesDetailText) {
@@ -123,8 +165,21 @@ TEST(TraceBuffer, EmitIsANoOpWhenDisabled) {
   tb.emit(TraceKind::kJoin, 1);
   EXPECT_EQ(tb.size(), 0u);
   EXPECT_EQ(tb.total_emitted(), 0u);
+  EXPECT_EQ(tb.dropped_events(), 0u);
   EXPECT_TRUE(tb.events_in_order().empty());
-  EXPECT_TRUE(tb.to_jsonl().empty());
+  // The export still carries the schema header (a valid, empty trace file),
+  // just no event lines.
+  const std::string out = tb.to_jsonl();
+  EXPECT_NE(out.find("\"ncast.trace.v1\""), std::string::npos);
+  EXPECT_EQ(out.find("\"kind\""), std::string::npos);
+}
+
+TEST(TraceBuffer, SpanAllocationSurvivesTheKillSwitch) {
+  // Span ids ride protocol messages, so new_span() must keep allocating
+  // even when event emission is compiled out.
+  TraceBuffer tb(4);
+  EXPECT_NE(tb.new_span(), kNoSpan);
+  EXPECT_NE(tb.new_span(), tb.new_span());
 }
 
 #endif  // NCAST_OBS_ENABLED
@@ -139,6 +194,12 @@ TEST(TraceKindNames, AllDistinctAndStable) {
   EXPECT_STREQ(to_string(TraceKind::kRankAdvance), "rank_advance");
   EXPECT_STREQ(to_string(TraceKind::kCongestionOffload), "congestion_offload");
   EXPECT_STREQ(to_string(TraceKind::kCongestionRestore), "congestion_restore");
+  EXPECT_STREQ(to_string(TraceKind::kMsgSend), "msg_send");
+  EXPECT_STREQ(to_string(TraceKind::kMsgDeliver), "msg_deliver");
+  EXPECT_STREQ(to_string(TraceKind::kMsgDrop), "msg_drop");
+  EXPECT_STREQ(to_string(TraceKind::kMsgRetry), "msg_retry");
+  EXPECT_STREQ(to_string(TraceKind::kSpanBegin), "span_begin");
+  EXPECT_STREQ(to_string(TraceKind::kSpanEnd), "span_end");
 }
 
 TEST(GlobalTrace, IsASingleton) {

@@ -1,0 +1,124 @@
+// Golden-file tests for the two trace exporters: the ncast.trace.v1 JSONL
+// format and the Chrome trace_event JSON (Perfetto / chrome://tracing).
+// These pin the exact byte-level output — field order, escaping, span/parent
+// links — because downstream consumers (bench_validate, grep-based
+// post-mortems, the trace viewer) parse these files without a schema
+// negotiation step. A formatting change that breaks a golden here would
+// break them too.
+
+#include "obs/trace_event.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.hpp"
+
+namespace ncast::obs {
+namespace {
+
+#if NCAST_OBS_ENABLED
+
+// One buffer exercising every exporter feature: a parented span pair, a
+// message lifecycle event inside the span, an unlinked instant, and a detail
+// string needing escapes.
+TraceBuffer golden_buffer() {
+  TraceBuffer tb(8);
+  const SpanId join = tb.new_span();    // 1
+  const SpanId repair = tb.new_span();  // 2
+  tb.set_now(1.0);
+  tb.emit(TraceKind::kSpanBegin, 7, 0, 0, "join", join);
+  tb.set_now(1.5);
+  tb.emit(TraceKind::kMsgRetry, 7, 1, 0, {}, join);
+  tb.set_now(2.0);
+  tb.emit(TraceKind::kSpanBegin, 3, 4, 7, "repair", repair, join);
+  tb.set_now(2.25);
+  tb.emit(TraceKind::kMsgDrop, 7, 0, 5, "loss\"x\"", join);
+  tb.set_now(3.0);
+  tb.emit(TraceKind::kSpanEnd, 3, 0, 0, "repair", repair);
+  tb.set_now(4.0);
+  tb.emit(TraceKind::kCrash, 9);
+  return tb;
+}
+
+TEST(TraceJsonlGolden, ExactOutput) {
+  const std::string expected =
+      R"({"schema":"ncast.trace.v1","capacity":8,"total_emitted":6,"dropped_events":0})"
+      "\n"
+      R"({"t":1,"kind":"span_begin","node":7,"a":0,"b":0,"span":1,"detail":"join"})"
+      "\n"
+      R"({"t":1.5,"kind":"msg_retry","node":7,"a":1,"b":0,"span":1})"
+      "\n"
+      R"({"t":2,"kind":"span_begin","node":3,"a":4,"b":7,"span":2,"parent":1,"detail":"repair"})"
+      "\n"
+      R"({"t":2.25,"kind":"msg_drop","node":7,"a":0,"b":5,"span":1,"detail":"loss\"x\""})"
+      "\n"
+      R"({"t":3,"kind":"span_end","node":3,"a":0,"b":0,"span":2,"detail":"repair"})"
+      "\n"
+      R"({"t":4,"kind":"crash","node":9,"a":0,"b":0})"
+      "\n";
+  EXPECT_EQ(golden_buffer().to_jsonl(), expected);
+}
+
+TEST(TraceEventGolden, ExactOutput) {
+  // ts = t * 1000 (sim units exported as ms so microsecond-native viewers
+  // show readable numbers); spans become async b/e pairs keyed by span id,
+  // everything else thread-scoped instants.
+  const std::string expected =
+      R"({"traceEvents":[)"
+      R"({"name":"join","cat":"span","ph":"b","ts":1000,"pid":0,"tid":7,"id":"1","args":{"span":1}},)"
+      R"({"name":"msg_retry","cat":"msg_retry","ph":"i","ts":1500,"pid":0,"tid":7,"s":"t","args":{"a":1,"b":0,"span":1}},)"
+      R"({"name":"repair","cat":"span","ph":"b","ts":2000,"pid":0,"tid":3,"id":"2","args":{"span":2,"parent":1,"a":4,"b":7}},)"
+      R"({"name":"msg_drop","cat":"msg_drop","ph":"i","ts":2250,"pid":0,"tid":7,"s":"t","args":{"a":0,"b":5,"span":1,"detail":"loss\"x\""}},)"
+      R"({"name":"repair","cat":"span","ph":"e","ts":3000,"pid":0,"tid":3,"id":"2","args":{"span":2}},)"
+      R"({"name":"crash","cat":"crash","ph":"i","ts":4000,"pid":0,"tid":9,"s":"t","args":{"a":0,"b":0}})"
+      R"(],"displayTimeUnit":"ms","otherData":{"schema":"ncast.trace_event.v1",)"
+      R"("capacity":8,"total_emitted":6,"dropped_events":0}})";
+  EXPECT_EQ(to_trace_event_json(golden_buffer()), expected);
+}
+
+TEST(TraceEventExport, EndReusesTheBeginsName) {
+  TraceBuffer tb(4);
+  const SpanId s = tb.new_span();
+  tb.emit(TraceKind::kSpanBegin, 1, 0, 0, "complaint", s);
+  tb.emit(TraceKind::kSpanEnd, 1, 0, 0, {}, s);
+  const std::string out = to_trace_event_json(tb);
+  // Both halves of the async pair must agree on the name or the viewer
+  // cannot close the bar.
+  EXPECT_NE(out.find(R"("name":"complaint","cat":"span","ph":"b")"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find(R"("name":"complaint","cat":"span","ph":"e")"),
+            std::string::npos)
+      << out;
+}
+
+TEST(TraceEventExport, OrphanEndFallsBackToGenericName) {
+  // The begin was overwritten by ring wraparound: the end must still emit a
+  // well-formed record.
+  TraceBuffer tb(4);
+  const SpanId s = tb.new_span();
+  tb.emit(TraceKind::kSpanEnd, 1, 0, 0, {}, s);
+  EXPECT_NE(to_trace_event_json(tb).find(R"("name":"span","cat":"span")"),
+            std::string::npos);
+}
+
+TEST(TraceEventExport, HeaderCarriesDroppedEvents) {
+  TraceBuffer tb(2);
+  for (int i = 0; i < 5; ++i) tb.emit(TraceKind::kJoin, 1);
+  EXPECT_NE(to_trace_event_json(tb).find(R"("dropped_events":3)"),
+            std::string::npos);
+}
+
+#else  // !NCAST_OBS_ENABLED
+
+TEST(TraceEventExport, DisabledBufferExportsEmptyTrace) {
+  TraceBuffer tb(4);
+  tb.emit(TraceKind::kJoin, 1);
+  const std::string out = to_trace_event_json(tb);
+  EXPECT_NE(out.find(R"("traceEvents":[])"), std::string::npos) << out;
+  EXPECT_NE(out.find(R"("schema":"ncast.trace_event.v1")"), std::string::npos);
+}
+
+#endif  // NCAST_OBS_ENABLED
+
+}  // namespace
+}  // namespace ncast::obs

@@ -1,0 +1,119 @@
+// bench_compare — the perf-regression gate (ROADMAP item 5). Diffs a fresh
+// BENCH_<name>.json against a committed baseline under explicit per-metric
+// tolerance budgets:
+//
+//   bench_compare BASELINE FRESH --budget SPEC [--budget SPEC ...]
+//                 [--json OUT]
+//
+// with SPEC = SECTION:NAME[:STAT]:le|ge:RATIO (see
+// tools/compare/bench_compare_core.hpp for the full syntax and verdict
+// semantics). Exits 0 when every budget passes, 1 on any fail /
+// missing-fresh / mode-mismatch finding, 2 on usage or parse errors. Wired
+// into ctest under the "perf" label: each bench family's smoke run is
+// compared against bench/baselines/BENCH_<family>.json.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "compare/bench_compare_core.hpp"
+
+namespace {
+
+using ncast::tools::Parser;
+using ncast::tools::ValuePtr;
+namespace compare = ncast::tools::compare;
+
+ValuePtr load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot open %s\n", path.c_str());
+    return nullptr;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  try {
+    return Parser(buf.str()).parse();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_compare: %s: %s\n", path.c_str(), e.what());
+    return nullptr;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: bench_compare BASELINE FRESH --budget SPEC "
+                 "[--budget SPEC ...] [--json OUT]\n");
+    return 2;
+  }
+  const std::string baseline_path = argv[1];
+  const std::string fresh_path = argv[2];
+  std::vector<compare::Budget> budgets;
+  std::string json_out;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if ((arg == "--budget" || arg == "--json") && i + 1 >= argc) {
+      std::fprintf(stderr, "bench_compare: %s needs a value\n", arg.c_str());
+      return 2;
+    }
+    if (arg == "--budget") {
+      compare::Budget b;
+      std::string error;
+      if (!compare::parse_budget(argv[++i], &b, &error)) {
+        std::fprintf(stderr, "bench_compare: %s\n", error.c_str());
+        return 2;
+      }
+      budgets.push_back(std::move(b));
+    } else if (arg == "--json") {
+      json_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "bench_compare: unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (budgets.empty()) {
+    std::fprintf(stderr, "bench_compare: at least one --budget is required\n");
+    return 2;
+  }
+
+  const ValuePtr baseline = load(baseline_path);
+  const ValuePtr fresh = load(fresh_path);
+  if (!baseline || !fresh) return 2;
+  if (!baseline->is_object() || !fresh->is_object()) {
+    std::fprintf(stderr, "bench_compare: inputs must be JSON objects\n");
+    return 2;
+  }
+
+  const compare::Report report = compare::compare(*baseline, *fresh, budgets);
+
+  for (const auto& f : report.findings) {
+    const bool bad = f.kind != compare::Finding::Kind::kPass &&
+                     f.kind != compare::Finding::Kind::kNewMetric;
+    std::fprintf(bad ? stderr : stdout, "bench_compare: %-13s %s  %s\n",
+                 compare::to_string(f.kind), f.metric.c_str(),
+                 f.message.c_str());
+  }
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "bench_compare: cannot write %s\n", json_out.c_str());
+      return 2;
+    }
+    out << report.to_json();
+  }
+
+  std::printf("bench_compare: %s (%zu budgets: %zu pass, %zu fail, "
+              "%zu missing, %zu new)\n",
+              report.ok() ? "OK" : "FAIL", budgets.size(),
+              report.count(compare::Finding::Kind::kPass),
+              report.count(compare::Finding::Kind::kFail),
+              report.count(compare::Finding::Kind::kMissingFresh),
+              report.count(compare::Finding::Kind::kNewMetric));
+  return report.ok() ? 0 : 1;
+}

@@ -11,233 +11,32 @@
 //   ncast.lint.v1 — LINT_*.json from tools/ncast_lint: tool/roots/rules,
 //     a counts object consistent with the violations and suppressed arrays,
 //     and well-formed finding entries (known rule, file, 1-based line).
+//   ncast.trace.v1 — TRACE_*.jsonl from obs::TraceBuffer::to_jsonl(): a
+//     header line carrying capacity / total_emitted / dropped_events, then
+//     one event object per line with a numeric timestamp, a non-empty kind,
+//     non-decreasing t, and span/parent ids that are positive when present
+//     (0 is spelled by omission). The event line count must equal
+//     total_emitted - dropped_events (what the ring retained).
 //
 // Exits 0 on success, 1 with a diagnostic on the first violation.
 //
-// The parser is deliberately independent of obs/json.hpp (writer): a shared
-// implementation could hide a bug on both sides of the contract.
+// The parser (tools/json_reader.hpp) is deliberately independent of
+// obs/json.hpp (writer): a shared implementation could hide a bug on both
+// sides of the contract.
 
-#include <cctype>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
-#include <map>
-#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "json_reader.hpp"
+
 namespace {
 
-// ---------------------------------------------------------------------------
-// Minimal JSON model + recursive-descent parser (RFC 8259 subset: no \uXXXX
-// surrogate-pair decoding — escapes are validated and kept verbatim).
-// ---------------------------------------------------------------------------
-
-struct Value;
-using ValuePtr = std::unique_ptr<Value>;
-
-struct Value {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<ValuePtr> array;
-  std::map<std::string, ValuePtr> object;
-
-  bool is_object() const { return kind == Kind::kObject; }
-  bool is_string() const { return kind == Kind::kString; }
-  bool is_number() const { return kind == Kind::kNumber; }
-
-  const Value* get(const std::string& key) const {
-    const auto it = object.find(key);
-    return it == object.end() ? nullptr : it->second.get();
-  }
-};
-
-class Parser {
- public:
-  explicit Parser(const std::string& text) : s_(text) {}
-
-  ValuePtr parse() {
-    ValuePtr v = parse_value();
-    skip_ws();
-    if (pos_ != s_.size()) fail("trailing content after top-level value");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& why) {
-    std::size_t line = 1;
-    for (std::size_t i = 0; i < pos_ && i < s_.size(); ++i) {
-      if (s_[i] == '\n') ++line;
-    }
-    throw std::runtime_error("parse error at line " + std::to_string(line) +
-                             ": " + why);
-  }
-
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
-            s_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= s_.size()) fail("unexpected end of input");
-    return s_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume_literal(const char* lit) {
-    const std::size_t n = std::char_traits<char>::length(lit);
-    if (s_.compare(pos_, n, lit) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-
-  ValuePtr parse_value() {
-    skip_ws();
-    auto v = std::make_unique<Value>();
-    switch (peek()) {
-      case '{': parse_object(*v); break;
-      case '[': parse_array(*v); break;
-      case '"':
-        v->kind = Value::Kind::kString;
-        v->string = parse_string();
-        break;
-      case 't':
-        if (!consume_literal("true")) fail("bad literal");
-        v->kind = Value::Kind::kBool;
-        v->boolean = true;
-        break;
-      case 'f':
-        if (!consume_literal("false")) fail("bad literal");
-        v->kind = Value::Kind::kBool;
-        break;
-      case 'n':
-        if (!consume_literal("null")) fail("bad literal");
-        break;
-      default: parse_number(*v);
-    }
-    return v;
-  }
-
-  void parse_object(Value& v) {
-    v.kind = Value::Kind::kObject;
-    expect('{');
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return;
-    }
-    while (true) {
-      skip_ws();
-      std::string key = parse_string();
-      skip_ws();
-      expect(':');
-      if (!v.object.emplace(std::move(key), parse_value()).second) {
-        fail("duplicate object key");
-      }
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return;
-    }
-  }
-
-  void parse_array(Value& v) {
-    v.kind = Value::Kind::kArray;
-    expect('[');
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return;
-    }
-    while (true) {
-      v.array.push_back(parse_value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return;
-    }
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= s_.size()) fail("unterminated string");
-      const char c = s_[pos_++];
-      if (c == '"') return out;
-      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= s_.size()) fail("unterminated escape");
-      const char e = s_[pos_++];
-      switch (e) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u': {
-          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
-          for (int i = 0; i < 4; ++i) {
-            if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ + i]))) {
-              fail("bad \\u escape");
-            }
-          }
-          out += "\\u" + s_.substr(pos_, 4);  // kept verbatim
-          pos_ += 4;
-          break;
-        }
-        default: fail("unknown escape");
-      }
-    }
-  }
-
-  void parse_number(Value& v) {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-            s_[pos_] == '+' || s_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected a value");
-    char* end = nullptr;
-    const std::string token = s_.substr(start, pos_ - start);
-    v.number = std::strtod(token.c_str(), &end);
-    if (end == nullptr || *end != '\0') fail("bad number '" + token + "'");
-    v.kind = Value::Kind::kNumber;
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
-
-// ---------------------------------------------------------------------------
-// Schema checks
-// ---------------------------------------------------------------------------
+using ncast::tools::Parser;
+using ncast::tools::Value;
+using ncast::tools::ValuePtr;
 
 int violation(const std::string& why) {
   std::fprintf(stderr, "bench_validate: FAIL: %s\n", why.c_str());
@@ -314,6 +113,75 @@ int validate_lint(const Value& root) {
       if (text == nullptr || !text->is_string()) {
         return violation(std::string(section) + " entry lacks string '" +
                          text_key + "'");
+      }
+    }
+  }
+  return 0;
+}
+
+// ncast.trace.v1 is line-oriented: `header` is the already-parsed first
+// line, `rest` the remaining raw lines (one event object each).
+int validate_trace(const Value& header, const std::vector<std::string>& rest) {
+  for (const char* key : {"capacity", "total_emitted", "dropped_events"}) {
+    const Value* v = header.get(key);
+    if (v == nullptr || !v->is_number() || v->number < 0) {
+      return violation(std::string("trace header lacks numeric '") + key + "'");
+    }
+  }
+  const double capacity = header.get("capacity")->number;
+  const double total = header.get("total_emitted")->number;
+  const double dropped = header.get("dropped_events")->number;
+  if (dropped > total) {
+    return violation("trace header: dropped_events exceeds total_emitted");
+  }
+  const double retained = total - dropped;
+  if (retained > capacity) {
+    return violation("trace header: retained events exceed capacity");
+  }
+  if (static_cast<double>(rest.size()) != retained) {
+    return violation("trace event line count (" + std::to_string(rest.size()) +
+                     ") disagrees with total_emitted - dropped_events (" +
+                     std::to_string(static_cast<long long>(retained)) + ")");
+  }
+
+  double last_t = 0.0;
+  bool first = true;
+  std::size_t lineno = 1;
+  for (const std::string& line : rest) {
+    ++lineno;
+    ValuePtr event;
+    try {
+      event = Parser(line).parse();
+    } catch (const std::exception& e) {
+      return violation("trace line " + std::to_string(lineno) + ": " + e.what());
+    }
+    if (!event->is_object()) {
+      return violation("trace line " + std::to_string(lineno) +
+                       " is not an object");
+    }
+    const Value* t = event->get("t");
+    if (t == nullptr || !t->is_number()) {
+      return violation("trace line " + std::to_string(lineno) +
+                       " lacks numeric 't'");
+    }
+    if (!first && t->number < last_t) {
+      return violation("trace line " + std::to_string(lineno) +
+                       ": timestamps must be non-decreasing");
+    }
+    last_t = t->number;
+    first = false;
+    const Value* kind = event->get("kind");
+    if (kind == nullptr || !kind->is_string() || kind->string.empty()) {
+      return violation("trace line " + std::to_string(lineno) +
+                       " lacks non-empty string 'kind'");
+    }
+    for (const char* key : {"span", "parent"}) {
+      if (const Value* v = event->get(key)) {
+        // 0 (= no span) is spelled by omitting the key.
+        if (!v->is_number() || v->number < 1) {
+          return violation("trace line " + std::to_string(lineno) + ": '" +
+                           key + "' must be a positive span id when present");
+        }
       }
     }
   }
@@ -416,6 +284,36 @@ int main(int argc, char** argv) {
   buf << in.rdbuf();
   const std::string text = buf.str();
   if (text.empty()) return violation("file is empty");
+
+  // Line-oriented schemas (ncast.trace.v1) are detected from the first line
+  // alone; whole-file JSON documents are parsed in one piece.
+  const std::size_t eol = text.find('\n');
+  const std::string first_line = text.substr(0, eol);
+  if (first_line.find("\"ncast.trace.v1\"") != std::string::npos) {
+    ValuePtr header;
+    try {
+      header = Parser(first_line).parse();
+    } catch (const std::exception& e) {
+      return violation(std::string("trace header: ") + e.what());
+    }
+    if (!header->is_object() || header->get("schema") == nullptr) {
+      return violation("trace header is not an object with 'schema'");
+    }
+    std::vector<std::string> rest;
+    if (eol != std::string::npos) {
+      std::stringstream lines(text.substr(eol + 1));
+      std::string line;
+      while (std::getline(lines, line)) {
+        if (!line.empty()) rest.push_back(line);
+      }
+    }
+    const int rc = validate_trace(*header, rest);
+    if (rc == 0) {
+      std::printf("bench_validate: OK: %s (%zu bytes, %zu events)\n",
+                  path.c_str(), text.size(), rest.size());
+    }
+    return rc;
+  }
 
   ValuePtr root;
   try {

@@ -1,0 +1,244 @@
+#include "compare/bench_compare_core.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace ncast::tools::compare {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string item;
+  std::stringstream ss(s);
+  while (std::getline(ss, item, sep)) out.push_back(item);
+  return out;
+}
+
+bool is_histogram_stat(const std::string& s) {
+  return s == "count" || s == "sum" || s == "min" || s == "max" ||
+         s == "mean" || s == "p50" || s == "p90" || s == "p99";
+}
+
+/// Resolves a budget's metric inside one parsed document; returns false when
+/// any link of the path is absent or non-numeric.
+bool lookup(const Value& root, const Budget& b, double* out) {
+  const Value* section = root.get(b.section);
+  if (section == nullptr || !section->is_object()) return false;
+  const Value* entry = section->get(b.name);
+  if (entry == nullptr) return false;
+  if (!b.stat.empty()) {
+    if (!entry->is_object()) return false;
+    entry = entry->get(b.stat);
+    if (entry == nullptr) return false;
+  }
+  if (!entry->is_number()) return false;
+  *out = entry->number;
+  return true;
+}
+
+std::string metric_path(const Budget& b) {
+  std::string p = b.section + ":" + b.name;
+  if (!b.stat.empty()) p += ":" + b.stat;
+  return p;
+}
+
+std::string render(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool parse_budget(const std::string& spec, Budget* out, std::string* error) {
+  const auto parts = split(spec, ':');
+  if (parts.size() != 4 && parts.size() != 5) {
+    *error = "expected SECTION:NAME[:STAT]:le|ge:RATIO, got '" + spec + "'";
+    return false;
+  }
+  Budget b;
+  b.spec = spec;
+  b.section = parts[0];
+  b.name = parts[1];
+  std::size_t i = 2;
+  if (parts.size() == 5) b.stat = parts[i++];
+
+  if (b.section != "counters" && b.section != "gauges" &&
+      b.section != "histograms" && b.section != "notes") {
+    *error = "unknown section '" + b.section + "' in '" + spec + "'";
+    return false;
+  }
+  if (b.section == "histograms") {
+    if (b.stat.empty()) {
+      *error = "histogram budget '" + spec + "' needs a STAT (e.g. p99)";
+      return false;
+    }
+    if (!is_histogram_stat(b.stat)) {
+      *error = "unknown histogram stat '" + b.stat + "' in '" + spec + "'";
+      return false;
+    }
+  } else if (!b.stat.empty()) {
+    *error = "section '" + b.section + "' takes no STAT ('" + spec + "')";
+    return false;
+  }
+  if (b.name.empty()) {
+    *error = "empty metric name in '" + spec + "'";
+    return false;
+  }
+
+  const std::string& dir = parts[i++];
+  if (dir == "le") {
+    b.dir = Budget::Dir::kLe;
+  } else if (dir == "ge") {
+    b.dir = Budget::Dir::kGe;
+  } else {
+    *error = "direction must be 'le' or 'ge' in '" + spec + "'";
+    return false;
+  }
+
+  char* end = nullptr;
+  b.ratio = std::strtod(parts[i].c_str(), &end);
+  if (end == nullptr || *end != '\0' || parts[i].empty() || b.ratio <= 0.0) {
+    *error = "ratio must be a positive number in '" + spec + "'";
+    return false;
+  }
+  *out = std::move(b);
+  return true;
+}
+
+const char* to_string(Finding::Kind kind) {
+  switch (kind) {
+    case Finding::Kind::kPass: return "pass";
+    case Finding::Kind::kFail: return "fail";
+    case Finding::Kind::kMissingFresh: return "missing-fresh";
+    case Finding::Kind::kNewMetric: return "new-metric";
+    case Finding::Kind::kModeMismatch: return "mode-mismatch";
+  }
+  return "unknown";
+}
+
+bool Report::ok() const {
+  for (const Finding& f : findings) {
+    if (f.kind == Finding::Kind::kFail ||
+        f.kind == Finding::Kind::kMissingFresh ||
+        f.kind == Finding::Kind::kModeMismatch) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t Report::count(Finding::Kind kind) const {
+  std::size_t n = 0;
+  for (const Finding& f : findings) {
+    if (f.kind == kind) ++n;
+  }
+  return n;
+}
+
+Report compare(const Value& baseline, const Value& fresh,
+               const std::vector<Budget>& budgets) {
+  Report report;
+
+  // Mode guard first: a budget verdict computed across modes is noise.
+  for (const char* flag : {"smoke", "obs_enabled"}) {
+    const Value* b = baseline.get(flag);
+    const Value* f = fresh.get(flag);
+    const bool bv = b != nullptr && b->kind == Value::Kind::kBool && b->boolean;
+    const bool fv = f != nullptr && f->kind == Value::Kind::kBool && f->boolean;
+    if (b != nullptr && f != nullptr && bv != fv) {
+      Finding finding;
+      finding.kind = Finding::Kind::kModeMismatch;
+      finding.metric = flag;
+      finding.message = std::string(flag) + " differs: baseline=" +
+                        (bv ? "true" : "false") + " fresh=" +
+                        (fv ? "true" : "false");
+      report.findings.push_back(std::move(finding));
+    }
+  }
+
+  for (const Budget& b : budgets) {
+    Finding finding;
+    finding.metric = metric_path(b);
+
+    double base_v = 0.0;
+    const bool has_base = lookup(baseline, b, &base_v);
+    double fresh_v = 0.0;
+    const bool has_fresh = lookup(fresh, b, &fresh_v);
+
+    if (!has_base) {
+      // Can't gate without a reference point; surface it so the baseline
+      // gets refreshed instead of silently skipping the budget forever.
+      finding.kind = Finding::Kind::kNewMetric;
+      finding.fresh = fresh_v;
+      finding.message = "no baseline value for '" + b.spec +
+                        "' — refresh the baseline to start gating it";
+      report.findings.push_back(std::move(finding));
+      continue;
+    }
+    if (!has_fresh) {
+      finding.kind = Finding::Kind::kMissingFresh;
+      finding.baseline = base_v;
+      finding.message = "budgeted metric missing from the fresh run ('" +
+                        b.spec + "')";
+      report.findings.push_back(std::move(finding));
+      continue;
+    }
+
+    const double bound = base_v * b.ratio;
+    const bool pass = b.dir == Budget::Dir::kLe ? fresh_v <= bound
+                                                : fresh_v >= bound;
+    finding.kind = pass ? Finding::Kind::kPass : Finding::Kind::kFail;
+    finding.baseline = base_v;
+    finding.fresh = fresh_v;
+    finding.bound = bound;
+    finding.message = render(fresh_v) +
+                      (b.dir == Budget::Dir::kLe ? " <= " : " >= ") +
+                      render(bound) + " (baseline " + render(base_v) + " * " +
+                      render(b.ratio) + ")" + (pass ? "" : " VIOLATED");
+    report.findings.push_back(std::move(finding));
+  }
+  return report;
+}
+
+std::string Report::to_json() const {
+  // Hand-rolled on purpose: the tools depend on json_reader.hpp only, and
+  // the document is flat. Metric names and messages contain no characters
+  // needing escapes beyond quotes/backslashes, but escape those anyway.
+  const auto esc = [](const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  };
+  std::string j = "{\"schema\":\"ncast.compare.v1\",\"ok\":";
+  j += ok() ? "true" : "false";
+  j += ",\"counts\":{";
+  const Finding::Kind kinds[] = {
+      Finding::Kind::kPass, Finding::Kind::kFail, Finding::Kind::kMissingFresh,
+      Finding::Kind::kNewMetric, Finding::Kind::kModeMismatch};
+  bool first = true;
+  for (const Finding::Kind k : kinds) {
+    if (!first) j += ",";
+    first = false;
+    j += "\"" + std::string(to_string(k)) + "\":" + std::to_string(count(k));
+  }
+  j += "},\"findings\":[";
+  first = true;
+  for (const Finding& f : findings) {
+    if (!first) j += ",";
+    first = false;
+    j += "{\"kind\":\"" + std::string(to_string(f.kind)) + "\",\"metric\":\"" +
+         esc(f.metric) + "\",\"baseline\":" + render(f.baseline) +
+         ",\"fresh\":" + render(f.fresh) + ",\"bound\":" + render(f.bound) +
+         ",\"message\":\"" + esc(f.message) + "\"}";
+  }
+  j += "]}\n";
+  return j;
+}
+
+}  // namespace ncast::tools::compare

@@ -1,0 +1,81 @@
+#pragma once
+// bench_compare engine: diffs a fresh BENCH_<name>.json against a committed
+// baseline under per-metric tolerance budgets. The engine is a standalone
+// library (mirroring ncast_lint_core) so the tolerance-logic unit tests
+// (tests/test_bench_compare.cpp) can drive it in-process; the CLI
+// (tools/bench_compare.cpp) is a thin argv wrapper wired into ctest under
+// the "perf" label.
+//
+// Budget syntax:  SECTION:NAME[:STAT]:DIR:RATIO
+//   SECTION  counters | gauges | histograms | notes
+//   NAME     the metric key inside the section (dots allowed, colons not)
+//   STAT     histograms only: count | sum | min | max | mean | p50 | p90 | p99
+//   DIR      le — fresh must be <= baseline * ratio (bigger is worse:
+//                 nanoseconds, bytes, drops);
+//            ge — fresh must be >= baseline * ratio (smaller is worse:
+//                 events/s, decoded fraction). Ratio < 1 here.
+//   RATIO    the tolerance multiplier, a positive double.
+//
+// e.g.  counters:net.control_bytes:le:1.25
+//       histograms:decoder.absorb_ns:p99:le:10
+//       notes:events_per_sec:ge:0.1
+//
+// Verdicts per budget: pass, fail, or missing-fresh (the budgeted metric
+// vanished from the fresh run — a fail: silently losing a gated metric is
+// how regressions hide). A budget whose metric is absent from the
+// *baseline* reports new-metric (non-fail) — it cannot gate until the
+// baseline is refreshed, and the finding is the reminder. Fresh-side
+// metrics nobody budgeted are not findings at all.
+//
+// Mode guard: comparing a smoke run against a full run (or an obs-enabled
+// run against a kill-switched one) is meaningless, so differing
+// smoke/obs_enabled header flags produce a mode-mismatch finding and an
+// overall fail.
+
+#include <string>
+#include <vector>
+
+#include "json_reader.hpp"
+
+namespace ncast::tools::compare {
+
+struct Budget {
+  std::string section;
+  std::string name;
+  std::string stat;  ///< empty for scalar sections
+  enum class Dir { kLe, kGe } dir = Dir::kLe;
+  double ratio = 1.0;
+  std::string spec;  ///< the original text, echoed in findings
+};
+
+/// Parses one budget spec; on failure returns false and sets *error.
+bool parse_budget(const std::string& spec, Budget* out, std::string* error);
+
+struct Finding {
+  enum class Kind { kPass, kFail, kMissingFresh, kNewMetric, kModeMismatch };
+  Kind kind = Kind::kPass;
+  std::string metric;  ///< "section:name[:stat]"
+  double baseline = 0.0;
+  double fresh = 0.0;
+  double bound = 0.0;  ///< baseline * ratio — the admissible limit
+  std::string message;
+};
+
+const char* to_string(Finding::Kind kind);
+
+struct Report {
+  std::vector<Finding> findings;
+
+  /// False when any finding is kFail, kMissingFresh or kModeMismatch.
+  bool ok() const;
+  std::size_t count(Finding::Kind kind) const;
+
+  /// "ncast.compare.v1" JSON document (findings + counts + verdict).
+  std::string to_json() const;
+};
+
+/// Evaluates every budget against the two parsed bench documents.
+Report compare(const Value& baseline, const Value& fresh,
+               const std::vector<Budget>& budgets);
+
+}  // namespace ncast::tools::compare

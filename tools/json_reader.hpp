@@ -1,0 +1,221 @@
+#pragma once
+// Minimal JSON model + recursive-descent parser shared by the offline
+// tooling (bench_validate, bench_compare). RFC 8259 subset: no \uXXXX
+// surrogate-pair decoding — escapes are validated and kept verbatim.
+//
+// Deliberately independent of obs/json.hpp (the writer): a shared
+// implementation could hide a bug on both sides of the contract. Tools-only;
+// never linked into the simulators.
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ncast::tools {
+
+struct Value;
+using ValuePtr = std::unique_ptr<Value>;
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<ValuePtr> array;
+  std::map<std::string, ValuePtr> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  const Value* get(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : it->second.get();
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  ValuePtr parse() {
+    ValuePtr v = parse_value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing content after top-level value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    std::size_t line = 1;
+    for (std::size_t i = 0; i < pos_ && i < s_.size(); ++i) {
+      if (s_[i] == '\n') ++line;
+    }
+    throw std::runtime_error("parse error at line " + std::to_string(line) +
+                             ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  ValuePtr parse_value() {
+    skip_ws();
+    auto v = std::make_unique<Value>();
+    switch (peek()) {
+      case '{': parse_object(*v); break;
+      case '[': parse_array(*v); break;
+      case '"':
+        v->kind = Value::Kind::kString;
+        v->string = parse_string();
+        break;
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        v->kind = Value::Kind::kBool;
+        v->boolean = true;
+        break;
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        v->kind = Value::Kind::kBool;
+        break;
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        break;
+      default: parse_number(*v);
+    }
+    return v;
+  }
+
+  void parse_object(Value& v) {
+    v.kind = Value::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      if (!v.object.emplace(std::move(key), parse_value()).second) {
+        fail("duplicate object key");
+      }
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return;
+    }
+  }
+
+  void parse_array(Value& v) {
+    v.kind = Value::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ + i]))) {
+              fail("bad \\u escape");
+            }
+          }
+          out += "\\u" + s_.substr(pos_, 4);  // kept verbatim
+          pos_ += 4;
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  void parse_number(Value& v) {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    char* end = nullptr;
+    const std::string token = s_.substr(start, pos_ - start);
+    v.number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("bad number '" + token + "'");
+    v.kind = Value::Kind::kNumber;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ncast::tools
