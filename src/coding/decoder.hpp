@@ -83,6 +83,38 @@ class Decoder {
     return true;
   }
 
+  /// Absorbs a pre-validated raw row: `coeffs` (g entries) and `payload`
+  /// (symbols entries) already laid out by the caller. Same counting and
+  /// timing as absorb(); used by the structured decoders (band offset /
+  /// class routing happens there, shape checks included).
+  bool absorb_row(const value_type* coeffs, const value_type* payload) {
+    obs::ScopeTimer timer(reg().absorb_ns);
+    ++received_;
+    reg().received.inc();
+    value_type* r = basis_.scratch_row();
+    std::copy(coeffs, coeffs + g_, r);
+    std::copy(payload, payload + symbols_, r + g_);
+    if (!basis_.absorb()) {
+      reg().redundant.inc();
+      return false;
+    }
+    ++innovative_;
+    reg().innovative.inc();
+    return true;
+  }
+
+  /// Absorbs the unit row e_col with the given payload — a decoded source
+  /// packet injected as side information (the overlap decoder hands decoded
+  /// boundary packets to neighboring classes this way). Not counted as a
+  /// received packet: it is internal propagation, not network traffic.
+  bool absorb_unit(std::size_t col, const value_type* payload) {
+    value_type* r = basis_.scratch_row();
+    std::fill(r, r + g_, value_type{0});
+    r[col] = value_type{1};
+    std::copy(payload, payload + symbols_, r + g_);
+    return basis_.absorb();
+  }
+
   /// Would this packet be innovative? (No state change.)
   bool is_innovative(const Packet& p) const {
     if (p.generation != generation_ || p.coeffs.size() != g_ ||
@@ -125,6 +157,18 @@ class Decoder {
     std::size_t n = 0;
     for (std::size_t i = 0; i < basis_.rank(); ++i) n += row_is_unit(i) ? 1 : 0;
     return n;
+  }
+
+  /// Payload of the row pivoting on `index`, without copying; requires
+  /// recoverable(index). The overlap decoder reads decoded boundary packets
+  /// through this in its propagation loop (no per-symbol copies).
+  const value_type* recovered_payload(std::size_t index) const {
+    if (index >= g_) throw std::out_of_range("Decoder::recovered_payload");
+    const std::size_t i = basis_.row_of_pivot(index);
+    if (i == Basis::npos || !row_is_unit(i)) {
+      throw std::logic_error("Decoder::recovered_payload: not yet recoverable");
+    }
+    return basis_.row(i) + g_;
   }
 
   /// Recovered source packet `index`; requires only recoverable(index), so

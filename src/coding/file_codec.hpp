@@ -13,6 +13,7 @@
 #include "coding/decoder.hpp"
 #include "coding/encoder.hpp"
 #include "coding/generation.hpp"
+#include "coding/structure.hpp"
 #include "gf/gf256.hpp"
 #include "util/rng.hpp"
 
@@ -29,9 +30,15 @@ class FileEncoder {
       : data_(std::move(data)),
         plan_(plan_generations(data_.size(), generation_size, symbols)) {
     encoders_.reserve(plan_.generations);
+    const auto structure = GenerationStructure::dense(plan_.generation_size);
+    std::vector<std::uint8_t> flat;
     for (std::size_t g = 0; g < plan_.generations; ++g) {
-      encoders_.emplace_back(static_cast<std::uint32_t>(g),
-                             generation_packets(data_, plan_, g));
+      // One flat buffer per generation, handed straight to the encoder — no
+      // g-vectors-per-generation allocation storm.
+      generation_packets_into(data_, plan_, g, flat);
+      encoders_.emplace_back(static_cast<std::uint32_t>(g), structure,
+                             std::move(flat), plan_.symbols);
+      flat.clear();
     }
   }
 

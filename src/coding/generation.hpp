@@ -3,6 +3,7 @@
 // the practical network coding framework [5]. Generations bound the decoding
 // matrix size and the coefficient overhead per packet.
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
@@ -39,20 +40,38 @@ inline GenerationPlan plan_generations(std::size_t data_size,
   return plan;
 }
 
+/// Extracts generation `gen` of `data` into `flat` as one contiguous buffer
+/// of g * symbols bytes (packet p at [p * symbols, ...)), zero-padded past
+/// the end of the data. Reuses `flat`'s capacity — one assign + one bulk
+/// copy, no per-packet vectors. This is the buffer layout SourceEncoder's
+/// flat constructor takes directly.
+inline void generation_packets_into(const std::vector<std::uint8_t>& data,
+                                    const GenerationPlan& plan,
+                                    std::size_t gen,
+                                    std::vector<std::uint8_t>& flat) {
+  if (gen >= plan.generations) throw std::out_of_range("generation_packets_into");
+  const std::size_t per_gen = plan.bytes_per_generation();
+  const std::size_t base = gen * per_gen;
+  flat.assign(per_gen, 0);
+  if (base < data.size()) {
+    const std::size_t n = std::min(per_gen, data.size() - base);
+    std::copy(data.begin() + base, data.begin() + base + n, flat.begin());
+  }
+}
+
 /// Extracts generation `gen` of `data` as g packets of `symbols` bytes,
-/// zero-padded past the end of the data.
+/// zero-padded past the end of the data. Allocates g per-packet vectors;
+/// hot callers (file_codec, the benches) use generation_packets_into().
 inline std::vector<std::vector<std::uint8_t>> generation_packets(
     const std::vector<std::uint8_t>& data, const GenerationPlan& plan,
     std::size_t gen) {
-  if (gen >= plan.generations) throw std::out_of_range("generation_packets");
-  std::vector<std::vector<std::uint8_t>> packets(
-      plan.generation_size, std::vector<std::uint8_t>(plan.symbols, 0));
-  const std::size_t base = gen * plan.bytes_per_generation();
+  std::vector<std::uint8_t> flat;
+  generation_packets_into(data, plan, gen, flat);
+  std::vector<std::vector<std::uint8_t>> packets;
+  packets.reserve(plan.generation_size);
   for (std::size_t p = 0; p < plan.generation_size; ++p) {
-    for (std::size_t s = 0; s < plan.symbols; ++s) {
-      const std::size_t off = base + p * plan.symbols + s;
-      if (off < data.size()) packets[p][s] = data[off];
-    }
+    packets.emplace_back(flat.begin() + p * plan.symbols,
+                         flat.begin() + (p + 1) * plan.symbols);
   }
   return packets;
 }

@@ -11,13 +11,20 @@
 
 namespace ncast::coding {
 
-/// One coded packet of a generation. `coeffs.size()` equals the generation
-/// size g; `payload.size()` is the number of field symbols per packet.
+/// One coded packet of a generation. Under the dense structure
+/// `coeffs.size()` equals the generation size g and `band_offset`/`class_id`
+/// stay 0; under banded/overlapped structures (coding/structure.hpp) the
+/// coefficients are a compact strip of band_offset's band or class_id's
+/// class, and `coeffs[j]` multiplies source packet
+/// `(band_offset + j) mod g`. `payload.size()` is the number of field
+/// symbols per packet in every case.
 template <typename Field>
 struct CodedPacket {
   using value_type = typename Field::value_type;
 
   std::uint32_t generation = 0;
+  std::uint16_t band_offset = 0;  ///< first source index the coeffs cover
+  std::uint16_t class_id = 0;     ///< overlapped structures: emitting class
   std::vector<value_type> coeffs;
   std::vector<value_type> payload;
 

@@ -68,6 +68,8 @@ class Recoder {
     }
 
     out.generation = basis_.generation();
+    out.band_offset = 0;  // dense emission; clears a recycled packet's strip
+    out.class_id = 0;
     out.coeffs.assign(g, value_type{0});
     out.payload.assign(symbols, value_type{0});
     for (std::size_t i = 0; i < r; ++i) {

@@ -1,0 +1,182 @@
+#pragma once
+// Generation structures: which source packets a coded packet may mix.
+//
+// Dense full-generation RLNC pays O(g * width) elimination per absorbed
+// packet against a dense basis. Sparse structures trade a little overhead
+// (redundant-packet fraction) for much cheaper decoding, per "Effects of the
+// Generation Size and Overlap on Throughput and Complexity in Randomized
+// Linear Network Coding" and "Sparse Network Coding with Overlapping
+// Classes":
+//
+//   kDense      every packet mixes all g source packets (the original codec);
+//   kBanded     every packet mixes a contiguous band of `band_width` source
+//               packets starting at a random offset, optionally wrapping
+//               around the end of the generation (windowed / WINDWRAP codes);
+//   kOverlapped the generation is covered by classes of `band_width`
+//               consecutive source packets whose neighbors share `overlap`
+//               boundary packets; every coded packet mixes one class.
+//
+// A GenerationStructure is pure geometry: it is threaded through
+// SourceEncoder (placement draws), the wire format (band offset + compact
+// coefficients), and the decoder policies (which elimination strategy is
+// sound and fastest). See docs/performance.md ("generation structures &
+// decoder selection") for the frontier measurements.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+namespace ncast::coding {
+
+enum class StructureKind : std::uint8_t {
+  kDense = 0,
+  kBanded = 1,
+  kOverlapped = 2,
+};
+
+inline const char* to_string(StructureKind kind) {
+  switch (kind) {
+    case StructureKind::kDense: return "dense";
+    case StructureKind::kBanded: return "banded";
+    case StructureKind::kOverlapped: return "overlapped";
+  }
+  return "?";
+}
+
+/// Geometry of one generation's coding structure. Plain value type; validated
+/// construction goes through the dense()/banded()/overlapping() factories.
+struct GenerationStructure {
+  StructureKind kind = StructureKind::kDense;
+  std::size_t g = 0;           ///< generation size (source packets)
+  std::size_t band_width = 0;  ///< band width w, or class size c; g when dense
+  bool wrap = false;           ///< banded: bands may wrap around the end
+  std::size_t overlap = 0;     ///< overlapped: shared packets between neighbors
+
+  /// Full-generation mixing — the original codec.
+  static GenerationStructure dense(std::size_t g) {
+    GenerationStructure s;
+    s.kind = StructureKind::kDense;
+    s.g = g;
+    s.band_width = g;
+    s.validate();
+    return s;
+  }
+
+  /// Width-`width` bands at arbitrary offsets; `wrap` allows bands that run
+  /// past packet g-1 and continue at packet 0. A band as wide as the
+  /// generation is dense in all but name, so wrap is normalized away then.
+  static GenerationStructure banded(std::size_t g, std::size_t width,
+                                    bool wrap = false) {
+    GenerationStructure s;
+    s.kind = StructureKind::kBanded;
+    s.g = g;
+    s.band_width = width;
+    s.wrap = wrap && width < g;
+    s.validate();
+    return s;
+  }
+
+  /// Classes of `class_size` consecutive packets, adjacent classes sharing
+  /// `overlap` packets. Requires overlap < class_size so every class owns at
+  /// least one packet exclusively.
+  static GenerationStructure overlapping(std::size_t g, std::size_t class_size,
+                                         std::size_t overlap) {
+    GenerationStructure s;
+    s.kind = StructureKind::kOverlapped;
+    s.g = g;
+    s.band_width = class_size;
+    s.overlap = overlap;
+    s.validate();
+    return s;
+  }
+
+  /// Throws std::invalid_argument on geometric nonsense (configuration
+  /// errors; malformed *packets* against a valid structure are data and are
+  /// rejected without throwing — see matches_packet()).
+  void validate() const {
+    if (g == 0) throw std::invalid_argument("GenerationStructure: g == 0");
+    if (band_width == 0 || band_width > g) {
+      throw std::invalid_argument("GenerationStructure: band width not in [1, g]");
+    }
+    if (kind == StructureKind::kDense && band_width != g) {
+      throw std::invalid_argument("GenerationStructure: dense requires width == g");
+    }
+    if (kind == StructureKind::kOverlapped && overlap >= band_width) {
+      throw std::invalid_argument("GenerationStructure: overlap >= class size");
+    }
+    if (kind != StructureKind::kOverlapped && overlap != 0) {
+      throw std::invalid_argument("GenerationStructure: overlap without classes");
+    }
+    if (kind != StructureKind::kBanded && wrap) {
+      throw std::invalid_argument("GenerationStructure: wrap without bands");
+    }
+  }
+
+  // --- overlapped-class geometry -----------------------------------------
+
+  /// Distance between consecutive class starts.
+  std::size_t stride() const { return band_width - overlap; }
+
+  /// Number of classes covering [0, g). 1 for dense/banded structures.
+  std::size_t num_classes() const {
+    if (kind != StructureKind::kOverlapped || band_width >= g) return 1;
+    return 1 + (g - band_width + stride() - 1) / stride();
+  }
+
+  /// First source packet of class `c`.
+  std::size_t class_begin(std::size_t c) const { return c * stride(); }
+
+  /// Width of class `c`; the last class is clipped at g but always keeps
+  /// more than `overlap` packets (so no class is a subset of its neighbor).
+  std::size_t class_width(std::size_t c) const {
+    const std::size_t begin = class_begin(c);
+    return band_width < g - begin ? band_width : g - begin;
+  }
+
+  /// Classes whose range contains source packet `j`: [first, last] inclusive.
+  /// Only meaningful for overlapped structures.
+  std::size_t first_class_of(std::size_t j) const {
+    if (j < band_width) return 0;
+    return (j - band_width) / stride() + 1;
+  }
+  std::size_t last_class_of(std::size_t j) const {
+    const std::size_t c = j / stride();
+    const std::size_t last = num_classes() - 1;
+    return c < last ? c : last;
+  }
+
+  // --- banded geometry ----------------------------------------------------
+
+  /// Number of legal band start offsets for encoding.
+  std::size_t offsets() const {
+    if (kind != StructureKind::kBanded || band_width == g) return 1;
+    return wrap ? g : g - band_width + 1;
+  }
+
+  // --- packet admission ---------------------------------------------------
+
+  /// True iff a packet with this placement is well-formed under the
+  /// structure. Pure data validation: never throws.
+  bool matches_packet(std::size_t offset, std::size_t width,
+                      std::size_t class_id) const {
+    switch (kind) {
+      case StructureKind::kDense:
+        return offset == 0 && width == g && class_id == 0;
+      case StructureKind::kBanded:
+        if (class_id != 0 || width != band_width || offset >= g) return false;
+        return wrap || offset + width <= g;
+      case StructureKind::kOverlapped:
+        return class_id < num_classes() && offset == class_begin(class_id) &&
+               width == class_width(class_id);
+    }
+    return false;
+  }
+
+  bool operator==(const GenerationStructure& o) const {
+    return kind == o.kind && g == o.g && band_width == o.band_width &&
+           wrap == o.wrap && overlap == o.overlap;
+  }
+  bool operator!=(const GenerationStructure& o) const { return !(*this == o); }
+};
+
+}  // namespace ncast::coding

@@ -3,6 +3,8 @@
 // coefficient vector to travel inside the packet; this header defines the
 // byte layout a real deployment would put on the wire:
 //
+// Version 1 (dense packets, coefficient count == g):
+//
 //   offset  size  field
 //   0       2     magic 0x4E43 ("NC"), little-endian
 //   2       1     version (1)
@@ -13,14 +15,32 @@
 //   12      g*w   coefficients (w = symbol width in bytes)
 //   12+g*w  s*w   payload
 //
+// Version 2 (structured packets, coding/structure.hpp): same first 12 bytes
+// with version = 2, then a structure block, then a *compact* coefficient
+// strip of `n` entries covering source packets (band_offset + j) mod g:
+//
+//   12      1     structure kind (0 dense, 1 banded, 2 overlapped)
+//   13      1     flags (bit 0: band wraps past g; others must be zero)
+//   14      2     band offset, little-endian
+//   16      2     class id, little-endian
+//   18      2     coefficient count n, little-endian
+//   20      n*w   coefficients
+//   20+n*w  s*w   payload
+//
 // Deserialization is defensive: any malformed buffer yields nullopt, never
 // undefined behavior — packets arrive from the network, not from friends.
+// Version-2 validation is two-stage: deserialize(bytes) enforces everything
+// checkable from the header alone (kind range, offset/width bounds, flag
+// consistency, exact length), and deserialize(bytes, structure) additionally
+// rejects placements that don't exist under the receiver's structure (wrong
+// band width, class id out of range, offset not a class boundary).
 
 #include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "coding/packet.hpp"
+#include "coding/structure.hpp"
 #include "gf/gf256.hpp"
 #include "gf/gf2_16.hpp"
 
@@ -28,6 +48,8 @@ namespace ncast::coding {
 
 inline constexpr std::uint16_t kWireMagic = 0x4E43;
 inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::uint8_t kWireVersionStructured = 2;
+inline constexpr std::uint8_t kWireFlagWrap = 0x01;
 
 /// Field id carried on the wire.
 template <typename Field>
@@ -41,20 +63,47 @@ struct WireFieldId<gf::Gf2_16> {
   static constexpr std::uint8_t value = 2;
 };
 
-/// Serialized size of a packet with the given shape.
+/// Serialized size of a version-1 (dense) packet with the given shape.
 template <typename Field>
 constexpr std::size_t wire_size(std::size_t g, std::size_t symbols) {
   return 12 + (g + symbols) * sizeof(typename Field::value_type);
 }
 
-/// Encodes a packet into its wire representation.
+/// Serialized size of a version-2 (structured) packet carrying `coeffs`
+/// compact coefficients.
+template <typename Field>
+constexpr std::size_t wire_size_structured(std::size_t coeffs,
+                                           std::size_t symbols) {
+  return 20 + (coeffs + symbols) * sizeof(typename Field::value_type);
+}
+
+/// Encodes a dense packet into its version-1 wire representation
+/// (coeffs.size() is the generation size).
 template <typename Field>
 std::vector<std::uint8_t> serialize(const CodedPacket<Field>& p);
 
-/// Decodes a wire buffer; nullopt on any structural problem (bad magic,
-/// version, field id, size mismatch, or length overflowing the buffer).
+/// Encodes a structured packet into its version-2 wire representation.
+/// `structure` supplies the generation size and kind; the packet's strip is
+/// written as-is (serialize what you were given — validation is the
+/// receiver's job).
+template <typename Field>
+std::vector<std::uint8_t> serialize_structured(
+    const CodedPacket<Field>& p, const GenerationStructure& structure);
+
+/// Decodes a wire buffer of either version; nullopt on any structural
+/// problem (bad magic, version, field id, out-of-range placement, flag
+/// inconsistency, or size mismatch).
 template <typename Field>
 std::optional<CodedPacket<Field>> deserialize(
     const std::vector<std::uint8_t>& bytes);
+
+/// Decodes and additionally validates the placement against the receiver's
+/// structure: version-2 packets must be well-formed under `structure`
+/// (matching g, band width, class id in range, offset on a class boundary);
+/// version-1 packets must be dense packets of the right generation size.
+template <typename Field>
+std::optional<CodedPacket<Field>> deserialize(
+    const std::vector<std::uint8_t>& bytes,
+    const GenerationStructure& structure);
 
 }  // namespace ncast::coding

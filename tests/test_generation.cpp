@@ -56,6 +56,32 @@ TEST(GenerationPackets, SegmentationAndPadding) {
   EXPECT_THROW(coding::generation_packets(data, plan, 2), std::out_of_range);
 }
 
+TEST(GenerationPackets, FlatVariantMatchesPerPacket) {
+  // generation_packets_into() is the allocation-light path FileEncoder and
+  // the benches use; byte for byte it must agree with the per-packet
+  // variant, including zero padding in the partial last generation.
+  Rng rng(7);
+  std::vector<std::uint8_t> flat;
+  for (std::size_t size : {0u, 1u, 20u, 31u, 32u, 33u, 100u}) {
+    const auto data = random_bytes(size, rng);
+    const auto plan = coding::plan_generations(size, 4, 8);
+    for (std::size_t g = 0; g < plan.generations; ++g) {
+      coding::generation_packets_into(data, plan, g, flat);  // reuses `flat`
+      ASSERT_EQ(flat.size(), plan.bytes_per_generation());
+      const auto packets = coding::generation_packets(data, plan, g);
+      for (std::size_t p = 0; p < packets.size(); ++p) {
+        for (std::size_t s = 0; s < plan.symbols; ++s) {
+          ASSERT_EQ(flat[p * plan.symbols + s], packets[p][s])
+              << "size " << size << " gen " << g << " packet " << p;
+        }
+      }
+    }
+    EXPECT_THROW(
+        coding::generation_packets_into(data, plan, plan.generations, flat),
+        std::out_of_range);
+  }
+}
+
 TEST(GenerationPackets, ReassembleRoundTrip) {
   Rng rng(2);
   for (std::size_t size : {0u, 1u, 31u, 32u, 33u, 100u}) {
