@@ -36,7 +36,7 @@ inline overlay::ThreadMatrix grow_overlay(std::uint32_t k, std::uint32_t d,
 
 /// Tags each node failed independently with probability p.
 inline void tag_iid_failures(overlay::ThreadMatrix& m, double p, Rng& rng) {
-  for (overlay::NodeId n : m.nodes_in_order()) {
+  for (overlay::NodeId n : m.order()) {
     if (rng.chance(p)) m.mark_failed(n);
   }
 }

@@ -15,11 +15,16 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <ctime>
 #include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -34,6 +39,58 @@ namespace ncast::bench {
 inline bool smoke() {
   const char* s = std::getenv("NCAST_BENCH_SMOKE");
   return s != nullptr && *s != '\0' && *s != '0';
+}
+
+/// One numeric line ("VmHWM:   123 kB" -> 123) from /proc/self/status, or
+/// 0 when the file or field is unavailable (non-Linux, masked procfs).
+inline std::uint64_t proc_status_field(const char* field) {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  const std::size_t field_len = std::strlen(field);
+  std::uint64_t value = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0 && line[field_len] == ':') {
+      value = std::strtoull(line + field_len + 1, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return value;
+#else
+  (void)field;
+  return 0;
+#endif
+}
+
+/// Peak resident set size of this process in bytes: /proc VmHWM where
+/// available, getrusage otherwise, 0 when neither works. The scale story's
+/// second axis — BENCH_scale budgets memory per node, not just wall clock.
+inline std::uint64_t peak_rss_bytes() {
+  if (const std::uint64_t kb = proc_status_field("VmHWM"); kb != 0) {
+    return kb * 1024;
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) == 0 && ru.ru_maxrss > 0) {
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+#endif
+  }
+#endif
+  return 0;
+}
+
+/// Threads currently alive in this process (1 when procfs is unavailable).
+/// MetricsSession samples this at construction and at every param/note/table
+/// call and keeps the peak: worker pools (ShardedEngine) are usually torn
+/// down before the session flushes, so a write-time sample would miss them.
+inline std::uint64_t process_thread_count() {
+  const std::uint64_t n = proc_status_field("Threads");
+  return n != 0 ? n : 1;
 }
 
 class MetricsSession {
@@ -67,6 +124,7 @@ class MetricsSession {
   /// string-like as strings.
   template <typename T>
   void param(const std::string& key, const T& value) {
+    sample_threads();
     params_.emplace_back(key, render(value));
   }
 
@@ -74,11 +132,13 @@ class MetricsSession {
   /// same encoding as param(), separate JSON section.
   template <typename T>
   void note(const std::string& key, const T& value) {
+    sample_threads();
     notes_.emplace_back(key, render(value));
   }
 
   /// Embeds a printed result table into the JSON dump under `id`.
   void add_table(const std::string& id, const Table& table) {
+    sample_threads();
     tables_.emplace_back(id, table);
   }
 
@@ -104,6 +164,12 @@ class MetricsSession {
     w.key("obs_enabled").value(NCAST_OBS_ENABLED != 0);
     w.key("trace_capacity").value(static_cast<std::uint64_t>(obs::trace().capacity()));
     w.key("trace_dropped_events").value(obs::trace().dropped_events());
+    // Resource footprint: the scale benches budget peak memory alongside
+    // wall clock, and worker_threads is the peak pool size observed over the
+    // session's lifetime (0 = the run stayed single-threaded throughout).
+    sample_threads();
+    w.key("peak_rss_bytes").value(peak_rss_bytes());
+    w.key("worker_threads").value(peak_threads_ - 1);
 
     w.key("params").begin_object();
     for (const auto& [key, rendered] : params_) w.key(key).raw_value(rendered);
@@ -162,9 +228,15 @@ class MetricsSession {
     }
   }
 
+  void sample_threads() {
+    const std::uint64_t t = process_thread_count();
+    if (t > peak_threads_) peak_threads_ = t;
+  }
+
   std::string name_;
   std::string run_id_;
   bool written_ = false;
+  std::uint64_t peak_threads_ = process_thread_count();
   std::vector<std::pair<std::string, std::string>> params_;  // pre-rendered
   std::vector<std::pair<std::string, std::string>> notes_;
   std::vector<std::pair<std::string, Table>> tables_;  // copies: tiny

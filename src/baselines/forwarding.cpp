@@ -10,7 +10,7 @@ using overlay::NodeId;
 std::vector<NodeRate> naive_forwarding_rates(const overlay::ThreadMatrix& m) {
   std::vector<NodeRate> out;
   std::vector<bool> alive(m.k(), true);  // stream c still flowing on column c
-  for (NodeId n : m.nodes_in_order()) {
+  for (NodeId n : m.order()) {
     const auto& row = m.row(n);
     std::uint32_t rate = 0;
     for (ColumnId c : row.threads) {
@@ -33,7 +33,7 @@ std::vector<NodeRate> informed_forwarding_rates(const overlay::ThreadMatrix& m,
   std::vector<std::uint32_t> carried(m.k());
   for (ColumnId c = 0; c < m.k(); ++c) carried[c] = c;
 
-  for (NodeId n : m.nodes_in_order()) {
+  for (NodeId n : m.order()) {
     const auto& row = m.row(n);
     // Distinct fragments received on the clipped columns.
     std::vector<std::uint32_t> have;

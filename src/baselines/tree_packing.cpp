@@ -8,7 +8,7 @@ std::optional<TreePackingMulticast> TreePackingMulticast::build(
     const overlay::ThreadMatrix& m, std::size_t count) {
   // Packing is computed on the failure-free topology.
   overlay::ThreadMatrix clean = m;
-  for (overlay::NodeId n : m.nodes_in_order()) clean.mark_working(n);
+  for (overlay::NodeId n : m.order()) clean.mark_working(n);
   overlay::FlowGraph fg = build_flow_graph(clean);
   auto packing = graph::pack_arborescences(fg.graph, overlay::FlowGraph::kServerVertex,
                                            count);
@@ -20,7 +20,7 @@ std::vector<std::uint32_t> TreePackingMulticast::rates_under_failures(
     const overlay::ThreadMatrix& m) const {
   const std::size_t n_vertices = fg_.graph.vertex_count();
   std::vector<bool> vertex_failed(n_vertices, false);
-  for (overlay::NodeId n : m.nodes_in_order()) {
+  for (overlay::NodeId n : m.order()) {
     if (m.row(n).failed) {
       const auto v = fg_.vertex_of(n);
       vertex_failed[v] = true;

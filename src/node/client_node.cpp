@@ -93,7 +93,7 @@ void ClientNode::leave(Transport& net) {
   }
 }
 
-void ClientNode::start(sim::EventEngine& engine, KernelTransport& net,
+void ClientNode::start(sim::Scheduler& engine, AttachableTransport& net,
                        std::uint32_t degree) {
   engine_ = &engine;
   net_ = &net;

@@ -97,7 +97,7 @@ class ClientNode : public Endpoint {
 
   /// Event mode: attaches to the transport, sends the hello, and arms the
   /// join-retry and serve timers.
-  void start(sim::EventEngine& engine, KernelTransport& net,
+  void start(sim::Scheduler& engine, AttachableTransport& net,
              std::uint32_t degree = 0);
 
   /// Handles one protocol message (both modes route through here).
@@ -140,7 +140,7 @@ class ClientNode : public Endpoint {
 
   // Event-mode state.
   Transport* net_ = nullptr;
-  sim::EventEngine* engine_ = nullptr;
+  sim::Scheduler* engine_ = nullptr;
   double now_ = 0.0;
   std::uint32_t join_degree_ = 0;
   sim::TimerHandle join_timer_{};

@@ -44,7 +44,7 @@ void GossipPeer::crash() {
   if (engine_) engine_->cancel(tick_timer_);
 }
 
-void GossipPeer::start(sim::EventEngine& engine, KernelTransport& net) {
+void GossipPeer::start(sim::Scheduler& engine, AttachableTransport& net) {
   engine_ = &engine;
   net_ = &net;
   net.attach(address_, this);

@@ -92,7 +92,7 @@ class GossipPeer : public Endpoint {
 
   /// Event mode: attaches to the transport and schedules the periodic
   /// serve/repair/gossip timer on the kernel engine.
-  void start(sim::EventEngine& engine, KernelTransport& net);
+  void start(sim::Scheduler& engine, AttachableTransport& net);
 
   /// Handles one protocol message (both modes route through here).
   void on_message(const Message& m) override;
@@ -134,7 +134,7 @@ class GossipPeer : public Endpoint {
 
   // Event-mode state.
   Transport* net_ = nullptr;
-  sim::EventEngine* engine_ = nullptr;
+  sim::Scheduler* engine_ = nullptr;
   sim::TimerHandle tick_timer_{};
   double now_ = 0.0;
   double decode_time_ = -1.0;

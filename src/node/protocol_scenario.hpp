@@ -87,4 +87,20 @@ struct ProtocolScenarioReport {
 /// Runs the message-plane scenario to its horizon and collects the report.
 ProtocolScenarioReport run_scenario(const ProtocolScenarioSpec& spec);
 
+/// Runs the same scenario on the sharded kernel (sim/sharded_engine.hpp):
+/// the server on lane 0, client address a on lane a, deliveries as
+/// cross-lane posts through ShardedTransport. The report is a pure function
+/// of the spec — independent of `shards` and `workers` (the sharded
+/// determinism contract) — with one exception: `max_in_flight` samples
+/// instantaneous concurrency *during* a window, and the interleaving of
+/// different lanes' equal-window events is unspecified, so the high-water
+/// mark may vary with shard/worker count even though every per-lane
+/// observable is identical. The report is NOT draw-for-draw identical to
+/// run_scenario(), whose transport consumes one global RNG stream in send
+/// order rather than per-sender streams. The epoch defaults to the spec's
+/// minimum link latency, so no delivery is ever clamped.
+ProtocolScenarioReport run_scenario_sharded(const ProtocolScenarioSpec& spec,
+                                            std::uint32_t shards,
+                                            std::uint32_t workers = 0);
+
 }  // namespace ncast::node

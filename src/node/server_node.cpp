@@ -32,7 +32,7 @@ double ServerNode::now() const {
   return engine_ ? engine_->now() : static_cast<double>(now_);
 }
 
-void ServerNode::start(sim::EventEngine& engine, KernelTransport& net) {
+void ServerNode::start(sim::Scheduler& engine, AttachableTransport& net) {
   engine_ = &engine;
   net_ = &net;
   net.attach(kServerAddress, this);
@@ -48,45 +48,25 @@ void ServerNode::event_tick() {
 
 Address ServerNode::parent_on_column(Address addr,
                                      overlay::ColumnId column) const {
-  const auto order = matrix_.nodes_in_order();
-  Address parent = kServerAddress;
-  for (overlay::NodeId n : order) {
-    if (n == addr) return parent;
-    const auto& threads = matrix_.row(n).threads;
-    if (std::binary_search(threads.begin(), threads.end(), column)) {
-      parent = n;
-    }
-  }
-  return parent;
+  const overlay::NodeId p = matrix_.parent_on_column(addr, column);
+  return p == overlay::kServerNode ? kServerAddress : p;
 }
 
 std::optional<Address> ServerNode::child_on_column(
     Address addr, overlay::ColumnId column) const {
-  const auto order = matrix_.nodes_in_order();
-  bool below = false;
-  for (overlay::NodeId n : order) {
-    if (n == addr) {
-      below = true;
-      continue;
-    }
-    if (!below) continue;
-    const auto& threads = matrix_.row(n).threads;
-    if (std::binary_search(threads.begin(), threads.end(), column)) {
-      return n;
-    }
-  }
-  return std::nullopt;
+  const overlay::NodeId c = matrix_.child_on_column(addr, column);
+  if (c == overlay::kNoNode) return std::nullopt;
+  return c;
 }
 
-void ServerNode::send_accept(Address addr,
-                             const std::vector<overlay::ColumnId>& columns,
+void ServerNode::send_accept(Address addr, overlay::ThreadSpan columns,
                              obs::SpanId span) {
   Message accept;
   accept.type = MessageType::kJoinAccept;
   accept.from = kServerAddress;
   accept.to = addr;
   accept.span = span;
-  accept.columns = columns;
+  accept.columns.assign(columns.begin(), columns.end());
   accept.data_size = data_.size();
   accept.gen_count = static_cast<std::uint32_t>(encoder_.generations());
   accept.gen_size = static_cast<std::uint16_t>(config_.generation_size);
@@ -144,7 +124,8 @@ void ServerNode::handle_join(const Message& m) {
 
 void ServerNode::splice_out(Address addr, obs::SpanId span) {
   if (!matrix_.contains(addr)) return;
-  const auto columns = matrix_.row(addr).threads;
+  // Materialize: `threads` is a borrowed span and erase_row() below frees it.
+  const auto columns = matrix_.row(addr).threads.to_vector();
 
   for (overlay::ColumnId c : columns) {
     const Address parent = parent_on_column(addr, c);

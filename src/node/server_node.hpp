@@ -54,7 +54,7 @@ class ServerNode : public Endpoint {
   const std::vector<std::uint8_t>& data() const { return data_; }
 
   /// Event mode: attaches to the transport and schedules the emit loop.
-  void start(sim::EventEngine& engine, KernelTransport& net);
+  void start(sim::Scheduler& engine, AttachableTransport& net);
 
   /// Handles one protocol message (both modes route through here).
   void on_message(const Message& m) override;
@@ -80,8 +80,7 @@ class ServerNode : public Endpoint {
   void handle_restore(const Message& m);
   /// `span` is the causal span the accept rides (the hello's span, so the
   /// join episode's request and response share one id).
-  void send_accept(Address addr, const std::vector<overlay::ColumnId>& columns,
-                   obs::SpanId span);
+  void send_accept(Address addr, overlay::ThreadSpan columns, obs::SpanId span);
 
   /// Performs the good-bye steps for `addr` (used by both graceful leaves
   /// and repairs): for each of its columns, rewires the previous clipper to
@@ -126,7 +125,7 @@ class ServerNode : public Endpoint {
   /// completes) — the server half of the complaint/repair span tree.
   std::map<Address, obs::SpanId> repair_spans_;
   Transport* net_ = nullptr;
-  sim::EventEngine* engine_ = nullptr;
+  sim::Scheduler* engine_ = nullptr;
   sim::TimerHandle emit_timer_{};
   std::uint64_t now_ = 0;
   std::uint64_t repairs_done_ = 0;

@@ -1,0 +1,177 @@
+// The sharded-kernel twin of protocol_scenario.cpp's run_scenario: same
+// spec, same protocol endpoints, but every entity owns a lane and the run
+// executes on ShardedEngine/ShardedTransport. Structural differences are
+// all about lane ownership:
+//   - every client is constructed up front (no shared clients vector to
+//     mutate mid-run); a join fault merely *starts* its pre-built client,
+//     on that client's own lane;
+//   - fault events are scheduled on their target's lane, so crash/leave
+//     state changes are owner-lane writes;
+//   - per-client outcome flags live in per-address slots, never shared.
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "node/client_node.hpp"
+#include "node/protocol_scenario.hpp"
+#include "node/server_node.hpp"
+#include "node/sharded_transport.hpp"
+#include "sim/sharded_engine.hpp"
+
+namespace ncast::node {
+
+ProtocolScenarioReport run_scenario_sharded(const ProtocolScenarioSpec& spec,
+                                            std::uint32_t shards,
+                                            std::uint32_t workers) {
+  // Epoch = the smallest cross-lane latency: conservative windows never
+  // clamp a delivery, and the window grid is identical for every shard and
+  // worker count.
+  double epoch = spec.transport.latency.lower_bound();
+  if (!(epoch > 0.0)) epoch = 0.5;
+  sim::ShardedEngine engine(shards, workers, epoch);
+
+  // Deterministic content: byte pattern keyed by the seed, exactly as in
+  // run_scenario.
+  const std::size_t content_bytes =
+      spec.generations * spec.generation_size * spec.symbols;
+  std::vector<std::uint8_t> content(content_bytes);
+  for (std::size_t i = 0; i < content_bytes; ++i) {
+    content[i] = static_cast<std::uint8_t>(
+        (i * 131u) ^ (i >> 3) ^ static_cast<std::size_t>(spec.seed * 0x9e37u));
+  }
+
+  ServerConfig scfg;
+  scfg.k = spec.k;
+  scfg.default_degree = spec.default_degree;
+  scfg.repair_delay = static_cast<std::uint64_t>(spec.repair_delay);
+  scfg.generation_size = spec.generation_size;
+  scfg.symbols = spec.symbols;
+  scfg.null_keys = spec.null_keys;
+  scfg.seed = spec.seed;
+  ServerNode server(scfg, content);
+
+  // Address a lives on lane a; join events get addresses in sorted fault
+  // order, matching run_scenario's spawn-on-execution numbering.
+  const auto events = spec.faults.sorted();
+  std::uint32_t join_events = 0;
+  for (const sim::FaultEvent& e : events) {
+    if (e.kind == sim::FaultKind::kJoin) ++join_events;
+  }
+  const std::size_t total_clients = spec.initial_clients + join_events;
+  const std::size_t max_addresses = total_clients + 1;  // + server
+  engine.reserve_lanes(max_addresses);
+
+  ShardedTransport net(engine, spec.transport, spec.seed, max_addresses);
+  server.start(engine.lane(kServerAddress), net);
+
+  ClientConfig ccfg;
+  ccfg.silence_timeout = spec.silence_timeout;
+  ccfg.join_retry = spec.join_retry;
+  ccfg.seed = spec.seed;
+
+  std::vector<std::unique_ptr<ClientNode>> clients;
+  clients.reserve(total_clients);
+  std::vector<std::uint8_t> departed(max_addresses, 0);
+  for (std::size_t i = 0; i < total_clients; ++i) {
+    clients.push_back(
+        std::make_unique<ClientNode>(static_cast<Address>(i + 1), ccfg));
+  }
+  for (std::uint32_t i = 0; i < spec.initial_clients; ++i) {
+    clients[i]->start(engine.lane(static_cast<sim::LaneId>(i + 1)), net);
+  }
+
+  const auto target_of = [&spec](const sim::FaultEvent& e) -> Address {
+    return e.targets_join()
+               ? static_cast<Address>(spec.initial_clients + e.join_ref + 1)
+               : static_cast<Address>(e.node);
+  };
+  std::uint32_t next_join = 0;
+  for (const sim::FaultEvent& e : events) {
+    switch (e.kind) {
+      case sim::FaultKind::kJoin: {
+        const Address addr =
+            static_cast<Address>(spec.initial_clients + next_join + 1);
+        ++next_join;
+        ClientNode* c = clients[addr - 1].get();
+        sim::Scheduler& lane = engine.lane(static_cast<sim::LaneId>(addr));
+        engine.schedule_on(
+            static_cast<sim::LaneId>(addr), e.at,
+            [c, &lane, &net] { c->start(lane, net); }, sim::TimerClass::kFault);
+        break;
+      }
+      case sim::FaultKind::kLeave:
+      case sim::FaultKind::kCrash: {
+        const Address addr = target_of(e);
+        if (addr == kServerAddress || addr > clients.size()) break;
+        ClientNode* c = clients[addr - 1].get();
+        const bool is_leave = e.kind == sim::FaultKind::kLeave;
+        engine.schedule_on(
+            static_cast<sim::LaneId>(addr), e.at,
+            [c, addr, is_leave, &net, &departed] {
+              if (is_leave) {
+                if (!c->crashed()) {
+                  c->leave(net);
+                  departed[addr] = 1;
+                }
+              } else {
+                c->crash();
+                net.crash(addr);
+              }
+            },
+            sim::TimerClass::kFault);
+        break;
+      }
+      case sim::FaultKind::kRepair:
+      case sim::FaultKind::kBehavior:
+        break;  // emergent / packet-level only — see protocol_scenario.hpp
+    }
+  }
+
+  double horizon = spec.horizon;
+  if (horizon <= 0.0) {
+    const double stream_time =
+        30.0 + 3.0 * static_cast<double>(spec.generations) *
+                   static_cast<double>(spec.generation_size);
+    double last_event = 0.0;
+    for (const sim::FaultEvent& e : events) {
+      last_event = std::max(last_event, e.at);
+    }
+    horizon = last_event + stream_time +
+              6.0 * static_cast<double>(spec.silence_timeout) +
+              4.0 * spec.join_retry + spec.repair_delay;
+  }
+
+  ProtocolScenarioReport report;
+  report.events_executed = engine.run_until(horizon);
+  report.horizon = horizon;
+  report.messages_sent = net.messages_sent();
+  report.messages_dropped = net.messages_dropped();
+  report.control_messages = net.control_messages();
+  report.data_messages = net.data_messages();
+  report.control_dropped = net.control_dropped();
+  report.control_bytes = net.control_bytes();
+  report.max_in_flight = net.max_in_flight();
+  report.repairs_done = server.repairs_done();
+  report.last_repair_time = server.last_repair_time();
+  report.matrix = server.matrix();
+
+  report.outcomes.reserve(clients.size());
+  for (const auto& c : clients) {
+    ProtocolOutcome o;
+    o.address = c->address();
+    o.joined = c->joined();
+    o.crashed = c->crashed();
+    o.departed = departed[c->address()] != 0;
+    o.decoded = c->joined() && c->decoded();
+    o.join_latency = c->joined() ? c->joined_time() - c->join_sent_time() : -1.0;
+    o.decode_time = c->decode_time();
+    o.join_retries = c->join_retries();
+    o.complaints = c->complaints_sent();
+    report.outcomes.push_back(o);
+  }
+  return report;
+}
+
+}  // namespace ncast::node

@@ -1,0 +1,154 @@
+#include "node/sharded_transport.hpp"
+
+#include <utility>
+
+#include "obs/trace.hpp"
+
+namespace ncast::node {
+
+namespace {
+
+// splitmix64 finalizer, same scheme as KernelTransport: partition sides and
+// per-sender streams must depend on address and run seed alone.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+bool is_data_plane(const Message& m) {
+  return m.type == MessageType::kData || m.type == MessageType::kKeepalive;
+}
+
+}  // namespace
+
+ShardedTransport::ShardedTransport(sim::ShardedEngine& engine,
+                                   TransportSpec spec, std::uint64_t seed,
+                                   std::size_t max_addresses)
+    : engine_(engine), spec_(spec) {
+  const sim::RngStreams streams(seed);
+  partition_salt_ = streams.stream("transport.partition")();
+  lanes_.resize(max_addresses);
+  for (std::size_t a = 0; a < max_addresses; ++a) {
+    // Independent per-sender stream keyed by (run seed, address) alone.
+    lanes_[a].rng = streams.stream(0x73686172644e6574ULL ^
+                                   (static_cast<std::uint64_t>(a) << 1));
+  }
+  endpoints_.assign(max_addresses, nullptr);
+  crashed_flags_.assign(max_addresses, 0);
+}
+
+void ShardedTransport::attach(Address addr, Endpoint* endpoint) {
+  if (addr < endpoints_.size()) endpoints_[addr] = endpoint;
+}
+
+void ShardedTransport::detach(Address addr) {
+  if (addr < endpoints_.size()) endpoints_[addr] = nullptr;
+}
+
+void ShardedTransport::crash(Address addr) {
+  if (addr < crashed_flags_.size()) crashed_flags_[addr] = 1;
+}
+
+void ShardedTransport::revive(Address addr) {
+  if (addr < crashed_flags_.size()) crashed_flags_[addr] = 0;
+}
+
+bool ShardedTransport::crashed(Address addr) const {
+  return addr < crashed_flags_.size() && crashed_flags_[addr] != 0;
+}
+
+bool ShardedTransport::side_b(Address addr) const {
+  if (!spec_.partition.active()) return false;
+  if (addr == kServerAddress) return false;  // the source stays on side A
+  const std::uint64_t z =
+      mix64(partition_salt_ ^
+            (static_cast<std::uint64_t>(addr) * 0x9e3779b97f4a7c15ULL));
+  const double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+  return u < spec_.partition.side_b_fraction;
+}
+
+bool ShardedTransport::crossing_partition(Address a, Address b,
+                                          double when) const {
+  if (!spec_.partition.active()) return false;
+  if (when < spec_.partition.start || when >= spec_.partition.end) return false;
+  return side_b(a) != side_b(b);
+}
+
+bool ShardedTransport::survives(LaneNet& ln, const Message& m) {
+  const bool data_plane = is_data_plane(m);
+  const sim::LossSpec& loss = data_plane ? spec_.data_loss : spec_.control_loss;
+  switch (loss.kind) {
+    case sim::LossSpec::Kind::kNone:
+      return true;
+    case sim::LossSpec::Kind::kBernoulli:
+      return !(loss.p > 0.0 && ln.rng.chance(loss.p));
+    case sim::LossSpec::Kind::kGilbertElliott: {
+      bool& bad = ln.ge_bad[{m.to, data_plane}];
+      bad = bad ? !ln.rng.chance(loss.p_exit_bad)
+                : ln.rng.chance(loss.p_enter_bad);
+      const double drop = bad ? loss.loss_bad : loss.loss_good;
+      return !ln.rng.chance(drop);
+    }
+  }
+  return true;
+}
+
+void ShardedTransport::route(Message m) {
+  if (m.from >= lanes_.size() || m.to >= lanes_.size()) {
+    note_dropped(m, DropReason::kUnattached);
+    return;
+  }
+  if (crashed_flags_[m.from] != 0) {  // own-lane read; dest checked at arrival
+    note_dropped(m, DropReason::kCrashed);
+    return;
+  }
+  LaneNet& ln = lanes_[m.from];
+  // Draw order per message is fixed — latency, then loss — so a sender's
+  // stream depends only on its own send sequence.
+  const double delay = spec_.latency.sample(ln.rng);
+  if (!survives(ln, m)) {
+    note_dropped(m, DropReason::kLoss);
+    return;
+  }
+  const double at = engine_.now() + delay;
+  if (crossing_partition(m.from, m.to, at)) {
+    note_dropped(m, DropReason::kPartition);
+    return;
+  }
+  const std::size_t now_in_flight =
+      in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::size_t hwm = max_in_flight_.load(std::memory_order_relaxed);
+  while (now_in_flight > hwm &&
+         !max_in_flight_.compare_exchange_weak(hwm, now_in_flight,
+                                               std::memory_order_relaxed)) {
+  }
+  in_flight_gauge_->set(static_cast<double>(now_in_flight));
+  in_flight_hwm_->set_max(static_cast<double>(now_in_flight));
+  delivery_delay_->observe(delay);
+  const sim::LaneId dest = static_cast<sim::LaneId>(m.to);
+  engine_.schedule_on(
+      dest, at, [this, msg = std::move(m)]() mutable { arrive(std::move(msg)); },
+      sim::TimerClass::kDelivery);
+}
+
+void ShardedTransport::arrive(Message m) {
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  if (crashed_flags_[m.to] != 0) {  // died before the message landed
+    note_dropped(m, DropReason::kBlackhole);
+    return;
+  }
+  Endpoint* endpoint = endpoints_[m.to];
+  if (endpoint == nullptr) {
+    note_dropped(m, DropReason::kUnattached);
+    return;
+  }
+  delivered_.fetch_add(1, std::memory_order_relaxed);
+  if (!is_data_plane(m)) {
+    obs::trace().emit(obs::TraceKind::kMsgDeliver, m.to, m.from,
+                      static_cast<std::uint64_t>(m.type), {}, m.span);
+  }
+  endpoint->on_message(m);
+}
+
+}  // namespace ncast::node

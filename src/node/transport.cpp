@@ -98,7 +98,7 @@ void Transport::note_dropped(const Message& m, DropReason reason) {
                     m.span);
 }
 
-KernelTransport::KernelTransport(sim::EventEngine& engine, TransportSpec spec,
+KernelTransport::KernelTransport(sim::Scheduler& engine, TransportSpec spec,
                                  Rng rng)
     : engine_(engine),
       spec_(spec),

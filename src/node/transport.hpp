@@ -16,6 +16,7 @@
 //     hello / good-bye / repair control plane of Section 3 to the same
 //     adversity the data plane has always faced.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -100,13 +101,25 @@ class Transport {
   void note_dropped(const Message& m, DropReason reason);
 
  private:
-  std::uint64_t sent_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::uint64_t control_ = 0;
-  std::uint64_t data_ = 0;
-  std::uint64_t keepalive_ = 0;
-  std::uint64_t control_dropped_ = 0;
-  std::uint64_t control_bytes_ = 0;
+  // Atomics so sharded-fabric lanes can count from worker threads; the
+  // accessors above read them relaxed (totals are consumed post-run).
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> control_{0};
+  std::atomic<std::uint64_t> data_{0};
+  std::atomic<std::uint64_t> keepalive_{0};
+  std::atomic<std::uint64_t> control_dropped_{0};
+  std::atomic<std::uint64_t> control_bytes_{0};
+};
+
+/// A Transport endpoints can bind to by address. ClientNode/ServerNode start
+/// against this surface, so the same protocol code runs on KernelTransport
+/// (single engine) or the sharded fabric without caring which.
+class AttachableTransport : public Transport {
+ public:
+  /// Binds `endpoint` to `addr`; mail for unattached addresses is dropped.
+  virtual void attach(Address addr, Endpoint* endpoint) = 0;
+  virtual void detach(Address addr) = 0;
 };
 
 /// Event-driven fabric on the simulation kernel (Layer 1). Each send samples
@@ -117,13 +130,12 @@ class Transport {
 /// mail in flight toward a node that dies mid-flight is lost like anything
 /// else. Gilbert-Elliott channels keep per-directed-pair, per-plane state in
 /// ordered maps (determinism: no unordered iteration anywhere).
-class KernelTransport final : public Transport {
+class KernelTransport final : public AttachableTransport {
  public:
-  KernelTransport(sim::EventEngine& engine, TransportSpec spec, Rng rng);
+  KernelTransport(sim::Scheduler& engine, TransportSpec spec, Rng rng);
 
-  /// Binds `endpoint` to `addr`; mail for unattached addresses is dropped.
-  void attach(Address addr, Endpoint* endpoint);
-  void detach(Address addr);
+  void attach(Address addr, Endpoint* endpoint) override;
+  void detach(Address addr) override;
 
   void crash(Address addr) override;
   void revive(Address addr) override;
@@ -135,7 +147,7 @@ class KernelTransport final : public Transport {
   std::uint64_t delivered() const { return delivered_; }
 
   const TransportSpec& spec() const { return spec_; }
-  sim::EventEngine& engine() { return engine_; }
+  sim::Scheduler& engine() { return engine_; }
 
  protected:
   void route(Message m) override;
@@ -150,7 +162,7 @@ class KernelTransport final : public Transport {
   bool crossing_partition(Address a, Address b, double when) const;
   bool side_b(Address addr) const;
 
-  sim::EventEngine& engine_;
+  sim::Scheduler& engine_;
   TransportSpec spec_;
   Rng rng_;
   std::uint64_t partition_salt_;

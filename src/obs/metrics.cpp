@@ -53,6 +53,7 @@ double Histogram::quantile(double q) const {
 }
 
 Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     check_collision(name, "counter");
@@ -62,6 +63,7 @@ Counter& Registry::counter(const std::string& name) {
 }
 
 Gauge& Registry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     check_collision(name, "gauge");
@@ -71,6 +73,7 @@ Gauge& Registry::gauge(const std::string& name) {
 }
 
 Histogram& Registry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     check_collision(name, "histogram");
@@ -90,12 +93,14 @@ void Registry::check_collision(const std::string& name, const char* kind) const 
 }
 
 void Registry::reset_values() {
+  const std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
 }
 
 void Registry::write_json(JsonWriter& w) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   w.key("counters").begin_object();
   for (const auto& [name, c] : counters_) {
     w.key(name).value(c->value());

@@ -1,9 +1,12 @@
 #pragma once
 // Process-wide metrics registry: named Counter / Gauge / Histogram instances
-// with near-zero-cost updates on hot paths. Everything here is
-// single-threaded by design (the simulators are single-threaded); the hot
-// operations are a plain integer add, a compare-and-store, or two shifts and
-// an array increment — no locks, no atomics, no allocation.
+// with near-zero-cost updates on hot paths. Hot operations are thread-safe
+// so the sharded kernel's workers can land updates concurrently: counters
+// and gauges are relaxed atomics, histograms take a per-instance spinlock,
+// and registry lookups are mutex-guarded (hot paths cache the returned
+// references, so lookups never sit on a hot loop). Readers (JSON snapshots,
+// quantiles) are meant to run after workers have joined — the sharded
+// engine's epoch barriers and thread joins provide that ordering.
 //
 // Compile-time kill switch: build with -DNCAST_OBS_ENABLED=0 (CMake option
 // NCAST_OBS=OFF) and every mutating operation compiles to nothing while the
@@ -14,11 +17,13 @@
 #define NCAST_OBS_ENABLED 1
 #endif
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <limits>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -26,30 +31,34 @@ namespace ncast::obs {
 
 class JsonWriter;
 
-/// Monotone event count.
+/// Monotone event count. Increments are relaxed atomics: cross-thread
+/// counts merge correctly, but no ordering is implied — read totals only
+/// after the writing threads have been joined.
 class Counter {
  public:
   void inc(std::uint64_t n = 1) {
 #if NCAST_OBS_ENABLED
-    value_ += n;
+    value_.fetch_add(n, std::memory_order_relaxed);
 #else
     (void)n;
 #endif
   }
 
-  std::uint64_t value() const { return value_; }
-  void reset() { value_ = 0; }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
-/// Last-value (or high-water) measurement.
+/// Last-value (or high-water) measurement. Atomic like Counter: set() is a
+/// relaxed store (last writer wins), add() a relaxed fetch_add, set_max() a
+/// compare-exchange loop that never loses a larger value to a race.
 class Gauge {
  public:
   void set(double v) {
 #if NCAST_OBS_ENABLED
-    value_ = v;
+    value_.store(v, std::memory_order_relaxed);
 #else
     (void)v;
 #endif
@@ -57,7 +66,7 @@ class Gauge {
 
   void add(double v) {
 #if NCAST_OBS_ENABLED
-    value_ += v;
+    value_.fetch_add(v, std::memory_order_relaxed);
 #else
     (void)v;
 #endif
@@ -66,17 +75,20 @@ class Gauge {
   /// High-water update: keeps the maximum of all values seen.
   void set_max(double v) {
 #if NCAST_OBS_ENABLED
-    if (v > value_) value_ = v;
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
 #else
     (void)v;
 #endif
   }
 
-  double value() const { return value_; }
-  void reset() { value_ = 0.0; }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Log-bucketed histogram for non-negative measurements (durations in
@@ -95,11 +107,17 @@ class Histogram {
 
   void observe(double x) {
 #if NCAST_OBS_ENABLED
+    // Per-instance spinlock: observations are rare enough (sampled handler
+    // profiling, per-message delay draws) that contention is negligible, and
+    // a lock keeps (count, sum, min, max, bucket) mutually consistent.
+    while (lock_.test_and_set(std::memory_order_acquire)) {
+    }
     ++count_;
     sum_ += x;
     if (x < min_) min_ = x;
     if (x > max_) max_ = x;
     ++counts_[bucket_index(x)];
+    lock_.clear(std::memory_order_release);
 #else
     (void)x;
 #endif
@@ -131,6 +149,7 @@ class Histogram {
   static double bucket_low(std::size_t i);
 
  private:
+  std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
@@ -149,6 +168,7 @@ class Registry {
   Histogram& histogram(const std::string& name);
 
   std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
@@ -167,6 +187,7 @@ class Registry {
  private:
   void check_collision(const std::string& name, const char* kind) const;
 
+  mutable std::mutex mu_;  ///< guards the maps; entry values are stable
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

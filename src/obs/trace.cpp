@@ -38,6 +38,8 @@ void TraceBuffer::emit(TraceKind kind, std::uint64_t node, std::uint64_t a,
                        std::uint64_t b, std::string detail, SpanId span,
                        SpanId parent) {
 #if NCAST_OBS_ENABLED
+  while (lock_.test_and_set(std::memory_order_acquire)) {
+  }
   if (size_ == ring_.size()) {
     // Overwriting the oldest retained event. The registry counter is the
     // cheap cross-check bench telemetry snapshots; dropped_ feeds the export
@@ -47,7 +49,7 @@ void TraceBuffer::emit(TraceKind kind, std::uint64_t node, std::uint64_t a,
     dropped_ctr.inc();
   }
   TraceEvent& e = ring_[next_];
-  e.t = now_;
+  e.t = now_.load(std::memory_order_relaxed);
   e.kind = kind;
   e.node = node;
   e.a = a;
@@ -58,6 +60,7 @@ void TraceBuffer::emit(TraceKind kind, std::uint64_t node, std::uint64_t a,
   next_ = (next_ + 1) % ring_.size();
   if (size_ < ring_.size()) ++size_;
   ++total_;
+  lock_.clear(std::memory_order_release);
 #else
   (void)kind; (void)node; (void)a; (void)b; (void)detail;
   (void)span; (void)parent;

@@ -19,6 +19,7 @@
 #define NCAST_OBS_ENABLED 1
 #endif
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -73,13 +74,30 @@ struct TraceEvent {
 /// simulation driver calls set_now() as virtual time advances; emitters
 /// stamp events with the current reading. With NCAST_OBS disabled, emit()
 /// is a no-op and the buffer stays empty.
+///
+/// Thread-safety: emit() takes a per-buffer spinlock and the clock/span
+/// sequence are atomics, so sharded-kernel workers can emit concurrently.
+/// Readers (to_jsonl, events_in_order) are meant to run after workers have
+/// joined; the clock is a single value, so concurrent set_now() from lanes
+/// at different virtual times makes stamps approximate under workers > 1.
 class TraceBuffer {
  public:
   explicit TraceBuffer(std::size_t capacity = 8192);
 
+  /// Movable for by-value construction in tests/tools. Never move a buffer
+  /// other threads are emitting into.
+  TraceBuffer(TraceBuffer&& o) noexcept
+      : ring_(std::move(o.ring_)),
+        next_(o.next_),
+        size_(o.size_),
+        total_(o.total_),
+        dropped_(o.dropped_),
+        span_seq_(o.span_seq_.load(std::memory_order_relaxed)),
+        now_(o.now_.load(std::memory_order_relaxed)) {}
+
   /// Sets the timestamp applied to subsequently emitted events.
-  void set_now(double t) { now_ = t; }
-  double now() const { return now_; }
+  void set_now(double t) { now_.store(t, std::memory_order_relaxed); }
+  double now() const { return now_.load(std::memory_order_relaxed); }
 
   void emit(TraceKind kind, std::uint64_t node = 0, std::uint64_t a = 0,
             std::uint64_t b = 0, std::string detail = {},
@@ -88,7 +106,7 @@ class TraceBuffer {
   /// Allocates a fresh span id (never 0, never reused). Not gated by the
   /// kill switch: span ids ride protocol messages, so their allocation must
   /// not depend on whether telemetry is compiled in.
-  SpanId new_span() { return ++span_seq_; }
+  SpanId new_span() { return span_seq_.fetch_add(1, std::memory_order_relaxed) + 1; }
 
   std::size_t capacity() const { return ring_.size(); }
   /// Events currently retained (<= capacity()).
@@ -117,13 +135,14 @@ class TraceBuffer {
   void clear();
 
  private:
+  std::atomic_flag lock_ = ATOMIC_FLAG_INIT;  ///< guards ring/counters in emit
   std::vector<TraceEvent> ring_;
   std::size_t next_ = 0;  // slot the next event lands in
   std::size_t size_ = 0;
   std::uint64_t total_ = 0;
   std::uint64_t dropped_ = 0;
-  SpanId span_seq_ = 0;
-  double now_ = 0.0;
+  std::atomic<SpanId> span_seq_{0};
+  std::atomic<double> now_{0.0};
 };
 
 /// The process-wide trace buffer all instrumentation points use.

@@ -12,7 +12,7 @@ FlowGraph build_flow_graph(const ThreadMatrix& m) {
   fg.graph = graph::Digraph(1);  // server
   fg.vertex_to_node.push_back(kServerNode);
 
-  const std::vector<NodeId> order = m.nodes_in_order();
+  const OrderIndex& order = m.order();
   NodeId max_id = 0;
   for (NodeId n : order) max_id = std::max(max_id, n);
   fg.node_vertex.assign(order.empty() ? 0 : max_id + 1, FlowGraph::kNoVertex);

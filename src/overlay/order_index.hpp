@@ -1,0 +1,270 @@
+#pragma once
+// Order-statistic index over dense uint32 ids: the "curtain index" behind the
+// SoA ThreadMatrix (docs/architecture.md, "sharded kernel & SoA overlay
+// state"). A treap keyed by implicit position, stored as flat parallel arrays
+// indexed by the id itself — no per-node heap allocation, no pointers to
+// chase across cache lines beyond the arrays. Priorities are derived
+// deterministically from the id (splitmix64 finalizer), so the tree shape —
+// and therefore every operation's cost — is a pure function of the id set
+// and insertion positions: identical across runs, platforms, and shard
+// counts.
+//
+// Complexities (n = current size, expected over the deterministic-but-mixed
+// priorities): insert_at / erase / position / at are O(log n); prev / next /
+// front / back are O(1) via an intrusive doubly linked list threaded through
+// the same arrays, which also makes full in-order iteration O(n) with no
+// materialized vector (see OrderIndex::begin/end).
+
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <stdexcept>
+#include <vector>
+
+namespace ncast::overlay {
+
+class OrderIndex {
+ public:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  bool contains(std::uint32_t v) const {
+    return v < in_.size() && in_[v] != 0;
+  }
+
+  /// First id in order (kNil when empty).
+  std::uint32_t front() const { return head_; }
+  /// Last id in order (kNil when empty).
+  std::uint32_t back() const { return tail_; }
+  /// Predecessor in order (kNil at the front). `v` must be contained.
+  std::uint32_t prev(std::uint32_t v) const { return prev_[v]; }
+  /// Successor in order (kNil at the back). `v` must be contained.
+  std::uint32_t next(std::uint32_t v) const { return next_[v]; }
+
+  /// Inserts `v` so that it ends up at position `pos` (0 = front). `v` must
+  /// not be contained; pos must be <= size().
+  void insert_at(std::size_t pos, std::uint32_t v) {
+    if (pos > count_) throw std::out_of_range("OrderIndex::insert_at: pos");
+    if (contains(v)) throw std::invalid_argument("OrderIndex: duplicate id");
+    ensure_capacity(v);
+    in_[v] = 1;
+    left_[v] = kNil;
+    right_[v] = kNil;
+    cnt_[v] = 1;
+    prio_[v] = mix_priority(v);
+
+    // Descend by implicit index to the attach point.
+    std::uint32_t cur = root_;
+    std::uint32_t parent = kNil;
+    bool went_left = false;
+    std::size_t p = pos;
+    while (cur != kNil) {
+      const std::size_t ls = subtree(left_[cur]);
+      parent = cur;
+      if (p <= ls) {
+        went_left = true;
+        cur = left_[cur];
+      } else {
+        went_left = false;
+        p -= ls + 1;
+        cur = right_[cur];
+      }
+    }
+    parent_[v] = parent;
+    if (parent == kNil) {
+      root_ = v;
+      prev_[v] = kNil;
+      next_[v] = kNil;
+      head_ = v;
+      tail_ = v;
+    } else {
+      std::uint32_t before, after;
+      if (went_left) {
+        left_[parent] = v;
+        after = parent;        // parent is the in-order successor
+        before = prev_[parent];
+      } else {
+        right_[parent] = v;
+        before = parent;       // parent is the in-order predecessor
+        after = next_[parent];
+      }
+      splice(before, v, after);
+      // Fix subtree counts on the descent path, then restore the heap
+      // property by rotating v up while its priority beats its parent's.
+      for (std::uint32_t a = parent; a != kNil; a = parent_[a]) ++cnt_[a];
+      while (parent_[v] != kNil && prio_[v] < prio_[parent_[v]]) rotate_up(v);
+    }
+    ++count_;
+  }
+
+  /// Removes `v`. `v` must be contained.
+  void erase(std::uint32_t v) {
+    if (!contains(v)) throw std::out_of_range("OrderIndex::erase: unknown id");
+    // Rotate v down (promoting the smaller-priority child) until it's a leaf.
+    while (left_[v] != kNil || right_[v] != kNil) {
+      std::uint32_t child;
+      if (left_[v] == kNil) {
+        child = right_[v];
+      } else if (right_[v] == kNil) {
+        child = left_[v];
+      } else {
+        child = prio_[left_[v]] < prio_[right_[v]] ? left_[v] : right_[v];
+      }
+      rotate_up(child);
+    }
+    const std::uint32_t parent = parent_[v];
+    if (parent == kNil) {
+      root_ = kNil;
+    } else if (left_[parent] == v) {
+      left_[parent] = kNil;
+    } else {
+      right_[parent] = kNil;
+    }
+    for (std::uint32_t a = parent; a != kNil; a = parent_[a]) --cnt_[a];
+    unsplice(v);
+    in_[v] = 0;
+    --count_;
+  }
+
+  /// Position of `v` in order (0 = front).
+  std::size_t position(std::uint32_t v) const {
+    if (!contains(v)) throw std::out_of_range("OrderIndex::position");
+    std::size_t pos = subtree(left_[v]);
+    std::uint32_t cur = v;
+    for (std::uint32_t p = parent_[cur]; p != kNil; p = parent_[cur]) {
+      if (right_[p] == cur) pos += subtree(left_[p]) + 1;
+      cur = p;
+    }
+    return pos;
+  }
+
+  /// Id at position `pos` (0 = front).
+  std::uint32_t at(std::size_t pos) const {
+    if (pos >= count_) throw std::out_of_range("OrderIndex::at");
+    std::uint32_t cur = root_;
+    while (true) {
+      const std::size_t ls = subtree(left_[cur]);
+      if (pos < ls) {
+        cur = left_[cur];
+      } else if (pos == ls) {
+        return cur;
+      } else {
+        pos -= ls + 1;
+        cur = right_[cur];
+      }
+    }
+  }
+
+  /// Forward iteration over ids in order, O(1) per step, nothing
+  /// materialized: `for (auto id : index) ...`.
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = std::uint32_t;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const std::uint32_t*;
+    using reference = std::uint32_t;
+
+    iterator() = default;
+    iterator(const OrderIndex* idx, std::uint32_t cur) : idx_(idx), cur_(cur) {}
+    std::uint32_t operator*() const { return cur_; }
+    iterator& operator++() {
+      cur_ = idx_->next(cur_);
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator t = *this;
+      ++*this;
+      return t;
+    }
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.cur_ == b.cur_;
+    }
+
+   private:
+    const OrderIndex* idx_ = nullptr;
+    std::uint32_t cur_ = kNil;
+  };
+
+  iterator begin() const { return iterator(this, head_); }
+  iterator end() const { return iterator(this, kNil); }
+
+ private:
+  static std::uint32_t mix_priority(std::uint32_t v) {
+    // splitmix64 finalizer over the id: deterministic, well mixed, so even
+    // sequential ids produce a balanced treap in expectation.
+    std::uint64_t z = static_cast<std::uint64_t>(v) + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::uint32_t>((z ^ (z >> 31)) >> 16);
+  }
+
+  std::size_t subtree(std::uint32_t v) const { return v == kNil ? 0 : cnt_[v]; }
+
+  void ensure_capacity(std::uint32_t v) {
+    if (v < in_.size()) return;
+    const std::size_t n = static_cast<std::size_t>(v) + 1;
+    in_.resize(n, 0);
+    left_.resize(n, kNil);
+    right_.resize(n, kNil);
+    parent_.resize(n, kNil);
+    prev_.resize(n, kNil);
+    next_.resize(n, kNil);
+    cnt_.resize(n, 0);
+    prio_.resize(n, 0);
+  }
+
+  void splice(std::uint32_t before, std::uint32_t v, std::uint32_t after) {
+    prev_[v] = before;
+    next_[v] = after;
+    if (before == kNil) head_ = v; else next_[before] = v;
+    if (after == kNil) tail_ = v; else prev_[after] = v;
+  }
+
+  void unsplice(std::uint32_t v) {
+    const std::uint32_t b = prev_[v], a = next_[v];
+    if (b == kNil) head_ = a; else next_[b] = a;
+    if (a == kNil) tail_ = b; else prev_[a] = b;
+  }
+
+  /// Rotates `v` one level up (v must have a parent). In-order sequence is
+  /// unchanged; subtree counts are patched locally.
+  void rotate_up(std::uint32_t v) {
+    const std::uint32_t p = parent_[v];
+    const std::uint32_t g = parent_[p];
+    if (left_[p] == v) {
+      left_[p] = right_[v];
+      if (right_[v] != kNil) parent_[right_[v]] = p;
+      right_[v] = p;
+    } else {
+      right_[p] = left_[v];
+      if (left_[v] != kNil) parent_[left_[v]] = p;
+      left_[v] = p;
+    }
+    parent_[p] = v;
+    parent_[v] = g;
+    if (g == kNil) {
+      root_ = v;
+    } else if (left_[g] == p) {
+      left_[g] = v;
+    } else {
+      right_[g] = v;
+    }
+    cnt_[v] = cnt_[p];
+    cnt_[p] = static_cast<std::uint32_t>(1 + subtree(left_[p]) + subtree(right_[p]));
+  }
+
+  std::vector<std::uint8_t> in_;        // membership flag per id
+  std::vector<std::uint32_t> left_, right_, parent_;  // treap topology
+  std::vector<std::uint32_t> prev_, next_;            // in-order linked list
+  std::vector<std::uint32_t> cnt_;      // subtree sizes (order statistics)
+  std::vector<std::uint32_t> prio_;     // deterministic heap priorities
+  std::uint32_t root_ = kNil;
+  std::uint32_t head_ = kNil;
+  std::uint32_t tail_ = kNil;
+  std::size_t count_ = 0;
+};
+
+}  // namespace ncast::overlay

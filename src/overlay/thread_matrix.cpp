@@ -6,30 +6,55 @@ namespace ncast::overlay {
 
 ThreadMatrix::ThreadMatrix(std::uint32_t k) : k_(k) {
   if (k == 0) throw std::invalid_argument("ThreadMatrix: k must be positive");
+  tail_.assign(k_, kServerNode);
+  free_.resize(33);  // capacity classes 2^0 .. 2^32
 }
 
-bool ThreadMatrix::contains(NodeId node) const {
-  return node < slots_.size() && slots_[node].present;
-}
-
-ThreadMatrix::Slot& ThreadMatrix::slot(NodeId node) {
+void ThreadMatrix::check_known(NodeId node) const {
   if (!contains(node)) throw std::out_of_range("ThreadMatrix: unknown node");
-  return slots_[node];
 }
 
-const ThreadMatrix::Slot& ThreadMatrix::slot(NodeId node) const {
-  if (!contains(node)) throw std::out_of_range("ThreadMatrix: unknown node");
-  return slots_[node];
-}
-
-void ThreadMatrix::verify_threads(const std::vector<ColumnId>& threads) const {
-  if (threads.empty()) throw std::invalid_argument("ThreadMatrix: row needs >= 1 thread");
-  for (std::size_t i = 0; i < threads.size(); ++i) {
+void ThreadMatrix::verify_threads(const ColumnId* threads,
+                                  std::size_t count) const {
+  if (count == 0) throw std::invalid_argument("ThreadMatrix: row needs >= 1 thread");
+  for (std::size_t i = 0; i < count; ++i) {
     if (threads[i] >= k_) throw std::invalid_argument("ThreadMatrix: column out of range");
     if (i > 0 && threads[i] <= threads[i - 1]) {
       throw std::invalid_argument("ThreadMatrix: threads must be sorted and distinct");
     }
   }
+}
+
+std::uint8_t ThreadMatrix::cap_log2_for(std::size_t len) {
+  std::uint8_t p = 0;
+  while ((std::size_t{1} << p) < len) ++p;
+  return p;
+}
+
+std::uint32_t ThreadMatrix::alloc_span(std::uint8_t cap_log2) {
+  auto& fl = free_[cap_log2];
+  if (!fl.empty()) {
+    const std::uint32_t off = fl.back();
+    fl.pop_back();
+    return off;
+  }
+  const std::size_t cap = std::size_t{1} << cap_log2;
+  const std::uint32_t off = static_cast<std::uint32_t>(cols_.size());
+  cols_.resize(cols_.size() + cap);
+  up_.resize(up_.size() + cap);
+  down_.resize(down_.size() + cap);
+  return off;
+}
+
+void ThreadMatrix::free_span(std::uint32_t off, std::uint8_t cap_log2) {
+  free_[cap_log2].push_back(off);
+}
+
+std::uint32_t ThreadMatrix::slot_of(NodeId node, ColumnId column) const {
+  const RowMeta& m = meta_[node];
+  const ColumnId* first = cols_.data() + m.off;
+  const ColumnId* it = std::lower_bound(first, first + m.len, column);
+  return m.off + static_cast<std::uint32_t>(it - first);
 }
 
 void ThreadMatrix::append_row(NodeId node, std::vector<ColumnId> threads) {
@@ -41,57 +66,155 @@ void ThreadMatrix::insert_row(std::size_t pos, NodeId node,
   if (pos > order_.size()) throw std::out_of_range("ThreadMatrix::insert_row: pos");
   if (node == kServerNode) throw std::invalid_argument("ThreadMatrix: reserved node id");
   std::sort(threads.begin(), threads.end());
-  verify_threads(threads);
+  insert_row(pos, node, threads.data(), threads.size());
+}
+
+void ThreadMatrix::insert_row(std::size_t pos, NodeId node,
+                              const ColumnId* threads, std::size_t count) {
+  if (pos > order_.size()) throw std::out_of_range("ThreadMatrix::insert_row: pos");
+  if (node == kServerNode) throw std::invalid_argument("ThreadMatrix: reserved node id");
+  verify_threads(threads, count);
   if (contains(node)) throw std::invalid_argument("ThreadMatrix: node already present");
-  if (node >= slots_.size()) slots_.resize(node + 1);
-  slots_[node].row = Row{node, std::move(threads), false};
-  slots_[node].present = true;
-  order_.insert(order_.begin() + static_cast<std::ptrdiff_t>(pos), node);
+  if (node >= meta_.size()) meta_.resize(node + 1);
+
+  RowMeta& m = meta_[node];
+  m.cap_log2 = cap_log2_for(count);
+  m.off = alloc_span(m.cap_log2);
+  m.len = static_cast<std::uint32_t>(count);
+  m.present = true;
+  m.failed = false;
+  std::copy(threads, threads + count, cols_.begin() + m.off);
+
+  order_.insert_at(pos, node);
+  splice_links(node);
+}
+
+void ThreadMatrix::splice_links(NodeId node) {
+  const RowMeta& m = meta_[node];
+  const std::uint32_t off = m.off;
+  const std::uint32_t len = m.len;
+
+  // Resolve each column's child by walking the curtain downward from the new
+  // row, intersecting each visited row's span with the still-unresolved
+  // columns (both sorted — one two-pointer pass per visited row). For the
+  // paper's balanced workloads the nearest clipper of some column is a few
+  // rows away, so the walk resolves everything after O((k/d) ln d) visits in
+  // expectation; columns that reach the bottom unresolved are hanging ends
+  // and read the per-column tail array instead, so an append is O(d) flat.
+  if (resolved_scratch_.size() < len) resolved_scratch_.resize(len);
+  std::fill(resolved_scratch_.begin(), resolved_scratch_.begin() + len, 0);
+  std::uint32_t remaining = len;
+
+  NodeId below = order_.next(node);
+  while (remaining > 0 && below != OrderIndex::kNil) {
+    const RowMeta& bm = meta_[below];
+    std::uint32_t i = 0, j = 0;
+    while (i < len && j < bm.len) {
+      const ColumnId mine = cols_[off + i];
+      const ColumnId theirs = cols_[bm.off + j];
+      if (mine < theirs) {
+        ++i;
+      } else if (theirs < mine) {
+        ++j;
+      } else {
+        if (resolved_scratch_[i] == 0) {
+          resolved_scratch_[i] = 1;
+          --remaining;
+          const std::uint32_t child_slot = bm.off + j;
+          const NodeId parent = up_[child_slot];
+          up_[off + i] = parent;
+          down_[off + i] = below;
+          up_[child_slot] = node;
+          if (parent != kServerNode) {
+            down_[slot_of(parent, mine)] = node;
+          }
+        }
+        ++i;
+        ++j;
+      }
+    }
+    below = order_.next(below);
+  }
+
+  for (std::uint32_t i = 0; remaining > 0 && i < len; ++i) {
+    if (resolved_scratch_[i] != 0) continue;
+    --remaining;
+    const ColumnId c = cols_[off + i];
+    const NodeId parent = tail_[c];
+    up_[off + i] = parent;
+    down_[off + i] = kNoNode;
+    if (parent != kServerNode) down_[slot_of(parent, c)] = node;
+    tail_[c] = node;
+  }
+}
+
+void ThreadMatrix::unlink_slot(std::uint32_t slot, NodeId node) {
+  const ColumnId c = cols_[slot];
+  const NodeId u = up_[slot];
+  const NodeId d = down_[slot];
+  if (u != kServerNode) down_[slot_of(u, c)] = d;
+  if (d != kNoNode) {
+    up_[slot_of(d, c)] = u;
+  } else {
+    tail_[c] = u;
+  }
 }
 
 void ThreadMatrix::erase_row(NodeId node) {
-  Slot& s = slot(node);
-  if (s.row.failed) --failed_count_;
-  s.present = false;
-  s.row.threads.clear();
-  order_.erase(std::find(order_.begin(), order_.end(), node));
+  check_known(node);
+  RowMeta& m = meta_[node];
+  if (m.failed) --failed_count_;
+  for (std::uint32_t i = 0; i < m.len; ++i) unlink_slot(m.off + i, node);
+  free_span(m.off, m.cap_log2);
+  m.present = false;
+  m.failed = false;
+  m.len = 0;
+  order_.erase(node);
 }
 
 void ThreadMatrix::mark_failed(NodeId node) {
-  Slot& s = slot(node);
-  if (!s.row.failed) {
-    s.row.failed = true;
+  check_known(node);
+  RowMeta& m = meta_[node];
+  if (!m.failed) {
+    m.failed = true;
     ++failed_count_;
   }
 }
 
 void ThreadMatrix::mark_working(NodeId node) {
-  Slot& s = slot(node);
-  if (s.row.failed) {
-    s.row.failed = false;
+  check_known(node);
+  RowMeta& m = meta_[node];
+  if (m.failed) {
+    m.failed = false;
     --failed_count_;
   }
 }
 
-const Row& ThreadMatrix::row(NodeId node) const { return slot(node).row; }
-
-std::size_t ThreadMatrix::position(NodeId node) const {
-  const auto it = std::find(order_.begin(), order_.end(), node);
-  if (it == order_.end()) throw std::out_of_range("ThreadMatrix::position");
-  return static_cast<std::size_t>(it - order_.begin());
+Row ThreadMatrix::row(NodeId node) const {
+  check_known(node);
+  const RowMeta& m = meta_[node];
+  return Row{node, ThreadSpan(cols_.data() + m.off, m.len), m.failed};
 }
 
-std::vector<NodeId> ThreadMatrix::nodes_in_order() const { return order_; }
+std::size_t ThreadMatrix::position(NodeId node) const {
+  if (!contains(node)) throw std::out_of_range("ThreadMatrix::position");
+  return order_.position(node);
+}
+
+std::vector<NodeId> ThreadMatrix::nodes_in_order() const {
+  std::vector<NodeId> out;
+  out.reserve(order_.size());
+  for (NodeId n : order_) out.push_back(n);
+  return out;
+}
 
 std::vector<ThreadEdge> ThreadMatrix::edges() const {
   std::vector<ThreadEdge> out;
   out.reserve(order_.size() * 2);
-  std::vector<NodeId> last(k_, kServerNode);
   for (NodeId node : order_) {
-    const Row& r = slots_[node].row;
-    for (ColumnId c : r.threads) {
-      out.push_back(ThreadEdge{last[c], node, c});
-      last[c] = node;
+    const RowMeta& m = meta_[node];
+    for (std::uint32_t i = 0; i < m.len; ++i) {
+      out.push_back(ThreadEdge{up_[m.off + i], node, cols_[m.off + i]});
     }
   }
   return out;
@@ -99,31 +222,21 @@ std::vector<ThreadEdge> ThreadMatrix::edges() const {
 
 std::vector<HangingEnd> ThreadMatrix::hanging_ends() const {
   std::vector<HangingEnd> ends(k_);
-  for (ColumnId c = 0; c < k_; ++c) ends[c].column = c;
-  for (NodeId node : order_) {
-    const Row& r = slots_[node].row;
-    for (ColumnId c : r.threads) {
-      ends[c].owner = node;
-      ends[c].owner_failed = r.failed;
-    }
+  for (ColumnId c = 0; c < k_; ++c) {
+    ends[c].column = c;
+    const NodeId owner = tail_[c];
+    ends[c].owner = owner;
+    ends[c].owner_failed = owner != kServerNode && meta_[owner].failed;
   }
   return ends;
 }
 
 std::vector<NodeId> ThreadMatrix::parents(NodeId node) const {
-  const Row& target = slot(node).row;
-  const std::size_t pos = position(node);
+  check_known(node);
+  const RowMeta& m = meta_[node];
   std::vector<NodeId> result;
-  for (ColumnId c : target.threads) {
-    // Walk upward to the nearest earlier row clipping column c.
-    NodeId parent = kServerNode;
-    for (std::size_t i = pos; i > 0; --i) {
-      const Row& r = slots_[order_[i - 1]].row;
-      if (std::binary_search(r.threads.begin(), r.threads.end(), c)) {
-        parent = r.node;
-        break;
-      }
-    }
+  for (std::uint32_t i = 0; i < m.len; ++i) {
+    const NodeId parent = up_[m.off + i];
     if (std::find(result.begin(), result.end(), parent) == result.end()) {
       result.push_back(parent);
     }
@@ -132,65 +245,195 @@ std::vector<NodeId> ThreadMatrix::parents(NodeId node) const {
 }
 
 std::vector<NodeId> ThreadMatrix::children(NodeId node) const {
-  const Row& source = slot(node).row;
-  const std::size_t pos = position(node);
+  check_known(node);
+  const RowMeta& m = meta_[node];
   std::vector<NodeId> result;
-  for (ColumnId c : source.threads) {
-    for (std::size_t i = pos + 1; i < order_.size(); ++i) {
-      const Row& r = slots_[order_[i]].row;
-      if (std::binary_search(r.threads.begin(), r.threads.end(), c)) {
-        if (std::find(result.begin(), result.end(), r.node) == result.end()) {
-          result.push_back(r.node);
-        }
-        break;
-      }
+  for (std::uint32_t i = 0; i < m.len; ++i) {
+    const NodeId child = down_[m.off + i];
+    if (child == kNoNode) continue;
+    if (std::find(result.begin(), result.end(), child) == result.end()) {
+      result.push_back(child);
     }
   }
   return result;
 }
 
+NodeId ThreadMatrix::parent_on_column(NodeId node, ColumnId column) const {
+  check_known(node);
+  if (column >= k_) throw std::invalid_argument("ThreadMatrix::parent_on_column: column");
+  const std::uint32_t slot = slot_of(node, column);
+  const RowMeta& m = meta_[node];
+  if (slot < m.off + m.len && cols_[slot] == column) return up_[slot];
+  // Not clipped by this row (e.g. a complaint racing an offload): fall back
+  // to walking the curtain upward for the nearest clipper.
+  for (NodeId above = order_.prev(node); above != OrderIndex::kNil;
+       above = order_.prev(above)) {
+    const RowMeta& am = meta_[above];
+    const ColumnId* first = cols_.data() + am.off;
+    const ColumnId* it = std::lower_bound(first, first + am.len, column);
+    if (it != first + am.len && *it == column) return above;
+  }
+  return kServerNode;
+}
+
+NodeId ThreadMatrix::child_on_column(NodeId node, ColumnId column) const {
+  check_known(node);
+  if (column >= k_) throw std::invalid_argument("ThreadMatrix::child_on_column: column");
+  const std::uint32_t slot = slot_of(node, column);
+  const RowMeta& m = meta_[node];
+  if (slot < m.off + m.len && cols_[slot] == column) return down_[slot];
+  for (NodeId below = order_.next(node); below != OrderIndex::kNil;
+       below = order_.next(below)) {
+    const RowMeta& bm = meta_[below];
+    const ColumnId* first = cols_.data() + bm.off;
+    const ColumnId* it = std::lower_bound(first, first + bm.len, column);
+    if (it != first + bm.len && *it == column) return below;
+  }
+  return kNoNode;
+}
+
+NodeId ThreadMatrix::tail_of_column(ColumnId column) const {
+  if (column >= k_) throw std::invalid_argument("ThreadMatrix::tail_of_column: column");
+  return tail_[column];
+}
+
 void ThreadMatrix::add_thread(NodeId node, ColumnId column) {
   if (column >= k_) throw std::invalid_argument("ThreadMatrix::add_thread: column");
-  Row& r = slot(node).row;
-  const auto it = std::lower_bound(r.threads.begin(), r.threads.end(), column);
-  if (it != r.threads.end() && *it == column) {
-    throw std::invalid_argument("ThreadMatrix::add_thread: already clipped");
+  check_known(node);
+  RowMeta& m = meta_[node];
+  {
+    const ColumnId* first = cols_.data() + m.off;
+    const ColumnId* it = std::lower_bound(first, first + m.len, column);
+    if (it != first + m.len && *it == column) {
+      throw std::invalid_argument("ThreadMatrix::add_thread: already clipped");
+    }
   }
-  r.threads.insert(it, column);
+  // Grow the span if at capacity (new slot from the next size class; links
+  // reference rows by id, not arena offsets, so neighbors are unaffected).
+  if (m.len == (std::uint32_t{1} << m.cap_log2)) {
+    const std::uint8_t new_cap = static_cast<std::uint8_t>(m.cap_log2 + 1);
+    const std::uint32_t new_off = alloc_span(new_cap);
+    std::copy(cols_.begin() + m.off, cols_.begin() + m.off + m.len,
+              cols_.begin() + new_off);
+    std::copy(up_.begin() + m.off, up_.begin() + m.off + m.len,
+              up_.begin() + new_off);
+    std::copy(down_.begin() + m.off, down_.begin() + m.off + m.len,
+              down_.begin() + new_off);
+    free_span(m.off, m.cap_log2);
+    m.off = new_off;
+    m.cap_log2 = new_cap;
+  }
+  // Shift the tail of the span right to open the insertion point.
+  const std::uint32_t ins = slot_of(node, column);
+  for (std::uint32_t j = m.off + m.len; j > ins; --j) {
+    cols_[j] = cols_[j - 1];
+    up_[j] = up_[j - 1];
+    down_[j] = down_[j - 1];
+  }
+  cols_[ins] = column;
+  ++m.len;
+
+  // Find this column's child by walking downward; the parent is the child's
+  // previous upward link (or the column tail when the new slot hangs).
+  NodeId child = kNoNode;
+  for (NodeId below = order_.next(node); below != OrderIndex::kNil;
+       below = order_.next(below)) {
+    const RowMeta& bm = meta_[below];
+    const ColumnId* first = cols_.data() + bm.off;
+    const ColumnId* it = std::lower_bound(first, first + bm.len, column);
+    if (it != first + bm.len && *it == column) {
+      child = below;
+      break;
+    }
+  }
+  if (child != kNoNode) {
+    const std::uint32_t child_slot = slot_of(child, column);
+    const NodeId parent = up_[child_slot];
+    up_[ins] = parent;
+    down_[ins] = child;
+    up_[child_slot] = node;
+    if (parent != kServerNode) down_[slot_of(parent, column)] = node;
+  } else {
+    const NodeId parent = tail_[column];
+    up_[ins] = parent;
+    down_[ins] = kNoNode;
+    if (parent != kServerNode) down_[slot_of(parent, column)] = node;
+    tail_[column] = node;
+  }
 }
 
 void ThreadMatrix::drop_thread(NodeId node, ColumnId column) {
-  Row& r = slot(node).row;
-  const auto it = std::lower_bound(r.threads.begin(), r.threads.end(), column);
-  if (it == r.threads.end() || *it != column) {
+  check_known(node);
+  RowMeta& m = meta_[node];
+  const std::uint32_t slot = slot_of(node, column);
+  if (slot >= m.off + m.len || cols_[slot] != column) {
     throw std::invalid_argument("ThreadMatrix::drop_thread: column not clipped");
   }
-  if (r.threads.size() <= 1) {
+  if (m.len <= 1) {
     throw std::logic_error("ThreadMatrix::drop_thread: row would become empty");
   }
-  r.threads.erase(it);
+  unlink_slot(slot, node);
+  for (std::uint32_t j = slot; j + 1 < m.off + m.len; ++j) {
+    cols_[j] = cols_[j + 1];
+    up_[j] = up_[j + 1];
+    down_[j] = down_[j + 1];
+  }
+  --m.len;
 }
 
 bool ThreadMatrix::check_invariants() const {
+  // Span hygiene + failed census, walking the order index.
   std::size_t failed = 0;
+  std::size_t seen = 0;
+  std::size_t pos = 0;
   for (NodeId node : order_) {
-    if (node >= slots_.size() || !slots_[node].present) return false;
-    const Row& r = slots_[node].row;
-    if (r.node != node) return false;
-    if (r.threads.empty()) return false;
-    for (std::size_t i = 0; i < r.threads.size(); ++i) {
-      if (r.threads[i] >= k_) return false;
-      if (i > 0 && r.threads[i] <= r.threads[i - 1]) return false;
+    if (node >= meta_.size() || !meta_[node].present) return false;
+    const RowMeta& m = meta_[node];
+    if (m.len == 0) return false;
+    if (m.len > (std::uint32_t{1} << m.cap_log2)) return false;
+    for (std::uint32_t i = 0; i < m.len; ++i) {
+      if (cols_[m.off + i] >= k_) return false;
+      if (i > 0 && cols_[m.off + i] <= cols_[m.off + i - 1]) return false;
     }
-    if (r.failed) ++failed;
+    if (m.failed) ++failed;
+    if (order_.position(node) != pos) return false;  // order index coherent
+    ++pos;
+    ++seen;
   }
   if (failed != failed_count_) return false;
-  // Every present slot must be in the order vector exactly once.
+  // Every present slot must be in the order index exactly once.
   std::size_t present = 0;
-  for (const Slot& s : slots_) {
-    if (s.present) ++present;
+  for (const RowMeta& m : meta_) {
+    if (m.present) ++present;
   }
-  return present == order_.size();
+  if (present != seen) return false;
+
+  // Link planes and tails must match a from-scratch top-to-bottom rebuild.
+  std::vector<NodeId> last(k_, kServerNode);
+  for (NodeId node : order_) {
+    const RowMeta& m = meta_[node];
+    for (std::uint32_t i = 0; i < m.len; ++i) {
+      const ColumnId c = cols_[m.off + i];
+      if (up_[m.off + i] != last[c]) return false;
+      if (last[c] != kServerNode) {
+        const RowMeta& pm = meta_[last[c]];
+        const ColumnId* first = cols_.data() + pm.off;
+        const ColumnId* it = std::lower_bound(first, first + pm.len, c);
+        if (down_[pm.off + (it - first)] != node) return false;
+      }
+      last[c] = node;
+    }
+  }
+  for (ColumnId c = 0; c < k_; ++c) {
+    if (tail_[c] != last[c]) return false;
+    if (last[c] != kServerNode) {
+      const RowMeta& tm = meta_[last[c]];
+      const ColumnId* first = cols_.data() + tm.off;
+      const ColumnId* it = std::lower_bound(first, first + tm.len, c);
+      if (down_[tm.off + (it - first)] != kNoNode) return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace ncast::overlay

@@ -6,11 +6,27 @@
 //
 // The matrix is the single source of truth for topology. Everything else —
 // the flow graph, parent/child relations, hanging-thread ends — is derived.
+//
+// Representation (the million-node refactor, docs/architecture.md "sharded
+// kernel & SoA overlay state"): flat structure-of-arrays instead of
+// row-objects-with-vectors. Row column sets live as packed spans inside one
+// CSR-style bump arena (`cols_`), with two parallel link planes (`up_`,
+// `down_`) storing, for every (row, column) slot, the nearest rows above and
+// below clipping the same column — so `parents()` / `children()` /
+// `edges()` read compact spans instead of rescanning the curtain, and
+// `hanging_ends()` reads the per-column tail array. Curtain order is an
+// order-statistic treap over node ids (order_index.hpp), making
+// `append_row` / `insert_row` / `erase_row` / `position` O(log n) plus O(d)
+// link splicing. The public surface is unchanged from the AoS days except
+// that `row()` returns a value whose `threads` is a borrowed span
+// (invalidated by the next mutation), not an owned vector.
 
+#include <cstddef>
 #include <cstdint>
-#include <optional>
 #include <stdexcept>
 #include <vector>
+
+#include "overlay/order_index.hpp"
 
 namespace ncast::overlay {
 
@@ -18,12 +34,62 @@ using NodeId = std::uint32_t;
 using ColumnId = std::uint32_t;
 
 inline constexpr NodeId kServerNode = static_cast<NodeId>(-1);
+/// Sentinel for "no row" in downward links and column tails. Shares the
+/// server's id: a column whose tail is kServerNode hangs from the server,
+/// and a slot whose down-link is kNoNode has no child below.
+inline constexpr NodeId kNoNode = kServerNode;
 
-/// One row of M: a node and the columns it clipped.
+/// Borrowed view of one row's sorted, distinct column set. Points into the
+/// matrix's column arena: valid until the next mutating call on the matrix.
+/// Callers that hold columns across mutations must copy (`to_vector()`).
+class ThreadSpan {
+ public:
+  using value_type = ColumnId;
+  using const_iterator = const ColumnId*;
+
+  ThreadSpan() = default;
+  ThreadSpan(const ColumnId* data, std::size_t size) : data_(data), size_(size) {}
+  /// Implicit view of an owned vector (the reverse of to_vector()).
+  ThreadSpan(const std::vector<ColumnId>& v) : data_(v.data()), size_(v.size()) {}
+
+  const ColumnId* begin() const { return data_; }
+  const ColumnId* end() const { return data_ + size_; }
+  const ColumnId* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  ColumnId operator[](std::size_t i) const { return data_[i]; }
+  ColumnId front() const { return data_[0]; }
+  ColumnId back() const { return data_[size_ - 1]; }
+
+  std::vector<ColumnId> to_vector() const {
+    return std::vector<ColumnId>(begin(), end());
+  }
+
+  friend bool operator==(const ThreadSpan& a, const ThreadSpan& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (a.data_[i] != b.data_[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator==(const ThreadSpan& a, const std::vector<ColumnId>& b) {
+    return a == ThreadSpan(b.data(), b.size());
+  }
+  friend bool operator==(const std::vector<ColumnId>& a, const ThreadSpan& b) {
+    return ThreadSpan(a.data(), a.size()) == b;
+  }
+
+ private:
+  const ColumnId* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// One row of M, as a view: a node and the columns it clipped. `threads`
+/// borrows from the matrix and is invalidated by the next mutation.
 struct Row {
   NodeId node = 0;
-  std::vector<ColumnId> threads;  // sorted, distinct
-  bool failed = false;            // failure tag (Section 4)
+  ThreadSpan threads;   // sorted, distinct
+  bool failed = false;  // failure tag (Section 4)
 };
 
 /// A directed overlay edge derived from M: `from` feeds `to` on `column`.
@@ -54,7 +120,9 @@ class ThreadMatrix {
   std::size_t working_count() const { return row_count() - failed_count_; }
   std::size_t failed_count() const { return failed_count_; }
 
-  bool contains(NodeId node) const;
+  bool contains(NodeId node) const {
+    return node < meta_.size() && meta_[node].present;
+  }
 
   /// Appends a row at the bottom of the curtain. `threads` must be distinct
   /// columns in [0, k). Throws if the node is already present.
@@ -63,6 +131,11 @@ class ThreadMatrix {
   /// Inserts a row at curtain position `pos` (0 = top). Section 5's defense
   /// against coordinated adversaries inserts at a uniformly random position.
   void insert_row(std::size_t pos, NodeId node, std::vector<ColumnId> threads);
+
+  /// Span-based insert for allocation-averse callers: `threads` must already
+  /// be sorted and distinct; the contents are copied into the arena.
+  void insert_row(std::size_t pos, NodeId node, const ColumnId* threads,
+                  std::size_t count);
 
   /// Removes a row entirely (graceful leave, or completion of a repair).
   /// The node's parents implicitly reconnect to its children — in M this is
@@ -75,12 +148,18 @@ class ThreadMatrix {
   /// Clears the failure tag (used by ergodic-failure recovery experiments).
   void mark_working(NodeId node);
 
-  const Row& row(NodeId node) const;
+  /// Row view; `row(n).threads` borrows from the arena (valid until the next
+  /// mutating call).
+  Row row(NodeId node) const;
 
-  /// Curtain position of a node's row (0 = just below the server).
+  /// Curtain position of a node's row (0 = just below the server). O(log n).
   std::size_t position(NodeId node) const;
 
-  /// Rows in curtain order.
+  /// Iteration over rows in curtain order without materializing a vector:
+  /// `for (NodeId n : m.order()) ...`. O(1) per step.
+  const OrderIndex& order() const { return order_; }
+
+  /// Rows in curtain order, materialized (compat; prefer order()).
   std::vector<NodeId> nodes_in_order() const;
 
   /// All overlay edges implied by M: for each column, consecutive rows
@@ -88,15 +167,28 @@ class ThreadMatrix {
   /// rows; callers decide how to treat them.
   std::vector<ThreadEdge> edges() const;
 
-  /// The k hanging ends in column order.
+  /// The k hanging ends in column order. O(k).
   std::vector<HangingEnd> hanging_ends() const;
 
   /// Parents of a node (deduplicated; a parent feeding two threads appears
-  /// once in the result but contributes two edges in edges()).
+  /// once in the result but contributes two edges in edges()). O(d) link
+  /// reads plus dedup.
   std::vector<NodeId> parents(NodeId node) const;
 
-  /// Children of a node (deduplicated).
+  /// Children of a node (deduplicated). O(d) link reads plus dedup.
   std::vector<NodeId> children(NodeId node) const;
+
+  /// Nearest row above `node` clipping `column` (kServerNode if the thread
+  /// comes straight from the server). O(log d) when `node` clips the column
+  /// (one link read); falls back to an upward curtain walk when it does not.
+  NodeId parent_on_column(NodeId node, ColumnId column) const;
+
+  /// Nearest row below `node` clipping `column` (kNoNode if none). O(log d)
+  /// when `node` clips the column; downward walk otherwise.
+  NodeId child_on_column(NodeId node, ColumnId column) const;
+
+  /// Last row clipping `column` (kServerNode if the column is unclipped).
+  NodeId tail_of_column(ColumnId column) const;
 
   /// Adds a thread to an existing row (congestion recovery, Section 5:
   /// "makes one of the zeroes ... into a one at random"). The column must not
@@ -109,23 +201,49 @@ class ThreadMatrix {
   void drop_thread(NodeId node, ColumnId column);
 
   /// Internal-consistency check (sorted distinct threads, valid columns,
-  /// coherent index); used by tests and debug assertions.
+  /// coherent order index, link planes matching a from-scratch rebuild);
+  /// used by tests and debug assertions. O(n * d).
   bool check_invariants() const;
 
  private:
-  struct Slot {
-    Row row;
+  struct RowMeta {
+    std::uint32_t off = 0;       // span offset into the arena
+    std::uint32_t len = 0;       // columns clipped
+    std::uint8_t cap_log2 = 0;   // span capacity = 1 << cap_log2
     bool present = false;
+    bool failed = false;
   };
 
-  Slot& slot(NodeId node);
-  const Slot& slot(NodeId node) const;
-  void verify_threads(const std::vector<ColumnId>& threads) const;
+  void check_known(NodeId node) const;
+  void verify_threads(const ColumnId* threads, std::size_t count) const;
+  std::uint32_t alloc_span(std::uint8_t cap_log2);
+  void free_span(std::uint32_t off, std::uint8_t cap_log2);
+  static std::uint8_t cap_log2_for(std::size_t len);
+  /// Arena index of `column` within `node`'s span (binary search).
+  std::uint32_t slot_of(NodeId node, ColumnId column) const;
+  /// Splices `node` into the per-column link lists for every column of its
+  /// freshly written span, given its order neighbors.
+  void splice_links(NodeId node);
+  /// Removes `node` from the link list of the single column at arena slot.
+  void unlink_slot(std::uint32_t slot, NodeId node);
 
   std::uint32_t k_;
-  std::vector<NodeId> order_;   // curtain order, top to bottom
-  std::vector<Slot> slots_;     // indexed by NodeId
+  OrderIndex order_;              // curtain order, top to bottom
+  std::vector<RowMeta> meta_;     // indexed by NodeId
+  // The CSR-style arena: three parallel planes sharing slot indexing. For a
+  // row with meta (off, len): cols_[off..off+len) are its sorted columns,
+  // up_[off+i] / down_[off+i] the nearest rows above/below clipping
+  // cols_[off+i] (kServerNode = fed by the server, kNoNode = hanging end).
+  std::vector<ColumnId> cols_;
+  std::vector<NodeId> up_;
+  std::vector<NodeId> down_;
+  /// Freed spans by capacity class (index = cap_log2), reused before bumping.
+  std::vector<std::vector<std::uint32_t>> free_;
+  std::vector<NodeId> tail_;      // per-column last clipper (kServerNode = none)
   std::size_t failed_count_ = 0;
+  /// Scratch for insert-time link resolution (reused; no steady-state
+  /// allocation once high-water capacity is reached).
+  std::vector<std::uint8_t> resolved_scratch_;
 };
 
 }  // namespace ncast::overlay

@@ -5,18 +5,21 @@
 // higher layer draws from. The scenario runner schedules sends, deliveries,
 // and fault events on it; the churn executor schedules joins, lifetimes,
 // failures, and repair timers.
+//
+// Endpoints program against the abstract Scheduler surface, so the same
+// ClientNode/ServerNode code runs on the single-threaded EventEngine here or
+// on a lane of the sharded kernel (sim/sharded_engine.hpp) unchanged.
 
 #include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <stdexcept>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/inline_function.hpp"
 #include "util/rng.hpp"
 
 namespace ncast::sim {
@@ -54,11 +57,16 @@ inline const char* to_string(TimerClass klass) {
   return "unknown";
 }
 
-/// Handle for a scheduled event; pass to EventEngine::cancel() to revoke it.
+/// Handle for a scheduled event; pass to Scheduler::cancel() to revoke it.
 /// Value-copyable and cheap; a default-constructed handle refers to nothing.
+/// (slot, gen) name the engine's slab entry — gen disambiguates a reused
+/// slot so stale handles cancel nothing; lane routes sharded-kernel cancels.
 struct TimerHandle {
   static constexpr std::uint64_t kInvalid = static_cast<std::uint64_t>(-1);
   std::uint64_t seq = kInvalid;
+  std::uint32_t slot = 0;
+  std::uint32_t gen = 0;
+  std::uint32_t lane = 0;
   bool valid() const { return seq != kInvalid; }
 };
 
@@ -96,41 +104,77 @@ class RngStreams {
   std::uint64_t run_seed_;
 };
 
-/// Discrete-event scheduler. Events at equal times fire in scheduling order.
-class EventEngine {
+/// Inline capacity for scheduled callbacks: sized so the transport's
+/// delivery closure (this + a Message by value, ~150 bytes) stays on the
+/// slab instead of the heap. Fatter captures still work via a single heap
+/// fallback allocation inside InlineFunction.
+inline constexpr std::size_t kCallbackInlineBytes = 184;
+
+/// Abstract scheduling surface endpoints program against. Implemented by
+/// EventEngine (single-threaded kernel) and by the per-lane adapters of the
+/// sharded kernel; protocol code holds a Scheduler* and never needs to know
+/// which one it is running on.
+class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineFunction<kCallbackInlineBytes>;
 
-  SimTime now() const { return now_; }
+  virtual ~Scheduler() = default;
 
-  /// Scheduled-but-not-yet-run events, excluding cancelled ones.
-  std::size_t pending() const { return live_.size(); }
+  virtual SimTime now() const = 0;
 
   /// Schedules `fn` to run at absolute time `at` (must be >= now()). The
   /// optional class tags the callback for sampled handler profiling; it has
   /// no effect on execution order.
-  TimerHandle schedule_at(SimTime at, Callback fn,
-                          TimerClass klass = TimerClass::kGeneric) {
-    if (at < now_) throw std::invalid_argument("EventEngine: scheduling in the past");
-    const TimerHandle handle{seq_};
-    queue_.push(Item{at, seq_++, std::move(fn), klass});
-    live_.insert(handle.seq);
-    depth_hwm_->set_max(static_cast<double>(queue_.size()));
-    return handle;
-  }
-
-  /// Schedules `fn` after a delay (must be >= 0).
-  TimerHandle schedule_in(SimTime delay, Callback fn,
-                          TimerClass klass = TimerClass::kGeneric) {
-    return schedule_at(now_ + delay, std::move(fn), klass);
-  }
+  virtual TimerHandle schedule_at(SimTime at, Callback fn,
+                                  TimerClass klass = TimerClass::kGeneric) = 0;
 
   /// Revokes a scheduled event. Returns true iff the event was still pending;
   /// a cancelled event never runs and is not counted as executed. Returns
   /// false for invalid handles, already-fired events, and double cancels.
-  bool cancel(TimerHandle handle) {
+  virtual bool cancel(TimerHandle handle) = 0;
+
+  /// Schedules `fn` after a delay (must be >= 0).
+  TimerHandle schedule_in(SimTime delay, Callback fn,
+                          TimerClass klass = TimerClass::kGeneric) {
+    return schedule_at(now() + delay, std::move(fn), klass);
+  }
+};
+
+/// Discrete-event scheduler. Events at equal times fire in scheduling order.
+///
+/// Storage: callbacks live in a slab of reusable slots (free-list recycled),
+/// and the priority queue holds only POD (at, seq, slot) triples — so the
+/// steady-state schedule/fire/cancel cycle allocates nothing once the slab
+/// and queue vectors have grown to the workload's high-water mark.
+class EventEngine final : public Scheduler {
+ public:
+  using Callback = Scheduler::Callback;
+
+  SimTime now() const override { return now_; }
+
+  /// Scheduled-but-not-yet-run events, excluding cancelled ones.
+  std::size_t pending() const { return pending_; }
+
+  TimerHandle schedule_at(SimTime at, Callback fn,
+                          TimerClass klass = TimerClass::kGeneric) override {
+    if (at < now_) throw std::invalid_argument("EventEngine: scheduling in the past");
+    const std::uint32_t slot = acquire_slot(std::move(fn));
+    const TimerHandle handle{seq_, slot, slots_[slot].gen, 0};
+    queue_.push(Item{at, seq_++, slot, klass});
+    ++pending_;
+    depth_hwm_->set_max(static_cast<double>(queue_.size()));
+    return handle;
+  }
+
+  bool cancel(TimerHandle handle) override {
     if (!handle.valid()) return false;
-    return live_.erase(handle.seq) > 0;
+    if (handle.slot >= slots_.size()) return false;
+    Slot& s = slots_[handle.slot];
+    if (s.gen != handle.gen || s.cancelled || !s.fn) return false;
+    s.cancelled = true;
+    s.fn.reset();  // release captures now; the queue entry is skipped later
+    --pending_;
+    return true;
   }
 
   /// Runs events until the queue is empty or the horizon is passed.
@@ -146,23 +190,36 @@ class EventEngine {
   std::size_t run_until(SimTime horizon) {
     std::size_t executed = 0;
     const obs::Stopwatch run_watch;
+    // ncast:hot-begin — event dispatch; the Callback move below reuses slab
+    // storage and the queue pops PODs, so no per-event allocation happens.
     while (!queue_.empty() && queue_.top().at <= horizon) {
-      Item item = pop_top();
-      if (live_.erase(item.seq) == 0) continue;  // cancelled
+      const Item item = queue_.top();
+      queue_.pop();
+      Slot& s = slots_[item.slot];
+      if (s.cancelled) {
+        release_slot(item.slot);
+        continue;
+      }
+      // Move the callback out before invoking: the handler may schedule new
+      // events, which can recycle this very slot or grow the slab.
+      Callback fn = std::move(s.fn);
+      release_slot(item.slot);
+      --pending_;
       now_ = item.at;
       obs::trace().set_now(now_);
       if ((lifetime_executed_ & (kProfileSampleEvery - 1)) == 0) {
         depth_gauge_->set(static_cast<double>(queue_.size()));
         const obs::Stopwatch handler_watch;
-        item.fn();
+        fn();
         handler_ns_[static_cast<std::size_t>(item.klass)]->observe(
             handler_watch.elapsed_ns());
       } else {
-        item.fn();
+        fn();
       }
       ++lifetime_executed_;
       ++executed;
     }
+    // ncast:hot-end
     now_ = std::max(now_, horizon);
     executed_ctr_->inc(executed);
     wall_ns_ += run_watch.elapsed_ns();
@@ -179,11 +236,19 @@ class EventEngine {
   /// the drivers, not the handlers).
   bool step() {
     while (!queue_.empty()) {
-      Item item = pop_top();
-      if (live_.erase(item.seq) == 0) continue;  // cancelled
+      const Item item = queue_.top();
+      queue_.pop();
+      Slot& s = slots_[item.slot];
+      if (s.cancelled) {
+        release_slot(item.slot);
+        continue;
+      }
+      Callback fn = std::move(s.fn);
+      release_slot(item.slot);
+      --pending_;
       now_ = item.at;
       obs::trace().set_now(now_);
-      item.fn();
+      fn();
       ++lifetime_executed_;
       executed_ctr_->inc();
       return true;
@@ -198,40 +263,55 @@ class EventEngine {
   static constexpr std::uint64_t kProfileSampleEvery = 64;
 
  private:
+  /// Slab entry owning a scheduled callback. `gen` increments on every
+  /// release, so a TimerHandle that outlives its event can never cancel the
+  /// slot's next tenant.
+  struct Slot {
+    Callback fn;
+    std::uint32_t gen = 0;
+    bool cancelled = false;
+  };
+
+  /// POD queue entry; the callback stays in the slab until dispatch.
   struct Item {
     SimTime at;
     std::uint64_t seq;
-    Callback fn;
-    TimerClass klass = TimerClass::kGeneric;
+    std::uint32_t slot;
+    TimerClass klass;
     bool operator>(const Item& o) const {
       return at != o.at ? at > o.at : seq > o.seq;
     }
   };
 
-  /// Moves the top item out before popping so the callback — and its
-  /// captures — never get copied on the hot loop. The const_cast is safe:
-  /// the element is removed immediately, and moving `fn` out leaves the
-  /// comparator's fields (at, seq) untouched, so heap invariants hold
-  /// during pop(). The callback may schedule new events freely afterwards.
-  Item pop_top() {
-    Item item = std::move(const_cast<Item&>(queue_.top()));
-    queue_.pop();
-    return item;
+  std::uint32_t acquire_slot(Callback fn) {
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& s = slots_[slot];
+    s.fn = std::move(fn);
+    s.cancelled = false;
+    return slot;
+  }
+
+  void release_slot(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    s.fn.reset();
+    s.cancelled = false;
+    ++s.gen;
+    free_slots_.push_back(slot);
   }
 
   std::priority_queue<Item, std::vector<Item>, std::greater<>> queue_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   SimTime now_ = 0.0;
   std::uint64_t seq_ = 0;
-  // Seqs scheduled but neither fired nor cancelled. One hash insert + one
-  // erase per event; the node allocations are dwarfed by the std::function
-  // allocation each scheduled callback already makes.
-  //
-  // Determinism audit (determinism.unordered_iteration): this set is only
-  // ever probed point-wise — insert() in schedule_at, erase() in cancel and
-  // the dispatch loops, size() in pending(). It is never iterated, so its
-  // hash order cannot leak into event ordering or the RNG draw sequence;
-  // execution order is fixed entirely by the (at, seq) priority queue.
-  std::unordered_set<std::uint64_t> live_;
+  std::size_t pending_ = 0;
   std::uint64_t lifetime_executed_ = 0;
   double wall_ns_ = 0.0;  ///< wall time spent inside run_until dispatch
   // Process-wide instrumentation; registry entries are never deallocated, so

@@ -68,6 +68,21 @@ struct LatencySpec {
     return fixed;
   }
 
+  /// Epoch-sizing bound for the sharded kernel: a latency no link goes
+  /// below. A sharded run whose epoch is <= this never clamps a cross-lane
+  /// delivery (sim/sharded_engine.hpp, determinism rule 3).
+  double lower_bound() const {
+    switch (kind) {
+      case Kind::kFixed:
+        return fixed;
+      case Kind::kUniform:
+        return min;
+      case Kind::kShiftedExponential:
+        return base;
+    }
+    return fixed;
+  }
+
   /// Horizon-sizing bound: a latency essentially no link exceeds. Exact for
   /// the bounded kinds; a generous tail quantile for the exponential.
   double upper_bound() const {

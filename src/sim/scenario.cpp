@@ -437,7 +437,7 @@ ScenarioReport run_scenario(const overlay::ThreadMatrix& m,
   // Capacity bound: treat offline nodes as failed in a copy of the matrix
   // (jammers and entropy attackers do forward, so they count as capacity).
   overlay::ThreadMatrix capacity_view = m;
-  for (const overlay::NodeId n : m.nodes_in_order()) {
+  for (const overlay::NodeId n : m.order()) {
     if (effective(n) == NodeBehavior::kOffline) capacity_view.mark_failed(n);
   }
   const overlay::FlowGraph fg = build_flow_graph(capacity_view);
@@ -445,7 +445,7 @@ ScenarioReport run_scenario(const overlay::ThreadMatrix& m,
   const std::size_t vertex_count = fg.graph.vertex_count();
   std::vector<NodeBehavior> cur(vertex_count, NodeBehavior::kHonest);
   std::vector<bool> excluded(vertex_count, false);
-  for (const overlay::NodeId n : m.nodes_in_order()) {
+  for (const overlay::NodeId n : m.order()) {
     const graph::Vertex v = fg.vertex_of(n);
     const NodeBehavior b = effective(n);
     if (b == NodeBehavior::kOffline) {

@@ -1,0 +1,303 @@
+#include "sim/sharded_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace ncast::sim {
+
+thread_local ShardedEngine::Shard* ShardedEngine::tl_current_shard_ = nullptr;
+
+SimTime LaneScheduler::now() const { return engine_->now(); }
+
+TimerHandle LaneScheduler::schedule_at(SimTime at, Callback fn,
+                                       TimerClass klass) {
+  return engine_->schedule_on(lane_, at, std::move(fn), klass);
+}
+
+bool LaneScheduler::cancel(TimerHandle handle) { return engine_->cancel(handle); }
+
+ShardedEngine::ShardedEngine(std::uint32_t shards, std::uint32_t workers,
+                             SimTime epoch)
+    : workers_(workers), epoch_(epoch) {
+  if (shards == 0) throw std::invalid_argument("ShardedEngine: shards must be >= 1");
+  if (!(epoch > 0.0)) throw std::invalid_argument("ShardedEngine: epoch must be > 0");
+  shards_v_.resize(shards);
+  workers_gauge_->set_max(static_cast<double>(workers_));
+  threads_.reserve(workers_);
+  for (std::uint32_t w = 0; w < workers_; ++w) {
+    threads_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+ShardedEngine::~ShardedEngine() {
+  if (!threads_.empty()) {
+    {
+      const std::lock_guard<std::mutex> lock(pool_mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+}
+
+SimTime ShardedEngine::now() const {
+  const Shard* cur = tl_current_shard_;
+  return cur != nullptr ? cur->now : cursor_;
+}
+
+void ShardedEngine::reserve_lanes(std::size_t lanes) {
+  if (lane_seq_.size() < lanes) {
+    lane_seq_.resize(lanes, 0);
+    lane_emit_.resize(lanes, 0);
+  }
+}
+
+Scheduler& ShardedEngine::lane(LaneId lane) {
+  ensure_lane(lane);
+  if (lane_scheds_.size() <= lane) lane_scheds_.resize(lane + 1);
+  if (!lane_scheds_[lane]) {
+    lane_scheds_[lane] = std::make_unique<LaneScheduler>(this, lane);
+  }
+  return *lane_scheds_[lane];
+}
+
+void ShardedEngine::ensure_lane(LaneId lane) {
+  if (lane_seq_.size() <= lane) reserve_lanes(static_cast<std::size_t>(lane) + 1);
+}
+
+std::uint32_t ShardedEngine::acquire_slot(Shard& sh, Callback fn) {
+  std::uint32_t slot;
+  if (!sh.free_slots.empty()) {
+    slot = sh.free_slots.back();
+    sh.free_slots.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(sh.slots.size());
+    sh.slots.emplace_back();
+  }
+  Slot& s = sh.slots[slot];
+  s.fn = std::move(fn);
+  s.cancelled = false;
+  return slot;
+}
+
+void ShardedEngine::release_slot(Shard& sh, std::uint32_t slot) {
+  Slot& s = sh.slots[slot];
+  s.fn.reset();
+  s.cancelled = false;
+  ++s.gen;
+  sh.free_slots.push_back(slot);
+}
+
+TimerHandle ShardedEngine::enqueue(Shard& sh, LaneId lane, SimTime at,
+                                   Callback fn, TimerClass klass) {
+  const std::uint32_t slot = acquire_slot(sh, std::move(fn));
+  const std::uint64_t seq = lane_seq_[lane]++;
+  sh.queue.push(Item{at, lane, seq, slot, klass});
+  ++sh.pending;
+  if (sh.queue.size() > sh.depth_hwm) sh.depth_hwm = sh.queue.size();
+  return TimerHandle{seq, slot, sh.slots[slot].gen, lane};
+}
+
+TimerHandle ShardedEngine::schedule_on(LaneId lane, SimTime at, Callback fn,
+                                       TimerClass klass) {
+  Shard* cur = tl_current_shard_;
+  if (cur == nullptr) {
+    // Setup phase / between runs: direct enqueue from the driving thread.
+    if (at < cursor_) {
+      throw std::invalid_argument("ShardedEngine: scheduling in the past");
+    }
+    ensure_lane(lane);
+    return enqueue(shards_v_[shard_of(lane)], lane, at, std::move(fn), klass);
+  }
+  if (&shards_v_[shard_of(lane)] == cur && lane == cur->current_lane) {
+    // Same-lane: sequence immediately in lane execution order (rule 2).
+    if (at < cur->now) {
+      throw std::invalid_argument("ShardedEngine: scheduling in the past");
+    }
+    return enqueue(*cur, lane, at, std::move(fn), klass);
+  }
+  // Cross-lane (any other lane, even on this shard): buffer in the outbox,
+  // sequenced deterministically at the epoch barrier. Not cancellable.
+  cur->outbox.push_back(Outpost{at, cur->current_lane,
+                                lane_emit_[cur->current_lane]++, lane, klass,
+                                std::move(fn)});
+  if (cur->outbox.size() > cur->outbox_hwm) cur->outbox_hwm = cur->outbox.size();
+  return TimerHandle{};
+}
+
+bool ShardedEngine::cancel(TimerHandle handle) {
+  if (!handle.valid()) return false;
+  Shard& sh = shards_v_[shard_of(handle.lane)];
+  if (handle.slot >= sh.slots.size()) return false;
+  Slot& s = sh.slots[handle.slot];
+  if (s.gen != handle.gen || s.cancelled || !s.fn) return false;
+  s.cancelled = true;
+  s.fn.reset();
+  --sh.pending;
+  return true;
+}
+
+std::size_t ShardedEngine::pending() const {
+  std::size_t total = 0;
+  for (const Shard& sh : shards_v_) total += sh.pending;
+  return total;
+}
+
+void ShardedEngine::exec_shard(Shard& sh, SimTime limit, bool final_window) {
+  tl_current_shard_ = &sh;
+  // ncast:hot-begin — sharded event dispatch; PODs pop off the queue and
+  // callbacks move out of slab slots, so no per-event allocation happens.
+  while (!sh.queue.empty()) {
+    const Item item = sh.queue.top();
+    if (final_window ? item.at > limit : item.at >= limit) break;
+    sh.queue.pop();
+    Slot& s = sh.slots[item.slot];
+    if (s.cancelled) {
+      release_slot(sh, item.slot);
+      continue;
+    }
+    // Move the callback out before invoking: the handler may schedule onto
+    // its own lane, recycling this slot or growing the slab.
+    Callback fn = std::move(s.fn);
+    release_slot(sh, item.slot);
+    --sh.pending;
+    sh.now = item.at;
+    sh.current_lane = item.lane;
+    obs::trace().set_now(item.at);
+    fn();
+    ++sh.executed;
+  }
+  // ncast:hot-end
+  if (limit > sh.now) sh.now = limit;
+  tl_current_shard_ = nullptr;
+}
+
+void ShardedEngine::merge_outboxes(SimTime limit) {
+  merge_scratch_.clear();
+  for (Shard& sh : shards_v_) {
+    for (Outpost& p : sh.outbox) merge_scratch_.push_back(std::move(p));
+    sh.outbox.clear();
+  }
+  // The merge key never mentions shards, so destination sequencing is
+  // shard-count-invariant (determinism rule 2).
+  std::sort(merge_scratch_.begin(), merge_scratch_.end(),
+            [](const Outpost& a, const Outpost& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.src != b.src) return a.src < b.src;
+              return a.emit_seq < b.emit_seq;
+            });
+  for (Outpost& p : merge_scratch_) {
+    SimTime at = p.at;
+    if (at < limit) {
+      at = limit;  // conservative-window clamp (determinism rule 3)
+      ++clamped_;
+    }
+    ensure_lane(p.dest);
+    enqueue(shards_v_[shard_of(p.dest)], p.dest, at, std::move(p.fn), p.klass);
+    ++handoffs_;
+  }
+  merge_scratch_.clear();
+}
+
+void ShardedEngine::dispatch_window(SimTime limit, bool final_window) {
+  if (threads_.empty()) {
+    for (Shard& sh : shards_v_) exec_shard(sh, limit, final_window);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(pool_mu_);
+    work_limit_ = limit;
+    work_final_ = final_window;
+    work_remaining_ = workers_;
+    ++work_gen_;
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(pool_mu_);
+  done_cv_.wait(lock, [this] { return work_remaining_ == 0; });
+}
+
+void ShardedEngine::worker_main(std::uint32_t worker_idx) {
+  std::uint64_t seen_gen = 0;
+  while (true) {
+    SimTime limit;
+    bool final_window;
+    {
+      std::unique_lock<std::mutex> lock(pool_mu_);
+      work_cv_.wait(lock, [&] { return stop_ || work_gen_ != seen_gen; });
+      if (stop_) return;
+      seen_gen = work_gen_;
+      limit = work_limit_;
+      final_window = work_final_;
+    }
+    for (std::size_t s = worker_idx; s < shards_v_.size(); s += workers_) {
+      exec_shard(shards_v_[s], limit, final_window);
+    }
+    {
+      const std::lock_guard<std::mutex> lock(pool_mu_);
+      --work_remaining_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+std::size_t ShardedEngine::run_until(SimTime horizon) {
+  const std::uint64_t executed_before = lifetime_executed_;
+  // Per-run, per-shard attribution spans: a trace post-mortem can group a
+  // run's events by shard and see each shard's window activity.
+  for (std::size_t s = 0; s < shards_v_.size(); ++s) {
+    shards_v_[s].span = obs::trace().new_span();
+    obs::trace().emit(obs::TraceKind::kSpanBegin, s, 0, 0, "shard",
+                      shards_v_[s].span);
+  }
+  while (true) {
+    SimTime earliest = std::numeric_limits<SimTime>::infinity();
+    for (const Shard& sh : shards_v_) {
+      if (!sh.queue.empty() && sh.queue.top().at < earliest) {
+        earliest = sh.queue.top().at;
+      }
+    }
+    if (!(earliest <= horizon)) break;
+    // Fast-forward to the window grid slot holding the earliest event; the
+    // grid (multiples of epoch_) is a function of the global event set, so
+    // it advances identically for every shard count.
+    const SimTime grid = std::floor(earliest / epoch_) * epoch_;
+    const SimTime start = std::max(cursor_, grid);
+    const SimTime end = start + epoch_;
+    const bool final_window = end >= horizon;
+    const SimTime limit = final_window ? horizon : end;
+    dispatch_window(limit, final_window);
+    merge_outboxes(limit);
+    cursor_ = limit;
+    ++epochs_;
+  }
+  if (horizon > cursor_) cursor_ = horizon;
+  std::uint64_t executed_total = 0;
+  std::size_t depth_hwm = 0;
+  std::size_t outbox_hwm = 0;
+  for (std::size_t s = 0; s < shards_v_.size(); ++s) {
+    Shard& sh = shards_v_[s];
+    if (horizon > sh.now) sh.now = horizon;
+    executed_total += sh.executed;
+    depth_hwm = std::max(depth_hwm, sh.depth_hwm);
+    outbox_hwm = std::max(outbox_hwm, sh.outbox_hwm);
+    obs::trace().emit(obs::TraceKind::kSpanEnd, s, sh.executed, 0, "shard",
+                      sh.span);
+    sh.span = obs::kNoSpan;
+  }
+  const std::size_t executed = executed_total - executed_before;
+  lifetime_executed_ = executed_total;
+  executed_ctr_->inc(executed);
+  handoffs_ctr_->inc(handoffs_ - handoffs_reported_);
+  clamped_ctr_->inc(clamped_ - clamped_reported_);
+  epochs_ctr_->inc(epochs_ - epochs_reported_);
+  handoffs_reported_ = handoffs_;
+  clamped_reported_ = clamped_;
+  epochs_reported_ = epochs_;
+  depth_hwm_->set_max(static_cast<double>(depth_hwm));
+  outbox_hwm_->set_max(static_cast<double>(outbox_hwm));
+  return executed;
+}
+
+}  // namespace ncast::sim

@@ -6,6 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
 
 namespace ncast {
 namespace {
@@ -187,6 +191,160 @@ TEST(ThreadMatrix, EdgeDerivationSkipsNothing) {
   m.append_row(2, {2, 3});
   m.append_row(3, {0, 4});
   EXPECT_EQ(m.edges().size(), 7u);
+}
+
+// Randomized parity against a naive reference model: the SoA/CSR matrix
+// (arena + order-statistic index + link planes) must agree, after every
+// operation, with the obvious list-of-rows implementation the original
+// ThreadMatrix amounted to. This is the property-test half of the SoA
+// migration: the unit tests above pin behaviors, this pins *equivalence*
+// across long random edit histories including span reallocation, freelist
+// reuse, and link-plane splicing.
+struct NaiveMatrix {
+  struct NaiveRow {
+    NodeId node;
+    std::vector<ColumnId> threads;  // sorted, distinct
+    bool failed = false;
+  };
+  std::uint32_t k;
+  std::vector<NaiveRow> rows;  // curtain order, top to bottom
+
+  explicit NaiveMatrix(std::uint32_t k_) : k(k_) {}
+
+  NaiveRow* find(NodeId n) {
+    for (auto& r : rows) {
+      if (r.node == n) return &r;
+    }
+    return nullptr;
+  }
+  std::size_t position(NodeId n) const {
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (rows[i].node == n) return i;
+    }
+    return rows.size();
+  }
+  void insert(std::size_t pos, NodeId n, std::vector<ColumnId> t) {
+    std::sort(t.begin(), t.end());
+    rows.insert(rows.begin() + static_cast<std::ptrdiff_t>(pos),
+                NaiveRow{n, std::move(t), false});
+  }
+  void erase(NodeId n) {
+    rows.erase(rows.begin() + static_cast<std::ptrdiff_t>(position(n)));
+  }
+  NodeId parent_on(NodeId n, ColumnId c) const {
+    const std::size_t pos = position(n);
+    for (std::size_t i = pos; i-- > 0;) {
+      const auto& t = rows[i].threads;
+      if (std::find(t.begin(), t.end(), c) != t.end()) return rows[i].node;
+    }
+    return kServerNode;
+  }
+  NodeId child_on(NodeId n, ColumnId c) const {
+    for (std::size_t i = position(n) + 1; i < rows.size(); ++i) {
+      const auto& t = rows[i].threads;
+      if (std::find(t.begin(), t.end(), c) != t.end()) return rows[i].node;
+    }
+    return kNoNode;
+  }
+  NodeId tail_of(ColumnId c) const {
+    for (std::size_t i = rows.size(); i-- > 0;) {
+      const auto& t = rows[i].threads;
+      if (std::find(t.begin(), t.end(), c) != t.end()) return rows[i].node;
+    }
+    return kServerNode;
+  }
+};
+
+TEST(ThreadMatrix, RandomEditHistoryMatchesNaiveModel) {
+  constexpr std::uint32_t kCols = 7;
+  constexpr int kOps = 800;
+  Rng rng(4242);
+  ThreadMatrix m(kCols);
+  NaiveMatrix ref(kCols);
+  NodeId next_node = 1;
+
+  const auto check_equal = [&] {
+    ASSERT_EQ(m.row_count(), ref.rows.size());
+    std::size_t failed = 0;
+    const auto order = m.nodes_in_order();
+    ASSERT_EQ(order.size(), ref.rows.size());
+    for (std::size_t i = 0; i < ref.rows.size(); ++i) {
+      const auto& want = ref.rows[i];
+      ASSERT_EQ(order[i], want.node);
+      ASSERT_EQ(m.position(want.node), i);
+      const auto got = m.row(want.node);
+      ASSERT_TRUE(got.threads == want.threads) << "node " << want.node;
+      ASSERT_EQ(got.failed, want.failed);
+      if (want.failed) ++failed;
+      for (ColumnId c : want.threads) {
+        ASSERT_EQ(m.parent_on_column(want.node, c), ref.parent_on(want.node, c))
+            << "node " << want.node << " col " << c;
+        ASSERT_EQ(m.child_on_column(want.node, c), ref.child_on(want.node, c))
+            << "node " << want.node << " col " << c;
+      }
+    }
+    ASSERT_EQ(m.failed_count(), failed);
+    for (ColumnId c = 0; c < kCols; ++c) {
+      ASSERT_EQ(m.tail_of_column(c), ref.tail_of(c)) << "col " << c;
+    }
+  };
+
+  for (int op = 0; op < kOps; ++op) {
+    const std::uint64_t dice = rng.below(100);
+    if (ref.rows.empty() || dice < 35) {
+      // Insert at a random position with a random distinct column set.
+      const NodeId n = next_node++;
+      std::vector<ColumnId> cols;
+      for (ColumnId c = 0; c < kCols; ++c) {
+        if (rng.chance(0.4)) cols.push_back(c);
+      }
+      if (cols.empty()) cols.push_back(static_cast<ColumnId>(rng.below(kCols)));
+      const std::size_t pos = rng.below(ref.rows.size() + 1);
+      ref.insert(pos, n, cols);
+      if (pos == ref.rows.size() - 1) {
+        m.append_row(n, cols);  // exercise the append path too
+      } else {
+        m.insert_row(pos, n, cols);
+      }
+    } else {
+      auto& victim = ref.rows[rng.below(ref.rows.size())];
+      const NodeId n = victim.node;
+      if (dice < 55) {
+        ref.erase(n);
+        m.erase_row(n);
+      } else if (dice < 65) {
+        victim.failed = true;
+        m.mark_failed(n);
+      } else if (dice < 72) {
+        victim.failed = false;
+        m.mark_working(n);
+      } else if (dice < 86) {
+        // Add a thread the row doesn't have (if any column is free).
+        std::vector<ColumnId> missing;
+        for (ColumnId c = 0; c < kCols; ++c) {
+          if (std::find(victim.threads.begin(), victim.threads.end(), c) ==
+              victim.threads.end()) {
+            missing.push_back(c);
+          }
+        }
+        if (!missing.empty()) {
+          const ColumnId c = missing[rng.below(missing.size())];
+          victim.threads.push_back(c);
+          std::sort(victim.threads.begin(), victim.threads.end());
+          m.add_thread(n, c);
+        }
+      } else if (victim.threads.size() > 1) {
+        const ColumnId c = victim.threads[rng.below(victim.threads.size())];
+        victim.threads.erase(
+            std::find(victim.threads.begin(), victim.threads.end(), c));
+        m.drop_thread(n, c);
+      }
+    }
+    if (op % 50 == 0) check_equal();
+  }
+  check_equal();
+  EXPECT_TRUE(m.check_invariants());
+  EXPECT_GE(m.row_count() + 0u, 1u);
 }
 
 }  // namespace

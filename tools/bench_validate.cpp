@@ -5,9 +5,10 @@
 //
 //   ncast.bench.v1 — BENCH_<name>.json: schema/bench/run_id strings,
 //     params/counters/gauges/histograms objects, p50/p90/p99 numbers inside
-//     every histogram entry. The optional --require list names parameter
-//     keys that must be present in "params" (the smoke test passes
-//     k,d,n,seed).
+//     every histogram entry, and non-negative numeric peak_rss_bytes /
+//     worker_threads resource-footprint fields. The optional --require list
+//     names parameter keys that must be present in "params" (the smoke test
+//     passes k,d,n,seed).
 //   ncast.lint.v1 — LINT_*.json from tools/ncast_lint: tool/roots/rules,
 //     a counts object consistent with the violations and suppressed arrays,
 //     and well-formed finding entries (known rule, file, 1-based line).
@@ -210,6 +211,15 @@ int validate(const Value& root, const std::vector<std::string>& required_params)
     const Value* v = root.get(key);
     if (v == nullptr || !v->is_object()) {
       return violation(std::string("missing object key '") + key + "'");
+    }
+  }
+  // Resource-footprint fields (emitted by every MetricsSession since the
+  // scale benches started budgeting memory): numeric and non-negative.
+  for (const char* key : {"peak_rss_bytes", "worker_threads"}) {
+    const Value* v = root.get(key);
+    if (v == nullptr || !v->is_number() || v->number < 0) {
+      return violation(std::string("missing non-negative numeric key '") + key +
+                       "'");
     }
   }
 
