@@ -17,6 +17,7 @@ struct RetryCounters {
       obs::metrics().counter("protocol.complaint_retries");
 
   static RetryCounters& get() {
+    // ncast:shared(holds internally synchronized obs::Counter references; magic-static init is thread-safe)
     static RetryCounters c;
     return c;
   }
@@ -235,6 +236,7 @@ void ClientNode::handle_data(const Message& m) {
     if (decode_time_ < 0.0 && stream_.decoded()) {
       decode_time_ = now();
       if (joined_time_ >= 0.0) {
+        // ncast:shared(reference to a registry histogram, which locks internally; magic-static init is thread-safe)
         static obs::Histogram& decode_delay =
             obs::metrics().histogram("protocol.decode_delay");
         decode_delay.observe(decode_time_ - joined_time_);

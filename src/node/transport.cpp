@@ -19,6 +19,7 @@ struct NetCounters {
   obs::Counter& control_bytes = obs::metrics().counter("net.control_bytes");
 
   static NetCounters& get() {
+    // ncast:shared(holds internally synchronized obs::Counter references; magic-static init is thread-safe)
     static NetCounters c;
     return c;
   }

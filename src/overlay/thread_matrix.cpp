@@ -148,7 +148,7 @@ void ThreadMatrix::splice_links(NodeId node) {
   }
 }
 
-void ThreadMatrix::unlink_slot(std::uint32_t slot, NodeId node) {
+void ThreadMatrix::unlink_slot(std::uint32_t slot) {
   const ColumnId c = cols_[slot];
   const NodeId u = up_[slot];
   const NodeId d = down_[slot];
@@ -164,7 +164,7 @@ void ThreadMatrix::erase_row(NodeId node) {
   check_known(node);
   RowMeta& m = meta_[node];
   if (m.failed) --failed_count_;
-  for (std::uint32_t i = 0; i < m.len; ++i) unlink_slot(m.off + i, node);
+  for (std::uint32_t i = 0; i < m.len; ++i) unlink_slot(m.off + i);
   free_span(m.off, m.cap_log2);
   m.present = false;
   m.failed = false;
@@ -372,7 +372,7 @@ void ThreadMatrix::drop_thread(NodeId node, ColumnId column) {
   if (m.len <= 1) {
     throw std::logic_error("ThreadMatrix::drop_thread: row would become empty");
   }
-  unlink_slot(slot, node);
+  unlink_slot(slot);
   for (std::uint32_t j = slot; j + 1 < m.off + m.len; ++j) {
     cols_[j] = cols_[j + 1];
     up_[j] = up_[j + 1];

@@ -224,8 +224,8 @@ class ThreadMatrix {
   /// Splices `node` into the per-column link lists for every column of its
   /// freshly written span, given its order neighbors.
   void splice_links(NodeId node);
-  /// Removes `node` from the link list of the single column at arena slot.
-  void unlink_slot(std::uint32_t slot, NodeId node);
+  /// Removes the occupant from the link list of the column at arena slot.
+  void unlink_slot(std::uint32_t slot);
 
   std::uint32_t k_;
   OrderIndex order_;              // curtain order, top to bottom

@@ -175,6 +175,8 @@ void ShardedEngine::exec_shard(Shard& sh, SimTime limit, bool final_window) {
 }
 
 void ShardedEngine::merge_outboxes(SimTime limit) {
+  // ncast:merge-begin — cross-shard handoffs drain here in sorted order;
+  // everything below must be invariant to the pre-sort arrival order.
   merge_scratch_.clear();
   for (Shard& sh : shards_v_) {
     for (Outpost& p : sh.outbox) merge_scratch_.push_back(std::move(p));
@@ -199,6 +201,7 @@ void ShardedEngine::merge_outboxes(SimTime limit) {
     ++handoffs_;
   }
   merge_scratch_.clear();
+  // ncast:merge-end
 }
 
 void ShardedEngine::dispatch_window(SimTime limit, bool final_window) {

@@ -1,0 +1,5 @@
+#pragma once
+// Fixture: layering.forbidden_include — coding reaching up into node
+// inverts the pipeline (direct include, chain of length two).
+
+#include "node/api.hpp"

@@ -1,0 +1,5 @@
+#pragma once
+// Fixture: a forbidden include suppressed on the offending line.
+
+// ncast:allow(layering.forbidden_include): fixture demonstrates suppression
+#include "node/api.hpp"

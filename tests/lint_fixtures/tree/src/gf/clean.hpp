@@ -2,7 +2,7 @@
 // Fixture: a fully clean file — resolvable include, clean hot region, string
 // and comment contents that must NOT trip token rules (masking test).
 
-#include "coding/hot.hpp"
+#include "obs/clock_ok.hpp"
 
 #include <cstddef>
 

@@ -1,0 +1,6 @@
+#pragma once
+// Fixture: layering.forbidden_include through the transitive closure — this
+// header only includes another gf header, but that header reaches coding,
+// so the violation is reported here with the full include chain.
+
+#include "gf/via.hpp"

@@ -1,0 +1,5 @@
+#pragma once
+// Fixture: the middle hop of a transitive layering chain — gf itself must
+// not depend on coding (direct violation reported here).
+
+#include "coding/hot.hpp"

@@ -1,0 +1,9 @@
+#pragma once
+// Fixture: a top-of-pipeline (node) header for the layering fixtures to
+// reach into. Clean on its own.
+
+namespace fix {
+
+inline int node_api_version() { return 1; }
+
+}  // namespace fix

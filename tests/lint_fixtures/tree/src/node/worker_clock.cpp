@@ -1,0 +1,26 @@
+// Fixture: concurrency.thread_ambient (thread identity read in worker
+// scope) and determinism.unseeded_rng (std engines / default-constructed
+// Rng bypass RngStreams), each with a suppressed twin.
+
+#include <random>
+#include <thread>
+
+namespace fix {
+
+inline unsigned long ambient_token() {
+  const auto id = std::this_thread::get_id();
+  std::mt19937 gen;
+  (void)id;
+  return gen();
+}
+
+inline unsigned long allowed_twin() {
+  // ncast:allow(concurrency.thread_ambient): fixture demonstrates suppression
+  const auto id = std::this_thread::get_id();
+  // ncast:allow(determinism.unseeded_rng): fixture demonstrates suppression
+  std::mt19937 seeded(12345);
+  (void)id;
+  return seeded();
+}
+
+}  // namespace fix

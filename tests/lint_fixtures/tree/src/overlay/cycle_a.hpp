@@ -1,0 +1,5 @@
+#pragma once
+// Fixture: half of an include cycle. The cycle is reported once, at the
+// back edge the depth-first search closes (in cycle_b).
+
+#include "overlay/cycle_b.hpp"

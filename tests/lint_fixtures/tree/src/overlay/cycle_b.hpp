@@ -1,0 +1,4 @@
+#pragma once
+// Fixture: the other half of the cycle — the back edge lives here.
+
+#include "overlay/cycle_a.hpp"

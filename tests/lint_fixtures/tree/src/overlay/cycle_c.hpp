@@ -1,0 +1,5 @@
+#pragma once
+// Fixture: half of a second include cycle, suppressed at the back edge in
+// cycle_d.
+
+#include "overlay/cycle_d.hpp"

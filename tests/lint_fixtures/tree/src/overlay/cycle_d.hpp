@@ -1,0 +1,5 @@
+#pragma once
+// Fixture: the suppressed back edge of the cycle_c/cycle_d cycle.
+
+// ncast:allow(layering.cycle): fixture demonstrates suppression
+#include "overlay/cycle_c.hpp"

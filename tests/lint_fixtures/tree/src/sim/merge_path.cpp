@@ -1,0 +1,36 @@
+// Fixture: the merge-region family — determinism.merge_region for
+// unbalanced markers, determinism.float_accum for order-sensitive summation
+// inside a region, and concurrency.pointer_keyed for address-ordered
+// containers; each suppressible.
+
+#include <map>
+#include <vector>
+
+// ncast:merge-end
+
+namespace fix {
+
+struct Obj {
+  double w = 0.0;
+};
+
+inline double settle(std::vector<Obj>& items) {
+  std::map<Obj*, int> order;
+  // ncast:allow(concurrency.pointer_keyed): fixture demonstrates suppression
+  std::map<Obj*, int> order_ok;
+  double total = 0.0;
+  double tare = 0.0;
+  // ncast:merge-begin
+  for (auto& it : items) {
+    total += it.w;
+    order[&it] = 1;
+    order_ok[&it] = 1;
+  }
+  tare += total;  // ncast:allow(determinism.float_accum): fixture demonstrates suppression
+  // ncast:merge-end
+  return total + tare;
+}
+
+}  // namespace fix
+
+// ncast:merge-begin  ncast:allow(determinism.merge_region): fixture demonstrates suppression

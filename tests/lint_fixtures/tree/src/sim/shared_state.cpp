@@ -1,0 +1,38 @@
+// Fixture: concurrency.shared_mutable_state — unguarded static and
+// namespace-scope state in shard scope fires; guarded (atomic/mutex/const/
+// thread_local) state stays quiet; the shared annotation suppresses with a
+// justification, and an empty justification is itself a finding.
+
+#include <atomic>
+#include <mutex>
+
+namespace fix {
+
+int bare_hits = 0;
+
+static double drift = 0.0;
+
+constexpr int kLimit = 8;
+const double kScale = 2.0;
+thread_local int tls_scratch = 0;
+std::atomic<int> guarded_hits{0};
+static std::mutex state_mu;
+
+// ncast:shared(accumulated under state_mu by every caller of bump below)
+static long shared_total = 0;
+
+inline void bump(int n) {
+  static int calls = 0;
+  const std::lock_guard<std::mutex> lock(state_mu);
+  shared_total += n;
+  calls += 1;
+  bare_hits += calls;
+  drift += kScale;
+  tls_scratch += kLimit;
+  guarded_hits.fetch_add(1);
+}
+
+// ncast:shared()
+inline int read_total() { return static_cast<int>(shared_total); }
+
+}  // namespace fix

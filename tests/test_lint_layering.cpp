@@ -1,0 +1,162 @@
+// Layering tests for tools/lint — the pass-1 include-graph index and the
+// declared module DAG (tools/lint/lint_index.cpp).
+//
+// Two targets:
+//   * the REAL tree (NCAST_REPO_ROOT): the include graph must be cycle-free
+//     and every observed module dependency must sit inside the allowed
+//     transitive closure — this is the ctest that keeps the declared DAG and
+//     the code from drifting apart;
+//   * the fixture tree: cycles and forbidden includes (direct and
+//     transitive) are detected, reported with their include chains, and
+//     deduplicated.
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/lint_engine.hpp"
+#include "lint/lint_index.hpp"
+
+namespace {
+
+using ncast::lint::Finding;
+using ncast::lint::Options;
+using ncast::lint::Report;
+
+std::vector<const Finding*> layering_findings(const Report& report) {
+  std::vector<const Finding*> out;
+  for (const auto& f : report.findings) {
+    if (f.rule.rfind("layering.", 0) == 0) out.push_back(&f);
+  }
+  return out;
+}
+
+TEST(LintLayering, ModuleOf) {
+  EXPECT_EQ(ncast::lint::module_of("src/sim/engine.hpp"), "sim");
+  EXPECT_EQ(ncast::lint::module_of("src/gf/tables.cpp"), "gf");
+  EXPECT_EQ(ncast::lint::module_of("bench/bench_scale.cpp"), "");
+  EXPECT_EQ(ncast::lint::module_of("tools/ncast_lint.cpp"), "");
+  EXPECT_EQ(ncast::lint::module_of("src/orphan.cpp"), "");
+}
+
+TEST(LintLayering, ClosureFollowsThePipeline) {
+  const std::set<std::string> sim = ncast::lint::allowed_closure("sim");
+  for (const char* m :
+       {"sim", "coding", "linalg", "gf", "overlay", "graph", "obs", "util"}) {
+    EXPECT_TRUE(sim.count(m)) << "sim closure should contain " << m;
+  }
+  EXPECT_FALSE(sim.count("node")) << "closure must not look upward";
+
+  const std::set<std::string> gf = ncast::lint::allowed_closure("gf");
+  EXPECT_EQ(gf, (std::set<std::string>{"gf", "obs", "util"}));
+
+  const std::set<std::string> baselines =
+      ncast::lint::allowed_closure("baselines");
+  EXPECT_TRUE(baselines.count("overlay"));
+  EXPECT_TRUE(baselines.count("graph"));
+  EXPECT_FALSE(baselines.count("sim"));
+  EXPECT_FALSE(baselines.count("coding"));
+}
+
+TEST(LintLayering, EveryDeclaredModuleIsAcyclic) {
+  // The declared DAG itself must be a DAG: the closure of a module may not
+  // re-reach the module through a real dependency chain (self is seeded).
+  for (const auto& [module, deps] : ncast::lint::allowed_direct_deps()) {
+    for (const std::string& dep : deps) {
+      const std::set<std::string> closure = ncast::lint::allowed_closure(dep);
+      EXPECT_FALSE(closure.count(module))
+          << "declared cycle: " << module << " <-> " << dep;
+    }
+  }
+}
+
+// The contract this binary exists to enforce: the real tree fits the DAG.
+TEST(LintLayering, RealTreeIsCycleFreeAndInsideTheDag) {
+  Options opts;
+  opts.repo_root = NCAST_REPO_ROOT;
+  opts.roots = {"src"};
+  const Report report = ncast::lint::lint_tree(opts);
+  ASSERT_GT(report.files_scanned, 0u);
+
+  EXPECT_EQ(report.graph.cycles, 0u) << "include cycle in src/";
+  for (const Finding* f : layering_findings(report)) {
+    ADD_FAILURE() << f->file << ":" << f->line << " [" << f->rule << "] "
+                  << f->message
+                  << (f->suppressed ? " (suppressed — layering violations "
+                                      "should be fixed, not suppressed)"
+                                    : "");
+  }
+
+  // Belt and braces: re-check the observed module edges directly against
+  // the closure, independent of the finding-generation path.
+  for (const auto& [module, deps] : report.graph.module_deps) {
+    const std::set<std::string> closure = ncast::lint::allowed_closure(module);
+    for (const std::string& dep : deps) {
+      EXPECT_TRUE(closure.count(dep))
+          << "observed dependency " << module << " -> " << dep
+          << " is outside the declared closure";
+    }
+  }
+}
+
+TEST(LintLayering, FixtureCyclesAreFoundAndDeduplicated) {
+  Options opts;
+  opts.repo_root = std::string(NCAST_LINT_FIXTURE_DIR) + "/tree";
+  opts.roots = {"src"};
+  const Report report = ncast::lint::lint_tree(opts);
+
+  EXPECT_EQ(report.graph.cycles, 2u);
+  std::size_t cycle_findings = 0;
+  bool suppressed_cycle = false;
+  for (const Finding* f : layering_findings(report)) {
+    if (f->rule != "layering.cycle") continue;
+    ++cycle_findings;
+    EXPECT_NE(f->message.find("include cycle: "), std::string::npos);
+    if (f->suppressed) suppressed_cycle = true;
+  }
+  // One finding per distinct cycle (a->b->a reported once, not twice).
+  EXPECT_EQ(cycle_findings, 2u);
+  EXPECT_TRUE(suppressed_cycle) << "the cycle_c/cycle_d back edge carries an "
+                                   "allow annotation";
+}
+
+TEST(LintLayering, FixtureForbiddenIncludesCarryChains) {
+  Options opts;
+  opts.repo_root = std::string(NCAST_LINT_FIXTURE_DIR) + "/tree";
+  opts.roots = {"src"};
+  const Report report = ncast::lint::lint_tree(opts);
+
+  bool direct = false;
+  bool transitive = false;
+  bool suppressed = false;
+  for (const Finding* f : layering_findings(report)) {
+    if (f->rule != "layering.forbidden_include") continue;
+    if (f->file == "src/coding/uses_node.hpp") {
+      direct = true;
+      EXPECT_NE(f->message.find("must not depend on 'node'"),
+                std::string::npos);
+      EXPECT_NE(f->message.find("include chain: src/coding/uses_node.hpp -> "
+                                "src/node/api.hpp"),
+                std::string::npos);
+    }
+    if (f->file == "src/gf/deep.hpp") {
+      transitive = true;
+      // The violation is two hops away; the chain names every hop.
+      EXPECT_NE(f->message.find("src/gf/deep.hpp -> src/gf/via.hpp -> "
+                                "src/coding/hot.hpp"),
+                std::string::npos);
+    }
+    if (f->file == "src/coding/uses_node_ok.hpp") {
+      suppressed = true;
+      EXPECT_TRUE(f->suppressed);
+    }
+  }
+  EXPECT_TRUE(direct);
+  EXPECT_TRUE(transitive);
+  EXPECT_TRUE(suppressed);
+}
+
+}  // namespace

@@ -22,10 +22,13 @@
 
 #include <gtest/gtest.h>
 
+#include "lint/lint_baseline.hpp"
 #include "lint/lint_engine.hpp"
 
 namespace {
 
+using ncast::lint::Baseline;
+using ncast::lint::BaselineEntry;
 using ncast::lint::Finding;
 using ncast::lint::Options;
 using ncast::lint::Report;
@@ -35,6 +38,19 @@ using ncast::lint::Report;
 const std::string kAllow = std::string("// ncast:") + "allow(";
 const std::string kHotBegin = std::string("// ncast:") + "hot-begin";
 const std::string kHotEnd = std::string("// ncast:") + "hot-end";
+const std::string kShared = std::string("// ncast:") + "shared(";
+const std::string kMergeBegin = std::string("// ncast:") + "merge-begin";
+const std::string kMergeEnd = std::string("// ncast:") + "merge-end";
+
+Finding make_finding(const std::string& rule, const std::string& file,
+                     std::size_t line, const std::string& message) {
+  Finding f;
+  f.rule = rule;
+  f.file = file;
+  f.line = line;
+  f.message = message;
+  return f;
+}
 
 std::vector<Finding> lint(const std::string& path, const std::string& text) {
   std::vector<Finding> out;
@@ -66,14 +82,14 @@ TEST(LintDeterminism, WallClockVariantsFire) {
       "long a() { return std::time(nullptr); }\n"
       "long b();  // uses system_clock::now() eventually\n"
       "auto c = std::chrono::system_clock::now();\n";
-  const auto fs = lint("src/sim/x.cpp", text);
+  const auto fs = lint("src/coding/x.cpp", text);
   const auto v = rules_of(fs, /*suppressed=*/false);
   EXPECT_EQ(v, (std::vector<std::string>{"determinism.wall_clock",
                                          "determinism.wall_clock"}));
 }
 
 TEST(LintDeterminism, SteadyClockExemptUnderObs) {
-  const std::string text = "auto t = std::chrono::steady_clock::now();\n";
+  const std::string text = "auto probe() { return std::chrono::steady_clock::now(); }\n";
   EXPECT_TRUE(lint("src/obs/timer.cpp", text).empty());
   const auto fs = lint("src/sim/timer.cpp", text);
   ASSERT_EQ(fs.size(), 1u);
@@ -182,7 +198,8 @@ TEST(LintAnnotations, StandaloneAllowCoversNextCodeLine) {
   // ...but not the line after that.
   const auto far = lint("src/node/x.cpp",
                         kAllow + "determinism.libc_rand): unit test\n" +
-                            "int g = 0;\n" + "int f() { return rand(); }\n");
+                            "const int g = 0;\n" +
+                            "int f() { return rand(); }\n");
   ASSERT_EQ(far.size(), 1u);
   EXPECT_FALSE(far[0].suppressed);
 }
@@ -207,6 +224,246 @@ TEST(LintMasking, CommentsAndStringsAreInert) {
       "/* using namespace std; time(nullptr) */\n"
       "const char* r = R\"(rand() push_back()\";\n";
   EXPECT_TRUE(lint("src/sim/x.cpp", text).empty());
+}
+
+TEST(LintConcurrency, SharedMutableStaticFires) {
+  const auto fs =
+      lint("src/sim/x.cpp", "void f() { static int calls = 0; ++calls; }\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "concurrency.shared_mutable_state");
+  // The same code is fine outside shard scope (not worker-executed).
+  EXPECT_TRUE(
+      lint("src/coding/x.cpp", "void f() { static int c = 0; ++c; }\n")
+          .empty());
+}
+
+TEST(LintConcurrency, GuardedOrImmutableStaticsAreQuiet) {
+  const std::string text =
+      "#include <atomic>\n"
+      "#include <mutex>\n"
+      "void f() {\n"
+      "  static const int kTries = 3;\n"
+      "  static constexpr double kEps = 1e-9;\n"
+      "  static thread_local int scratch = 0;\n"
+      "  static std::atomic<int> hits{0};\n"
+      "  static std::mutex mu;\n"
+      "  static int helper();\n"
+      "  (void)kTries; (void)kEps; (void)scratch;\n"
+      "}\n";
+  EXPECT_TRUE(lint("src/sim/x.cpp", text).empty());
+}
+
+TEST(LintConcurrency, NamespaceScopeMutableFires) {
+  const std::string text =
+      "namespace ncast {\n"
+      "int hits = 0;\n"
+      "const int kCap = 4;\n"
+      "int peek();\n"
+      "}\n";
+  const auto fs = lint("src/node/x.cpp", text);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "concurrency.shared_mutable_state");
+  EXPECT_EQ(fs[0].line, 2u);
+}
+
+TEST(LintConcurrency, ParameterListsAreNotNamespaceState) {
+  // Multi-line declarations with default arguments were the classic false
+  // positive: the continuation line ends in "= 0);".
+  const std::string text =
+      "namespace ncast {\n"
+      "int run(int a,\n"
+      "        int b = 0);\n"
+      "}\n";
+  EXPECT_TRUE(lint("src/sim/x.cpp", text).empty());
+}
+
+TEST(LintConcurrency, SharedAnnotationSuppressesWithReason) {
+  const std::string text =
+      kShared + "guarded by the registry mutex)\n" +
+      "static long total = 0;\n";
+  const auto fs = lint("src/sim/x.cpp", text);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_TRUE(fs[0].suppressed);
+  EXPECT_EQ(fs[0].justification, "guarded by the registry mutex");
+
+  // An empty reason is not a suppression — it is a finding of its own.
+  const auto bad = lint("src/sim/x.cpp", kShared + ")\nstatic long t = 0;\n");
+  const auto v = rules_of(bad, /*suppressed=*/false);
+  EXPECT_EQ(v, (std::vector<std::string>{"concurrency.shared_mutable_state",
+                                         "lint.bad_annotation"}));
+}
+
+TEST(LintConcurrency, PointerKeyedContainersFire) {
+  const auto fs = lint("src/sim/x.cpp",
+                       "void f() { std::map<Node*, int> order; }\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "concurrency.pointer_keyed");
+  // Pointer VALUES are fine — only the key drives iteration order.
+  EXPECT_TRUE(lint("src/sim/x.cpp",
+                   "void f() { std::map<Address, Endpoint*> peers; }\n")
+                  .empty());
+  // set<T*> counts too (class members included).
+  EXPECT_EQ(
+      lint("src/node/x.cpp", "struct S { std::set<Obj*> live_; };\n").size(),
+      1u);
+  // Out of shard scope: quiet.
+  EXPECT_TRUE(
+      lint("src/graph/x.cpp", "void f() { std::map<Node*, int> m; }\n")
+          .empty());
+}
+
+TEST(LintConcurrency, ThreadAmbientScopedToSimAndNode) {
+  const std::string text =
+      "void f() { auto id = std::this_thread::get_id(); (void)id; }\n";
+  const auto fs = lint("src/sim/x.cpp", text);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "concurrency.thread_ambient");
+  EXPECT_TRUE(lint("src/obs/x.cpp", text).empty());
+}
+
+TEST(LintDeterminism, UnseededRngConstructionFires) {
+  const auto empty_parens =
+      lint("src/sim/x.cpp", "void f() { auto r = util::Rng(); }\n");
+  ASSERT_EQ(empty_parens.size(), 1u);
+  EXPECT_EQ(empty_parens[0].rule, "determinism.unseeded_rng");
+
+  const auto std_engine = lint("src/coding/x.cpp", "std::mt19937 gen;\n");
+  ASSERT_EQ(std_engine.size(), 1u);
+  EXPECT_EQ(std_engine[0].rule, "determinism.unseeded_rng");
+
+  // A seeded Rng is the idiom the rule steers toward.
+  EXPECT_TRUE(
+      lint("src/sim/x.cpp", "void f() { auto r = util::Rng(seed); }\n")
+          .empty());
+  // src/util defines Rng itself and is exempt.
+  EXPECT_TRUE(lint("src/util/rng_impl.cpp", "Rng make() { return Rng(); }\n")
+                  .empty());
+}
+
+TEST(LintDeterminism, FloatAccumOnlyInsideMergeRegions) {
+  const std::string body =
+      "void merge(double w) {\n"
+      "  double total = 0.0;\n"
+      "  long count = 0;\n"
+      "  total += w;\n"
+      "  count += 1;\n"
+      "}\n";
+  // Outside a merge region: quiet.
+  EXPECT_TRUE(lint("src/sim/x.cpp", body).empty());
+  // Inside: the double accumulation fires, the integer one does not.
+  const auto fs =
+      lint("src/sim/x.cpp", kMergeBegin + "\n" + body + kMergeEnd + "\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "determinism.float_accum");
+  EXPECT_EQ(fs[0].line, 5u);
+}
+
+TEST(LintDeterminism, MergeRegionMarkersMustBalance) {
+  const auto end_only = lint("src/sim/x.cpp", kMergeEnd + "\n");
+  ASSERT_EQ(end_only.size(), 1u);
+  EXPECT_EQ(end_only[0].rule, "determinism.merge_region");
+
+  const auto begin_only = lint("src/sim/x.cpp", kMergeBegin + "\n");
+  ASSERT_EQ(begin_only.size(), 1u);
+  EXPECT_EQ(begin_only[0].rule, "determinism.merge_region");
+  EXPECT_EQ(begin_only[0].line, 1u);
+
+  const auto balanced =
+      lint("src/sim/x.cpp", kMergeBegin + "\n" + kMergeEnd + "\n");
+  EXPECT_TRUE(balanced.empty());
+}
+
+TEST(LintFingerprints, StableAcrossLinesDistinctAcrossDuplicates) {
+  Report a;
+  a.findings.push_back(
+      make_finding("determinism.libc_rand", "src/sim/x.cpp", 10, "'rand(': no"));
+  ncast::lint::assign_fingerprints(a);
+
+  Report b = a;
+  b.findings[0].line = 99;  // an edit moved the finding
+  b.findings[0].fingerprint.clear();
+  ncast::lint::assign_fingerprints(b);
+  EXPECT_EQ(a.findings[0].fingerprint, b.findings[0].fingerprint)
+      << "fingerprints must not depend on line numbers";
+
+  // Two identical findings stay individually addressable via the ordinal.
+  Report c = a;
+  c.findings.push_back(c.findings[0]);
+  ncast::lint::assign_fingerprints(c);
+  EXPECT_EQ(c.findings[0].fingerprint, a.findings[0].fingerprint);
+  EXPECT_NE(c.findings[1].fingerprint, c.findings[0].fingerprint);
+}
+
+TEST(LintBaseline, MatchingFingerprintIsBaselined) {
+  Report report;
+  report.findings.push_back(
+      make_finding("determinism.libc_rand", "src/sim/x.cpp", 3, "'rand(': no"));
+  ncast::lint::assign_fingerprints(report);
+
+  Baseline baseline;
+  baseline.budgets["determinism.libc_rand"] = 1;
+  baseline.entries.push_back(BaselineEntry{
+      "determinism.libc_rand", "src/sim/x.cpp", report.findings[0].fingerprint});
+
+  const auto errors = ncast::lint::apply_baseline(report, baseline);
+  EXPECT_TRUE(errors.empty());
+  EXPECT_TRUE(report.findings[0].baselined);
+  EXPECT_EQ(ncast::lint::violation_count(report), 0u);
+  EXPECT_EQ(ncast::lint::baselined_count(report), 1u);
+}
+
+TEST(LintBaseline, StaleAndOverBudgetEntriesAreErrors) {
+  Report report;  // no findings at all
+  Baseline baseline;
+  baseline.budgets["determinism.libc_rand"] = 1;
+  baseline.entries.push_back(
+      BaselineEntry{"determinism.libc_rand", "src/sim/gone.cpp", "deadbeef"});
+  const auto stale = ncast::lint::apply_baseline(report, baseline);
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_NE(stale[0].find("stale"), std::string::npos);
+
+  Baseline fat;
+  fat.budgets["determinism.libc_rand"] = 1;
+  fat.entries.push_back(
+      BaselineEntry{"determinism.libc_rand", "a.cpp", "fp1"});
+  fat.entries.push_back(
+      BaselineEntry{"determinism.libc_rand", "b.cpp", "fp2"});
+  const auto over = ncast::lint::apply_baseline(report, fat);
+  bool budget_error = false;
+  for (const auto& e : over) {
+    if (e.find("exceed the budget") != std::string::npos) budget_error = true;
+  }
+  EXPECT_TRUE(budget_error);
+}
+
+TEST(LintBaseline, WriteRefusesToGrowTheBudget) {
+  Report report;
+  report.findings.push_back(make_finding("determinism.libc_rand", "a.cpp", 1, "one"));
+  report.findings.push_back(make_finding("determinism.libc_rand", "b.cpp", 1, "two"));
+  ncast::lint::assign_fingerprints(report);
+
+  Baseline previous;
+  previous.budgets["determinism.libc_rand"] = 1;
+  EXPECT_THROW(ncast::lint::write_baseline_json(report, &previous),
+               std::runtime_error);
+  // Without a previous baseline the two findings are simply recorded.
+  const std::string fresh = ncast::lint::write_baseline_json(report, nullptr);
+  EXPECT_NE(fresh.find("\"determinism.libc_rand\": 2"), std::string::npos);
+  // Round-trip: the writer's output parses and applies cleanly.
+  Baseline parsed = ncast::lint::parse_baseline(fresh);
+  EXPECT_EQ(parsed.entries.size(), 2u);
+  EXPECT_TRUE(ncast::lint::apply_baseline(report, parsed).empty());
+}
+
+TEST(LintBaseline, ParserRejectsMalformedDocuments) {
+  EXPECT_THROW(ncast::lint::parse_baseline("not json"), std::exception);
+  EXPECT_THROW(ncast::lint::parse_baseline(
+                   "{\"schema\": \"ncast.bench.v1\", \"entries\": []}"),
+               std::runtime_error);
+  EXPECT_THROW(
+      ncast::lint::parse_baseline(
+          "{\"schema\": \"ncast.lint.baseline.v1\", \"entries\": [{}]}"),
+      std::runtime_error);
 }
 
 TEST(LintTree, GoldenReportIsByteStable) {

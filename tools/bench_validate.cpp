@@ -12,6 +12,15 @@
 //   ncast.lint.v1 — LINT_*.json from tools/ncast_lint: tool/roots/rules,
 //     a counts object consistent with the violations and suppressed arrays,
 //     and well-formed finding entries (known rule, file, 1-based line).
+//   ncast.lint.v2 — the two-pass report: everything v1 checks, plus a
+//     baselined array (counts must agree), per-finding fingerprints on
+//     violations and baselined entries, a rule_counts object covering every
+//     declared rule, and an include_graph summary (files/edges/cycles plus
+//     the observed module dependency map).
+//   ncast.lint.baseline.v1 — the committed suppressions file
+//     (tools/lint/lint_baseline.json): per-rule budgets, entries with
+//     rule/file/fingerprint, no duplicate fingerprints, and per-rule entry
+//     counts within budget (the ratchet invariant).
 //   ncast.trace.v1 — TRACE_*.jsonl from obs::TraceBuffer::to_jsonl(): a
 //     header line carrying capacity / total_emitted / dropped_events, then
 //     one event object per line with a numeric timestamp, a non-empty kind,
@@ -44,7 +53,7 @@ int violation(const std::string& why) {
   return 1;
 }
 
-int validate_lint(const Value& root) {
+int validate_lint(const Value& root, bool v2) {
   for (const char* key : {"tool"}) {
     const Value* v = root.get(key);
     if (v == nullptr || !v->is_string() || v->string.empty()) {
@@ -74,14 +83,60 @@ int validate_lint(const Value& root) {
   if (counts == nullptr || !counts->is_object()) {
     return violation("missing object key 'counts'");
   }
-  for (const char* key : {"files", "violations", "suppressed"}) {
+  std::vector<const char*> count_keys = {"files", "violations", "suppressed"};
+  if (v2) count_keys.push_back("baselined");
+  for (const char* key : count_keys) {
     const Value* v = counts->get(key);
     if (v == nullptr || !v->is_number()) {
       return violation(std::string("counts lacks numeric '") + key + "'");
     }
   }
 
-  for (const char* section : {"violations", "suppressed"}) {
+  if (v2) {
+    const Value* rule_counts = root.get("rule_counts");
+    if (rule_counts == nullptr || !rule_counts->is_object()) {
+      return violation("missing object key 'rule_counts'");
+    }
+    for (const auto& [rule, known] : known_rules) {
+      (void)known;
+      const Value* entry = rule_counts->get(rule);
+      if (entry == nullptr || !entry->is_object()) {
+        return violation("rule_counts lacks an object for rule '" + rule + "'");
+      }
+      for (const char* key : {"violations", "suppressed", "baselined"}) {
+        const Value* v = entry->get(key);
+        if (v == nullptr || !v->is_number() || v->number < 0) {
+          return violation("rule_counts['" + rule + "'] lacks numeric '" +
+                           key + "'");
+        }
+      }
+    }
+    const Value* graph = root.get("include_graph");
+    if (graph == nullptr || !graph->is_object()) {
+      return violation("missing object key 'include_graph'");
+    }
+    for (const char* key : {"files", "edges", "cycles"}) {
+      const Value* v = graph->get(key);
+      if (v == nullptr || !v->is_number() || v->number < 0) {
+        return violation(std::string("include_graph lacks numeric '") + key +
+                         "'");
+      }
+    }
+    const Value* modules = graph->get("modules");
+    if (modules == nullptr || !modules->is_object()) {
+      return violation("include_graph lacks object key 'modules'");
+    }
+    for (const auto& [module, deps] : modules->object) {
+      if (deps->kind != Value::Kind::kArray) {
+        return violation("include_graph.modules['" + module +
+                         "'] is not an array");
+      }
+    }
+  }
+
+  std::vector<const char*> sections = {"violations", "suppressed"};
+  if (v2) sections.insert(sections.begin() + 1, "baselined");
+  for (const char* section : sections) {
     const Value* arr = root.get(section);
     if (arr == nullptr || arr->kind != Value::Kind::kArray) {
       return violation(std::string("missing array key '") + section + "'");
@@ -115,6 +170,65 @@ int validate_lint(const Value& root) {
         return violation(std::string(section) + " entry lacks string '" +
                          text_key + "'");
       }
+      if (v2 && !suppressed) {
+        const Value* fp = f->get("fingerprint");
+        if (fp == nullptr || !fp->is_string() || fp->string.empty()) {
+          return violation(std::string(section) +
+                           " entry lacks a non-empty fingerprint");
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+int validate_lint_baseline(const Value& root) {
+  const Value* tool = root.get("tool");
+  if (tool == nullptr || !tool->is_string() || tool->string.empty()) {
+    return violation("missing non-empty string key 'tool'");
+  }
+  const Value* budgets = root.get("budgets");
+  if (budgets == nullptr || !budgets->is_object()) {
+    return violation("missing object key 'budgets'");
+  }
+  for (const auto& [rule, v] : budgets->object) {
+    if (!v->is_number() || v->number < 0) {
+      return violation("budget for '" + rule +
+                       "' is not a non-negative number");
+    }
+  }
+  const Value* entries = root.get("entries");
+  if (entries == nullptr || entries->kind != Value::Kind::kArray) {
+    return violation("missing array key 'entries'");
+  }
+  std::map<std::string, double> per_rule;
+  std::map<std::string, bool> fingerprints;
+  for (const auto& e : entries->array) {
+    if (!e->is_object()) return violation("entries must be objects");
+    for (const char* key : {"rule", "file", "fingerprint"}) {
+      const Value* v = e->get(key);
+      if (v == nullptr || !v->is_string() || v->string.empty()) {
+        return violation(std::string("entry lacks non-empty string '") + key +
+                         "'");
+      }
+    }
+    const std::string fp = e->get("fingerprint")->string;
+    if (fingerprints.count(fp)) {
+      return violation("fingerprint '" + fp + "' appears twice");
+    }
+    fingerprints[fp] = true;
+    per_rule[e->get("rule")->string] += 1.0;
+  }
+  for (const auto& [rule, count] : per_rule) {
+    const Value* budget = budgets->get(rule);
+    if (budget == nullptr) {
+      return violation("entries for '" + rule + "' have no budget");
+    }
+    if (count > budget->number) {
+      return violation("entries for '" + rule + "' exceed the budget (" +
+                       std::to_string(static_cast<long long>(count)) + " > " +
+                       std::to_string(static_cast<long long>(budget->number)) +
+                       ")");
     }
   }
   return 0;
@@ -196,7 +310,11 @@ int validate(const Value& root, const std::vector<std::string>& required_params)
   if (schema == nullptr || !schema->is_string()) {
     return violation("missing string key 'schema'");
   }
-  if (schema->string == "ncast.lint.v1") return validate_lint(root);
+  if (schema->string == "ncast.lint.v1") return validate_lint(root, false);
+  if (schema->string == "ncast.lint.v2") return validate_lint(root, true);
+  if (schema->string == "ncast.lint.baseline.v1") {
+    return validate_lint_baseline(root);
+  }
   if (schema->string != "ncast.bench.v1") {
     return violation("unsupported schema '" + schema->string + "'");
   }

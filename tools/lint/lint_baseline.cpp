@@ -1,0 +1,192 @@
+#include "lint/lint_baseline.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "json_reader.hpp"
+
+namespace ncast::lint {
+
+namespace {
+
+void escape_into(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  escape_into(out, s);
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Baseline parse_baseline(const std::string& json_text) {
+  using ncast::tools::Parser;
+  using ncast::tools::Value;
+
+  const auto root = Parser(json_text).parse();
+  if (!root->is_object()) {
+    throw std::runtime_error("baseline: top level is not an object");
+  }
+  const Value* schema = root->get("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string != "ncast.lint.baseline.v1") {
+    throw std::runtime_error("baseline: schema is not ncast.lint.baseline.v1");
+  }
+
+  Baseline baseline;
+  if (const Value* budgets = root->get("budgets")) {
+    if (!budgets->is_object()) {
+      throw std::runtime_error("baseline: 'budgets' is not an object");
+    }
+    for (const auto& [rule, v] : budgets->object) {
+      if (!v->is_number() || v->number < 0) {
+        throw std::runtime_error("baseline: budget for '" + rule +
+                                 "' is not a non-negative number");
+      }
+      baseline.budgets[rule] = static_cast<std::size_t>(v->number);
+    }
+  }
+  const Value* entries = root->get("entries");
+  if (entries == nullptr || entries->kind != Value::Kind::kArray) {
+    throw std::runtime_error("baseline: missing array key 'entries'");
+  }
+  for (const auto& e : entries->array) {
+    if (!e->is_object()) {
+      throw std::runtime_error("baseline: entries must be objects");
+    }
+    BaselineEntry entry;
+    for (const char* key : {"rule", "file", "fingerprint"}) {
+      const Value* v = e->get(key);
+      if (v == nullptr || !v->is_string() || v->string.empty()) {
+        throw std::runtime_error(
+            std::string("baseline: entry lacks non-empty string '") + key +
+            "'");
+      }
+    }
+    entry.rule = e->get("rule")->string;
+    entry.file = e->get("file")->string;
+    entry.fingerprint = e->get("fingerprint")->string;
+    baseline.entries.push_back(std::move(entry));
+  }
+  return baseline;
+}
+
+std::vector<std::string> apply_baseline(Report& report,
+                                        const Baseline& baseline) {
+  std::vector<std::string> errors;
+
+  const auto& known = rule_ids();
+  std::map<std::string, std::size_t> per_rule;
+  std::set<std::string> fingerprints;
+  for (const BaselineEntry& entry : baseline.entries) {
+    if (std::find(known.begin(), known.end(), entry.rule) == known.end()) {
+      errors.push_back("baseline entry names unknown rule '" + entry.rule +
+                       "'");
+    }
+    if (!fingerprints.insert(entry.fingerprint).second) {
+      errors.push_back("baseline fingerprint '" + entry.fingerprint +
+                       "' appears twice");
+    }
+    ++per_rule[entry.rule];
+  }
+
+  for (const auto& [rule, count] : per_rule) {
+    const auto it = baseline.budgets.find(rule);
+    if (it == baseline.budgets.end()) {
+      errors.push_back("baseline carries entries for '" + rule +
+                       "' but no budget");
+    } else if (count > it->second) {
+      errors.push_back("baseline entries for '" + rule + "' (" +
+                       std::to_string(count) + ") exceed the budget (" +
+                       std::to_string(it->second) +
+                       "); the ratchet only turns down");
+    }
+  }
+
+  std::set<std::string> matched;
+  for (Finding& f : report.findings) {
+    if (f.suppressed) continue;
+    if (fingerprints.count(f.fingerprint)) {
+      f.baselined = true;
+      matched.insert(f.fingerprint);
+    }
+  }
+  for (const BaselineEntry& entry : baseline.entries) {
+    if (!matched.count(entry.fingerprint)) {
+      errors.push_back("stale baseline entry " + entry.fingerprint + " (" +
+                       entry.rule + " in " + entry.file +
+                       "): the finding is gone — remove the entry "
+                       "(refresh with --write-baseline)");
+    }
+  }
+  return errors;
+}
+
+std::string write_baseline_json(const Report& report,
+                                const Baseline* previous) {
+  std::vector<const Finding*> live;
+  std::map<std::string, std::size_t> counts;
+  for (const Finding& f : report.findings) {
+    if (f.suppressed) continue;
+    live.push_back(&f);
+    ++counts[f.rule];
+  }
+  std::sort(live.begin(), live.end(), [](const Finding* a, const Finding* b) {
+    if (a->rule != b->rule) return a->rule < b->rule;
+    if (a->file != b->file) return a->file < b->file;
+    return a->fingerprint < b->fingerprint;
+  });
+
+  std::map<std::string, std::size_t> budgets;
+  for (const auto& [rule, count] : counts) {
+    std::size_t budget = count;
+    if (previous != nullptr) {
+      const auto it = previous->budgets.find(rule);
+      if (it != previous->budgets.end()) {
+        if (count > it->second) {
+          throw std::runtime_error(
+              "refusing to grow the baseline: rule '" + rule + "' now has " +
+              std::to_string(count) + " findings, budget is " +
+              std::to_string(it->second) +
+              " — fix the new findings instead of re-baselining them");
+        }
+        budget = std::min(count, it->second);
+      }
+    }
+    budgets[rule] = budget;
+  }
+
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"ncast.lint.baseline.v1\",\n";
+  out += "  \"tool\": \"ncast_lint\",\n";
+  out += "  \"budgets\": {";
+  bool first = true;
+  for (const auto& [rule, budget] : budgets) {
+    out += first ? "\n" : ",\n";
+    out += "    " + quoted(rule) + ": " + std::to_string(budget);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"entries\": [";
+  first = true;
+  for (const Finding* f : live) {
+    out += first ? "\n" : ",\n";
+    out += "    {\"rule\": " + quoted(f->rule) + ", \"file\": " +
+           quoted(f->file) + ", \"fingerprint\": " + quoted(f->fingerprint) +
+           "}";
+    first = false;
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ncast::lint

@@ -1,0 +1,54 @@
+#pragma once
+// Baseline suppressions + the ratchet. The committed baseline file
+// (tools/lint/lint_baseline.json, schema ncast.lint.baseline.v1) lists the
+// fingerprints of findings that predate a rule's introduction; CI fails only
+// on findings *not* in the baseline, so new rules can land against an
+// imperfect tree without hiding new regressions.
+//
+// The ratchet: every baseline entry must match a live finding (stale entries
+// are an error — you must shrink the file when you fix a finding, never pad
+// it), and the per-rule entry count may not exceed the rule's committed
+// budget. `write_baseline_json` refuses to raise a budget; raising one
+// requires a hand edit of the committed file, which review catches. See
+// docs/static_analysis.md for the refresh procedure.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/lint_engine.hpp"
+
+namespace ncast::lint {
+
+struct BaselineEntry {
+  std::string rule;
+  std::string file;
+  std::string fingerprint;
+};
+
+struct Baseline {
+  /// Per-rule ceiling on entries. A rule absent here may carry no entries.
+  std::map<std::string, std::size_t> budgets;
+  std::vector<BaselineEntry> entries;
+};
+
+/// Parses a baseline document. Throws std::runtime_error on malformed input
+/// (JSON errors, wrong schema, non-string fields) — an unreadable baseline
+/// is an internal error (exit 2), not a finding.
+Baseline parse_baseline(const std::string& json_text);
+
+/// Marks report findings whose fingerprint appears in the baseline as
+/// baselined (they no longer count as violations). Returns ratchet errors:
+/// stale entries (fingerprint matches nothing), per-rule counts above
+/// budget, and entries whose rule is unknown. Empty return = clean.
+std::vector<std::string> apply_baseline(Report& report,
+                                        const Baseline& baseline);
+
+/// Serializes the current unsuppressed findings of `report` as a fresh
+/// baseline. Budgets ratchet: a rule keeps min(previous budget, new count);
+/// if the new count exceeds a previous budget the function throws (the
+/// ratchet only turns one way). Rules with no findings drop out entirely.
+std::string write_baseline_json(const Report& report, const Baseline* previous);
+
+}  // namespace ncast::lint

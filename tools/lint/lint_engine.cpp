@@ -1,14 +1,17 @@
 #include "lint/lint_engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <map>
 #include <regex>
 #include <set>
 #include <sstream>
+
+#include "lint/lint_index.hpp"
+#include "lint/lint_scan.hpp"
 
 namespace ncast::lint {
 namespace {
@@ -18,157 +21,11 @@ namespace fs = std::filesystem;
 // Annotation markers. Kept as string constants (never spelled out in
 // comments) so the engine stays clean when linting its own source.
 constexpr const char* kAllowMarker = "ncast:allow(";
+constexpr const char* kSharedMarker = "ncast:shared(";
 constexpr const char* kHotBegin = "ncast:hot-begin";
 constexpr const char* kHotEnd = "ncast:hot-end";
-
-// ---------------------------------------------------------------------------
-// Scanner: splits a translation unit into per-line views with comments and
-// literals separated, so token rules never fire inside either.
-// ---------------------------------------------------------------------------
-
-struct Scanned {
-  /// Code with comments AND string/char literal bodies blanked to spaces.
-  std::vector<std::string> code;
-  /// Code with comments blanked but string literals kept verbatim (the obs
-  /// rule and include resolution need the literal text).
-  std::vector<std::string> code_strings;
-  /// Concatenated comment text per line (annotations live here).
-  std::vector<std::string> comment;
-};
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-Scanned scan(const std::string& text) {
-  enum class Mode { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
-  Scanned out;
-  std::string code, code_strings, comment;
-  Mode mode = Mode::kCode;
-  std::string raw_end;     // ")delim\"" terminator of the active raw literal
-  char prev_sig = '\0';    // last non-space code char (digit-separator check)
-
-  auto flush_line = [&]() {
-    out.code.push_back(code);
-    out.code_strings.push_back(code_strings);
-    out.comment.push_back(comment);
-    code.clear();
-    code_strings.clear();
-    comment.clear();
-  };
-
-  const std::size_t n = text.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const char c = text[i];
-    if (c == '\n') {
-      if (mode == Mode::kLineComment || mode == Mode::kString ||
-          mode == Mode::kChar) {
-        mode = Mode::kCode;  // strings/chars cannot span lines; be tolerant
-      }
-      flush_line();
-      continue;
-    }
-    switch (mode) {
-      case Mode::kCode: {
-        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
-          mode = Mode::kLineComment;
-          code += "  ";
-          code_strings += "  ";
-          ++i;
-        } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
-          mode = Mode::kBlockComment;
-          code += "  ";
-          code_strings += "  ";
-          ++i;
-        } else if (c == '"') {
-          // Raw literal? Only the plain R"..( prefix is recognized; the rare
-          // u8R/LR spellings degrade to ordinary-string handling.
-          if (prev_sig == 'R' && !code.empty() && code.back() == 'R' &&
-              (code.size() < 2 || !is_ident_char(code[code.size() - 2]))) {
-            std::string delim;
-            std::size_t j = i + 1;
-            while (j < n && text[j] != '(' && text[j] != '\n') {
-              delim += text[j++];
-            }
-            if (j < n && text[j] == '(') {
-              mode = Mode::kRaw;
-              raw_end = ")" + delim + "\"";
-              code += std::string(j - i + 1, ' ');
-              code_strings.append(text, i, j - i + 1);
-              i = j;
-              break;
-            }
-          }
-          mode = Mode::kString;
-          code += ' ';
-          code_strings += '"';
-        } else if (c == '\'' && !is_ident_char(prev_sig)) {
-          mode = Mode::kChar;
-          code += ' ';
-          code_strings += ' ';
-        } else {
-          code += c;
-          code_strings += c;
-          if (c != ' ' && c != '\t') prev_sig = c;
-        }
-        break;
-      }
-      case Mode::kLineComment:
-        comment += c;
-        code += ' ';
-        code_strings += ' ';
-        break;
-      case Mode::kBlockComment:
-        if (c == '*' && i + 1 < n && text[i + 1] == '/') {
-          mode = Mode::kCode;
-          code += "  ";
-          code_strings += "  ";
-          ++i;
-        } else {
-          comment += c;
-          code += ' ';
-          code_strings += ' ';
-        }
-        break;
-      case Mode::kString:
-        code += ' ';
-        if (c == '\\' && i + 1 < n && text[i + 1] != '\n') {
-          code_strings += c;
-          code_strings += text[i + 1];
-          code += ' ';
-          ++i;
-        } else {
-          code_strings += c;
-          if (c == '"') mode = Mode::kCode;
-        }
-        break;
-      case Mode::kChar:
-        code += ' ';
-        code_strings += ' ';
-        if (c == '\\' && i + 1 < n && text[i + 1] != '\n') {
-          code += ' ';
-          code_strings += ' ';
-          ++i;
-        } else if (c == '\'') {
-          mode = Mode::kCode;
-        }
-        break;
-      case Mode::kRaw:
-        if (text.compare(i, raw_end.size(), raw_end) == 0) {
-          code += std::string(raw_end.size(), ' ');
-          code_strings += raw_end;
-          i += raw_end.size() - 1;
-          mode = Mode::kCode;
-        } else {
-          code += ' ';
-          code_strings += c;
-        }
-        break;
-    }
-  }
-  flush_line();  // final (possibly unterminated) line
-  return out;
-}
+constexpr const char* kMergeBegin = "ncast:merge-begin";
+constexpr const char* kMergeEnd = "ncast:merge-end";
 
 // ---------------------------------------------------------------------------
 // Rule table
@@ -196,6 +53,19 @@ const TokenRule kSteadyClock = {
     "determinism.steady_clock",
     R"(\bsteady_clock\b|\bhigh_resolution_clock\b)",
     "monotonic clocks are confined to src/obs (timing is observability)"};
+const TokenRule kUnseededRng = {
+    "determinism.unseeded_rng",
+    R"(\bRng\s*\(\s*\)|\bRng\s*\{\s*\}|\bmt19937(?:_64)?\b|\bdefault_random_engine\b|\bminstd_rand0?\b|\branlux\w+\b|\bknuth_b\b)",
+    "default-seeded RNG construction bypasses RngStreams; derive every "
+    "stream from the run seed"};
+
+// Shard-concurrency rules, applied in src/sim and src/node (the code that
+// executes on ShardedEngine workers).
+const TokenRule kThreadAmbient = {
+    "concurrency.thread_ambient",
+    R"(\bthis_thread\b|\bpthread_self\b|\bgettid\s*\(|\bthread\s*::\s*id\b|\bget_id\s*\()",
+    "thread identity is schedule-dependent; results must be a pure function "
+    "of the seed"};
 
 // Hot-region rules, applied only between the hot markers.
 const TokenRule kHotAlloc = {
@@ -215,14 +85,28 @@ const TokenRule kUsingNamespace = {
     "headers must not inject namespaces into every includer"};
 
 const char* kRuleList[] = {
-    "determinism.libc_rand",     "determinism.random_device",
-    "determinism.wall_clock",    "determinism.steady_clock",
+    "concurrency.pointer_keyed",
+    "concurrency.shared_mutable_state",
+    "concurrency.thread_ambient",
+    "determinism.float_accum",
+    "determinism.libc_rand",
+    "determinism.merge_region",
+    "determinism.random_device",
+    "determinism.steady_clock",
     "determinism.unordered_iteration",
-    "hot_path.alloc",            "hot_path.string",
-    "hot_path.throw",            "hot_path.region",
-    "header.pragma_once",        "header.using_namespace",
-    "header.include_resolves",   "obs.metric_name",
+    "determinism.unseeded_rng",
+    "determinism.wall_clock",
+    "header.include_resolves",
+    "header.pragma_once",
+    "header.using_namespace",
+    "hot_path.alloc",
+    "hot_path.region",
+    "hot_path.string",
+    "hot_path.throw",
+    "layering.cycle",
+    "layering.forbidden_include",
     "lint.bad_annotation",
+    "obs.metric_name",
 };
 
 bool known_rule(const std::string& id) {
@@ -247,31 +131,128 @@ std::string trim(const std::string& s) {
   return s.substr(b, e - b + 1);
 }
 
-// ---------------------------------------------------------------------------
-// Per-file lint pass
-// ---------------------------------------------------------------------------
+bool contains_word(const std::string& s, const char* word) {
+  const std::size_t len = std::string(word).size();
+  std::size_t pos = 0;
+  while ((pos = s.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(s[pos - 1]);
+    const bool right_ok =
+        pos + len >= s.size() || !is_ident_char(s[pos + len]);
+    if (left_ok && right_ok) return true;
+    pos += len;
+  }
+  return false;
+}
 
-struct AllowEntry {
-  std::map<std::string, std::string> rules;  // rule id -> justification
-};
+/// Suppression map: 1-based line -> rule id -> justification.
+using AllowMap = std::map<std::size_t, std::map<std::string, std::string>>;
+
+/// Lines an annotation on comment line `i` (0-based) covers: its own line
+/// plus, when the line carries no code, the next line that does.
+std::vector<std::size_t> annotation_targets(const Scanned& sc, std::size_t i) {
+  std::vector<std::size_t> targets = {i + 1};
+  if (blank(sc.code[i])) {
+    std::size_t j = i + 1;
+    while (j < sc.code.size() && blank(sc.code[j])) ++j;
+    if (j < sc.code.size()) targets.push_back(j + 1);
+  }
+  return targets;
+}
+
+/// Parses allow annotations out of comment text into an AllowMap. Unknown
+/// rule ids land in `unknown` (validated by the caller); shared annotations
+/// register as suppressions of the shared-state rule, with the reason text
+/// as the justification (an empty reason lands in `empty_shared`).
+AllowMap collect_allows(const Scanned& sc,
+                        std::vector<std::pair<std::size_t, std::string>>* unknown,
+                        std::vector<std::size_t>* empty_shared) {
+  AllowMap allows;
+  const std::size_t lines = sc.comment.size();
+  for (std::size_t i = 0; i < lines; ++i) {
+    const std::string& comment = sc.comment[i];
+    std::size_t pos = 0;
+    while ((pos = comment.find(kAllowMarker, pos)) != std::string::npos) {
+      const std::size_t open = pos + std::string(kAllowMarker).size();
+      const std::size_t close = comment.find(')', open);
+      if (close == std::string::npos) break;
+      const std::string rule_csv = comment.substr(open, close - open);
+      std::string justification;
+      std::size_t after = close + 1;
+      if (after < comment.size() && comment[after] == ':') {
+        justification = trim(comment.substr(after + 1));
+      }
+      const std::vector<std::size_t> targets = annotation_targets(sc, i);
+      std::stringstream ss(rule_csv);
+      std::string rule;
+      while (std::getline(ss, rule, ',')) {
+        rule = trim(rule);
+        if (rule.empty()) continue;
+        if (!known_rule(rule)) {
+          if (unknown != nullptr) unknown->emplace_back(i + 1, rule);
+          continue;
+        }
+        for (const std::size_t t : targets) {
+          allows[t][rule] = justification;
+        }
+      }
+      pos = close;
+    }
+    pos = 0;
+    while ((pos = comment.find(kSharedMarker, pos)) != std::string::npos) {
+      const std::size_t open = pos + std::string(kSharedMarker).size();
+      const std::size_t close = comment.find(')', open);
+      if (close == std::string::npos) break;
+      const std::string why = trim(comment.substr(open, close - open));
+      if (why.empty()) {
+        if (empty_shared != nullptr) empty_shared->push_back(i + 1);
+      } else {
+        for (const std::size_t t : annotation_targets(sc, i)) {
+          allows[t]["concurrency.shared_mutable_state"] = why;
+        }
+      }
+      pos = close;
+    }
+  }
+  return allows;
+}
+
+// ---------------------------------------------------------------------------
+// Per-file lint pass (pass 2, file-scoped rules)
+// ---------------------------------------------------------------------------
 
 class FileLinter {
  public:
-  FileLinter(const std::string& rel_path, const std::string& text,
+  FileLinter(const std::string& rel_path, const Scanned& sc,
              const std::string& repo_root, std::vector<Finding>& out)
       : rel_(rel_path),
         repo_root_(repo_root),
         out_(out),
-        sc_(scan(text)),
-        lines_(sc_.code.size()) {}
+        sc_(sc),
+        lines_(sc.code.size()) {}
 
   void run() {
     classify();
-    collect_allows();
+    std::vector<std::pair<std::size_t, std::string>> unknown;
+    std::vector<std::size_t> empty_shared;
+    allows_ = collect_allows(sc_, &unknown, &empty_shared);
+    for (const auto& [line, rule] : unknown) {
+      report("lint.bad_annotation", line,
+             "allow names unknown rule '" + rule + "'");
+    }
+    for (const std::size_t line : empty_shared) {
+      report("lint.bad_annotation", line,
+             "shared annotation needs a reason inside the parentheses");
+    }
     collect_unordered_ids();
+    if (shard_scope_) {
+      collect_float_ids();
+      compute_namespace_scope();
+    }
 
     bool hot = false;
     std::size_t hot_begin_line = 0;
+    bool merge = false;
+    std::size_t merge_begin_line = 0;
     bool saw_pragma_once = false;
 
     for (std::size_t i = 0; i < lines_; ++i) {
@@ -286,6 +267,13 @@ class FileLinter {
         }
         hot = false;
       }
+      if (comment.find(kMergeEnd) != std::string::npos) {
+        if (!merge) {
+          report("determinism.merge_region", ln,
+                 "merge-end marker without a begin");
+        }
+        merge = false;
+      }
 
       if (!blank(code)) {
         if (is_header_ &&
@@ -298,7 +286,16 @@ class FileLinter {
         if (!starts_with(rel_, "src/obs/")) {
           check_token(kSteadyClock, code, ln);
         }
+        if (!starts_with(rel_, "src/util/")) {
+          check_token(kUnseededRng, code, ln);
+        }
         if (unordered_scope_) check_unordered_iteration(code, ln);
+        if (shard_scope_) {
+          check_token(kThreadAmbient, code, ln);
+          check_pointer_keyed(code, ln);
+          check_shared_state(code, i, ln);
+          if (merge) check_float_accum(code, ln);
+        }
         if (hot) {
           check_token(kHotAlloc, code, ln);
           check_token(kHotString, code, ln);
@@ -317,11 +314,23 @@ class FileLinter {
           hot_begin_line = ln;
         }
       }
+      if (comment.find(kMergeBegin) != std::string::npos) {
+        if (merge) {
+          report("determinism.merge_region", ln, "nested merge-begin marker");
+        } else {
+          merge = true;
+          merge_begin_line = ln;
+        }
+      }
     }
 
     if (hot) {
       report("hot_path.region", hot_begin_line,
              "hot region is never closed (missing end marker)");
+    }
+    if (merge) {
+      report("determinism.merge_region", merge_begin_line,
+             "merge region is never closed (missing end marker)");
     }
     if (is_header_ && !saw_pragma_once) {
       report("header.pragma_once", 1, "header lacks #pragma once");
@@ -346,55 +355,8 @@ class FileLinter {
     unordered_scope_ = starts_with(rel_, "src/sim/") ||
                        starts_with(rel_, "src/overlay/") ||
                        starts_with(rel_, "src/node/");
-  }
-
-  /// Parses allow annotations out of comment text. An annotation on a line
-  /// with code applies to that line; a standalone comment annotation applies
-  /// to its own line (for file- and region-level findings reported there)
-  /// and to the next line that has code. Unknown rule ids are reported only
-  /// after every annotation is registered, so an allow for
-  /// lint.bad_annotation itself works no matter where it sits on the line.
-  void collect_allows() {
-    std::vector<std::pair<std::size_t, std::string>> unknown;
-    for (std::size_t i = 0; i < lines_; ++i) {
-      const std::string& comment = sc_.comment[i];
-      std::size_t pos = 0;
-      while ((pos = comment.find(kAllowMarker, pos)) != std::string::npos) {
-        const std::size_t open = pos + std::string(kAllowMarker).size();
-        const std::size_t close = comment.find(')', open);
-        if (close == std::string::npos) break;
-        const std::string rule_csv = comment.substr(open, close - open);
-        std::string justification;
-        std::size_t after = close + 1;
-        if (after < comment.size() && comment[after] == ':') {
-          justification = trim(comment.substr(after + 1));
-        }
-        std::vector<std::size_t> targets = {i + 1};  // 1-based own line
-        if (blank(sc_.code[i])) {
-          std::size_t j = i + 1;
-          while (j < lines_ && blank(sc_.code[j])) ++j;
-          if (j < lines_) targets.push_back(j + 1);
-        }
-        std::stringstream ss(rule_csv);
-        std::string rule;
-        while (std::getline(ss, rule, ',')) {
-          rule = trim(rule);
-          if (rule.empty()) continue;
-          if (!known_rule(rule)) {
-            unknown.emplace_back(i + 1, rule);
-            continue;
-          }
-          for (const std::size_t t : targets) {
-            allows_[t].rules[rule] = justification;
-          }
-        }
-        pos = close;
-      }
-    }
-    for (const auto& [line, rule] : unknown) {
-      report("lint.bad_annotation", line,
-             "allow names unknown rule '" + rule + "'");
-    }
+    shard_scope_ =
+        starts_with(rel_, "src/sim/") || starts_with(rel_, "src/node/");
   }
 
   /// Best-effort collection of identifiers declared with an unordered
@@ -443,6 +405,56 @@ class FileLinter {
     }
   }
 
+  /// Identifiers declared with a floating-point type (double/float and the
+  /// SimTime alias), for the merge-region accumulation rule.
+  void collect_float_ids() {
+    static const std::regex decl(
+        R"(\b(?:float|double|SimTime)\s+([A-Za-z_]\w*)\s*[=;,\){])");
+    for (const std::string& code : sc_.code) {
+      for (auto it = std::sregex_iterator(code.begin(), code.end(), decl);
+           it != std::sregex_iterator(); ++it) {
+        float_ids_.insert(it->str(1));
+      }
+    }
+  }
+
+  /// Marks, per line, whether every enclosing brace at the START of the line
+  /// is a namespace (or extern-block) brace — i.e. the line sits at
+  /// namespace scope. Class bodies, function bodies, and initializers all
+  /// push non-namespace braces.
+  void compute_namespace_scope() {
+    ns_scope_.assign(lines_, false);
+    std::vector<bool> stack;  // true = namespace-like brace
+    std::string recent;       // code since the last ; { or }
+    int paren = 0;  // a line starting mid-'(' is a parameter list, not a decl
+    static const std::regex ns_tail(
+        R"((^|[;{}\s])namespace(\s+[A-Za-z_][\w:]*)?\s*$)");
+    static const std::regex extern_tail(R"((^|[;{}\s])extern\s*$)");
+    for (std::size_t i = 0; i < lines_; ++i) {
+      ns_scope_[i] =
+          paren == 0 &&
+          std::all_of(stack.begin(), stack.end(), [](bool b) { return b; });
+      for (const char c : sc_.code[i]) {
+        if (c == '(') ++paren;
+        if (c == ')' && paren > 0) --paren;
+        if (c == '{') {
+          const std::string t = trim(recent);
+          stack.push_back(std::regex_search(t, ns_tail) ||
+                          std::regex_search(t, extern_tail));
+          recent.clear();
+        } else if (c == '}') {
+          if (!stack.empty()) stack.pop_back();
+          recent.clear();
+        } else if (c == ';') {
+          recent.clear();
+        } else {
+          recent += c;
+        }
+      }
+      recent += ' ';  // line break separates tokens
+    }
+  }
+
   void check_token(const TokenRule& rule, const std::string& code,
                    std::size_t ln) {
     std::smatch m;
@@ -472,6 +484,121 @@ class FileLinter {
           std::regex_search(code, std::regex(begin_call))) {
         report("determinism.unordered_iteration", ln,
                "'" + id + "': " + kMsg);
+        return;
+      }
+    }
+  }
+
+  /// std::map/std::set keyed by a pointer: iteration order is address
+  /// order, which ASLR reshuffles every run.
+  void check_pointer_keyed(const std::string& code, std::size_t ln) {
+    static const std::regex open_re(
+        R"(\b(?:std\s*::\s*)?(?:multi)?(?:map|set)\s*<)");
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), open_re);
+         it != std::sregex_iterator(); ++it) {
+      std::size_t p = static_cast<std::size_t>(it->position() + it->length());
+      int depth = 1;
+      std::string first_arg;
+      while (p < code.size() && depth > 0) {
+        const char c = code[p];
+        if (c == '<') ++depth;
+        if (c == '>') --depth;
+        if (depth == 1 && c == ',') break;
+        if (depth > 0 || c != '>') first_arg += c;
+        ++p;
+      }
+      const std::string arg = trim(first_arg);
+      if (!arg.empty() && arg.back() == '*') {
+        report("concurrency.pointer_keyed", ln,
+               "'" + arg + "'-keyed container iterates in address order, "
+               "which varies run to run (ASLR); key by a stable id instead");
+        return;
+      }
+    }
+  }
+
+  /// Mutable static or namespace-scope state in shard scope: shared across
+  /// ShardedEngine workers unless guarded or explicitly annotated.
+  void check_shared_state(const std::string& code, std::size_t i,
+                          std::size_t ln) {
+    static const std::regex static_re(R"(\bstatic\b)");
+    static const std::regex declarator(
+        R"(^\s*(?:inline\s+)?[A-Za-z_][\w:<>,\*&\s\[\]]*[\s\*&][A-Za-z_]\w*\s*(?:\[[^\]]*\])?\s*$)");
+    static const char* kGuards[] = {"atomic", "mutex", "condition_variable",
+                                    "once_flag"};
+    static const char* kExempt[] = {"const",  "constexpr", "thread_local",
+                                    "struct", "class",     "using",
+                                    "typedef"};
+
+    std::smatch m;
+    if (std::regex_search(code, m, static_re)) {
+      const std::size_t after =
+          static_cast<std::size_t>(m.position() + m.length());
+      const std::size_t term = code.find_first_of(";={", after);
+      if (term != std::string::npos) {
+        const std::string head = code.substr(after, term - after);
+        bool skip = head.find('(') != std::string::npos ||
+                    head.find(')') != std::string::npos;
+        for (const char* w : kExempt) {
+          if (!skip && (contains_word(head, w) || contains_word(code, w))) {
+            skip = true;
+          }
+        }
+        for (const char* w : kGuards) {
+          if (!skip && head.find(w) != std::string::npos) skip = true;
+        }
+        if (!skip && std::regex_match(head, declarator)) {
+          report("concurrency.shared_mutable_state", ln,
+                 "mutable static state is shared across ShardedEngine "
+                 "workers; guard it (std::atomic, std::mutex) or annotate "
+                 "why sharing is safe");
+          return;
+        }
+      }
+    }
+
+    // Namespace-scope mutable variables (no static keyword needed).
+    if (ns_scope_.size() > i && ns_scope_[i]) {
+      const std::size_t term = code.find_first_of(";={");
+      if (term == std::string::npos) return;
+      const std::string head = code.substr(0, term);
+      if (head.find('(') != std::string::npos ||
+          head.find(')') != std::string::npos) {
+        return;
+      }
+      if (blank(head) || head.find('#') != std::string::npos) return;
+      static const char* kNsExempt[] = {
+          "const",    "constexpr", "thread_local", "using",   "typedef",
+          "namespace", "template", "class",        "struct",  "enum",
+          "union",    "friend",    "extern",       "operator", "return",
+          "static"};
+      for (const char* w : kNsExempt) {
+        if (contains_word(head, w)) return;
+      }
+      for (const char* w : kGuards) {
+        if (head.find(w) != std::string::npos) return;
+      }
+      if (std::regex_match(head, declarator)) {
+        report("concurrency.shared_mutable_state", ln,
+               "mutable namespace-scope state is shared across ShardedEngine "
+               "workers; guard it (std::atomic, std::mutex) or annotate why "
+               "sharing is safe");
+      }
+    }
+  }
+
+  /// Inside a merge region (outbox merge / barrier paths): floating-point
+  /// accumulation depends on summation order, which the merge exists to
+  /// keep deterministic — accumulate in integers or sort first.
+  void check_float_accum(const std::string& code, std::size_t ln) {
+    static const std::regex accum(R"(([A-Za-z_]\w*)\s*[+\-]\s*=[^=])");
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), accum);
+         it != std::sregex_iterator(); ++it) {
+      const std::string id = it->str(1);
+      if (float_ids_.count(id)) {
+        report("determinism.float_accum", ln,
+               "'" + id + "': floating-point accumulation in a merge-order-"
+               "sensitive region; the result depends on summation order");
         return;
       }
     }
@@ -541,8 +668,8 @@ class FileLinter {
     f.message = std::move(message);
     const auto it = allows_.find(ln);
     if (it != allows_.end()) {
-      const auto jt = it->second.rules.find(rule);
-      if (jt != it->second.rules.end()) {
+      const auto jt = it->second.find(rule);
+      if (jt != it->second.end()) {
         f.suppressed = true;
         f.justification = jt->second;
       }
@@ -553,12 +680,15 @@ class FileLinter {
   const std::string rel_;
   const std::string repo_root_;
   std::vector<Finding>& out_;
-  const Scanned sc_;
+  const Scanned& sc_;
   const std::size_t lines_;
   bool is_header_ = false;
   bool unordered_scope_ = false;
-  std::map<std::size_t, AllowEntry> allows_;
+  bool shard_scope_ = false;
+  AllowMap allows_;
   std::set<std::string> unordered_ids_;
+  std::set<std::string> float_ids_;
+  std::vector<bool> ns_scope_;
 };
 
 // ---------------------------------------------------------------------------
@@ -598,6 +728,23 @@ std::string quoted(const std::string& s) {
   return out;
 }
 
+std::uint64_t fnv1a64(const std::string& s, std::uint64_t h) {
+  for (const char c : s) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+}
+
 }  // namespace
 
 const std::vector<std::string>& rule_ids() {
@@ -608,7 +755,28 @@ const std::vector<std::string>& rule_ids() {
 
 void lint_source(const std::string& rel_path, const std::string& text,
                  const std::string& repo_root, std::vector<Finding>& out) {
-  FileLinter(rel_path, text, repo_root, out).run();
+  const Scanned sc = scan(text);
+  FileLinter(rel_path, sc, repo_root, out).run();
+}
+
+void assign_fingerprints(Report& report) {
+  // Line numbers are deliberately excluded so an unrelated edit above a
+  // finding does not invalidate its baseline entry; identical (rule, file,
+  // message) triples get an ordinal so each occurrence stays addressable.
+  std::map<std::uint64_t, std::size_t> ordinals;
+  for (Finding& f : report.findings) {
+    std::uint64_t h = fnv1a64(f.rule, 0xcbf29ce484222325ULL);
+    h = fnv1a64("|", h);
+    h = fnv1a64(f.file, h);
+    h = fnv1a64("|", h);
+    h = fnv1a64(f.message, h);
+    const std::size_t ordinal = ordinals[h]++;
+    h = fnv1a64("#" + std::to_string(ordinal), h);
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(h));
+    f.fingerprint = buf;
+  }
 }
 
 Report lint_tree(const Options& opts) {
@@ -634,38 +802,88 @@ Report lint_tree(const Options& opts) {
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
+  // Pass 0+1: read and scan every file once, then build the tree index.
+  std::vector<std::string> texts;
+  std::vector<Scanned> scans;
+  std::vector<std::string> kept;
+  texts.reserve(files.size());
   for (const std::string& rel : files) {
     std::ifstream in(root / rel, std::ios::binary);
     if (!in) continue;
     std::stringstream buf;
     buf << in.rdbuf();
-    lint_source(rel, buf.str(), root.string(), report.findings);
+    texts.push_back(buf.str());
+    scans.push_back(scan(texts.back()));
+    kept.push_back(rel);
+  }
+  std::vector<SourceFile> sources;
+  sources.reserve(kept.size());
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    sources.push_back(SourceFile{kept[i], &scans[i]});
+  }
+  const Index index = build_index(root.string(), sources);
+
+  // Pass 2a: file-scoped rules.
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    FileLinter(kept[i], scans[i], root.string(), report.findings).run();
     ++report.files_scanned;
   }
 
-  std::sort(report.findings.begin(), report.findings.end(),
-            [](const Finding& a, const Finding& b) {
-              if (a.file != b.file) return a.file < b.file;
-              if (a.line != b.line) return a.line < b.line;
-              return a.rule < b.rule;
-            });
+  // Pass 2b: tree-wide layering rules; allow annotations on the offending
+  // include lines suppress them like any other finding.
+  std::vector<Finding> layering;
+  const std::size_t cycles = check_layering(index, layering);
+  for (Finding& f : layering) {
+    const auto it = std::find(kept.begin(), kept.end(), f.file);
+    if (it != kept.end()) {
+      const AllowMap allows =
+          collect_allows(scans[it - kept.begin()], nullptr, nullptr);
+      const auto at = allows.find(f.line);
+      if (at != allows.end()) {
+        const auto jt = at->second.find(f.rule);
+        if (jt != at->second.end()) {
+          f.suppressed = true;
+          f.justification = jt->second;
+        }
+      }
+    }
+    report.findings.push_back(std::move(f));
+  }
+
+  report.graph.files = index.files.size();
+  report.graph.edges = index.edge_count;
+  report.graph.cycles = cycles;
+  report.graph.module_deps = observed_module_deps(index);
+
+  sort_findings(report.findings);
+  assign_fingerprints(report);
   return report;
 }
 
 std::size_t violation_count(const Report& report) {
   std::size_t n = 0;
-  for (const auto& f : report.findings) n += f.suppressed ? 0 : 1;
+  for (const auto& f : report.findings) {
+    n += (!f.suppressed && !f.baselined) ? 1 : 0;
+  }
   return n;
 }
 
 std::size_t suppressed_count(const Report& report) {
-  return report.findings.size() - violation_count(report);
+  std::size_t n = 0;
+  for (const auto& f : report.findings) n += f.suppressed ? 1 : 0;
+  return n;
+}
+
+std::size_t baselined_count(const Report& report) {
+  std::size_t n = 0;
+  for (const auto& f : report.findings) n += f.baselined ? 1 : 0;
+  return n;
 }
 
 std::string report_json(const Report& report) {
   std::string out;
   out += "{\n";
-  out += "  \"schema\": \"ncast.lint.v1\",\n";
+  out += "  \"schema\": \"ncast.lint.v2\",\n";
   out += "  \"tool\": \"ncast_lint\",\n";
   out += "  \"roots\": [";
   for (std::size_t i = 0; i < report.roots.size(); ++i) {
@@ -675,6 +893,7 @@ std::string report_json(const Report& report) {
   out += "  \"counts\": {\"files\": " + std::to_string(report.files_scanned) +
          ", \"violations\": " + std::to_string(violation_count(report)) +
          ", \"suppressed\": " + std::to_string(suppressed_count(report)) +
+         ", \"baselined\": " + std::to_string(baselined_count(report)) +
          "},\n";
   out += "  \"rules\": [";
   const auto& ids = rule_ids();
@@ -683,32 +902,82 @@ std::string report_json(const Report& report) {
   }
   out += "],\n";
 
+  // Per-rule tallies, every known rule, stable order.
+  std::map<std::string, std::array<std::size_t, 3>> tallies;
+  for (const auto& f : report.findings) {
+    auto& t = tallies[f.rule];
+    if (f.suppressed) {
+      ++t[1];
+    } else if (f.baselined) {
+      ++t[2];
+    } else {
+      ++t[0];
+    }
+  }
+  out += "  \"rule_counts\": {\n";
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto& t = tallies[ids[i]];
+    out += "    " + quoted(ids[i]) + ": {\"violations\": " +
+           std::to_string(t[0]) + ", \"suppressed\": " + std::to_string(t[1]) +
+           ", \"baselined\": " + std::to_string(t[2]) + "}";
+    out += i + 1 == ids.size() ? "\n" : ",\n";
+  }
+  out += "  },\n";
+
+  out += "  \"include_graph\": {\"files\": " +
+         std::to_string(report.graph.files) +
+         ", \"edges\": " + std::to_string(report.graph.edges) +
+         ", \"cycles\": " + std::to_string(report.graph.cycles) +
+         ", \"modules\": {";
+  bool first = true;
+  for (const auto& [module, deps] : report.graph.module_deps) {
+    out += first ? "" : ", ";
+    out += quoted(module) + ": [";
+    for (std::size_t i = 0; i < deps.size(); ++i) {
+      out += (i ? ", " : "") + quoted(deps[i]);
+    }
+    out += "]";
+    first = false;
+  }
+  out += "}},\n";
+
   const auto emit = [&out](const Finding& f, bool last, bool suppressed) {
     out += "    {\"rule\": " + quoted(f.rule) + ", \"file\": " +
            quoted(f.file) + ", \"line\": " + std::to_string(f.line);
     if (suppressed) {
       out += ", \"justification\": " + quoted(f.justification);
     } else {
-      out += ", \"message\": " + quoted(f.message);
+      out += ", \"message\": " + quoted(f.message) +
+             ", \"fingerprint\": " + quoted(f.fingerprint);
     }
     out += last ? "}\n" : "},\n";
   };
 
-  for (const bool suppressed : {false, true}) {
+  struct Section {
+    const char* key;
+    bool suppressed;
+    bool baselined;
+    bool trailing_comma;
+  };
+  for (const Section sec : {Section{"violations", false, false, true},
+                            Section{"baselined", false, true, true},
+                            Section{"suppressed", true, false, false}}) {
     std::vector<const Finding*> sel;
     for (const auto& f : report.findings) {
-      if (f.suppressed == suppressed) sel.push_back(&f);
+      if (f.suppressed == sec.suppressed && f.baselined == sec.baselined) {
+        sel.push_back(&f);
+      }
     }
-    out += suppressed ? "  \"suppressed\": [" : "  \"violations\": [";
+    out += std::string("  \"") + sec.key + "\": [";
     if (sel.empty()) {
-      out += suppressed ? "]\n" : "],\n";
+      out += sec.trailing_comma ? "],\n" : "]\n";
       continue;
     }
     out += '\n';
     for (std::size_t i = 0; i < sel.size(); ++i) {
-      emit(*sel[i], i + 1 == sel.size(), suppressed);
+      emit(*sel[i], i + 1 == sel.size(), sec.suppressed);
     }
-    out += suppressed ? "  ]\n" : "  ],\n";
+    out += sec.trailing_comma ? "  ],\n" : "  ]\n";
   }
   out += "}\n";
   return out;

@@ -1,0 +1,141 @@
+#include "lint/lint_scan.hpp"
+
+#include <cctype>
+
+namespace ncast::lint {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+Scanned scan(const std::string& text) {
+  enum class Mode { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
+  Scanned out;
+  std::string code, code_strings, comment;
+  Mode mode = Mode::kCode;
+  std::string raw_end;     // ")delim\"" terminator of the active raw literal
+  char prev_sig = '\0';    // last non-space code char (digit-separator check)
+
+  auto flush_line = [&]() {
+    out.code.push_back(code);
+    out.code_strings.push_back(code_strings);
+    out.comment.push_back(comment);
+    code.clear();
+    code_strings.clear();
+    comment.clear();
+  };
+
+  const std::size_t n = text.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      if (mode == Mode::kLineComment || mode == Mode::kString ||
+          mode == Mode::kChar) {
+        mode = Mode::kCode;  // strings/chars cannot span lines; be tolerant
+      }
+      flush_line();
+      continue;
+    }
+    switch (mode) {
+      case Mode::kCode: {
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+          mode = Mode::kLineComment;
+          code += "  ";
+          code_strings += "  ";
+          ++i;
+        } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+          mode = Mode::kBlockComment;
+          code += "  ";
+          code_strings += "  ";
+          ++i;
+        } else if (c == '"') {
+          // Raw literal? Only the plain R"..( prefix is recognized; the rare
+          // u8R/LR spellings degrade to ordinary-string handling.
+          if (prev_sig == 'R' && !code.empty() && code.back() == 'R' &&
+              (code.size() < 2 || !is_ident_char(code[code.size() - 2]))) {
+            std::string delim;
+            std::size_t j = i + 1;
+            while (j < n && text[j] != '(' && text[j] != '\n') {
+              delim += text[j++];
+            }
+            if (j < n && text[j] == '(') {
+              mode = Mode::kRaw;
+              raw_end = ")" + delim + "\"";
+              code += std::string(j - i + 1, ' ');
+              code_strings.append(text, i, j - i + 1);
+              i = j;
+              break;
+            }
+          }
+          mode = Mode::kString;
+          code += ' ';
+          code_strings += '"';
+        } else if (c == '\'' && !is_ident_char(prev_sig)) {
+          mode = Mode::kChar;
+          code += ' ';
+          code_strings += ' ';
+        } else {
+          code += c;
+          code_strings += c;
+          if (c != ' ' && c != '\t') prev_sig = c;
+        }
+        break;
+      }
+      case Mode::kLineComment:
+        comment += c;
+        code += ' ';
+        code_strings += ' ';
+        break;
+      case Mode::kBlockComment:
+        if (c == '*' && i + 1 < n && text[i + 1] == '/') {
+          mode = Mode::kCode;
+          code += "  ";
+          code_strings += "  ";
+          ++i;
+        } else {
+          comment += c;
+          code += ' ';
+          code_strings += ' ';
+        }
+        break;
+      case Mode::kString:
+        code += ' ';
+        if (c == '\\' && i + 1 < n && text[i + 1] != '\n') {
+          code_strings += c;
+          code_strings += text[i + 1];
+          code += ' ';
+          ++i;
+        } else {
+          code_strings += c;
+          if (c == '"') mode = Mode::kCode;
+        }
+        break;
+      case Mode::kChar:
+        code += ' ';
+        code_strings += ' ';
+        if (c == '\\' && i + 1 < n && text[i + 1] != '\n') {
+          code += ' ';
+          code_strings += ' ';
+          ++i;
+        } else if (c == '\'') {
+          mode = Mode::kCode;
+        }
+        break;
+      case Mode::kRaw:
+        if (text.compare(i, raw_end.size(), raw_end) == 0) {
+          code += std::string(raw_end.size(), ' ');
+          code_strings += raw_end;
+          i += raw_end.size() - 1;
+          mode = Mode::kCode;
+        } else {
+          code += ' ';
+          code_strings += c;
+        }
+        break;
+    }
+  }
+  flush_line();  // final (possibly unterminated) line
+  return out;
+}
+
+}  // namespace ncast::lint

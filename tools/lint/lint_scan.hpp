@@ -1,0 +1,28 @@
+#pragma once
+// Pass-0 scanner shared by the lint index (pass 1) and the rule runner
+// (pass 2): splits a translation unit into per-line views with comments and
+// literals separated, so token rules never fire inside either and the
+// include/annotation extractors see exactly the text they care about.
+
+#include <string>
+#include <vector>
+
+namespace ncast::lint {
+
+struct Scanned {
+  /// Code with comments AND string/char literal bodies blanked to spaces.
+  std::vector<std::string> code;
+  /// Code with comments blanked but string literals kept verbatim (the obs
+  /// rule, include extraction, and include resolution need the literal text).
+  std::vector<std::string> code_strings;
+  /// Concatenated comment text per line (annotations live here).
+  std::vector<std::string> comment;
+};
+
+bool is_ident_char(char c);
+
+/// Tokenizes `text` into the three per-line views. Tolerant of unterminated
+/// strings/comments (clamps at end of line / end of file).
+Scanned scan(const std::string& text);
+
+}  // namespace ncast::lint

@@ -1,26 +1,38 @@
-// ncast_lint — project-specific static analysis for determinism, hot-path
+// ncast_lint — project-specific two-pass semantic analysis: layering (include
+// graph vs the declared DAG), shard-concurrency, determinism, hot-path
 // hygiene, header hygiene, and observability naming (docs/static_analysis.md).
 //
-//   ncast_lint [--repo DIR] [--json FILE] [--quiet] [PATH...]
+//   ncast_lint [--repo DIR] [--json FILE] [--baseline FILE]
+//              [--write-baseline FILE] [--quiet] [PATH...]
 //
 // PATHs are repo-relative files or directories (default: src bench tools).
 // Human-readable diagnostics go to stdout; --json also writes the
-// machine-readable ncast.lint.v1 report (validated by tools/bench_validate).
-// Exit codes: 0 = clean (suppressed findings are fine), 1 = unsuppressed
-// violations, 2 = usage or I/O error.
+// machine-readable ncast.lint.v2 report (validated by tools/bench_validate).
+// --baseline applies the committed suppressions file (findings it matches are
+// reported but don't fail the run); --write-baseline regenerates it from the
+// current findings (the ratchet refuses to grow budgets). Exit codes:
+// 0 = clean (suppressed/baselined findings are fine), 1 = new violations or
+// ratchet errors, 2 = usage, I/O, or internal error.
 
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "lint/lint_baseline.hpp"
 #include "lint/lint_engine.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   ncast::lint::Options opts;
   opts.repo_root = ".";
   std::string json_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -29,11 +41,16 @@ int main(int argc, char** argv) {
       opts.repo_root = argv[++i];
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--write-baseline" && i + 1 < argc) {
+      write_baseline_path = argv[++i];
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: ncast_lint [--repo DIR] [--json FILE] [--quiet] [PATH...]\n");
+          "usage: ncast_lint [--repo DIR] [--json FILE] [--baseline FILE]\n"
+          "                  [--write-baseline FILE] [--quiet] [PATH...]\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "ncast_lint: unknown option '%s'\n", arg.c_str());
@@ -44,17 +61,49 @@ int main(int argc, char** argv) {
   }
   if (opts.roots.empty()) opts.roots = {"src", "bench", "tools"};
 
-  const ncast::lint::Report report = ncast::lint::lint_tree(opts);
+  ncast::lint::Report report = ncast::lint::lint_tree(opts);
   if (report.files_scanned == 0) {
-    std::fprintf(stderr, "ncast_lint: no lintable files under the given roots\n");
+    std::fprintf(stderr,
+                 "ncast_lint: no lintable files under the given roots\n");
     return 2;
+  }
+
+  ncast::lint::Baseline baseline;
+  bool have_baseline = false;
+  std::vector<std::string> ratchet_errors;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "ncast_lint: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    baseline = ncast::lint::parse_baseline(buf.str());
+    have_baseline = true;
+    ratchet_errors = ncast::lint::apply_baseline(report, baseline);
+  }
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "ncast_lint: cannot write %s\n",
+                   write_baseline_path.c_str());
+      return 2;
+    }
+    out << ncast::lint::write_baseline_json(
+        report, have_baseline ? &baseline : nullptr);
   }
 
   if (!quiet) {
     for (const auto& f : report.findings) {
-      if (f.suppressed) continue;
+      if (f.suppressed || f.baselined) continue;
       std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
                   f.message.c_str());
+    }
+    for (const std::string& e : ratchet_errors) {
+      std::printf("ratchet: %s\n", e.c_str());
     }
   }
 
@@ -68,8 +117,23 @@ int main(int argc, char** argv) {
   }
 
   const std::size_t violations = ncast::lint::violation_count(report);
-  std::printf("ncast_lint: %zu files, %zu violations, %zu suppressed\n",
-              report.files_scanned, violations,
-              ncast::lint::suppressed_count(report));
-  return violations == 0 ? 0 : 1;
+  std::printf(
+      "ncast_lint: %zu files, %zu violations, %zu suppressed, %zu baselined "
+      "(include graph: %zu edges, %zu cycles)\n",
+      report.files_scanned, violations,
+      ncast::lint::suppressed_count(report),
+      ncast::lint::baselined_count(report), report.graph.edges,
+      report.graph.cycles);
+  return (violations == 0 && ratchet_errors.empty()) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ncast_lint: internal error: %s\n", e.what());
+    return 2;
+  }
 }
