@@ -11,6 +11,7 @@
 // actually earn their keep.
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 #include "bench_common.hpp"
@@ -23,6 +24,13 @@ using namespace ncast;
 using namespace ncast::node;
 
 namespace {
+
+// The tracker regime runs on the sharded kernel by default (the production
+// runner); pass --sequential for the single-queue run_scenario. The gossip
+// regime drives its own EventEngine directly and is unaffected by the flag.
+bool g_sequential = false;
+constexpr std::uint32_t kShards = 4;
+constexpr std::uint32_t kWorkers = 2;
 
 std::vector<std::uint8_t> content(std::uint64_t seed) {
   Rng rng(seed);
@@ -56,7 +64,8 @@ Row run_centralized(std::size_t n, std::uint64_t seed, const TransportSpec& link
   spec.faults.crash_at(6.0, 2);
   spec.faults.crash_at(6.0, 6);
 
-  const auto report = run_scenario(spec);
+  const auto report = g_sequential ? run_scenario(spec)
+                                   : run_scenario_sharded(spec, kShards, kWorkers);
 
   Row row;
   for (const auto& o : report.outcomes) {
@@ -160,12 +169,16 @@ void sweep(Table& table, const char* fabric, const TransportSpec& link,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sequential") == 0) g_sequential = true;
+  }
   bench::MetricsSession session("trackerless");
   session.param("k", 12);
   session.param("d", 3);
   session.param("n", "20,40");
   session.param("seed", std::uint64_t{0xE200});
+  session.param("runner", g_sequential ? "sequential" : "sharded");
 
   bench::banner(
       "E20: centralized tracker vs trackerless gossip membership (Section 7)",

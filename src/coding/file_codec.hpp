@@ -1,8 +1,15 @@
 #pragma once
 // Whole-file RLNC codec over GF(2^8): glues generation segmentation, the
 // source encoder, and per-generation decoders into the object a server or a
-// downloading client actually holds. Used by the examples and the
-// file-distribution simulator.
+// downloading client actually holds. Used by the examples, the
+// file-distribution simulator, and the protocol endpoints.
+//
+// Both halves are structure-aware (coding/structure.hpp): the encoder builds
+// one SourceEncoder per generation under a StructureSpec (dense by default,
+// so every pre-structure call site keeps its exact behavior — including the
+// RNG draw sequence), and emit/emit_round_robin preserve the band/class
+// geometry because SourceEncoder's placement draws do. The decoder side runs
+// a StructuredDecoder per generation behind a DecoderPolicy.
 
 #include <cstdint>
 #include <memory>
@@ -10,10 +17,10 @@
 #include <stdexcept>
 #include <vector>
 
-#include "coding/decoder.hpp"
 #include "coding/encoder.hpp"
 #include "coding/generation.hpp"
 #include "coding/structure.hpp"
+#include "coding/structured_decoder.hpp"
 #include "gf/gf256.hpp"
 #include "util/rng.hpp"
 
@@ -26,26 +33,28 @@ class FileEncoder {
   using Packet = CodedPacket<gf::Gf256>;
 
   FileEncoder(std::vector<std::uint8_t> data, std::size_t generation_size,
-              std::size_t symbols)
+              std::size_t symbols, StructureSpec structure = {})
       : data_(std::move(data)),
-        plan_(plan_generations(data_.size(), generation_size, symbols)) {
+        plan_(plan_generations(data_.size(), generation_size, symbols)),
+        structure_(structure.resolve(plan_.generation_size)) {
     encoders_.reserve(plan_.generations);
-    const auto structure = GenerationStructure::dense(plan_.generation_size);
     std::vector<std::uint8_t> flat;
     for (std::size_t g = 0; g < plan_.generations; ++g) {
       // One flat buffer per generation, handed straight to the encoder — no
       // g-vectors-per-generation allocation storm.
       generation_packets_into(data_, plan_, g, flat);
-      encoders_.emplace_back(static_cast<std::uint32_t>(g), structure,
+      encoders_.emplace_back(static_cast<std::uint32_t>(g), structure_,
                              std::move(flat), plan_.symbols);
       flat.clear();
     }
   }
 
   const GenerationPlan& plan() const { return plan_; }
+  const GenerationStructure& structure() const { return structure_; }
   std::size_t generations() const { return plan_.generations; }
 
-  /// Random coded packet from generation `gen`.
+  /// Random coded packet from generation `gen`: a band at a random offset,
+  /// a random class, or a full dense row, per the structure.
   Packet emit(std::size_t gen, Rng& rng) const {
     return encoders_.at(gen).emit(rng);
   }
@@ -60,22 +69,30 @@ class FileEncoder {
  private:
   std::vector<std::uint8_t> data_;
   GenerationPlan plan_;
+  GenerationStructure structure_;
   std::vector<SourceEncoder<gf::Gf256>> encoders_;
   std::size_t next_ = 0;
 };
 
-/// Client-side file decoder: per-generation decoders plus reassembly.
+/// Client-side file decoder: per-generation structured decoders plus
+/// reassembly. The default (dense spec, auto policy) is the original dense
+/// decoder in all but type; encoder-direct consumers of banded streams can
+/// pass the matching spec and get the band-elimination speedup.
 class FileDecoder {
  public:
   using Packet = CodedPacket<gf::Gf256>;
 
-  explicit FileDecoder(const GenerationPlan& plan) : plan_(plan) {
+  explicit FileDecoder(const GenerationPlan& plan, StructureSpec structure = {},
+                       DecoderPolicy policy = DecoderPolicy::kAuto)
+      : plan_(plan), structure_(structure.resolve(plan.generation_size)) {
     decoders_.reserve(plan_.generations);
     for (std::size_t g = 0; g < plan_.generations; ++g) {
-      decoders_.emplace_back(static_cast<std::uint32_t>(g), plan_.generation_size,
-                             plan_.symbols);
+      decoders_.emplace_back(static_cast<std::uint32_t>(g), structure_,
+                             plan_.symbols, policy);
     }
   }
+
+  const GenerationStructure& structure() const { return structure_; }
 
   /// Consumes a packet; returns true iff innovative.
   bool absorb(const Packet& p) {
@@ -101,7 +118,7 @@ class FileDecoder {
     return plan_.generations * plan_.generation_size;
   }
 
-  const Decoder<gf::Gf256>& decoder(std::size_t gen) const {
+  const StructuredDecoder<gf::Gf256>& decoder(std::size_t gen) const {
     return decoders_.at(gen);
   }
 
@@ -116,7 +133,8 @@ class FileDecoder {
 
  private:
   GenerationPlan plan_;
-  std::vector<Decoder<gf::Gf256>> decoders_;
+  GenerationStructure structure_;
+  std::vector<StructuredDecoder<gf::Gf256>> decoders_;
 };
 
 }  // namespace ncast::coding

@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <stdexcept>
 
 namespace ncast::coding {
@@ -172,11 +173,108 @@ struct GenerationStructure {
     return false;
   }
 
+  /// Stream admission: what a *receive path on the overlay* must accept.
+  /// Everything matches_packet() admits, plus full-width dense rows on
+  /// banded streams — recoding densifies banded codes (mixing two bands
+  /// with different offsets widens the support), so a banded stream carries
+  /// mixed traffic: compact band strips on encoder-direct hops and dense
+  /// rows from every relay. Overlapped recoding is structure-preserving
+  /// (class-local), so no such exception exists there.
+  bool admits_packet(std::size_t offset, std::size_t width,
+                     std::size_t class_id) const {
+    if (matches_packet(offset, width, class_id)) return true;
+    return kind == StructureKind::kBanded && offset == 0 && width == g &&
+           class_id == 0;
+  }
+
   bool operator==(const GenerationStructure& o) const {
     return kind == o.kind && g == o.g && band_width == o.band_width &&
            wrap == o.wrap && overlap == o.overlap;
   }
   bool operator!=(const GenerationStructure& o) const { return !(*this == o); }
+};
+
+/// Builds a structure from untrusted wire-level fields without throwing:
+/// nullopt wherever validate() would throw. This is the message-path twin of
+/// the factories — join accepts and slot grants arrive from the network, and
+/// a malformed structure descriptor is data, not a configuration error.
+inline std::optional<GenerationStructure> make_structure(
+    std::uint8_t kind_byte, std::size_t g, std::size_t band_width, bool wrap,
+    std::size_t overlap) {
+  if (kind_byte > static_cast<std::uint8_t>(StructureKind::kOverlapped)) {
+    return std::nullopt;
+  }
+  GenerationStructure s;
+  s.kind = static_cast<StructureKind>(kind_byte);
+  s.g = g;
+  s.band_width = band_width == 0 ? g : band_width;
+  s.wrap = wrap && s.band_width < g;
+  s.overlap = overlap;
+  if (s.g == 0 || s.band_width == 0 || s.band_width > s.g) return std::nullopt;
+  if (s.kind == StructureKind::kDense && s.band_width != s.g) {
+    return std::nullopt;
+  }
+  if (s.kind == StructureKind::kOverlapped && s.overlap >= s.band_width) {
+    return std::nullopt;
+  }
+  if (s.kind != StructureKind::kOverlapped && s.overlap != 0) {
+    return std::nullopt;
+  }
+  if (s.kind != StructureKind::kBanded && s.wrap) return std::nullopt;
+  return s;
+}
+
+/// Configuration-level structure descriptor: the shape of a stream's coding
+/// structure *before* the generation size is known. Configs and scenario
+/// specs carry a StructureSpec; resolve(g) turns it into the concrete
+/// GenerationStructure once the plan fixes g. band_width == 0 means "the
+/// full generation" (dense in all but name), so the default-constructed
+/// spec is plain dense RLNC and every pre-structure call site keeps its
+/// behavior without naming a structure at all.
+struct StructureSpec {
+  StructureKind kind = StructureKind::kDense;
+  std::size_t band_width = 0;  ///< band/class width; 0 = full generation
+  bool wrap = false;           ///< banded: bands may wrap past g
+  std::size_t overlap = 0;     ///< overlapped: shared boundary packets
+
+  static StructureSpec dense() { return {}; }
+  static StructureSpec banded(std::size_t width, bool wrap = false) {
+    StructureSpec s;
+    s.kind = StructureKind::kBanded;
+    s.band_width = width;
+    s.wrap = wrap;
+    return s;
+  }
+  static StructureSpec overlapping(std::size_t class_size,
+                                   std::size_t overlap) {
+    StructureSpec s;
+    s.kind = StructureKind::kOverlapped;
+    s.band_width = class_size;
+    s.overlap = overlap;
+    return s;
+  }
+
+  /// Concrete geometry for a generation of `g` packets. Throws on geometric
+  /// nonsense — this is the configuration path; message paths go through
+  /// make_structure() instead.
+  GenerationStructure resolve(std::size_t g) const {
+    const std::size_t width = band_width == 0 ? g : band_width;
+    switch (kind) {
+      case StructureKind::kDense:
+        return GenerationStructure::dense(g);
+      case StructureKind::kBanded:
+        return GenerationStructure::banded(g, width, wrap);
+      case StructureKind::kOverlapped:
+        return GenerationStructure::overlapping(g, width, overlap);
+    }
+    throw std::invalid_argument("StructureSpec: unknown kind");
+  }
+
+  bool operator==(const StructureSpec& o) const {
+    return kind == o.kind && band_width == o.band_width && wrap == o.wrap &&
+           overlap == o.overlap;
+  }
+  bool operator!=(const StructureSpec& o) const { return !(*this == o); }
 };
 
 }  // namespace ncast::coding

@@ -67,6 +67,18 @@ inline DecoderPolicy select_policy(const GenerationStructure& s) {
   return DecoderPolicy::kDense;
 }
 
+/// The cheapest policy that is sound for a *stream* of `s`-structured
+/// traffic crossing recoding relays. Differs from select_policy() in one
+/// case: banded streams map to the dense policy, because recoding densifies
+/// banded codes (structured_recoder.hpp) — an overlay receive buffer sees
+/// mixed band strips and full-width relay rows, and the BandDecoder cannot
+/// absorb the latter. Encoder-direct consumers (no relays in the path)
+/// should keep select_policy(), which is where the banded speedup lives.
+inline DecoderPolicy select_stream_policy(const GenerationStructure& s) {
+  return s.kind == StructureKind::kBanded ? DecoderPolicy::kDense
+                                          : select_policy(s);
+}
+
 /// Dense-policy decoder for any structure: compact coefficient strips are
 /// scattered into a preallocated g-wide row (cyclically, so wrap-around
 /// bands work) and absorbed by the original dense Decoder.
@@ -97,12 +109,15 @@ class ScatterDecoder {
   // ncast:hot-begin — scatter + dense absorb: no allocation, no throw.
 
   /// Consumes a packet; returns true iff it was innovative. Malformed
-  /// placements and stray generations are rejected as data.
+  /// placements and stray generations are rejected as data. Admission uses
+  /// the stream rule (admits_packet), not the strict encoder shape: on a
+  /// banded stream this decoder is exactly where relay-densified full-width
+  /// rows end up, and plain Gaussian elimination absorbs them soundly.
   bool absorb(const Packet& p) {
     if (p.generation != inner_.generation() ||
         p.payload.size() != inner_.symbols() ||
-        !structure_.matches_packet(p.band_offset, p.coeffs.size(),
-                                   p.class_id)) {
+        !structure_.admits_packet(p.band_offset, p.coeffs.size(),
+                                  p.class_id)) {
       ++rejected_;
       reg().received.inc();
       reg().redundant.inc();

@@ -195,6 +195,41 @@ std::optional<CodedPacket<Field>> deserialize(
   return p;
 }
 
+template <typename Field>
+std::vector<std::uint8_t> serialize_stream(
+    const CodedPacket<Field>& p, const GenerationStructure& structure) {
+  const bool dense_shaped = p.band_offset == 0 && p.class_id == 0 &&
+                            p.coeffs.size() == structure.g;
+  if (dense_shaped) return serialize(p);
+  return serialize_structured(p, structure);
+}
+
+template <typename Field>
+std::optional<CodedPacket<Field>> deserialize_stream(
+    const std::vector<std::uint8_t>& bytes,
+    const GenerationStructure& structure) {
+  auto p = deserialize<Field>(bytes);
+  if (!p) return std::nullopt;
+  const std::size_t g = get16(bytes.data() + 8);
+  if (g != structure.g) return std::nullopt;
+  if (bytes[2] == kWireVersionStructured) {
+    // Structured frames carry their kind; a strip claiming a different
+    // structure than the stream's is a stray, even if the placement happens
+    // to be geometrically admissible.
+    if (static_cast<StructureKind>(bytes[12]) != structure.kind) {
+      return std::nullopt;
+    }
+    if (!structure.matches_packet(p->band_offset, p->coeffs.size(),
+                                  p->class_id)) {
+      return std::nullopt;
+    }
+  } else if (!structure.admits_packet(p->band_offset, p->coeffs.size(),
+                                      p->class_id)) {
+    return std::nullopt;
+  }
+  return p;
+}
+
 // Explicit instantiations for the supported fields.
 template std::vector<std::uint8_t> serialize<gf::Gf256>(
     const CodedPacket<gf::Gf256>&);
@@ -211,6 +246,14 @@ template std::optional<CodedPacket<gf::Gf2_16>> deserialize<gf::Gf2_16>(
 template std::optional<CodedPacket<gf::Gf256>> deserialize<gf::Gf256>(
     const std::vector<std::uint8_t>&, const GenerationStructure&);
 template std::optional<CodedPacket<gf::Gf2_16>> deserialize<gf::Gf2_16>(
+    const std::vector<std::uint8_t>&, const GenerationStructure&);
+template std::vector<std::uint8_t> serialize_stream<gf::Gf256>(
+    const CodedPacket<gf::Gf256>&, const GenerationStructure&);
+template std::vector<std::uint8_t> serialize_stream<gf::Gf2_16>(
+    const CodedPacket<gf::Gf2_16>&, const GenerationStructure&);
+template std::optional<CodedPacket<gf::Gf256>> deserialize_stream<gf::Gf256>(
+    const std::vector<std::uint8_t>&, const GenerationStructure&);
+template std::optional<CodedPacket<gf::Gf2_16>> deserialize_stream<gf::Gf2_16>(
     const std::vector<std::uint8_t>&, const GenerationStructure&);
 
 }  // namespace ncast::coding

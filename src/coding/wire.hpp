@@ -106,4 +106,26 @@ std::optional<CodedPacket<Field>> deserialize(
     const std::vector<std::uint8_t>& bytes,
     const GenerationStructure& structure);
 
+/// Serializes a packet for a stream governed by `structure`, choosing the
+/// wire version by the packet's *shape*: dense-shaped packets (full-width
+/// row at offset 0 — every dense-structure emission, and every densified
+/// relay emission on a banded stream) take the version-1 layout
+/// byte-for-byte, so dense streams stay wire-identical to pre-structure
+/// code; everything else (band strips, class packets) rides version 2.
+template <typename Field>
+std::vector<std::uint8_t> serialize_stream(const CodedPacket<Field>& p,
+                                           const GenerationStructure& structure);
+
+/// The receive half of serialize_stream: decodes either version and
+/// validates against the *stream admission* rule rather than the strict
+/// encoder shape. Version-2 packets must match `structure` exactly (wrong
+/// kind, band width, or class placement dies here); version-1 dense rows are
+/// admitted on dense streams and — because recoding densifies banded codes —
+/// on banded streams, but never on overlapped streams, whose recoding is
+/// class-preserving. See GenerationStructure::admits_packet().
+template <typename Field>
+std::optional<CodedPacket<Field>> deserialize_stream(
+    const std::vector<std::uint8_t>& bytes,
+    const GenerationStructure& structure);
+
 }  // namespace ncast::coding

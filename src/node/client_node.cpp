@@ -204,8 +204,24 @@ void ClientNode::silence_fired(overlay::ColumnId column) {
 }
 
 void ClientNode::handle_accept(const Message& m) {
-  if (joined_) return;  // duplicate accept
-  if (!stream_.initialize(m.data_size, m.gen_count, m.gen_size, m.symbols)) {
+  if (joined_) {
+    // Not necessarily a duplicate: the server re-admits an orphaned member
+    // (evicted by a false-positive repair) by answering its complaint with
+    // a fresh accept. Adopt the new columns and keep the decode progress; a
+    // true duplicate accept (same columns) is a no-op through this path.
+    // Timers armed for columns no longer ours self-cancel in silence_fired.
+    columns_ = m.columns;
+    for (overlay::ColumnId c : columns_) note_liveness(c);
+    return;
+  }
+  // The structure descriptor is untrusted wire data: rebuild the geometry
+  // defensively and treat nonsense like any other malformed accept.
+  const auto structure =
+      coding::make_structure(m.structure_kind, m.gen_size, m.band_width,
+                             m.structure_wrap != 0, m.class_overlap);
+  if (!structure) return;
+  if (!stream_.initialize(m.data_size, m.gen_count, m.gen_size, m.symbols,
+                          *structure, config_.decode_policy)) {
     return;
   }
   joined_ = true;

@@ -19,7 +19,7 @@ GossipPeer::GossipPeer(Address address, GossipPeerConfig config,
       config_(config),
       rng_(config.seed ^ (static_cast<std::uint64_t>(address) << 18)),
       content_(std::move(content)) {
-  encoder_.emplace(content_, generation_size, symbols);
+  encoder_.emplace(content_, generation_size, symbols, config_.structure);
   if (config_.null_keys > 0) {
     key_bundles_.reserve(encoder_->generations());
     for (std::size_t g = 0; g < encoder_->generations(); ++g) {
@@ -115,6 +115,14 @@ void GossipPeer::handle_slot_request(const Message& m) {
     grant.gen_count = static_cast<std::uint32_t>(plan.generations);
     grant.gen_size = static_cast<std::uint16_t>(plan.generation_size);
     grant.symbols = static_cast<std::uint16_t>(plan.symbols);
+    // Forward the stream's structure descriptor: a trackerless overlay has
+    // no server to announce it, so it propagates grant to grant.
+    const coding::GenerationStructure& s =
+        is_source() ? encoder_->structure() : stream_.structure();
+    grant.structure_kind = static_cast<std::uint8_t>(s.kind);
+    grant.band_width = static_cast<std::uint16_t>(s.band_width);
+    grant.structure_wrap = s.wrap ? 1 : 0;
+    grant.class_overlap = static_cast<std::uint16_t>(s.overlap);
     grant.key_bundles = key_bundles_;
     net_->send(std::move(grant));
   } else {
@@ -143,8 +151,13 @@ void GossipPeer::handle_slot_grant(const Message& m) {
     return;
   }
   if (!stream_.initialized()) {
-    if (!stream_.initialize(m.data_size, m.gen_count, m.gen_size, m.symbols)) {
-      return;  // nonsense plan: ignore the grant entirely
+    const auto structure =
+        coding::make_structure(m.structure_kind, m.gen_size, m.band_width,
+                               m.structure_wrap != 0, m.class_overlap);
+    if (!structure ||
+        !stream_.initialize(m.data_size, m.gen_count, m.gen_size, m.symbols,
+                            *structure)) {
+      return;  // nonsense plan or structure: ignore the grant entirely
     }
     stream_.install_keys(m.key_bundles);
     if (stream_.verification_enabled()) key_bundles_ = m.key_bundles;
@@ -220,7 +233,8 @@ void GossipPeer::serve_children() {
     if (is_source()) {
       const auto gen = rng_.below(encoder_->generations());
       out.type = MessageType::kData;
-      out.wire = coding::serialize(encoder_->emit(gen, rng_));
+      out.wire = coding::serialize_stream(encoder_->emit(gen, rng_),
+                                          encoder_->structure());
     } else if (auto wire = stream_.emit_wire(rng_)) {
       out.type = MessageType::kData;
       out.wire = std::move(*wire);

@@ -48,6 +48,9 @@ struct GossipPeerConfig {
   std::size_t sample_size = 6;        ///< addresses per gossip reply
   std::uint64_t sample_period = 8;    ///< time between proactive samples
   std::size_t null_keys = 0;          ///< source only: keys per generation
+  /// Source only: the stream's coding structure; non-sources learn it from
+  /// the slot grant that initializes them and forward it in their own grants.
+  coding::StructureSpec structure;
   std::uint64_t seed = 1;
 };
 

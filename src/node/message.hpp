@@ -57,6 +57,15 @@ struct Message {
   std::uint32_t gen_count = 0;
   std::uint16_t gen_size = 0;
   std::uint16_t symbols = 0;
+  // Stream coding-structure descriptor (how each generation is mixed —
+  // coding::StructureSpec on the wire). The zero values describe plain dense
+  // RLNC (band_width 0 = full generation), so pre-structure senders and
+  // receivers interoperate unchanged. Receivers rebuild the geometry through
+  // coding::make_structure(), which treats nonsense as data and refuses it.
+  std::uint8_t structure_kind = 0;   ///< coding::StructureKind byte
+  std::uint16_t band_width = 0;      ///< band/class width; 0 = dense
+  std::uint8_t structure_wrap = 0;   ///< banded: bands may wrap past g
+  std::uint16_t class_overlap = 0;   ///< overlapped: shared boundary packets
   /// Serialized null-key sets, one per generation (empty = no verification).
   std::vector<std::vector<std::uint8_t>> key_bundles;
   /// Peer addresses (gossip sample replies / denial hints).
@@ -84,6 +93,8 @@ struct Message {
     if (type == MessageType::kJoinAccept || type == MessageType::kSlotGrant) {
       bytes += sizeof(data_size) + sizeof(gen_count) + sizeof(gen_size) +
                sizeof(symbols);
+      bytes += sizeof(structure_kind) + sizeof(band_width) +
+               sizeof(structure_wrap) + sizeof(class_overlap);
       for (const auto& bundle : key_bundles) {
         bytes += sizeof(std::uint32_t) + bundle.size();
       }

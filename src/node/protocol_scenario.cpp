@@ -67,6 +67,7 @@ ProtocolScenarioReport run_scenario(const ProtocolScenarioSpec& spec) {
   scfg.generation_size = spec.generation_size;
   scfg.symbols = spec.symbols;
   scfg.null_keys = spec.null_keys;
+  scfg.structure = spec.structure;
   scfg.seed = spec.seed;
   ServerNode server(scfg, content);
 
@@ -155,6 +156,7 @@ ProtocolScenarioReport run_scenario(const ProtocolScenarioSpec& spec) {
   report.data_messages = net.data_messages();
   report.control_dropped = net.control_dropped();
   report.control_bytes = net.control_bytes();
+  report.data_bytes = net.data_bytes();
   report.max_in_flight = net.max_in_flight();
   report.repairs_done = server.repairs_done();
   report.last_repair_time = server.last_repair_time();

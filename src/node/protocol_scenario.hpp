@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "coding/structure.hpp"
 #include "node/transport.hpp"
 #include "overlay/thread_matrix.hpp"
 #include "sim/fault_plan.hpp"
@@ -38,6 +39,9 @@ struct ProtocolScenarioSpec {
   std::size_t symbols = 8;            ///< payload bytes per packet
   std::size_t generations = 2;        ///< content generations
   std::size_t null_keys = 0;          ///< verification keys (0 = off)
+  /// Generation coding structure (dense/banded/overlapped). Resolved against
+  /// generation_size by the server; clients learn it from the join accept.
+  coding::StructureSpec structure;
   std::uint64_t silence_timeout = 6;  ///< client complaint timeout
   double join_retry = 4.0;            ///< hello retransmit base delay
   std::uint32_t initial_clients = 0;  ///< clients that join at t = 0
@@ -69,6 +73,7 @@ struct ProtocolScenarioReport {
   std::uint64_t data_messages = 0;
   std::uint64_t control_dropped = 0;
   std::uint64_t control_bytes = 0;
+  std::uint64_t data_bytes = 0;  ///< real serialized wire bytes (v1 or v2)
   std::size_t max_in_flight = 0;
   std::uint64_t repairs_done = 0;
   double last_repair_time = -1.0;  ///< repair convergence measurement

@@ -12,7 +12,8 @@ ServerNode::ServerNode(ServerConfig config, std::vector<std::uint8_t> data)
       membership_rng_(config.seed),
       emit_rng_(sim::RngStreams(config.seed).stream("node.server.emit")),
       data_(std::move(data)),
-      encoder_(data_, config.generation_size, config.symbols) {
+      encoder_(data_, config.generation_size, config.symbols,
+               config.structure) {
   if (config_.null_keys > 0) {
     // One key set per generation, generated once and handed to every joiner
     // over the control channel. Key generation draws from its own derived
@@ -71,6 +72,11 @@ void ServerNode::send_accept(Address addr, overlay::ThreadSpan columns,
   accept.gen_count = static_cast<std::uint32_t>(encoder_.generations());
   accept.gen_size = static_cast<std::uint16_t>(config_.generation_size);
   accept.symbols = static_cast<std::uint16_t>(config_.symbols);
+  const coding::GenerationStructure& s = encoder_.structure();
+  accept.structure_kind = static_cast<std::uint8_t>(s.kind);
+  accept.band_width = static_cast<std::uint16_t>(s.band_width);
+  accept.structure_wrap = s.wrap ? 1 : 0;
+  accept.class_overlap = static_cast<std::uint16_t>(s.overlap);
   accept.key_bundles = key_bundles_;
   net_->send(std::move(accept));
 }
@@ -189,7 +195,22 @@ void ServerNode::handle_goodbye(const Message& m) {
 }
 
 void ServerNode::handle_complaint(const Message& m) {
-  if (!matrix_.contains(m.from)) return;
+  if (!matrix_.contains(m.from)) {
+    // A complaint from a node the matrix no longer tracks: the node was
+    // spliced out by a false-positive repair (a lost attach starved its
+    // child, the child complained, and this node — alive all along, as the
+    // complaint in hand proves — was presumed crashed). Without re-admission
+    // it is a permanent orphan: nobody feeds it and every further complaint
+    // lands right here. Re-admit it through the normal join path — fresh
+    // columns, idempotent accept on the client side.
+    Message rejoin;
+    rejoin.type = MessageType::kJoinRequest;
+    rejoin.from = m.from;
+    rejoin.to = kServerAddress;
+    rejoin.span = m.span;
+    handle_join(rejoin);
+    return;
+  }
   const Address parent = parent_on_column(m.from, m.column);
   if (parent == kServerAddress) return;  // the server does not crash
   if (!matrix_.contains(parent)) return;
@@ -333,7 +354,8 @@ void ServerNode::emit_direct() {
     data.to = child;
     data.column = column;
     const auto gen = emit_rng_.below(encoder_.generations());
-    data.wire = coding::serialize(encoder_.emit(gen, emit_rng_));
+    data.wire = coding::serialize_stream(encoder_.emit(gen, emit_rng_),
+                                         encoder_.structure());
     net_->send(std::move(data));
   }
 }

@@ -36,6 +36,9 @@ struct ServerConfig {
   std::size_t generation_size = 16;  ///< packets per generation
   std::size_t symbols = 16;          ///< payload bytes per packet
   std::size_t null_keys = 0;         ///< keys per generation (0 = off)
+  /// Generation coding structure (dense/banded/overlapped). The join accept
+  /// carries the resolved descriptor, so clients need no out-of-band setup.
+  coding::StructureSpec structure;
   std::uint64_t seed = 1;
 };
 

@@ -1,8 +1,21 @@
 #pragma once
 // Per-endpoint stream state shared by the centralized client and the
-// decentralized gossip peer: the generation plan, one recoding buffer per
-// generation, optional null-key verification, and the random-generation
-// upload policy.
+// decentralized gossip peer: the generation plan, structured receive buffers
+// (one StructuredDecoder + StructuredRecoder per generation), optional
+// null-key verification, and the random-generation upload policy.
+//
+// The stream's GenerationStructure arrives with the plan (join accept / slot
+// grant) and governs every hop of the data plane:
+//   - absorb validates wire frames against the *stream admission* rule
+//     (coding/wire.hpp deserialize_stream): v2 strips must match the
+//     structure exactly, v1 dense rows are admitted on dense and banded
+//     streams (recoding densifies banded codes), never on overlapped ones;
+//   - the decode side runs the policy select_stream_policy() picks (or the
+//     caller's override) — dense elimination for dense/banded streams,
+//     overlap propagation for overlapped ones;
+//   - the recode side is structure-preserving where the mathematics allows
+//     (overlapped classes) and densifying where it does not (bands), so an
+//     upload is always a packet a downstream StreamState admits.
 
 #include <cstdint>
 #include <optional>
@@ -10,7 +23,9 @@
 
 #include "coding/generation.hpp"
 #include "coding/null_keys.hpp"
-#include "coding/recoder.hpp"
+#include "coding/structure.hpp"
+#include "coding/structured_decoder.hpp"
+#include "coding/structured_recoder.hpp"
 #include "coding/wire.hpp"
 #include "gf/gf256.hpp"
 #include "sim/packet_pool.hpp"
@@ -21,19 +36,42 @@ namespace ncast::node {
 /// The receive/recode state for one content object.
 class StreamState {
  public:
-  bool initialized() const { return !buffers_.empty(); }
+  bool initialized() const { return !decoders_.empty(); }
   const coding::GenerationPlan& plan() const { return plan_; }
+  /// The stream's coding structure; meaningful only when initialized().
+  const coding::GenerationStructure& structure() const { return structure_; }
   bool verification_enabled() const { return !keys_.empty(); }
 
-  /// Sets up buffers from a stream plan. Returns false on nonsense geometry.
-  bool initialize(std::uint64_t data_size, std::uint32_t gen_count,
-                  std::uint16_t gen_size, std::uint16_t symbols) {
+  /// Sets up buffers from a stream plan. Returns false on nonsense geometry,
+  /// on a `gen_count` that disagrees with the plan recomputed from
+  /// `data_size` (a lying or corrupted announcement would otherwise silently
+  /// build the wrong buffer count and the stream could never reassemble),
+  /// and on a structure whose g is not the plan's generation size.
+  /// `structure` defaults to dense; `policy` kAuto resolves to the cheapest
+  /// policy sound for relayed traffic (select_stream_policy).
+  bool initialize(
+      std::uint64_t data_size, std::uint32_t gen_count, std::uint16_t gen_size,
+      std::uint16_t symbols,
+      std::optional<coding::GenerationStructure> structure = std::nullopt,
+      coding::DecoderPolicy policy = coding::DecoderPolicy::kAuto) {
     if (gen_count == 0 || gen_size == 0 || symbols == 0) return false;
-    plan_ = coding::plan_generations(data_size, gen_size, symbols);
-    buffers_.clear();
-    buffers_.reserve(gen_count);
+    const auto plan = coding::plan_generations(data_size, gen_size, symbols);
+    if (plan.generations != gen_count) return false;
+    const coding::GenerationStructure s =
+        structure ? *structure : coding::GenerationStructure::dense(gen_size);
+    if (s.g != gen_size) return false;
+    plan_ = plan;
+    structure_ = s;
+    if (policy == coding::DecoderPolicy::kAuto) {
+      policy = coding::select_stream_policy(structure_);
+    }
+    decoders_.clear();
+    recoders_.clear();
+    decoders_.reserve(gen_count);
+    recoders_.reserve(gen_count);
     for (std::uint32_t g = 0; g < gen_count; ++g) {
-      buffers_.emplace_back(g, gen_size, symbols);
+      decoders_.emplace_back(g, structure_, symbols, policy);
+      recoders_.emplace_back(g, structure_, symbols);
     }
     return true;
   }
@@ -41,7 +79,7 @@ class StreamState {
   /// Installs null keys from serialized bundles (all-or-nothing).
   void install_keys(const std::vector<std::vector<std::uint8_t>>& bundles) {
     keys_.clear();
-    if (bundles.size() != buffers_.size()) return;
+    if (bundles.size() != decoders_.size()) return;
     std::vector<coding::NullKeySet<gf::Gf256>> parsed;
     for (const auto& bundle : bundles) {
       auto keys = coding::NullKeySet<gf::Gf256>::deserialize(bundle);
@@ -51,36 +89,40 @@ class StreamState {
     keys_ = std::move(parsed);
   }
 
-  /// Absorbs a wire-encoded packet. Returns false if the packet was dropped
-  /// (malformed, out of range, or failed verification).
+  /// Absorbs a wire-encoded packet into both the decode and the recode
+  /// basis. Returns false if the packet was dropped (malformed, wrong shape
+  /// for the stream's structure, out of range, or failed verification).
   bool absorb_wire(const std::vector<std::uint8_t>& wire) {
-    const auto packet = coding::deserialize<gf::Gf256>(wire);
+    const auto packet = coding::deserialize_stream<gf::Gf256>(wire, structure_);
     if (!packet) return false;
-    if (packet->generation >= buffers_.size()) return false;
-    if (!keys_.empty() && !keys_[packet->generation].verify(*packet)) {
-      return false;
-    }
-    buffers_[packet->generation].absorb(*packet);
+    if (packet->generation >= decoders_.size()) return false;
+    if (!keys_.empty() && !verify_against_keys(*packet)) return false;
+    decoders_[packet->generation].absorb(*packet);
+    recoders_[packet->generation].absorb(*packet);
     return true;
   }
 
   /// A wire-encoded recoded packet from a uniformly random generation with
   /// data (random, not round-robin: deterministic rotations over a static
   /// edge order can starve descendants of whole generations). nullopt when
-  /// every buffer is empty.
+  /// every buffer is empty. Dense and banded streams upload dense rows
+  /// (version-1 wire); overlapped streams upload class packets (version 2),
+  /// so the structure's sparsity survives every hop.
   std::optional<std::vector<std::uint8_t>> emit_wire(Rng& rng) {
     std::size_t with_data = 0;
-    for (const auto& b : buffers_) {
-      if (b.rank() > 0) ++with_data;
+    for (const auto& r : recoders_) {
+      if (r.rank() > 0) ++with_data;
     }
     if (with_data == 0) return std::nullopt;
     std::size_t pick = rng.below(with_data);
-    for (auto& b : buffers_) {
-      if (b.rank() == 0 || pick-- != 0) continue;
+    for (auto& r : recoders_) {
+      if (r.rank() == 0 || pick-- != 0) continue;
       // The pooled packet recycles its buffers across emissions; only the
       // wire serialization below allocates.
       sim::PacketLease<gf::Gf256> scratch(pool_);
-      if (b.emit_into(*scratch, rng)) return coding::serialize(*scratch);
+      if (r.emit_into(*scratch, rng)) {
+        return coding::serialize_stream(*scratch, structure_);
+      }
       return std::nullopt;
     }
     return std::nullopt;
@@ -88,14 +130,14 @@ class StreamState {
 
   std::size_t rank() const {
     std::size_t r = 0;
-    for (const auto& b : buffers_) r += b.rank();
+    for (const auto& d : decoders_) r += d.rank();
     return r;
   }
 
   bool decoded() const {
-    if (buffers_.empty()) return false;
-    for (const auto& b : buffers_) {
-      if (!b.complete()) return false;
+    if (decoders_.empty()) return false;
+    for (const auto& d : decoders_) {
+      if (!d.complete()) return false;
     }
     return true;
   }
@@ -103,18 +145,45 @@ class StreamState {
   /// Reconstructed content; requires decoded().
   std::vector<std::uint8_t> data() const {
     std::vector<std::vector<std::vector<std::uint8_t>>> decoded_gens;
-    decoded_gens.reserve(buffers_.size());
-    for (const auto& b : buffers_) {
-      decoded_gens.push_back(b.decoder().source_packets());
+    decoded_gens.reserve(decoders_.size());
+    for (const auto& d : decoders_) {
+      decoded_gens.push_back(d.source_packets());
     }
     return coding::reassemble(decoded_gens, plan_);
   }
 
  private:
+  /// Null keys verify dense coefficient rows (validity commutes with
+  /// recoding, so a key set generated from the source packets vouches for
+  /// every linear combination — but only in dense coordinates). Compact
+  /// strips are scatter-expanded first, cyclically, exactly as the dense
+  /// decoder would absorb them.
+  bool verify_against_keys(const coding::CodedPacket<gf::Gf256>& p) {
+    if (p.coeffs.size() == structure_.g) {
+      return keys_[p.generation].verify(p);
+    }
+    const std::size_t g = structure_.g;
+    verify_scratch_.generation = p.generation;
+    verify_scratch_.band_offset = 0;
+    verify_scratch_.class_id = 0;
+    verify_scratch_.coeffs.assign(g, 0);
+    for (std::size_t j = 0; j < p.coeffs.size(); ++j) {
+      const std::size_t i =
+          p.band_offset + j < g ? p.band_offset + j : p.band_offset + j - g;
+      verify_scratch_.coeffs[i] = p.coeffs[j];
+    }
+    verify_scratch_.payload.assign(p.payload.begin(), p.payload.end());
+    return keys_[p.generation].verify(verify_scratch_);
+  }
+
   coding::GenerationPlan plan_;
-  std::vector<coding::Recoder<gf::Gf256>> buffers_;
+  coding::GenerationStructure structure_ =
+      coding::GenerationStructure::dense(1);
+  std::vector<coding::StructuredDecoder<gf::Gf256>> decoders_;
+  std::vector<coding::StructuredRecoder<gf::Gf256>> recoders_;
   std::vector<coding::NullKeySet<gf::Gf256>> keys_;
   sim::PacketPool<gf::Gf256> pool_;  // recycled emit_wire() scratch packets
+  coding::CodedPacket<gf::Gf256> verify_scratch_;  // key-check expansion row
 };
 
 }  // namespace ncast::node

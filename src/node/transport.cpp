@@ -17,6 +17,7 @@ struct NetCounters {
   obs::Counter& keepalive = obs::metrics().counter("net.messages_keepalive");
   obs::Counter& control_dropped = obs::metrics().counter("net.control_dropped");
   obs::Counter& control_bytes = obs::metrics().counter("net.control_bytes");
+  obs::Counter& data_bytes = obs::metrics().counter("net.data_bytes");
 
   static NetCounters& get() {
     // ncast:shared(holds internally synchronized obs::Counter references; magic-static init is thread-safe)
@@ -62,6 +63,11 @@ void Transport::send(Message m) {
   if (m.type == MessageType::kData) {
     ++data_;
     reg.data.inc();
+    // Real serialized size: m.wire holds the framed packet (v1 or v2), so
+    // this is exact for every structure, unlike a header+coeffs estimate.
+    const std::size_t bytes = m.wire.size();
+    data_bytes_ += bytes;
+    reg.data_bytes.inc(bytes);
     // Data-plane send event; the drivers keep the trace clock at the current
     // sim time, so these interleave with overlay control events.
     obs::trace().emit(obs::TraceKind::kPacketSend, m.from, m.to, 0, {},

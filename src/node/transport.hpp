@@ -90,6 +90,10 @@ class Transport {
   std::uint64_t control_dropped() const { return control_dropped_; }
   /// Total control_size() bytes sent (gossip-overhead accounting).
   std::uint64_t control_bytes() const { return control_bytes_; }
+  /// Total serialized data-plane bytes sent — the real wire payload size
+  /// (v1 or v2 framing), so structure sweeps can compare bytes-on-the-wire,
+  /// not just packet counts.
+  std::uint64_t data_bytes() const { return data_bytes_; }
 
  protected:
   /// Implementation hook: deliver (or drop) an already-counted message.
@@ -110,6 +114,7 @@ class Transport {
   std::atomic<std::uint64_t> keepalive_{0};
   std::atomic<std::uint64_t> control_dropped_{0};
   std::atomic<std::uint64_t> control_bytes_{0};
+  std::atomic<std::uint64_t> data_bytes_{0};
 };
 
 /// A Transport endpoints can bind to by address. ClientNode/ServerNode start

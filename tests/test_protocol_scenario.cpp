@@ -128,6 +128,10 @@ TEST(ProtocolScenario, JoinRetriesPushHellosThroughLossyControlLinks) {
   ProtocolScenarioSpec spec = quiet_spec(51);
   spec.transport.control_loss = sim::LossSpec::bernoulli(0.4);
   spec.join_retry = 3.0;
+  // Retries back off exponentially (capped), so the auto-sized horizon only
+  // leaves a handful of attempts; give the capped-backoff phase room to land
+  // a hello+accept pair through the 40% loss.
+  spec.horizon = 400.0;
   spec.faults.join_burst(1.0, 8, 2.0);
 
   const auto report = run_scenario(spec);
@@ -156,6 +160,43 @@ TEST(ProtocolScenario, RepairConvergesUnderControlLoss) {
   EXPECT_GE(report.repairs_done, 1u);
   EXPECT_GT(report.last_repair_time, 40.0);
   EXPECT_FALSE(report.matrix.contains(1));  // the crashed row was spliced out
+}
+
+TEST(ProtocolScenario, FalsePositiveRepairReadmitsTheEvictedNode) {
+  // Under control loss an attach can vanish, starving a child whose
+  // complaints then convict a perfectly healthy parent: the server splices
+  // the parent out while it is still alive and streaming. The parent's own
+  // complaints — proof of life — must win it re-admission through the join
+  // path instead of being dropped on the floor, or it starves forever.
+  // This configuration produced permanent orphans before re-admission
+  // existed (decoded fraction stuck at ~0.9 regardless of horizon).
+  ProtocolScenarioSpec spec;
+  spec.k = 12;
+  spec.default_degree = 3;
+  spec.generations = 2;
+  spec.generation_size = 16;
+  spec.symbols = 8;
+  spec.silence_timeout = 8;
+  spec.repair_delay = 2.0;
+  spec.join_retry = 4.0;
+  spec.seed = 0xE230;
+  spec.horizon = 800.0;
+  spec.transport.latency = sim::LatencySpec::uniform(0.5, 1.5);
+  spec.transport.control_loss = sim::LossSpec::bernoulli(0.10);
+  spec.faults.join_burst(1.0, 12, 1.0);
+  spec.faults.crash_join_at(50.0, 0);
+  spec.faults.crash_join_at(55.0, 1);
+
+  const auto report = run_scenario_sharded(spec, 4, 2);
+
+  EXPECT_EQ(report.decoded_fraction(), 1.0);
+  for (const auto& o : report.outcomes) {
+    if (o.crashed) continue;
+    EXPECT_TRUE(o.joined) << "address " << o.address;
+    // Nobody healthy may end the run evicted: a false-positive repair must
+    // be undone by re-admission, not left as a permanent hole.
+    EXPECT_TRUE(report.matrix.contains(o.address)) << "address " << o.address;
+  }
 }
 
 TEST(ProtocolScenario, LeaveOfCrashedClientIsIgnored) {

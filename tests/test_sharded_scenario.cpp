@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "coding/structure.hpp"
 #include "node/protocol_scenario.hpp"
 #include "overlay/thread_matrix.hpp"
 #include "sim/link_model.hpp"
@@ -49,6 +50,7 @@ void expect_reports_equal(const node::ProtocolScenarioReport& a,
   EXPECT_EQ(a.data_messages, b.data_messages) << what;
   EXPECT_EQ(a.control_dropped, b.control_dropped) << what;
   EXPECT_EQ(a.control_bytes, b.control_bytes) << what;
+  EXPECT_EQ(a.data_bytes, b.data_bytes) << what;
   // max_in_flight is deliberately NOT compared: it samples instantaneous
   // concurrency mid-window, and intra-window cross-lane execution order is
   // outside the determinism contract (see protocol_scenario.hpp).
@@ -127,6 +129,37 @@ TEST(ShardedScenario, RepeatRunsReproduce) {
   expect_reports_equal(a, b, "repeat");
 }
 
+// Structured streams ride the same determinism contract: the regression
+// spec with a banded (w = g/8, wrapping) and an overlapped structure must
+// produce shard- and worker-invariant reports too. The banded data plane
+// mixes v2 strips (server-direct) with densified v1 relay rows, so this
+// also pins the mixed-framing byte accounting (data_bytes) across lanes.
+TEST(ShardedScenario, StructuredReportsInvariantAcrossShardsAndWorkers) {
+  auto banded = regression_spec(19);
+  banded.generation_size = 16;
+  banded.structure = coding::StructureSpec::banded(2, true);  // w = g/8
+  auto overlapped = regression_spec(19);
+  overlapped.generation_size = 16;
+  overlapped.structure = coding::StructureSpec::overlapping(6, 2);
+
+  const struct {
+    const char* name;
+    const node::ProtocolScenarioSpec* spec;
+  } lanes[] = {{"banded", &banded}, {"overlapped", &overlapped}};
+  for (const auto& lane : lanes) {
+    const auto baseline = node::run_scenario_sharded(*lane.spec, 1, 0);
+    EXPECT_GT(baseline.data_messages, 0u) << lane.name;
+    EXPECT_GT(baseline.data_bytes, 0u) << lane.name;
+    for (std::uint32_t shards : {4u, 8u}) {
+      const auto r = node::run_scenario_sharded(*lane.spec, shards, 2);
+      expect_reports_equal(
+          baseline, r,
+          (std::string(lane.name) + " shards=" + std::to_string(shards))
+              .c_str());
+    }
+  }
+}
+
 // The sharded runner agrees with run_scenario on protocol-level outcomes
 // under a LOSSLESS transport: with no random draws consumed, both planes
 // see the same message timeline shape, so membership must converge to the
@@ -153,6 +186,38 @@ TEST(ShardedScenario, LosslessRunMatchesSingleQueueRunnerOutcomes) {
     EXPECT_EQ(single.outcomes[i].decoded, sharded.outcomes[i].decoded);
   }
   EXPECT_EQ(single.decoded_fraction(), sharded.decoded_fraction());
+}
+
+// Cross-runner agreement holds per structure as well: the lossless spec
+// run banded and overlapped must decode everywhere on both runners.
+TEST(ShardedScenario, LosslessStructuredRunsMatchAcrossRunners) {
+  const coding::StructureSpec structures[] = {
+      coding::StructureSpec::banded(2, true),
+      coding::StructureSpec::overlapping(6, 2),
+  };
+  for (const auto& structure : structures) {
+    node::ProtocolScenarioSpec spec;
+    spec.k = 4;
+    spec.default_degree = 2;
+    spec.generations = 1;
+    spec.generation_size = 16;
+    spec.symbols = 4;
+    spec.seed = 5;
+    spec.structure = structure;
+    spec.transport.latency = LatencySpec::fixed_delay(0.7);
+    spec.initial_clients = 6;
+
+    const auto single = node::run_scenario(spec);
+    const auto sharded = node::run_scenario_sharded(spec, 4, 2);
+    EXPECT_EQ(single.matrix.nodes_in_order(), sharded.matrix.nodes_in_order());
+    ASSERT_EQ(single.outcomes.size(), sharded.outcomes.size());
+    for (std::size_t i = 0; i < single.outcomes.size(); ++i) {
+      EXPECT_EQ(single.outcomes[i].joined, sharded.outcomes[i].joined);
+      EXPECT_EQ(single.outcomes[i].decoded, sharded.outcomes[i].decoded);
+    }
+    EXPECT_EQ(single.decoded_fraction(), 1.0);
+    EXPECT_EQ(sharded.decoded_fraction(), 1.0);
+  }
 }
 
 }  // namespace

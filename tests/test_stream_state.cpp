@@ -111,9 +111,120 @@ TEST(StreamState, KeyedStateRejectsForgeries) {
   EXPECT_FALSE(s.absorb_wire(coding::serialize(forged)));
 }
 
+TEST(StreamState, RejectsGenCountDisagreeingWithPlan) {
+  // The announced generation count must agree with the plan recomputed from
+  // data_size — a mismatched accept would build buffers that can never
+  // reassemble the content.
+  StreamState s;
+  EXPECT_FALSE(s.initialize(300, 2, 8, 16));  // plan says 3
+  EXPECT_FALSE(s.initialize(300, 4, 8, 16));
+  EXPECT_FALSE(s.initialize(128, 2, 8, 16));  // plan says 1
+  EXPECT_FALSE(s.initialized());
+  EXPECT_TRUE(s.initialize(300, 3, 8, 16));
+  EXPECT_TRUE(s.initialized());
+}
+
+TEST(StreamState, RejectsStructureWithWrongGenerationSize) {
+  StreamState s;
+  EXPECT_FALSE(
+      s.initialize(128, 1, 8, 16, coding::GenerationStructure::banded(16, 4)));
+  EXPECT_TRUE(
+      s.initialize(128, 1, 8, 16, coding::GenerationStructure::banded(8, 4)));
+}
+
+TEST(StreamState, BandedEndToEndWithRelayDensification) {
+  // A banded stream carries mixed traffic: compact strips straight from the
+  // encoder plus dense rows from relays (recoding densifies bands). Both
+  // must be admitted, and the sink must still reconstruct exactly.
+  Rng rng(5);
+  const auto content = random_bytes(256, rng);
+  coding::FileEncoder encoder(content, 16, 8,
+                              coding::StructureSpec::banded(4, true));
+  StreamState relay, sink;
+  ASSERT_TRUE(relay.initialize(content.size(), 2, 16, 8, encoder.structure()));
+  ASSERT_TRUE(sink.initialize(content.size(), 2, 16, 8, encoder.structure()));
+
+  std::size_t fed = 0;
+  while (!sink.decoded()) {
+    ASSERT_LT(++fed, 2000u);
+    const auto gen = rng.below(encoder.generations());
+    // Encoder-direct strip to both endpoints (v2 compact framing).
+    const auto wire = coding::serialize_stream(encoder.emit(gen, rng),
+                                               encoder.structure());
+    relay.absorb_wire(wire);
+    sink.absorb_wire(wire);
+    // Relay-recoded row to the sink (dense v1 framing after densification).
+    if (const auto relayed = relay.emit_wire(rng)) sink.absorb_wire(*relayed);
+  }
+  EXPECT_EQ(sink.data(), content);
+}
+
+TEST(StreamState, OverlappedEndToEndStructurePreserving) {
+  // Overlapped recoding is class-local, so every hop — encoder-direct or
+  // relayed — stays within the structure and the v2 compact framing.
+  Rng rng(6);
+  const auto content = random_bytes(256, rng);
+  coding::FileEncoder encoder(content, 16, 8,
+                              coding::StructureSpec::overlapping(6, 2));
+  StreamState relay, sink;
+  ASSERT_TRUE(relay.initialize(content.size(), 2, 16, 8, encoder.structure()));
+  ASSERT_TRUE(sink.initialize(content.size(), 2, 16, 8, encoder.structure()));
+
+  std::size_t fed = 0;
+  while (!sink.decoded()) {
+    ASSERT_LT(++fed, 4000u);
+    const auto gen = rng.below(encoder.generations());
+    relay.absorb_wire(coding::serialize_stream(encoder.emit(gen, rng),
+                                               encoder.structure()));
+    if (const auto relayed = relay.emit_wire(rng)) {
+      ASSERT_TRUE(sink.absorb_wire(*relayed));
+    }
+  }
+  EXPECT_EQ(sink.data(), content);
+}
+
+TEST(StreamState, StructuredStreamRejectsForeignShapes) {
+  // A banded stream rejects strips whose width disagrees with the announced
+  // structure, even when the packet would be well-formed under some other
+  // structure.
+  Rng rng(7);
+  const auto content = random_bytes(128, rng);
+  coding::FileEncoder wide(content, 16, 8, coding::StructureSpec::banded(8));
+  StreamState s;
+  ASSERT_TRUE(s.initialize(content.size(), 1, 16, 8,
+                           coding::GenerationStructure::banded(16, 4)));
+  EXPECT_FALSE(s.absorb_wire(
+      coding::serialize_stream(wide.emit(0, rng), wide.structure())));
+  EXPECT_EQ(s.rank(), 0u);
+}
+
+TEST(StreamState, KeyedBandedStateVerifiesStrips) {
+  // Null-key verification must work on compact band strips: validity
+  // commutes with scatter-expansion, so a strip is checked by expanding it
+  // onto the dense basis first.
+  Rng rng(8);
+  const auto content = random_bytes(128, rng);
+  coding::FileEncoder encoder(content, 16, 8,
+                              coding::StructureSpec::banded(4, true));
+  const auto source = coding::generation_packets(content, encoder.plan(), 0);
+  const auto keys = coding::NullKeySet<gf::Gf256>::generate(0, source, 3, rng);
+
+  StreamState s;
+  ASSERT_TRUE(s.initialize(content.size(), 1, 16, 8, encoder.structure()));
+  s.install_keys({keys.serialize()});
+  EXPECT_TRUE(s.verification_enabled());
+
+  EXPECT_TRUE(s.absorb_wire(
+      coding::serialize_stream(encoder.emit(0, rng), encoder.structure())));
+  auto forged = encoder.emit(0, rng);
+  forged.payload[0] ^= 0x77;
+  EXPECT_FALSE(s.absorb_wire(
+      coding::serialize_stream(forged, encoder.structure())));
+}
+
 TEST(StreamState, PartialKeyBundlesDisableVerification) {
   StreamState s;
-  ASSERT_TRUE(s.initialize(128, 2, 8, 16));
+  ASSERT_TRUE(s.initialize(256, 2, 8, 16));
   s.install_keys({{1, 2, 3}});  // wrong count AND malformed
   EXPECT_FALSE(s.verification_enabled());
   s.install_keys({{1, 2, 3}, {4, 5, 6}});  // right count, malformed
